@@ -1,0 +1,30 @@
+"""Ablation: barrier algorithm — dissemination vs central coordinator."""
+
+from repro.mp import LogPCosts, mpirun
+from repro.mp import collectives as C
+
+COSTS = LogPCosts(latency=1.0, overhead=0.1)
+
+
+def test_barrier_algorithms(benchmark, report_table):
+    def sweep():
+        out = {}
+        for p in (4, 16, 64):
+            diss = mpirun(p, lambda c: c.barrier(), mode="lockstep", costs=COSTS).span
+            cent = mpirun(
+                p, lambda c: C.barrier_central(c), mode="lockstep", costs=COSTS
+            ).span
+            out[p] = (diss, cent)
+        return out
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'p':>5} {'dissemination':>14} {'central':>9}"]
+    for p, (diss, cent) in table.items():
+        lines.append(f"{p:>5} {diss:>14.2f} {cent:>9.2f}")
+    report_table("Ablation: barrier algorithm (span)", lines)
+    assert table[64][0] < table[64][1]
+    # Dissemination grows ~lg p (constant increment per doubling);
+    # central grows ~p (its growth dominates dissemination's).
+    diss_growth = table[64][0] - table[16][0]
+    cent_growth = table[64][1] - table[16][1]
+    assert cent_growth > 2 * diss_growth

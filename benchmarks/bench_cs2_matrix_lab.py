@@ -1,0 +1,28 @@
+"""Section IV.A's Tuesday lab: matrix ops, thread sweep, speedup chart."""
+
+from repro.education.matrix_lab import lab_report
+
+
+def test_matrix_lab_speedup_chart(benchmark, report_table):
+    rep = benchmark.pedantic(
+        lambda: lab_report(size=64, thread_counts=(1, 2, 4, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"matrix size: {rep['size']}x{rep['size']}",
+        f"sequential add:       {rep['sequential']['add_wall'] * 1e3:.2f} ms wall",
+        f"sequential transpose: {rep['sequential']['transpose_wall'] * 1e3:.2f} ms wall",
+        f"{'op':<10} {'threads':>7} {'span':>9} {'speedup':>8} {'efficiency':>10}",
+    ]
+    for row in rep["rows"]:
+        lines.append(
+            f"{row['operation']:<10} {row['threads']:>7} {row['span']:>9.0f} "
+            f"{row['speedup']:>7.2f}x {row['efficiency']:>9.1%}"
+        )
+    report_table("Section IV.A: CS2 matrix lab (speedup vs threads)", lines)
+    for op in ("add", "transpose"):
+        speedups = [r["speedup"] for r in rep["rows"] if r["operation"] == op]
+        assert speedups == sorted(speedups)  # monotone speedup curve
+        assert speedups[-1] > 4  # 8 threads beat 4x
+        assert all(r["correct"] for r in rep["rows"])

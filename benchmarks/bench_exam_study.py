@@ -1,0 +1,43 @@
+"""Section IV.B: the CS2 exam-score study, paper vs reproduction.
+
+Paper row: Fall (no patternlets) 2.95/4, n=41; Spring (with patternlets)
+3.05/4, n=38; a 2.5% improvement, not statistically significant
+(p = 0.293).
+"""
+
+from repro.education.assessment import (
+    FALL_COHORT,
+    PAPER_P_VALUE,
+    SPRING_COHORT,
+    reproduce_paper_analysis,
+)
+
+
+def test_exam_study_reproduction(benchmark, report_table):
+    out = benchmark(reproduce_paper_analysis)
+    syn = out["synthetic"]
+    lines = [
+        f"{'cohort':<28} {'n':>4} {'mean/4':>7}",
+        f"{FALL_COHORT.name:<28} {FALL_COHORT.n:>4} {FALL_COHORT.mean:>7.2f}",
+        f"{SPRING_COHORT.name:<28} {SPRING_COHORT.n:>4} {SPRING_COHORT.mean:>7.2f}",
+        f"improvement: {out['improvement_pct']:.1f}% of the 4-point scale (paper: 2.5%)",
+        f"paper p-value: {PAPER_P_VALUE}",
+        f"implied common SD, one-tailed reading:  {out['implied_sd_1tailed']:.3f} "
+        f"-> p = {out['test_1tailed'].p_one_tailed:.3f}",
+        f"implied common SD, two-tailed reading:  {out['implied_sd_2tailed']:.3f} "
+        f"-> p = {out['test_2tailed'].p_two_tailed:.3f}",
+        "synthetic cohorts (one-tailed SD), forward analysis:",
+        f"  fall   mean {syn['fall_mean']:.3f}  sd {syn['fall_sd']:.3f}",
+        f"  spring mean {syn['spring_mean']:.3f}  sd {syn['spring_sd']:.3f}",
+        f"  pooled t = {syn['pooled'].t:.3f}, one-tailed p = "
+        f"{syn['pooled'].p_one_tailed:.3f} (not significant, as reported)",
+        f"  Welch  t = {syn['welch'].t:.3f}, one-tailed p = "
+        f"{syn['welch'].p_one_tailed:.3f}",
+        f"  Cohen's d = {syn['cohens_d']:.3f} (small effect)",
+    ]
+    report_table("Section IV.B: exam-score study", lines)
+    assert abs(out["improvement_pct"] - 2.5) < 1e-9
+    assert abs(out["test_1tailed"].p_one_tailed - PAPER_P_VALUE) < 1e-6
+    assert abs(out["test_2tailed"].p_two_tailed - PAPER_P_VALUE) < 1e-6
+    assert not syn["pooled"].significant()
+    assert 0.2 < syn["pooled"].p_one_tailed < 0.45  # near the paper's 0.293

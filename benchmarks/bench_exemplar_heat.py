@@ -1,0 +1,39 @@
+"""Exemplar bench: heat-diffusion strong scaling (halo exchange).
+
+Not a paper figure — the paper stops at patternlets — but the exemplar
+stage its Section V recommends, and the natural composition test for the
+runtime: geometric decomposition spans must fall with ranks and flatten
+as halo traffic grows relative to slab size.
+"""
+
+from repro.algorithms.heat import simulate_mp, simulate_sequential
+from repro.mp import MpRuntime
+
+
+def test_heat_strong_scaling(benchmark, report_table):
+    rod = [0.0] * 64
+    rod[0], rod[-1] = 100.0, 40.0
+    steps = 16
+    ref = simulate_sequential(rod, steps=steps)
+
+    def sweep():
+        out = {}
+        for ranks in (1, 2, 4, 8):
+            got, span = simulate_mp(
+                rod, steps=steps, num_ranks=ranks, runtime=MpRuntime(mode="lockstep")
+            )
+            assert all(abs(a - b) < 1e-9 for a, b in zip(got, ref))
+            out[ranks] = span
+        return out
+
+    spans = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'ranks':>6} {'span':>10} {'speedup':>8} {'efficiency':>11}"]
+    for ranks, span in spans.items():
+        s = spans[1] / span
+        lines.append(f"{ranks:>6} {span:>10.1f} {s:>7.2f}x {s / ranks:>10.1%}")
+    report_table("Exemplar: 1-D heat diffusion strong scaling", lines)
+    assert spans[1] > spans[2] > spans[4] > spans[8]
+    # Efficiency degrades as halo traffic grows relative to slab work.
+    eff2 = spans[1] / spans[2] / 2
+    eff8 = spans[1] / spans[8] / 8
+    assert eff8 < eff2

@@ -1,0 +1,76 @@
+"""Exemplar benches: Monte Carlo pi convergence/scaling, distributed sort.
+
+The exemplar stage the paper's Section V calls for: the same patterns the
+patternlets introduce, working on real problems.  Reported series:
+
+- Monte Carlo pi: error falling ~1/sqrt(samples) (the application
+  pattern's defining statistics) and span falling with task count;
+- odd-even transposition sort: span vs rank count for a fixed data set.
+"""
+
+import math
+import random
+
+from repro.algorithms.monte_carlo import estimate_pi_smp
+from repro.algorithms.oddeven import odd_even_sort
+from repro.mp import MpRuntime
+from repro.smp import SmpRuntime
+
+
+def test_monte_carlo_convergence_and_scaling(benchmark, report_table):
+    def sweep():
+        errors = {}
+        for samples in (400, 1600, 6400, 25600):
+            estimates = [
+                estimate_pi_smp(
+                    samples,
+                    num_threads=4,
+                    seed=s,
+                    rt=SmpRuntime(num_threads=4, mode="lockstep"),
+                )[0]
+                for s in range(5)
+            ]
+            errors[samples] = sum(abs(e - math.pi) for e in estimates) / len(estimates)
+        spans = {}
+        for threads in (1, 2, 4, 8):
+            _, spans[threads] = estimate_pi_smp(
+                4096,
+                num_threads=threads,
+                seed=0,
+                rt=SmpRuntime(num_threads=threads, mode="lockstep"),
+            )
+        return errors, spans
+
+    errors, spans = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'samples':>8} {'mean |error|':>13}"]
+    for samples, err in errors.items():
+        lines.append(f"{samples:>8} {err:>13.4f}")
+    lines.append("")
+    lines.append(f"{'threads':>8} {'span':>10}")
+    for threads, span in spans.items():
+        lines.append(f"{threads:>8} {span:>10.0f}")
+    report_table("Exemplar: Monte Carlo pi (error convergence + scaling)", lines)
+    # ~1/sqrt(n): 64x the samples should cut error by several-fold.
+    assert errors[25600] < errors[400]
+    assert spans[8] < spans[1]
+
+
+def test_odd_even_sort_scaling(benchmark, report_table):
+    rng = random.Random(0)
+    data = [rng.randrange(10_000) for _ in range(96)]
+
+    def sweep():
+        spans = {}
+        for ranks in (1, 2, 4, 8):
+            got, spans[ranks] = odd_even_sort(
+                data, num_ranks=ranks, runtime=MpRuntime(mode="lockstep")
+            )
+            assert got == sorted(data)
+        return spans
+
+    spans = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'ranks':>6} {'span':>10}"]
+    for ranks, span in spans.items():
+        lines.append(f"{ranks:>6} {span:>10.1f}")
+    report_table("Exemplar: odd-even transposition sort (span vs ranks)", lines)
+    assert spans[4] < spans[1]

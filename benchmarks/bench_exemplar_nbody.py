@@ -1,0 +1,70 @@
+"""Exemplar bench: N-body ring pipeline vs the allgather alternative.
+
+The ring pipeline moves p-1 block-sized messages per rank; the naive
+alternative allgathers all positions then computes locally.  Both spans
+shrink with ranks; the comparison shows the communication-pattern
+trade-off (allgather's gather+bcast tree vs the ring's neighbour hops).
+"""
+
+from repro.algorithms.nbody import forces_mp, forces_sequential, make_bodies
+from repro.mp import MpRuntime
+
+
+def allgather_forces(bodies, num_ranks):
+    """The alternative: allgather positions, compute own block locally."""
+    from repro.algorithms.nbody import _pair_force
+
+    snapshot = [(b.x, b.y, b.mass) for b in bodies]
+    n = len(snapshot)
+    base, extra = divmod(n, num_ranks)
+    counts = [base + (1 if r < extra else 0) for r in range(num_ranks)]
+    starts = [sum(counts[:r]) for r in range(num_ranks)]
+
+    def rank_main(comm):
+        mine = comm.scatterv(snapshot if comm.rank == 0 else None, counts)
+        everyone = [
+            item for block in comm.allgather(mine) for item in block
+        ]
+        my_start = starts[comm.rank]
+        out = []
+        for i, (xi, yi, mi) in enumerate(mine):
+            gi = my_start + i
+            fx = fy = 0.0
+            for j, (xj, yj, mj) in enumerate(everyone):
+                if j != gi:
+                    dfx, dfy = _pair_force(xi, yi, mi, xj, yj, mj)
+                    fx += dfx
+                    fy += dfy
+            comm.work(len(mine) * len(everyone) * 0.01)
+            out.append((fx, fy))
+        return comm.gatherv(out)
+
+    result = MpRuntime(mode="lockstep").run(num_ranks, rank_main)
+    return result.results[0], result.span
+
+
+def test_nbody_ring_vs_allgather(benchmark, report_table):
+    bodies = make_bodies(32, seed=1)
+    ref = forces_sequential(bodies)
+
+    def sweep():
+        rows = {}
+        for ranks in (1, 2, 4, 8):
+            _, ring_span = forces_mp(
+                bodies, num_ranks=ranks, runtime=MpRuntime(mode="lockstep")
+            )
+            ag_forces, ag_span = allgather_forces(bodies, ranks)
+            assert all(
+                abs(a[0] - b[0]) < 1e-9 and abs(a[1] - b[1]) < 1e-9
+                for a, b in zip(ag_forces, ref)
+            )
+            rows[ranks] = (ring_span, ag_span)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'ranks':>6} {'ring span':>10} {'allgather span':>15}"]
+    for ranks, (ring, ag) in rows.items():
+        lines.append(f"{ranks:>6} {ring:>10.2f} {ag:>15.2f}")
+    report_table("Exemplar: N-body force computation, ring vs allgather", lines)
+    assert rows[4][0] < rows[1][0]  # both scale
+    assert rows[4][1] < rows[1][1]

@@ -1,0 +1,30 @@
+"""Figures 4-6: the MPI spmd patternlet at -np 1 and -np 4 on the cluster.
+
+Paper series: rank, world size, and hosting node per process; with 4
+processes the greetings come from node-01..node-04 in scrambled order.
+"""
+
+from repro.core import run_patternlet
+from repro.core.analysis import parse_hello_lines
+
+
+def run_spmd(tasks, seed=0):
+    return run_patternlet("mpi.spmd", tasks=tasks, seed=seed)
+
+
+def test_fig5_single_process(benchmark, report_table):
+    run = benchmark(run_spmd, 1)
+    report_table("Figure 5: mpirun -np 1 ./spmd", run.lines)
+    assert parse_hello_lines(run) == [(0, 1, "node-01")]
+
+
+def test_fig6_four_processes(benchmark, report_table):
+    run = benchmark(run_spmd, 4, 3)
+    report_table("Figure 6: mpirun -np 4 ./spmd", run.lines)
+    hellos = sorted(parse_hello_lines(run))
+    assert hellos == [
+        (0, 4, "node-01"),
+        (1, 4, "node-02"),
+        (2, 4, "node-03"),
+        (3, 4, "node-04"),
+    ]

@@ -1,0 +1,22 @@
+"""Figures 10-12: the MPI barrier patternlet (master-printed worker lines)."""
+
+from repro.core import run_patternlet
+from repro.core.analysis import phases_interleaved, phases_separated
+
+
+def run_barrier(barrier, seed):
+    return run_patternlet(
+        "mpi.barrier", tasks=4, toggles={"barrier": barrier}, seed=seed
+    )
+
+
+def test_fig11_without_barrier(benchmark, report_table):
+    run = benchmark(run_barrier, False, 6)
+    report_table("Figure 11: mpirun -np 4 ./barrier, MPI_Barrier commented", run.lines)
+    assert phases_interleaved(run, "BEFORE", "AFTER")
+
+
+def test_fig12_with_barrier(benchmark, report_table):
+    run = benchmark(run_barrier, True, 6)
+    report_table("Figure 12: mpirun -np 4 ./barrier, MPI_Barrier uncommented", run.lines)
+    assert phases_separated(run, "BEFORE", "AFTER")

@@ -1,0 +1,26 @@
+"""Figures 13-15: OpenMP parallelLoopEqualChunks at 1 and 2 threads.
+
+Paper series: 1 thread performs 0-7; 2 threads split 0-3 / 4-7 with
+interleaved printing.
+"""
+
+from repro.core import run_patternlet
+from repro.core.analysis import contiguous_blocks, iterations_by_task
+
+
+def run_loop(tasks, seed=0):
+    return run_patternlet("openmp.parallelLoopEqualChunks", tasks=tasks, seed=seed)
+
+
+def test_fig14_one_thread(benchmark, report_table):
+    run = benchmark(run_loop, 1)
+    report_table("Figure 14: parallelLoopEqualChunks, 1 thread", run.lines)
+    assert iterations_by_task(run) == {0: list(range(8))}
+
+
+def test_fig15_two_threads(benchmark, report_table):
+    run = benchmark(run_loop, 2, 1)
+    report_table("Figure 15: parallelLoopEqualChunks, 2 threads", run.lines)
+    got = iterations_by_task(run)
+    assert got[0] == [0, 1, 2, 3] and got[1] == [4, 5, 6, 7]
+    assert all(contiguous_blocks(v) for v in got.values())

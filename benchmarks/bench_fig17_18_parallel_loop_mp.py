@@ -1,0 +1,26 @@
+"""Figures 16-18: MPI parallelLoopEqualChunks at -np 1, 2 and 4."""
+
+from repro.core import run_patternlet
+from repro.core.analysis import iterations_by_task
+
+
+def run_loop(tasks, seed=0):
+    return run_patternlet("mpi.parallelLoopEqualChunks", tasks=tasks, seed=seed)
+
+
+def test_fig16_single_process(benchmark, report_table):
+    run = benchmark(run_loop, 1)
+    report_table("Figure 16/14-analogue: -np 1", run.lines)
+    assert iterations_by_task(run) == {0: list(range(8))}
+
+
+def test_fig17_two_processes(benchmark, report_table):
+    run = benchmark(run_loop, 2, 2)
+    report_table("Figure 17: -np 2", run.lines)
+    assert iterations_by_task(run) == {0: [0, 1, 2, 3], 1: [4, 5, 6, 7]}
+
+
+def test_fig18_four_processes(benchmark, report_table):
+    run = benchmark(run_loop, 4, 2)
+    report_table("Figure 18: -np 4", run.lines)
+    assert iterations_by_task(run) == {0: [0, 1], 1: [2, 3], 2: [4, 5], 3: [6, 7]}

@@ -1,0 +1,118 @@
+"""Figure 19: the Reduction pattern's O(lg t) combine vs O(t) sequential.
+
+The paper's figure walks eight partial red-pixel counts (6, 8, 9, 1, 5,
+7, 2, 4) up a binary tree: t/2 additions at time 1, t/4 at time 2, ... —
+t-1 total additions but only lg t levels of latency.  This bench
+reproduces both the worked example and the scaling series:
+
+- for the paper's eight partials, the tree combines to 42 in 3 levels
+  where the sequential fold needs 7 steps;
+- sweeping t, the LogP span of the binomial-tree reduce grows like lg t
+  while the gather-and-fold baseline grows like t (who-wins and the
+  widening factor are the reproduction targets; absolute constants are
+  the cost model's).
+"""
+
+import math
+
+from repro.algorithms.red_pixels import PAPER_PARTIALS
+from repro.mp import LogPCosts, mpirun
+from repro.mp import collectives as C
+
+COSTS = LogPCosts(latency=1.0, overhead=0.1, per_byte=0.0, combine=1.0)
+
+
+def spans_for(t):
+    def tree_main(comm):
+        return comm.reduce(1, "SUM", root=0)
+
+    def linear_main(comm):
+        return C.reduce_linear(comm, 1, "SUM", root=0)
+
+    tree = mpirun(t, tree_main, mode="lockstep", costs=COSTS).span
+    linear = mpirun(t, linear_main, mode="lockstep", costs=COSTS).span
+    return tree, linear
+
+
+def test_fig19_worked_example(benchmark, report_table):
+    """The eight partials 6,8,9,1,5,7,2,4 combine to 42 in ceil(lg 8)=3 levels."""
+    partials = list(PAPER_PARTIALS)
+
+    def run():
+        def main(comm):
+            return comm.reduce(partials[comm.rank], "SUM", root=0)
+
+        return mpirun(len(partials), main, mode="lockstep", costs=COSTS)
+
+    result = benchmark(run)
+    total = result.results[0]
+    levels = math.ceil(math.log2(len(partials)))
+    report_table(
+        "Figure 19 worked example: combining 6,8,9,1,5,7,2,4",
+        [
+            f"partial results: {partials}",
+            f"tree-combined total: {total} (paper: 42)",
+            f"tree levels: {levels} (parallel time O(lg t))",
+            f"sequential additions needed: {len(partials) - 1} (time O(t))",
+            f"tree total additions: {len(partials) - 1} (same work, less span)",
+        ],
+    )
+    assert total == 42
+
+
+def test_fig19_scaling_series(benchmark, report_table):
+    """Span vs t: tree ~ lg t, sequential ~ t, gap widens monotonically."""
+    sizes = [2, 4, 8, 16, 32, 64, 128]
+
+    def sweep():
+        return {t: spans_for(t) for t in sizes}
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'t':>5} {'tree span':>10} {'seq span':>10} {'speedup':>8}"]
+    prev_ratio = 0.0
+    for t in sizes:
+        tree, lin = table[t]
+        ratio = lin / tree
+        lines.append(f"{t:>5} {tree:>10.2f} {lin:>10.2f} {ratio:>8.2f}x")
+        # The crossover falls at tiny t (they tie at t=4 under unit
+        # costs); beyond it the tree wins outright.
+        assert tree <= lin
+        if t >= 8:
+            assert tree < lin
+        assert ratio >= prev_ratio * 0.99  # the gap keeps widening
+        prev_ratio = ratio
+    report_table("Figure 19 scaling: reduction span, tree vs sequential", lines)
+    # Shape checks: tree grows ~ lg t (constant increments per doubling),
+    # sequential grows ~ t (roughly doubles per doubling).
+    increments = [table[sizes[i + 1]][0] - table[sizes[i]][0] for i in range(len(sizes) - 1)]
+    assert max(increments) - min(increments) < 1e-6
+    assert table[128][1] / table[64][1] > 1.8
+
+
+def test_fig19_work_is_conserved(benchmark, report_table):
+    """The tree performs exactly t-1 combines — same as sequential."""
+    from repro.ops import Op
+
+    def count_for(t):
+        counter = {"n": 0}
+
+        def tick(a, b):
+            counter["n"] += 1
+            return a + b
+
+        op = Op.create(tick, name="COUNTING")
+
+        def main(comm):
+            comm.reduce(1, op, root=0)
+
+        mpirun(t, main, mode="lockstep", costs=COSTS)
+        return counter["n"]
+
+    counts = benchmark.pedantic(
+        lambda: {t: count_for(t) for t in (2, 4, 8, 16)}, rounds=1, iterations=1
+    )
+    report_table(
+        "Figure 19 invariant: total additions = t - 1",
+        [f"t={t}: {n} combines" for t, n in counts.items()],
+    )
+    assert all(n == t - 1 for t, n in counts.items())

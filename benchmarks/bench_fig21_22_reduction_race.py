@@ -1,0 +1,73 @@
+"""Figures 20-22: the OpenMP reduction patternlet's three behaviours.
+
+Paper series: sequential and parallel sums agree (Fig. 21); with the
+parallel for but no reduction clause the parallel sum is wrong and low
+(Fig. 22); restoring the clause restores agreement.
+"""
+
+from repro.core import run_patternlet
+
+
+def sums_of(run):
+    seq = int(run.grep("Seq. sum")[0].split()[-1])
+    par = int(run.grep("Par. sum")[0].split()[-1])
+    return seq, par
+
+
+def test_fig21_sequential_baseline(benchmark, report_table):
+    run = benchmark(
+        lambda: run_patternlet("openmp.reduction", seed=0)
+    )
+    seq, par = sums_of(run)
+    report_table("Figure 21: reduction.c, 1 thread", run.grep("sum"))
+    assert seq == par
+
+
+def test_fig22_race_without_clause(benchmark, report_table):
+    run = benchmark(
+        lambda: run_patternlet(
+            "openmp.reduction", toggles={"parallel_for": True}, seed=1
+        )
+    )
+    seq, par = sums_of(run)
+    report_table(
+        "Figure 22: reduction.c, 4 threads, reduction clause commented out",
+        run.grep("sum") + [f"lost to the race: {seq - par}"],
+    )
+    assert par < seq
+
+
+def test_fig21_restored_with_clause(benchmark, report_table):
+    run = benchmark(
+        lambda: run_patternlet(
+            "openmp.reduction",
+            toggles={"parallel_for": True, "reduction": True},
+            seed=1,
+        )
+    )
+    seq, par = sums_of(run)
+    report_table(
+        "Figure 21 (restored): reduction.c, 4 threads, clause uncommented",
+        run.grep("sum"),
+    )
+    assert seq == par
+
+
+def test_fig22_losses_grow_with_threads(benchmark, report_table):
+    """More contending threads lose more updates (shape, not constants)."""
+
+    def losses(tasks):
+        run = run_patternlet(
+            "openmp.reduction", tasks=tasks, toggles={"parallel_for": True}, seed=4
+        )
+        seq, par = sums_of(run)
+        return seq - par
+
+    series = benchmark.pedantic(
+        lambda: {t: losses(t) for t in (2, 4, 8)}, rounds=1, iterations=1
+    )
+    report_table(
+        "Figure 22 series: race losses by thread count (seed 4)",
+        [f"{t} threads: {lost} lost" for t, lost in series.items()],
+    )
+    assert all(lost > 0 for lost in series.values())

@@ -1,0 +1,26 @@
+"""Figures 23-24: MPI reduction of per-process squares with SUM and MAX."""
+
+from repro.core import run_patternlet
+
+
+def test_fig24_ten_processes(benchmark, report_table):
+    run = benchmark(lambda: run_patternlet("mpi.reduction", tasks=10, seed=2))
+    report_table("Figure 24: reduction.c (MPI), -np 10", run.lines)
+    assert run.grep("The sum of the squares is 385")
+    assert run.grep("The max of the squares is 100")
+
+
+def test_fig24_closed_forms_any_np(benchmark, report_table):
+    def check():
+        rows = []
+        for np_ in (2, 5, 10, 16):
+            run = run_patternlet("mpi.reduction", tasks=np_, seed=0)
+            total = int(run.grep("sum of the squares")[0].split()[-1])
+            biggest = int(run.grep("max of the squares")[0].split()[-1])
+            assert total == np_ * (np_ + 1) * (2 * np_ + 1) // 6
+            assert biggest == np_ * np_
+            rows.append(f"np={np_:>3}: sum={total}, max={biggest}")
+        return rows
+
+    rows = benchmark.pedantic(check, rounds=1, iterations=1)
+    report_table("Figure 24 generalised: closed forms hold for any np", rows)

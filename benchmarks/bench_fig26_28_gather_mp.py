@@ -1,0 +1,17 @@
+"""Figures 25-28: the MPI gather patternlet at -np 2, 4 and 6."""
+
+import pytest
+
+from repro.core import run_patternlet
+
+
+@pytest.mark.parametrize(
+    "np_,figure",
+    [(2, "Figure 26"), (4, "Figure 27"), (6, "Figure 28")],
+)
+def test_gather_figures(benchmark, report_table, np_, figure):
+    run = benchmark(lambda: run_patternlet("mpi.gather", tasks=np_, seed=1))
+    report_table(f"{figure}: gather.c, -np {np_}", run.lines)
+    expected = " ".join(str(r * 10 + i) for r in range(np_) for i in range(3))
+    assert run.grep(f"gatherArray: {expected}")
+    assert len(run.grep("computeArray")) == np_

@@ -1,0 +1,38 @@
+"""Benchmark-suite plumbing.
+
+Every bench regenerates one of the paper's tables or figures.  Because
+pytest captures stdout, benches publish their paper-style rows through the
+``report_table`` fixture; a terminal-summary hook prints every collected
+table after the run, so ``pytest benchmarks/ --benchmark-only`` ends with
+the same rows/series the paper reports, followed by pytest-benchmark's
+timing table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_TABLES: list[tuple[str, list[str]]] = []
+
+
+@pytest.fixture
+def report_table():
+    """Collect a figure/table reproduction for the end-of-run summary."""
+
+    def add(title: str, lines: list[str]) -> None:
+        _TABLES.append((title, list(lines)))
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    tr = terminalreporter
+    tr.write_sep("=", "paper figure/table reproductions")
+    for title, lines in _TABLES:
+        tr.write_line("")
+        tr.write_line(f"--- {title} ---")
+        for line in lines:
+            tr.write_line(line)
+    tr.write_line("")

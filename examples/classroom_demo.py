@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The CS2 Wednesday live-coding session (paper Section IV.A), scripted.
+
+In Spring the concepts lecture was replaced by live-coded patternlet
+demos.  This example replays that session: for each scheduled patternlet
+it shows the "before" behaviour, names the pragma being uncommented, and
+shows the "after" behaviour — the comment/uncomment pedagogy end to end.
+
+Usage: python examples/classroom_demo.py [seed]
+"""
+
+import sys
+
+from repro import get_patternlet, run_patternlet
+from repro.education.curriculum import CS2_WEEK_SPRING
+
+
+def demo_patternlet(name: str, seed: int) -> None:
+    p = get_patternlet(name)
+    print("-" * 64)
+    print(f"{p.name}: {p.summary}")
+    print(f"(teaches: {', '.join(p.patterns)})")
+    if not p.toggles:
+        run = run_patternlet(name, seed=seed)
+        print(run.text)
+        return
+    # Show the behavioural delta for the patternlet's first toggle.
+    toggle = p.toggles[0]
+    before = run_patternlet(name, toggles={toggle.name: False}, seed=seed)
+    print(f"\n-- with `{toggle.pragma}` commented out:")
+    print(before.text)
+    after = run_patternlet(name, toggles={toggle.name: True}, seed=seed)
+    print(f"-- now uncomment `{toggle.pragma}`, recompile, rerun:")
+    print(after.text)
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    wednesday = next(s for s in CS2_WEEK_SPRING if s.day == "Wednesday")
+    print(f"CS2, Wednesday: {wednesday.topic}")
+    print(f"(seed {seed}; rerun with another seed for different interleavings)\n")
+    for name in wednesday.patternlets:
+        demo_patternlet(name, seed)
+    print("-" * 64)
+    print("End of session.  Friday: parallel merge sort")
+    print("(see examples/parallel_mergesort.py).")
+
+
+if __name__ == "__main__":
+    main()

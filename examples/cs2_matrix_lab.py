@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""The CS2 Tuesday closed lab (paper Section IV.A), steps (a)-(d).
+
+(a) time sequential Matrix add/transpose; (b) parallelise with the SMP
+runtime; (c) time at several thread counts; (d) chart speedup vs threads
+(ASCII, since this lab's spreadsheet is out of scope).
+
+Usage: python examples/cs2_matrix_lab.py [size]
+"""
+
+import sys
+
+from repro.education.matrix_lab import lab_report
+
+
+def ascii_chart(rows, op):
+    print(f"\n  speedup vs threads - {op}")
+    for row in (r for r in rows if r["operation"] == op):
+        bar = "#" * max(1, round(row["speedup"] * 4))
+        print(f"  {row['threads']:>3} threads | {bar} {row['speedup']:.2f}x")
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 96
+    print(f"Matrix lab, {size}x{size} matrices")
+    rep = lab_report(size=size, thread_counts=(1, 2, 4, 8))
+    seq = rep["sequential"]
+    print(f"(a) sequential add:       {seq['add_wall'] * 1e3:7.2f} ms")
+    print(f"    sequential transpose: {seq['transpose_wall'] * 1e3:7.2f} ms")
+    print("\n(b,c) parallel versions, swept over thread counts:")
+    print(f"  {'op':<10} {'threads':>7} {'wall ms':>9} {'span':>8} {'speedup':>8}")
+    for row in rep["rows"]:
+        print(
+            f"  {row['operation']:<10} {row['threads']:>7} "
+            f"{row['wall'] * 1e3:>9.2f} {row['span']:>8.0f} {row['speedup']:>7.2f}x"
+        )
+    print("\n(d) the chart students draw:")
+    ascii_chart(rep["rows"], "add")
+    ascii_chart(rep["rows"], "transpose")
+    print("\nNote: speedups are span-based (critical path under the work")
+    print("model) - this container has one core, so wall time cannot show")
+    print("parallel speedup; the span is what the chart would show on the")
+    print("lab machines.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Geometric decomposition exemplar: 1-D heat diffusion with halo exchange.
+
+A hot end, a warm end, and a cold rod between them: each MPI-analogue
+rank owns a slab of cells on a Cartesian grid, swaps boundary cells with
+its neighbours every step (the halo exchange), and updates its interior.
+The distributed result matches the sequential reference exactly, and the
+span table shows the strong-scaling curve flattening as halo traffic
+starts to matter.
+
+Usage: python examples/heat_diffusion.py [cells] [steps]
+"""
+
+import sys
+
+from repro.algorithms.heat import simulate_mp, simulate_sequential
+from repro.mp import MpRuntime
+
+
+def thermometer(rod, width=60):
+    lo, hi = min(rod), max(rod)
+    span = (hi - lo) or 1.0
+    cells = " .:-=+*#%@"
+    return "".join(cells[int((v - lo) / span * (len(cells) - 1))] for v in rod[:width])
+
+
+def main() -> None:
+    cells = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    steps = int(sys.argv[2]) if len(sys.argv) > 2 else 60
+    rod = [0.0] * cells
+    rod[0], rod[-1] = 100.0, 40.0
+
+    print(f"rod: {cells} cells, ends pinned at 100 / 40, {steps} steps\n")
+    print("t=0     " + thermometer(rod))
+    ref = simulate_sequential(rod, steps=steps)
+    print(f"t={steps:<6}" + thermometer(ref))
+
+    print("\ndistributed runs (geometric decomposition + halo exchange):")
+    print(f"{'ranks':>6} {'matches sequential':>20} {'span':>10}")
+    base = None
+    for ranks in (1, 2, 4, 8):
+        got, span = simulate_mp(
+            rod, steps=steps, num_ranks=ranks, runtime=MpRuntime(mode="lockstep")
+        )
+        ok = all(abs(a - b) < 1e-9 for a, b in zip(got, ref))
+        base = base or span
+        print(f"{ranks:>6} {str(ok):>20} {span:>10.1f}  ({base / span:.2f}x)")
+    print("\nEvery run is bit-equal to the sequential stencil; speedup")
+    print("flattens as per-step halo messages eat into the shrinking slabs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""N-body simulation: the paper's high-level pattern, fully decomposed.
+
+Section II.B cites *N-body Problems* as a top-layer design pattern.  This
+example runs a small gravitating cluster with the ring-pipeline force
+algorithm — SPMD ranks, block Data Decomposition, a periodic Cartesian
+ring, p-1 sendrecv hops per step — and shows the distributed forces
+matching the sequential all-pairs reference exactly, plus the span curve.
+
+Usage: python examples/nbody_simulation.py [bodies] [steps]
+"""
+
+import sys
+
+from repro.algorithms.nbody import (
+    forces_mp,
+    forces_sequential,
+    make_bodies,
+    step_bodies,
+)
+from repro.mp import MpRuntime
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 24
+    steps = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    bodies = make_bodies(n, seed=7)
+    print(f"{n} bodies, {steps} steps, ring-pipeline forces\n")
+
+    print("force verification (distributed vs sequential):")
+    ref = forces_sequential(bodies)
+    for ranks in (1, 2, 4):
+        got, span = forces_mp(
+            bodies, num_ranks=ranks, runtime=MpRuntime(mode="lockstep")
+        )
+        exact = all(
+            abs(a[0] - b[0]) < 1e-12 and abs(a[1] - b[1]) < 1e-12
+            for a, b in zip(got, ref)
+        )
+        print(f"  {ranks} ranks: exact={exact}  span={span:8.2f}")
+
+    print("\nsimulating (sequential stepping, distributed forces each step):")
+    state = bodies
+    for k in range(steps):
+        forces, _ = forces_mp(state, num_ranks=4, runtime=MpRuntime(mode="lockstep"))
+        state = step_bodies(state, forces, dt=0.05)
+        cx = sum(b.x * b.mass for b in state) / sum(b.mass for b in state)
+        cy = sum(b.y * b.mass for b in state) / sum(b.mass for b in state)
+        print(f"  step {k + 1}: centre of mass = ({cx:+.4f}, {cy:+.4f})")
+    print("\n(The centre of mass never moves: internal forces cancel")
+    print(" pairwise - Newton's third law acting as a unit test.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The CS2 Friday session's destination: parallel merge sort.
+
+Fork-join divide and conquer with the pthreads-analogue API, showing the
+recursion tree, validating against sorted(), and sweeping the fork depth
+to expose the fork-cost/parallelism trade-off via virtual span.
+
+Usage: python examples/parallel_mergesort.py [n]
+"""
+
+import random
+import sys
+
+from repro.algorithms.mergesort import parallel_mergesort, sequential_mergesort
+from repro.pthreads import PthreadsRuntime
+from repro.smp import SmpRuntime
+
+
+def span_of_depth(data, depth):
+    """Model the sort's span: equal leaf chunks sorted in parallel."""
+    leaves = 2 ** depth
+    rt = SmpRuntime(num_threads=leaves, mode="lockstep")
+    chunk = max(1, len(data) // leaves)
+
+    def body(ctx):
+        import math
+
+        n = chunk
+        ctx.work(n * max(1, math.ceil(math.log2(max(n, 2)))))  # leaf sort
+        ctx.reduce(0, "+")  # stand-in for the merge combining tree
+
+    return rt.parallel(body).span
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 600
+    rng = random.Random(42)
+    data = [rng.randrange(10 * n) for _ in range(n)]
+
+    result = parallel_mergesort(data, max_depth=3)
+    assert result == sorted(data)
+    print(f"parallel merge sort of {n} values: OK (matches sorted())")
+    assert sequential_mergesort(data) == result
+
+    print("\nreplayable run (lockstep seed 5):")
+    rt = PthreadsRuntime(mode="lockstep", seed=5)
+    result2 = parallel_mergesort(data, max_depth=2, rt=rt)
+    assert result2 == sorted(data)
+    print("  deterministic fork-join schedule: OK")
+
+    print("\nfork-depth sweep (modelled span, lower is better):")
+    print(f"  {'depth':>5} {'leaf sorters':>12} {'span':>10}")
+    for depth in range(0, 5):
+        s = span_of_depth(data, depth)
+        print(f"  {depth:>5} {2 ** depth:>12} {s:>10.0f}")
+    print("\nDeeper forking shrinks the span until leaves get trivial -")
+    print("the reason the implementation stops forking at max_depth.")
+
+
+if __name__ == "__main__":
+    main()

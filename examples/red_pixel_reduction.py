@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The paper's Reduction walk-through (Section III.D + Figure 19), runnable.
+
+Builds an image whose eight equal chunks contain exactly 6, 8, 9, 1, 5,
+7, 2 and 4 red pixels — the paper's numbers — counts them with the
+Parallel Loop + Reduction composition in both shared-memory and
+message-passing form, and prints the O(t)-vs-O(lg t) span table behind
+Figure 19.
+
+Usage: python examples/red_pixel_reduction.py
+"""
+
+from repro.algorithms.red_pixels import (
+    PAPER_PARTIALS,
+    count_red_mp,
+    count_red_sequential,
+    count_red_smp,
+    make_image,
+)
+from repro.mp import LogPCosts, mpirun
+from repro.mp import collectives as C
+
+
+def main() -> None:
+    image = make_image()
+    print(f"image: {len(image)} pixels in 8 chunks")
+    print(f"red pixels per chunk (by construction): {list(PAPER_PARTIALS)}\n")
+
+    total = count_red_sequential(image)
+    print(f"sequential scan:        {total} red pixels")
+
+    smp_total, smp_partials, smp_span = count_red_smp(image, num_threads=8)
+    print(f"8 threads  (SMP):       {smp_total} red pixels, partials {smp_partials}")
+
+    mp_total, mp_partials, mp_span = count_red_mp(image, num_ranks=8)
+    print(f"8 processes (MP):       {mp_total} red pixels, partials {mp_partials}\n")
+
+    print("combining the partials: sequential fold vs reduction tree")
+    print(f"{'t':>5} {'tree span':>10} {'seq span':>10}")
+    costs = LogPCosts(latency=1.0, overhead=0.1, combine=1.0)
+    for t in (2, 4, 8, 16, 32, 64):
+        tree = mpirun(t, lambda c: c.reduce(1, "SUM", 0), mode="lockstep", costs=costs).span
+        lin = mpirun(
+            t, lambda c: C.reduce_linear(c, 1, "SUM", 0), mode="lockstep", costs=costs
+        ).span
+        print(f"{t:>5} {tree:>10.2f} {lin:>10.2f}")
+    print("\nSame t-1 additions either way; the tree does t/2 of them at")
+    print("time 1, t/4 at time 2, ... - O(lg t) span (paper Figure 19).")
+
+
+if __name__ == "__main__":
+    main()

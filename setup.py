@@ -1,0 +1,10 @@
+"""Shim for offline editable installs (``pip install -e . --no-use-pep517``).
+
+All real metadata lives in ``pyproject.toml``; this file exists only because
+the build environment has no ``wheel`` package, which PEP 660 editable
+installs require with this setuptools version.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""patternlets-repro: a Python reproduction of *Patternlets: A Teaching
+Tool for Introducing Students to Parallel Design Patterns* (Adams, 2015).
+
+The package reproduces the paper's whole system in pure Python:
+
+- :mod:`repro.sched` — the execution substrate: real OS threads, or a
+  deterministic seeded *lockstep* scheduler that makes interleavings,
+  races, and deadlocks replayable;
+- :mod:`repro.smp` — an OpenMP-analogue shared-memory runtime (teams,
+  schedules, barrier/critical/atomic, reductions);
+- :mod:`repro.mp` — an MPI-analogue message-passing runtime (isolated
+  ranks, collectives over binomial trees, simulated cluster nodes, LogP
+  virtual-time cost model);
+- :mod:`repro.pthreads` — a Pthreads-analogue create/join layer;
+- :mod:`repro.core` — the patternlet framework: pattern catalog,
+  registry, comment/uncomment toggles, task-attributed output capture;
+- :mod:`repro.patternlets` — the collection itself: 44 patternlets
+  (17 OpenMP + 16 MPI + 9 Pthreads + 2 heterogeneous);
+- :mod:`repro.education` — the CS2 study (exam statistics, matrix lab,
+  curriculum map);
+- :mod:`repro.algorithms` — exemplar algorithms using the public API.
+
+Quick start::
+
+    from repro import run_patternlet
+
+    print(run_patternlet("openmp.spmd", tasks=4, seed=7).text)
+
+See README.md for the architecture tour and EXPERIMENTS.md for the
+figure-by-figure reproduction record.
+"""
+
+from repro._version import __version__
+from repro.core.capture import CapturedRun, capture_run
+from repro.core.registry import (
+    Patternlet,
+    all_patternlets,
+    get_patternlet,
+    inventory,
+    run_patternlet,
+)
+from repro.errors import ReproError
+from repro.mp.runtime import MpRuntime, mpirun
+from repro.pthreads.api import PthreadsRuntime
+from repro.smp.runtime import SmpRuntime
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "SmpRuntime",
+    "MpRuntime",
+    "mpirun",
+    "PthreadsRuntime",
+    "Patternlet",
+    "run_patternlet",
+    "get_patternlet",
+    "all_patternlets",
+    "inventory",
+    "CapturedRun",
+    "capture_run",
+]

@@ -1,0 +1,87 @@
+"""Exemplar parallel algorithms built on the public runtimes.
+
+The paper argues that after a patternlet introduces a pattern, students
+should see an *exemplar* — "a 'real world' problem whose solution uses the
+same pattern(s)".  These modules are those exemplars:
+
+- :mod:`repro.algorithms.red_pixels` — Section III.D's motivating example:
+  count an image's red pixels with Parallel Loop + Reduction, in both
+  shared-memory and message-passing form.
+- :mod:`repro.algorithms.monte_carlo` — estimate pi by dart-throwing:
+  SPMD + Reduction.
+- :mod:`repro.algorithms.mergesort` — the CS2 Friday session's parallel
+  merge sort: Divide and Conquer + Fork-Join.
+- :mod:`repro.algorithms.search` — parallel minimum/membership search with
+  located reductions.
+- :mod:`repro.algorithms.histogram` — shared-counter strategies compared:
+  racy, atomic, critical, and private-then-reduce.
+- :mod:`repro.algorithms.heat` — 1-D heat diffusion: Geometric
+  Decomposition with halo exchange over a Cartesian topology.
+- :mod:`repro.algorithms.integrate` — trapezoidal integration: the
+  classic Parallel Loop + Reduction first program.
+- :mod:`repro.algorithms.pipeline` — the Pipeline pattern from pthread
+  stages and semaphore-gated bounded buffers.
+"""
+
+from repro.algorithms.heat import (
+    simulate2d_mp,
+    simulate2d_sequential,
+    simulate_mp,
+    simulate_sequential,
+    step2d_sequential,
+    step_sequential,
+)
+from repro.algorithms.histogram import histogram
+from repro.algorithms.integrate import (
+    trapezoid_mp,
+    trapezoid_sequential,
+    trapezoid_smp,
+)
+from repro.algorithms.mergesort import merge, parallel_mergesort
+from repro.algorithms.monte_carlo import estimate_pi_mp, estimate_pi_smp
+from repro.algorithms.nbody import (
+    Body,
+    forces_mp,
+    forces_sequential,
+    make_bodies,
+    step_bodies,
+)
+from repro.algorithms.red_pixels import (
+    count_red_mp,
+    count_red_sequential,
+    count_red_smp,
+    make_image,
+)
+from repro.algorithms.oddeven import odd_even_sort
+from repro.algorithms.pipeline import run_pipeline
+from repro.algorithms.search import parallel_find_min, parallel_membership
+
+__all__ = [
+    "make_image",
+    "count_red_sequential",
+    "count_red_smp",
+    "count_red_mp",
+    "estimate_pi_smp",
+    "estimate_pi_mp",
+    "parallel_mergesort",
+    "merge",
+    "parallel_find_min",
+    "parallel_membership",
+    "histogram",
+    "step_sequential",
+    "simulate_sequential",
+    "simulate_mp",
+    "trapezoid_sequential",
+    "trapezoid_smp",
+    "trapezoid_mp",
+    "run_pipeline",
+    "odd_even_sort",
+    "Body",
+    "make_bodies",
+    "forces_sequential",
+    "forces_mp",
+    "step_bodies",
+    "step2d_sequential",
+    "simulate2d_sequential",
+    "simulate2d_mp",
+]

@@ -1,0 +1,88 @@
+"""Histogram strategies: every mutual-exclusion trade-off on one problem.
+
+Binning a data set with multiple threads forces a choice the patternlets
+only show in isolation:
+
+- ``"racy"``      — unsynchronised bin increments (wrong, fast, and a
+  reproducible demonstration of why the others exist);
+- ``"atomic"``    — one atomic update per increment;
+- ``"critical"``  — one critical section per increment (correct, slower);
+- ``"private"``   — per-thread private histograms merged by a reduction
+  (correct and usually fastest: the patternlet-recommended design).
+
+Returns the bins plus which strategy was used, so tests and the ablation
+bench can compare correctness and cost across strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ReductionError
+from repro.ops import Op
+from repro.smp.race import SharedCell
+from repro.smp.runtime import SmpRuntime
+
+__all__ = ["histogram", "STRATEGIES"]
+
+STRATEGIES = ("racy", "atomic", "critical", "private")
+
+_MERGE_BINS = Op.create(
+    lambda a, b: [x + y for x, y in zip(a, b)], name="MERGE_BINS"
+)
+
+
+def histogram(
+    data: Sequence[float],
+    *,
+    bins: int = 10,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    strategy: str = "private",
+    num_threads: int = 4,
+    rt: SmpRuntime | None = None,
+) -> tuple[list[int], float]:
+    """Bin ``data`` into ``bins`` equal-width bins over [lo, hi).
+
+    Returns ``(bins, span)``.  Out-of-range values clamp into the end
+    bins, so every strategy sees identical bin targets.
+    """
+    if strategy not in STRATEGIES:
+        raise ReductionError(f"unknown strategy {strategy!r} (use {STRATEGIES})")
+    if bins <= 0 or hi <= lo:
+        raise ValueError("need bins > 0 and hi > lo")
+    rt = rt or SmpRuntime(num_threads=num_threads, mode="thread")
+    width = (hi - lo) / bins
+    data = list(data)
+
+    def bin_of(x: float) -> int:
+        k = int((x - lo) / width)
+        return min(max(k, 0), bins - 1)
+
+    if strategy == "private":
+
+        def region(ctx):
+            local = [0] * bins
+            for i in ctx.for_range(len(data), "static"):
+                local[bin_of(data[i])] += 1
+                ctx.work(1.0)
+            return ctx.reduce(local, _MERGE_BINS)
+
+        team = rt.parallel(region, num_threads=num_threads)
+        return list(team.results[0]), team.span
+
+    cells = [SharedCell(0) for _ in range(bins)]
+
+    def region(ctx):
+        for i in ctx.for_range(len(data), "static"):
+            cell = cells[bin_of(data[i])]
+            if strategy == "racy":
+                cell.unsafe_add(1, ctx)
+            elif strategy == "atomic":
+                cell.atomic_add(1, ctx)
+            else:
+                cell.critical_add(1, ctx, name="histogram")
+            ctx.work(1.0)
+
+    team = rt.parallel(region, num_threads=num_threads)
+    return [c.value for c in cells], team.span

@@ -1,0 +1,95 @@
+"""Trapezoidal-rule integration: the classic first parallel program.
+
+Every parallel-programming course integrates something; the pattern
+content is Parallel Loop (split the subintervals) + Reduction (sum the
+local areas).  Both runtimes get a version, and both must agree with the
+sequential rule exactly — the subinterval-to-task map is deterministic, so
+even floating-point sums match when combined in index order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.mp.runtime import MpRuntime
+from repro.smp.runtime import SmpRuntime
+from repro.smp.schedule import equal_chunk_bounds
+
+__all__ = ["trapezoid_sequential", "trapezoid_smp", "trapezoid_mp"]
+
+
+def trapezoid_sequential(
+    f: Callable[[float], float], a: float, b: float, n: int
+) -> float:
+    """Composite trapezoidal rule with ``n`` subintervals."""
+    if n <= 0:
+        raise ValueError("need at least one subinterval")
+    h = (b - a) / n
+    total = 0.5 * (f(a) + f(b))
+    for i in range(1, n):
+        total += f(a + i * h)
+    return total * h
+
+
+def _interior_sum(f: Callable[[float], float], a: float, h: float, lo: int, hi: int) -> float:
+    """Sum of f at interior nodes lo..hi-1 (1-based interior indexing)."""
+    total = 0.0
+    for i in range(lo, hi):
+        total += f(a + i * h)
+    return total
+
+
+def trapezoid_smp(
+    f: Callable[[float], float],
+    a: float,
+    b: float,
+    n: int,
+    *,
+    num_threads: int = 4,
+    rt: SmpRuntime | None = None,
+) -> tuple[float, float]:
+    """Shared-memory version; returns ``(integral, span)``."""
+    if n <= 0:
+        raise ValueError("need at least one subinterval")
+    rt = rt or SmpRuntime(num_threads=num_threads, mode="thread")
+    h = (b - a) / n
+    interior = n - 1  # nodes 1..n-1
+
+    def region(ctx):
+        lo, hi = equal_chunk_bounds(interior, ctx.num_threads, ctx.thread_num)
+        local = _interior_sum(f, a, h, lo + 1, hi + 1)
+        ctx.work(float(hi - lo))
+        return ctx.reduce(local, "+")
+
+    team = rt.parallel(region, num_threads=num_threads)
+    integral = (team.results[0] + 0.5 * (f(a) + f(b))) * h
+    return integral, team.span
+
+
+def trapezoid_mp(
+    f: Callable[[float], float],
+    a: float,
+    b: float,
+    n: int,
+    *,
+    num_ranks: int = 4,
+    runtime: MpRuntime | None = None,
+) -> tuple[float, float]:
+    """Message-passing version; returns ``(integral, span)``."""
+    if n <= 0:
+        raise ValueError("need at least one subinterval")
+    runtime = runtime or MpRuntime(mode="thread")
+    h = (b - a) / n
+    interior = n - 1
+
+    def rank_main(comm):
+        lo, hi = equal_chunk_bounds(interior, comm.size, comm.rank)
+        local = _interior_sum(f, a, h, lo + 1, hi + 1)
+        comm.work(float(hi - lo))
+        total = comm.reduce(local, op="SUM", root=0)
+        if comm.rank == 0:
+            return (total + 0.5 * (f(a) + f(b))) * h
+        return None
+
+    result = runtime.run(num_ranks, rank_main)
+    return result.results[0], result.span

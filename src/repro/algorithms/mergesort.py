@@ -1,0 +1,65 @@
+"""Parallel merge sort: the CS2 Friday session's destination algorithm.
+
+Divide and Conquer realised with Fork-Join: split the list, sort the
+halves in parallel threads up to a depth limit (beyond which recursion
+goes sequential — forking a thread for a ten-element slice costs more than
+sorting it), then merge.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.pthreads.api import PthreadContext, PthreadsRuntime
+
+__all__ = ["merge", "parallel_mergesort", "sequential_mergesort"]
+
+
+def merge(left: Sequence[Any], right: Sequence[Any]) -> list[Any]:
+    """Standard two-way merge of sorted sequences (stable)."""
+    out: list[Any] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if right[j] < left[i]:
+            out.append(right[j])
+            j += 1
+        else:
+            out.append(left[i])
+            i += 1
+    out.extend(left[i:])
+    out.extend(right[j:])
+    return out
+
+
+def sequential_mergesort(data: Sequence[Any]) -> list[Any]:
+    """The recursion the parallel version falls back to below max_depth."""
+    if len(data) <= 1:
+        return list(data)
+    mid = len(data) // 2
+    return merge(sequential_mergesort(data[:mid]), sequential_mergesort(data[mid:]))
+
+
+def parallel_mergesort(
+    data: Sequence[Any],
+    *,
+    max_depth: int = 2,
+    rt: PthreadsRuntime | None = None,
+) -> list[Any]:
+    """Fork-join merge sort: 2^max_depth concurrent sorters at the leaves."""
+    rt = rt or PthreadsRuntime(mode="thread")
+
+    def program(pt: PthreadContext) -> list[Any]:
+        def sort(chunk: Sequence[Any], depth: int) -> list[Any]:
+            if len(chunk) <= 1:
+                return list(chunk)
+            if depth >= max_depth:
+                return sequential_mergesort(chunk)
+            mid = len(chunk) // 2
+            handle = pt.create(sort, chunk[:mid], depth + 1)  # fork the left half
+            right = sort(chunk[mid:], depth + 1)  # sort the right here
+            left = pt.join(handle)  # join before merging
+            return merge(left, right)
+
+        return sort(data, 0)
+
+    return rt.run(program)

@@ -1,0 +1,68 @@
+"""Monte Carlo estimation of pi: SPMD + Reduction.
+
+Each task throws darts at the unit square with its own seeded generator
+and counts hits inside the quarter circle; one reduction combines the
+counts.  A high-level pattern (Monte Carlo Simulation) expressed entirely
+with patternlet-level building blocks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.mp.runtime import MpRuntime
+from repro.smp.runtime import SmpRuntime
+
+__all__ = ["estimate_pi_smp", "estimate_pi_mp"]
+
+
+def _hits(samples: int, seed: int) -> int:
+    rng = random.Random(seed)
+    hits = 0
+    for _ in range(samples):
+        x, y = rng.random(), rng.random()
+        if x * x + y * y <= 1.0:
+            hits += 1
+    return hits
+
+
+def estimate_pi_smp(
+    samples: int,
+    *,
+    num_threads: int = 4,
+    seed: int = 0,
+    rt: SmpRuntime | None = None,
+) -> tuple[float, float]:
+    """Shared-memory estimate: returns (pi_estimate, span)."""
+    rt = rt or SmpRuntime(num_threads=num_threads, mode="thread")
+    per_task = samples // num_threads
+
+    def region(ctx):
+        local = _hits(per_task, seed * 1000 + ctx.thread_num)
+        ctx.work(float(per_task))
+        return ctx.reduce(local, "+")
+
+    team = rt.parallel(region, num_threads=num_threads)
+    total = team.results[0]
+    return 4.0 * total / (per_task * num_threads), team.span
+
+
+def estimate_pi_mp(
+    samples: int,
+    *,
+    num_ranks: int = 4,
+    seed: int = 0,
+    runtime: MpRuntime | None = None,
+) -> tuple[float, float]:
+    """Message-passing estimate: returns (pi_estimate, span)."""
+    runtime = runtime or MpRuntime(mode="thread")
+    per_task = samples // num_ranks
+
+    def rank_main(comm):
+        local = _hits(per_task, seed * 1000 + comm.rank)
+        comm.work(float(per_task))
+        total = comm.allreduce(local, op="SUM")
+        return 4.0 * total / (per_task * comm.size)
+
+    result = runtime.run(num_ranks, rank_main)
+    return result.results[0], result.span

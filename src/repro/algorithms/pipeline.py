@@ -1,0 +1,99 @@
+"""A software pipeline: stages as threads, bounded buffers between them.
+
+The *Pipeline* application pattern built from patternlet parts: each
+stage is a pthread, each inter-stage queue a semaphore-gated bounded
+buffer (the semaphore patternlet's structure), and a sentinel flows
+through to shut the line down.  Items leave the pipe transformed by every
+stage in order, whatever the interleaving.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.pthreads.api import PthreadContext, PthreadsRuntime
+
+__all__ = ["run_pipeline"]
+
+_DONE = object()
+
+
+class _Channel:
+    """Bounded buffer between adjacent stages (semaphores + mutex)."""
+
+    def __init__(self, pt: PthreadContext, capacity: int, name: str):
+        self._slots = pt.semaphore(capacity, f"{name}.slots")
+        self._filled = pt.semaphore(0, f"{name}.filled")
+        self._guard = pt.mutex(f"{name}.guard")
+        self._items: list[Any] = []
+
+    def put(self, item: Any) -> None:
+        self._slots.wait()
+        with self._guard:
+            self._items.append(item)
+        self._filled.post()
+
+    def get(self) -> Any:
+        self._filled.wait()
+        with self._guard:
+            item = self._items.pop(0)
+        self._slots.post()
+        return item
+
+
+def run_pipeline(
+    items: Iterable[Any],
+    stages: Sequence[Callable[[Any], Any]],
+    *,
+    capacity: int = 2,
+    rt: PthreadsRuntime | None = None,
+) -> list[Any]:
+    """Push ``items`` through ``stages`` running concurrently.
+
+    Returns the fully transformed items in their original order (a
+    pipeline preserves order by construction — each channel is FIFO).
+    """
+    if not stages:
+        return list(items)
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    rt = rt or PthreadsRuntime(mode="thread")
+    items = list(items)
+
+    def program(pt: PthreadContext) -> list[Any]:
+        channels = [
+            _Channel(pt, capacity, f"ch{i}") for i in range(len(stages) + 1)
+        ]
+        out: list[Any] = []
+
+        def feeder():
+            for item in items:
+                channels[0].put(item)
+            channels[0].put(_DONE)
+
+        def stage_worker(k: int):
+            fn = stages[k]
+            while True:
+                item = channels[k].get()
+                if item is _DONE:
+                    channels[k + 1].put(_DONE)
+                    return
+                channels[k + 1].put(fn(item))
+
+        def drain():
+            while True:
+                item = channels[-1].get()
+                if item is _DONE:
+                    return
+                out.append(item)
+
+        handles = [pt.create(feeder, name="feeder")]
+        handles += [
+            pt.create(stage_worker, k, name=f"stage:{k}") for k in range(len(stages))
+        ]
+        handles.append(pt.create(drain, name="drain"))
+        for h in handles:
+            pt.join(h)
+        return out
+
+    return rt.run(program)

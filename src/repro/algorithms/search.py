@@ -1,0 +1,68 @@
+"""Parallel search: located reductions doing real work.
+
+Finding the minimum (and where it lives) across distributed data is the
+textbook use of MINLOC; membership testing is a logical-or reduction.
+Both divide the data with the equal-chunk deal the parallel-loop
+patternlets teach.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.mp.runtime import MpRuntime
+from repro.smp.schedule import equal_chunk_bounds
+
+__all__ = ["parallel_find_min", "parallel_membership"]
+
+
+def parallel_find_min(
+    data: Sequence[Any], *, num_ranks: int = 4, runtime: MpRuntime | None = None
+) -> tuple[Any, int]:
+    """Global minimum and its index, via local scans + MINLOC.
+
+    Ties resolve to the lowest index, matching the sequential
+    ``min(range(len(data)), key=data.__getitem__)``.
+    """
+    if not data:
+        raise ValueError("empty data")
+    runtime = runtime or MpRuntime(mode="thread")
+    data = list(data)
+
+    def rank_main(comm):
+        start, stop = equal_chunk_bounds(len(data), comm.size, comm.rank)
+        best = None
+        for i in range(start, stop):
+            comm.work(1.0)
+            if best is None or data[i] < data[best]:
+                best = i
+        if best is None:  # empty chunk: neutral element loses every tie
+            local = (float("inf"), len(data))
+        else:
+            local = (data[best], best)
+        value, index = comm.allreduce(local, op="MINLOC")
+        return (value, index)
+
+    result = runtime.run(num_ranks, rank_main)
+    return result.results[0]
+
+
+def parallel_membership(
+    data: Sequence[Any],
+    needle: Any,
+    *,
+    num_ranks: int = 4,
+    runtime: MpRuntime | None = None,
+) -> bool:
+    """Does ``needle`` appear anywhere?  Local scans + logical-or reduce."""
+    runtime = runtime or MpRuntime(mode="thread")
+    data = list(data)
+
+    def rank_main(comm):
+        start, stop = equal_chunk_bounds(len(data), comm.size, comm.rank)
+        found = any(data[i] == needle for i in range(start, stop))
+        comm.work(float(stop - start))
+        return comm.allreduce(found, op="LOR")
+
+    result = runtime.run(num_ranks, rank_main)
+    return result.results[0]

@@ -1,0 +1,255 @@
+"""The ``patternlet`` command-line tool.
+
+The classroom front-end: list the collection, show a patternlet's card
+(patterns, toggles with their C pragmas, the student exercise), and run
+one — scaling tasks, flipping toggles, choosing the executor and seed —
+exactly the workflow of the paper's live-coding demos:
+
+    patternlet list
+    patternlet list --backend openmp
+    patternlet show openmp.barrier
+    patternlet run openmp.barrier --tasks 4
+    patternlet run openmp.barrier --tasks 4 --on barrier
+    patternlet run mpi.deadlock --tasks 4 --mode lockstep --seed 7
+    patternlet catalog
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+from repro.core.patterns import CATALOG, LAYERS, patterns_by_layer
+from repro.core.registry import all_patternlets, get_patternlet, inventory, run_patternlet
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``patternlet`` tool (see module docstring)."""
+    parser = argparse.ArgumentParser(
+        prog="patternlet",
+        description="Run and explore the patternlet collection.",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list patternlets (optionally by backend)")
+    p_list.add_argument("--backend", choices=("openmp", "mpi", "pthreads", "hybrid"))
+
+    p_show = sub.add_parser("show", help="show one patternlet's card")
+    p_show.add_argument("name")
+
+    p_run = sub.add_parser("run", help="run a patternlet")
+    p_run.add_argument("name")
+    p_run.add_argument("--tasks", "-n", type=int, default=None,
+                       help="thread/process count (default: the patternlet's own)")
+    p_run.add_argument("--on", action="append", default=[], metavar="TOGGLE",
+                       help="uncomment a toggle (repeatable)")
+    p_run.add_argument("--off", action="append", default=[], metavar="TOGGLE",
+                       help="comment a toggle out (repeatable)")
+    p_run.add_argument("--mode", choices=("thread", "lockstep"), default="lockstep",
+                       help="executor: real threads or deterministic lockstep")
+    p_run.add_argument("--seed", type=int, default=0, help="lockstep interleaving seed")
+    p_run.add_argument("--policy", default="random",
+                       choices=("random", "roundrobin", "fifo", "lifo"))
+    p_run.add_argument("--attribute", action="store_true",
+                       help="prefix every line with the task that printed it")
+
+    p_trace = sub.add_parser(
+        "trace", help="run a patternlet and draw its interleaving timeline"
+    )
+    p_trace.add_argument("name")
+    p_trace.add_argument("--tasks", "-n", type=int, default=None)
+    p_trace.add_argument("--on", action="append", default=[], metavar="TOGGLE")
+    p_trace.add_argument("--off", action="append", default=[], metavar="TOGGLE")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--policy", default="random",
+                         choices=("random", "roundrobin", "fifo", "lifo"))
+    p_trace.add_argument("--no-legend", action="store_true",
+                         help="omit the numbered line legend")
+
+    p_source = sub.add_parser(
+        "source", help="print a patternlet's source (its module, like cat-ing the .c file)"
+    )
+    p_source.add_argument("name")
+
+    p_check = sub.add_parser(
+        "selfcheck", help="verify the collection reproduces the paper's figures"
+    )
+    p_check.add_argument("--figure", default=None, help='e.g. "Fig. 9"')
+
+    p_quiz = sub.add_parser(
+        "quiz", help="print the four-question parallel-week exam (and, with --key, its computed answers)"
+    )
+    p_quiz.add_argument("--key", action="store_true", help="show the autograded answer key")
+
+    sub.add_parser("catalog", help="print the design-pattern catalog by layer")
+    sub.add_parser("inventory", help="print collection counts per backend")
+    return parser
+
+
+def _cmd_list(backend: str | None) -> int:
+    for p in all_patternlets(backend):
+        toggles = ",".join(t.name for t in p.toggles) or "-"
+        print(f"{p.name:35s} [{p.backend:8s}] toggles: {toggles:24s} {p.summary}")
+    return 0
+
+
+def _cmd_show(name: str) -> int:
+    p = get_patternlet(name)
+    print(f"{p.name} ({p.backend})")
+    print(f"  {p.summary}")
+    print(f"  patterns: {', '.join(p.patterns)}")
+    if p.figures:
+        print(f"  reproduces: {', '.join(p.figures)}")
+    print(f"  default tasks: {p.default_tasks}")
+    if p.toggles:
+        print("  toggles:")
+        for t in p.toggles:
+            state = "on" if t.default else "off"
+            print(f"    {t.name} (default {state}): {t.description}")
+            print(f"      C site: {t.pragma}")
+    print("  exercise:")
+    print(f"    {p.exercise}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    toggles = {name: True for name in args.on}
+    toggles.update({name: False for name in args.off})
+    run = run_patternlet(
+        args.name,
+        tasks=args.tasks,
+        toggles=toggles or None,
+        mode=args.mode,
+        seed=args.seed,
+        policy=args.policy,
+    )
+    if args.attribute:
+        for label, line in run.records:
+            print(f"[{label:12s}] {line}")
+    else:
+        print(run.text)
+    if run.span is not None:
+        print(f"(virtual span: {run.span:g} work units; wall: {run.wall:.4f}s)",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.timeline import render_run
+
+    toggles = {name: True for name in args.on}
+    toggles.update({name: False for name in args.off})
+    run = run_patternlet(
+        args.name,
+        tasks=args.tasks,
+        toggles=toggles or None,
+        mode="lockstep",
+        seed=args.seed,
+        policy=args.policy,
+    )
+    print(render_run(run, legend=not args.no_legend))
+    return 0
+
+
+def _cmd_source(name: str) -> int:
+    import importlib
+    import inspect
+
+    p = get_patternlet(name)
+    module = importlib.import_module(p.source)
+    print(inspect.getsource(module), end="")
+    return 0
+
+
+def _cmd_selfcheck(figure: str | None) -> int:
+    from repro.core.selfcheck import run_selfcheck
+
+    results = run_selfcheck(only=figure)
+    if not results:
+        print(f"error: unknown figure {figure!r}", file=sys.stderr)
+        return 1
+    width = max(len(r.figure) for r in results)
+    failures = 0
+    for r in results:
+        mark = "PASS" if r.passed else "FAIL"
+        failures += 0 if r.passed else 1
+        print(f"{r.figure:<{width}}  {mark}  {r.description}  [{r.detail}]")
+    print(f"\n{len(results) - failures}/{len(results)} figure checks passed")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_quiz(show_key: bool) -> int:
+    from repro.education.quiz import EXAM, correct_answers
+
+    key = correct_answers() if show_key else None
+    for qno, q in enumerate(EXAM, start=1):
+        print(f"Q{qno} [{q.topic}]")
+        print(f"  {q.prompt}")
+        for i, choice in enumerate(q.choices):
+            marker = "*" if key is not None and key[qno - 1] == i else " "
+            print(f"   {marker} ({chr(ord('a') + i)}) {choice}")
+        print()
+    if key is None:
+        print("(answers: patternlet quiz --key — every answer is computed")
+        print(" live from the runtime, so the key cannot rot)")
+    return 0
+
+
+def _cmd_catalog() -> int:
+    for layer in LAYERS:
+        print(f"== {layer} ==")
+        for pat in patterns_by_layer(layer):
+            alias = ""
+            if pat.opl_name or pat.uiuc_name:
+                names = [n for n in (pat.uiuc_name, pat.opl_name) if n]
+                alias = f" (a.k.a. {', '.join(names)})"
+            print(f"  {pat.name}{alias}")
+            print(f"    {pat.description}")
+    print(f"({len(CATALOG)} patterns catalogued)")
+    return 0
+
+
+def _cmd_inventory() -> int:
+    inv = inventory()
+    for backend in ("openmp", "mpi", "pthreads", "hybrid"):
+        print(f"{backend:10s} {inv[backend]:3d}")
+    print(f"{'total':10s} {inv['total']:3d}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point: parse, dispatch, translate ReproError to exit code 1."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args.backend)
+        if args.command == "show":
+            return _cmd_show(args.name)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "source":
+            return _cmd_source(args.name)
+        if args.command == "selfcheck":
+            return _cmd_selfcheck(args.figure)
+        if args.command == "quiz":
+            return _cmd_quiz(args.key)
+        if args.command == "catalog":
+            return _cmd_catalog()
+        if args.command == "inventory":
+            return _cmd_inventory()
+        raise AssertionError(f"unhandled command {args.command}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Patternlet framework: capture, analysis, registry, toggles, catalog.
+
+This package is the paper's primary contribution in library form:
+
+- :mod:`repro.core.capture` — run a program while recording every printed
+  line with the task (thread/rank) that produced it, in global arrival
+  order, so the figures' interleaved outputs become assertable data.
+- :mod:`repro.core.analysis` — predicates over captured output
+  (interleaving, barrier ordering, iteration maps).
+- :mod:`repro.core.patterns` — the layered parallel-design-pattern catalog
+  of Section II.B (UIUC and Berkeley/Intel OPL namings).
+- :mod:`repro.core.toggles` / :mod:`repro.core.registry` — patternlet
+  metadata: the comment/uncomment toggles, the patterns each patternlet
+  teaches, the paper figures it reproduces, and the student exercise.
+"""
+
+from repro.core.capture import CapturedRun, OutputRecorder, capture_run, say
+from repro.core.registry import (
+    Patternlet,
+    all_patternlets,
+    get_patternlet,
+    inventory,
+    register,
+    run_patternlet,
+)
+from repro.core.toggles import Toggle, ToggleSet
+
+__all__ = [
+    "CapturedRun",
+    "OutputRecorder",
+    "capture_run",
+    "say",
+    "Patternlet",
+    "Toggle",
+    "ToggleSet",
+    "register",
+    "get_patternlet",
+    "all_patternlets",
+    "inventory",
+    "run_patternlet",
+]

@@ -1,0 +1,118 @@
+"""Shape predicates over captured output.
+
+The paper's figures make *qualitative* claims — "the before-and-after
+behaviors of the threads are interleaved", "no worker process can perform
+its 'after' behavior until all processes have completed their 'before'
+behaviors", "thread 0 is performing iterations 0-3".  These helpers turn
+each claim into a checkable predicate over a :class:`~repro.core.capture.CapturedRun`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterable, Sequence
+
+from repro.core.capture import CapturedRun
+
+__all__ = [
+    "phase_positions",
+    "phases_separated",
+    "phases_interleaved",
+    "tasks_interleaved",
+    "iterations_by_task",
+    "parse_hello_lines",
+]
+
+
+def phase_positions(
+    run: CapturedRun, phase_of: Callable[[str], str | None]
+) -> dict[str, list[int]]:
+    """Indices of each phase's lines, per ``phase_of(line)`` (None = ignore)."""
+    out: dict[str, list[int]] = {}
+    for i, line in enumerate(run.lines):
+        phase = phase_of(line)
+        if phase is not None:
+            out.setdefault(phase, []).append(i)
+    return out
+
+
+def phases_separated(run: CapturedRun, before: str, after: str) -> bool:
+    """True iff every ``before`` line precedes every ``after`` line.
+
+    This is the barrier figures' claim (Figure 9 / Figure 12): with the
+    barrier uncommented, the last BEFORE line comes before the first AFTER
+    line.
+    """
+    pos = phase_positions(
+        run,
+        lambda ln: "before" if before in ln else ("after" if after in ln else None),
+    )
+    if not pos.get("before") or not pos.get("after"):
+        return False
+    return max(pos["before"]) < min(pos["after"])
+
+
+def phases_interleaved(run: CapturedRun, before: str, after: str) -> bool:
+    """True iff some ``after`` line precedes some ``before`` line (Figure 8)."""
+    pos = phase_positions(
+        run,
+        lambda ln: "before" if before in ln else ("after" if after in ln else None),
+    )
+    if not pos.get("before") or not pos.get("after"):
+        return False
+    return min(pos["after"]) < max(pos["before"])
+
+
+def tasks_interleaved(run: CapturedRun, tasks: Iterable[str] | None = None) -> bool:
+    """True iff the per-task output blocks overlap rather than running
+    back-to-back — the figures' visual signature of concurrency."""
+    labels = list(tasks) if tasks is not None else run.tasks
+    if len(labels) < 2:
+        return False
+    first: dict[str, int] = {}
+    last: dict[str, int] = {}
+    for i, (label, _) in enumerate(run.records):
+        if label in labels:
+            first.setdefault(label, i)
+            last[label] = i
+    spans = sorted((first[t], last[t]) for t in first)
+    return any(spans[k][1] > spans[k + 1][0] for k in range(len(spans) - 1))
+
+
+_ITER_RE = re.compile(
+    r"(?:Thread|Process)\s+(\d+)\s+performed iteration\s+(\d+)"
+)
+
+
+def iterations_by_task(run: CapturedRun) -> dict[int, list[int]]:
+    """Parse the parallel-loop figures' lines into task -> iteration lists.
+
+    Matches both the OpenMP wording ("Thread 0 performed iteration 3") and
+    the MPI wording ("Process 0 performed iteration 3").
+    """
+    out: dict[int, list[int]] = {}
+    for line in run.lines:
+        m = _ITER_RE.search(line)
+        if m:
+            out.setdefault(int(m.group(1)), []).append(int(m.group(2)))
+    return out
+
+
+_HELLO_RE = re.compile(
+    r"Hello from (?:thread|process)\s+(\d+)\s+of\s+(\d+)(?:\s+on\s+(\S+))?"
+)
+
+
+def parse_hello_lines(run: CapturedRun) -> list[tuple[int, int, str | None]]:
+    """Parse SPMD hello lines into ``(id, count, hostname_or_None)`` tuples."""
+    out: list[tuple[int, int, str | None]] = []
+    for line in run.lines:
+        m = _HELLO_RE.search(line)
+        if m:
+            out.append((int(m.group(1)), int(m.group(2)), m.group(3)))
+    return out
+
+
+def contiguous_blocks(indices: Sequence[int]) -> bool:
+    """True iff ``indices`` is a run of consecutive integers (equal-chunk map)."""
+    return all(b - a == 1 for a, b in zip(indices, indices[1:]))

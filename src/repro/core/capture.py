@@ -1,0 +1,171 @@
+"""Task-attributed output capture.
+
+The paper's figures *are* program output: interleaved "Hello from thread 3
+of 4" lines, before/after barrier orderings, gathered arrays.  To turn those
+into testable artifacts, a :class:`OutputRecorder` replaces ``sys.stdout``
+for the duration of a run and records every completed line together with
+the label of the task that wrote it (``"omp:2"``, ``"mpi:0"``, nested
+``"mpi:1/omp:3"``), in global arrival order.
+
+Patternlets just call :func:`say` (or plain ``print``) — attribution comes
+from :func:`repro.sched.base.current_task_label`, which both executors
+maintain.  Lines written outside any task are labelled ``"main"``.
+
+The resulting :class:`CapturedRun` is the universal figure format: its
+``text`` matches what a terminal would show, while ``by_task`` and the
+helpers in :mod:`repro.core.analysis` support the shape assertions the
+benches and tests make.
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+import threading
+import time
+from typing import Any, Callable
+
+from repro.sched.base import current_task_label
+
+__all__ = ["CapturedRun", "OutputRecorder", "capture_run", "say"]
+
+
+class CapturedRun:
+    """Everything observable from one program run."""
+
+    def __init__(self) -> None:
+        #: ``(task_label, line)`` pairs in global arrival order.
+        self.records: list[tuple[str, str]] = []
+        #: Return value of the program's ``main``.
+        self.result: Any = None
+        #: Wall-clock seconds for the run.
+        self.wall: float = 0.0
+        #: Critical-path virtual time, when the program reported one.
+        self.span: float | None = None
+        #: Free-form metadata attached by the runner (toggles used, ...).
+        self.meta: dict[str, Any] = {}
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def lines(self) -> list[str]:
+        """Just the printed lines, in order."""
+        return [line for _, line in self.records]
+
+    @property
+    def text(self) -> str:
+        """The run's output as a terminal would show it."""
+        return "\n".join(self.lines)
+
+    @property
+    def by_task(self) -> dict[str, list[str]]:
+        """Lines grouped by producing task, preserving per-task order."""
+        out: dict[str, list[str]] = {}
+        for label, line in self.records:
+            out.setdefault(label, []).append(line)
+        return out
+
+    @property
+    def tasks(self) -> list[str]:
+        """Task labels in order of first appearance."""
+        seen: list[str] = []
+        for label, _ in self.records:
+            if label not in seen:
+                seen.append(label)
+        return seen
+
+    def grep(self, needle: str) -> list[str]:
+        """Lines containing ``needle``."""
+        return [line for line in self.lines if needle in line]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CapturedRun({len(self.records)} lines, wall={self.wall:.3g}s)"
+
+
+class _RouterStream(io.TextIOBase):
+    """A ``sys.stdout`` replacement that attributes lines to tasks."""
+
+    def __init__(self, run: CapturedRun, echo_to: Any | None):
+        super().__init__()
+        self._run = run
+        self._echo = echo_to
+        self._lock = threading.Lock()
+        self._partials: dict[str, str] = {}
+
+    def writable(self) -> bool:  # pragma: no cover - io protocol
+        return True
+
+    def write(self, s: str) -> int:
+        label = current_task_label() or "main"
+        with self._lock:
+            buf = self._partials.get(label, "") + s
+            while "\n" in buf:
+                line, buf = buf.split("\n", 1)
+                self._run.records.append((label, line))
+            self._partials[label] = buf
+        if self._echo is not None:
+            self._echo.write(s)
+        return len(s)
+
+    def flush(self) -> None:
+        if self._echo is not None:
+            self._echo.flush()
+
+    def finish(self) -> None:
+        """Commit any unterminated partial lines."""
+        with self._lock:
+            for label, buf in self._partials.items():
+                if buf:
+                    self._run.records.append((label, buf))
+            self._partials.clear()
+
+
+class OutputRecorder:
+    """Context manager that records task-attributed stdout into a run."""
+
+    def __init__(self, *, echo: bool = False):
+        self.run = CapturedRun()
+        self._echo = echo
+        self._saved: Any = None
+        self._stream: _RouterStream | None = None
+
+    def __enter__(self) -> "OutputRecorder":
+        self._saved = sys.stdout
+        self._stream = _RouterStream(self.run, self._saved if self._echo else None)
+        sys.stdout = self._stream
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._stream is not None
+        self._stream.finish()
+        sys.stdout = self._saved
+
+
+def capture_run(
+    fn: Callable[..., Any],
+    *args: Any,
+    echo: bool = False,
+    **kwargs: Any,
+) -> CapturedRun:
+    """Run ``fn(*args, **kwargs)`` under an :class:`OutputRecorder`.
+
+    The callable's return value lands in ``run.result``; if it returns an
+    object with a ``span`` attribute (e.g. a
+    :class:`~repro.smp.runtime.TeamResult` or an MP world result), the span
+    is copied onto the run for the figure harnesses.
+    """
+    rec = OutputRecorder(echo=echo)
+    t0 = time.perf_counter()
+    with rec:
+        result = fn(*args, **kwargs)
+    rec.run.wall = time.perf_counter() - t0
+    rec.run.result = result
+    span = getattr(result, "span", None)
+    if isinstance(span, (int, float)):
+        rec.run.span = float(span)
+    return rec.run
+
+
+def say(*parts: Any, sep: str = " ", end: str = "\n") -> None:
+    """``print`` twin used by the patternlets (kept for greppability)."""
+    print(*parts, sep=sep, end=end)

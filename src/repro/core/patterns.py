@@ -1,0 +1,285 @@
+"""The layered parallel-design-pattern catalog of Section II.B.
+
+The paper grounds patternlets in two cataloguing efforts — "Parallel
+Programming Patterns" (Johnson, Chen, Tasharofi & Kjolstad, UIUC; 62
+patterns) and "Our Pattern Language" (Keutzer & Mattson, Berkeley/Intel;
+56 patterns) — both organised into hierarchical layers: high-level
+patterns describing software architectures, middle layers describing
+algorithmic strategies, and lower layers for implementing algorithmic
+steps.  The paper's own examples: *N-body Problems* and *Monte Carlo
+Simulations* at the top, *Data Decomposition* and *Task Decomposition* in
+the middle, *Barrier*, *Reduction* and *Message Passing* at the bottom.
+
+This module encodes that taxonomy.  Each :class:`Pattern` carries its
+layer, its spelling in each catalogue (where the two differ), and its
+relationships; the patternlet registry validates every patternlet's
+``patterns`` tuple against this catalog, so the mapping "patternlet →
+pattern(s) taught" stays coherent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RegistryError
+
+__all__ = [
+    "LAYERS",
+    "Pattern",
+    "CATALOG",
+    "get_pattern",
+    "patterns_by_layer",
+    "validate_pattern_names",
+]
+
+#: Catalogue layers, highest (application architecture) to lowest
+#: (execution mechanics), following OPL's structure.
+LAYERS = (
+    "application",  # whole-problem architectures (N-body, Monte Carlo, ...)
+    "algorithm-strategy",  # how to decompose and organise the computation
+    "implementation-strategy",  # program structures realising a strategy
+    "execution",  # mechanics: coordination and data-movement primitives
+)
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One named parallel design pattern."""
+
+    name: str
+    layer: str
+    description: str
+    uiuc_name: str | None = None  # spelling in the UIUC catalogue, if distinct
+    opl_name: str | None = None  # spelling in OPL, if distinct
+    related: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.layer not in LAYERS:
+            raise RegistryError(f"pattern {self.name!r}: unknown layer {self.layer!r}")
+
+
+def _p(*args: object, **kw: object) -> Pattern:
+    return Pattern(*args, **kw)  # type: ignore[arg-type]
+
+
+CATALOG: dict[str, Pattern] = {
+    p.name: p
+    for p in (
+        # -- application layer -------------------------------------------------
+        _p(
+            "N-body Problems",
+            "application",
+            "Pairwise-interaction simulations; the paper's example of a "
+            "high-level pattern.",
+            related=("Data Decomposition", "Reduction"),
+        ),
+        _p(
+            "Monte Carlo Simulation",
+            "application",
+            "Estimate by aggregating many independent random trials.",
+            opl_name="Monte Carlo Methods",
+            related=("SPMD", "Reduction", "Parallel Loop"),
+        ),
+        _p(
+            "Pipeline",
+            "application",
+            "Stream data through a chain of concurrent stages.",
+            related=("Message Passing", "Task Decomposition"),
+        ),
+        _p(
+            "MapReduce",
+            "application",
+            "Map a function over records, reduce per key; the paper's 'big "
+            "data' framing for distributed memory.",
+            related=("Parallel Loop", "Reduction", "Scatter", "Gather"),
+        ),
+        # -- algorithm-strategy layer -------------------------------------------
+        _p(
+            "Data Decomposition",
+            "algorithm-strategy",
+            "Partition the data; each task computes on its share.",
+            opl_name="Data Parallelism",
+            related=("Parallel Loop", "Scatter", "Geometric Decomposition"),
+        ),
+        _p(
+            "Task Decomposition",
+            "algorithm-strategy",
+            "Partition the work into distinct concurrent activities.",
+            opl_name="Task Parallelism",
+            related=("Fork-Join", "Master-Worker"),
+        ),
+        _p(
+            "Geometric Decomposition",
+            "algorithm-strategy",
+            "Split a spatial domain into chunks with boundary exchange.",
+            related=("Data Decomposition", "Message Passing"),
+        ),
+        _p(
+            "Divide and Conquer",
+            "algorithm-strategy",
+            "Recursively split, solve, and merge (parallel merge sort).",
+            related=("Fork-Join",),
+        ),
+        _p(
+            "Embarrassingly Parallel",
+            "algorithm-strategy",
+            "Independent work items with no interaction until a final "
+            "combine; the CS2 course's entry point.",
+            uiuc_name="Independent Tasks",
+            related=("Parallel Loop", "Reduction"),
+        ),
+        # -- implementation-strategy layer -----------------------------------------
+        _p(
+            "SPMD",
+            "implementation-strategy",
+            "Single Program, Multiple Data: instances of one program "
+            "distinguish themselves by id (Section III.A).",
+            opl_name="Single-Program Multiple-Data",
+            related=("Parallel Loop", "Message Passing"),
+        ),
+        _p(
+            "Fork-Join",
+            "implementation-strategy",
+            "Fork concurrent tasks, then join them all before proceeding.",
+            related=("Parallel Loop", "Task Decomposition"),
+        ),
+        _p(
+            "Parallel Loop",
+            "implementation-strategy",
+            "Divide independent loop iterations among tasks (Section III.C).",
+            opl_name="Loop Parallelism",
+            related=("Data Decomposition", "SPMD"),
+        ),
+        _p(
+            "Master-Worker",
+            "implementation-strategy",
+            "One task coordinates; the rest execute work it hands out.",
+            uiuc_name="Master/Worker",
+            opl_name="Master-Worker",
+            related=("Task Decomposition", "Message Passing"),
+        ),
+        _p(
+            "Loop Schedule",
+            "implementation-strategy",
+            "Policy assigning loop iterations to tasks: equal chunks, "
+            "cyclic, dynamic, guided ('different chunk sizes or scheduling "
+            "algorithms', Section III.E).",
+            related=("Parallel Loop",),
+        ),
+        # -- execution layer ----------------------------------------------------------
+        _p(
+            "Barrier",
+            "execution",
+            "No task proceeds past the barrier until all have arrived "
+            "(Section III.B).",
+            related=("Collective Communication",),
+        ),
+        _p(
+            "Reduction",
+            "execution",
+            "Combine per-task partial results in O(lg t) tree time "
+            "(Section III.D, Figure 19).",
+            opl_name="Collective Reduction",
+            related=("Collective Communication", "Parallel Loop"),
+        ),
+        _p(
+            "Mutual Exclusion",
+            "execution",
+            "At most one task in a critical section at a time; atomic vs "
+            "critical cost trade-off (Figures 29-30).",
+            uiuc_name="Critical Section",
+            related=("Shared Data",),
+        ),
+        _p(
+            "Critical Section",
+            "execution",
+            "The guarded code region itself; the named form of mutual "
+            "exclusion OpenMP exposes as a directive.",
+            related=("Mutual Exclusion",),
+        ),
+        _p(
+            "Atomic Update",
+            "execution",
+            "Hardware-assisted single-operation mutual exclusion; cheaper "
+            "but restricted to simple updates (Figure 30).",
+            related=("Mutual Exclusion",),
+        ),
+        _p(
+            "Message Passing",
+            "execution",
+            "Tasks with private memories communicate by send/receive.",
+            related=("Collective Communication", "SPMD"),
+        ),
+        _p(
+            "Collective Communication",
+            "execution",
+            "All tasks of a group participate in one structured exchange.",
+            related=("Broadcast", "Scatter", "Gather", "Reduction", "Barrier"),
+        ),
+        _p(
+            "Broadcast",
+            "execution",
+            "One task's value is delivered to every task.",
+            related=("Collective Communication",),
+        ),
+        _p(
+            "Scatter",
+            "execution",
+            "Distinct slices of one task's data are dealt to each task.",
+            related=("Collective Communication", "Data Decomposition"),
+        ),
+        _p(
+            "Gather",
+            "execution",
+            "Per-task data is collected, rank-ordered, at one task "
+            "(Section III.E, Figures 25-28).",
+            related=("Collective Communication",),
+        ),
+        _p(
+            "Shared Data",
+            "execution",
+            "State accessible to multiple tasks; the source of races when "
+            "updates are unsynchronised (Figure 22).",
+            uiuc_name="Shared Data",
+            related=("Mutual Exclusion", "Private Data"),
+        ),
+        _p(
+            "Private Data",
+            "execution",
+            "Per-task storage shielding tasks from each other's updates; "
+            "OpenMP's private clause.",
+            related=("Shared Data",),
+        ),
+        _p(
+            "Synchronisation",
+            "execution",
+            "Ordering constraints between tasks: condition variables, "
+            "semaphores, ordered sections.",
+            related=("Barrier", "Mutual Exclusion"),
+        ),
+    )
+}
+
+
+def get_pattern(name: str) -> Pattern:
+    """Look up a pattern by its canonical name."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(CATALOG))
+        raise RegistryError(f"unknown pattern {name!r}; catalog has: {known}") from None
+
+
+def patterns_by_layer(layer: str) -> list[Pattern]:
+    """All catalogued patterns at one layer, sorted by name."""
+    if layer not in LAYERS:
+        raise RegistryError(f"unknown layer {layer!r} (layers: {LAYERS})")
+    return sorted(
+        (p for p in CATALOG.values() if p.layer == layer), key=lambda p: p.name
+    )
+
+
+def validate_pattern_names(names: tuple[str, ...]) -> None:
+    """Raise if any name is absent from the catalog (registry hook)."""
+    for name in names:
+        get_pattern(name)

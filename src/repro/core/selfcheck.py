@@ -1,0 +1,189 @@
+"""Figure self-check: verify the collection reproduces the paper.
+
+``patternlet selfcheck`` runs every figure-bearing patternlet under the
+deterministic executor and asserts the paper's claim about its output —
+a one-command sanity check for instructors after installing or modifying
+the collection.  Each check is a named, independently-runnable predicate;
+the benchmark suite covers the same ground with timing attached, but this
+module needs nothing beyond the library itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.analysis import (
+    contiguous_blocks,
+    iterations_by_task,
+    parse_hello_lines,
+    phases_interleaved,
+    phases_separated,
+)
+from repro.core.capture import CapturedRun
+from repro.core.registry import run_patternlet
+
+__all__ = ["CheckResult", "FIGURE_CHECKS", "run_selfcheck"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one figure check."""
+
+    figure: str
+    description: str
+    passed: bool
+    detail: str = ""
+
+
+def _check(run: CapturedRun, ok: bool, detail: str = "") -> tuple[bool, str]:
+    return ok, detail
+
+
+def _fig2() -> tuple[bool, str]:
+    run = run_patternlet("openmp.spmd", toggles={"parallel": False}, seed=0)
+    hellos = parse_hello_lines(run)
+    return hellos == [(0, 1, None)], f"got {hellos}"
+
+
+def _fig3() -> tuple[bool, str]:
+    run = run_patternlet("openmp.spmd", tasks=4, seed=1)
+    hellos = sorted(h[0] for h in parse_hello_lines(run))
+    return hellos == [0, 1, 2, 3], f"ids {hellos}"
+
+
+def _fig5() -> tuple[bool, str]:
+    run = run_patternlet("mpi.spmd", tasks=1, seed=0)
+    hellos = parse_hello_lines(run)
+    return hellos == [(0, 1, "node-01")], f"got {hellos}"
+
+
+def _fig6() -> tuple[bool, str]:
+    run = run_patternlet("mpi.spmd", tasks=4, seed=0)
+    hellos = sorted(parse_hello_lines(run))
+    want = [(r, 4, f"node-0{r + 1}") for r in range(4)]
+    return hellos == want, f"got {hellos}"
+
+
+def _fig8() -> tuple[bool, str]:
+    for seed in range(12):
+        run = run_patternlet("openmp.barrier", toggles={"barrier": False}, seed=seed)
+        if phases_interleaved(run, "BEFORE", "AFTER"):
+            return True, f"interleaving at seed {seed}"
+    return False, "no interleaving in 12 seeds"
+
+
+def _fig9() -> tuple[bool, str]:
+    for seed in range(8):
+        run = run_patternlet("openmp.barrier", toggles={"barrier": True}, seed=seed)
+        if not phases_separated(run, "BEFORE", "AFTER"):
+            return False, f"not separated at seed {seed}"
+    return True, "separated across 8 seeds"
+
+
+def _fig11() -> tuple[bool, str]:
+    for seed in range(12):
+        run = run_patternlet(
+            "mpi.barrier", tasks=4, toggles={"barrier": False}, seed=seed
+        )
+        if phases_interleaved(run, "BEFORE", "AFTER"):
+            return True, f"interleaving at seed {seed}"
+    return False, "no interleaving in 12 seeds"
+
+
+def _fig12() -> tuple[bool, str]:
+    for seed in range(8):
+        run = run_patternlet(
+            "mpi.barrier", tasks=4, toggles={"barrier": True}, seed=seed
+        )
+        if not phases_separated(run, "BEFORE", "AFTER"):
+            return False, f"not separated at seed {seed}"
+    return True, "separated across 8 seeds"
+
+
+def _fig15() -> tuple[bool, str]:
+    run = run_patternlet("openmp.parallelLoopEqualChunks", tasks=2, seed=0)
+    got = iterations_by_task(run)
+    ok = got.get(0) == [0, 1, 2, 3] and got.get(1) == [4, 5, 6, 7]
+    return ok, f"map {got}"
+
+
+def _fig18() -> tuple[bool, str]:
+    run = run_patternlet("mpi.parallelLoopEqualChunks", tasks=4, seed=0)
+    got = iterations_by_task(run)
+    ok = all(contiguous_blocks(v) and len(v) == 2 for v in got.values())
+    return ok and len(got) == 4, f"map {got}"
+
+
+def _fig22() -> tuple[bool, str]:
+    run = run_patternlet("openmp.reduction", toggles={"parallel_for": True}, seed=1)
+    seq = int(run.grep("Seq. sum")[0].split()[-1])
+    par = int(run.grep("Par. sum")[0].split()[-1])
+    fixed = run_patternlet(
+        "openmp.reduction",
+        toggles={"parallel_for": True, "reduction": True},
+        seed=1,
+    )
+    fseq = int(fixed.grep("Seq. sum")[0].split()[-1])
+    fpar = int(fixed.grep("Par. sum")[0].split()[-1])
+    return par < seq and fpar == fseq, f"racy {par}<{seq}, fixed {fpar}=={fseq}"
+
+
+def _fig24() -> tuple[bool, str]:
+    run = run_patternlet("mpi.reduction", tasks=10, seed=0)
+    ok = bool(
+        run.grep("The sum of the squares is 385")
+        and run.grep("The max of the squares is 100")
+    )
+    return ok, "sum 385, max 100" if ok else run.text[-120:]
+
+
+def _fig28() -> tuple[bool, str]:
+    run = run_patternlet("mpi.gather", tasks=6, seed=0)
+    expected = " ".join(str(r * 10 + i) for r in range(6) for i in range(3))
+    ok = bool(run.grep(f"gatherArray: {expected}"))
+    return ok, "rank-ordered gather" if ok else "wrong gather order"
+
+
+def _fig30() -> tuple[bool, str]:
+    run = run_patternlet("openmp.critical2", mode="thread", tasks=4, reps=300)
+    result = run.result
+    exact = (
+        result["atomic"][0] == result["critical"][0] == float(result["reps"])
+    )
+    return exact and result["ratio"] > 1.0, f"ratio {result['ratio']:.2f}x"
+
+
+#: Every check, keyed by the paper figure(s) it verifies.
+FIGURE_CHECKS: dict[str, tuple[str, Callable[[], tuple[bool, str]]]] = {
+    "Fig. 2": ("spmd sequential: one greeting", _fig2),
+    "Fig. 3": ("spmd parallel: ids 0-3 of 4", _fig3),
+    "Fig. 5": ("MPI spmd -np 1 on node-01", _fig5),
+    "Fig. 6": ("MPI spmd -np 4 across four nodes", _fig6),
+    "Fig. 8": ("barrier off: phases interleave", _fig8),
+    "Fig. 9": ("barrier on: phases separate", _fig9),
+    "Fig. 11": ("MPI barrier off: phases interleave", _fig11),
+    "Fig. 12": ("MPI barrier on: phases separate", _fig12),
+    "Fig. 15": ("equal chunks: 0-3 / 4-7", _fig15),
+    "Fig. 18": ("MPI equal chunks at -np 4", _fig18),
+    "Fig. 22": ("race loses updates; clause fixes it", _fig22),
+    "Fig. 24": ("sum 385, max 100 at -np 10", _fig24),
+    "Fig. 28": ("gather rank-ordered at -np 6", _fig28),
+    "Fig. 30": ("atomic/critical both exact; critical dearer", _fig30),
+}
+
+
+def run_selfcheck(
+    only: str | None = None,
+) -> list[CheckResult]:
+    """Run all (or one) figure checks; never raises, always reports."""
+    results: list[CheckResult] = []
+    for figure, (description, fn) in FIGURE_CHECKS.items():
+        if only is not None and only != figure:
+            continue
+        try:
+            passed, detail = fn()
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            passed, detail = False, f"raised {type(exc).__name__}: {exc}"
+        results.append(CheckResult(figure, description, passed, detail))
+    return results

@@ -1,0 +1,110 @@
+"""Visualising parallelism: ASCII timelines of captured runs.
+
+The patternlets teach by *showing* concurrent behaviour; raw interleaved
+output is the paper's medium, but a lane-per-task timeline makes the same
+behaviour visible at a glance — who printed when, where the barrier
+aligned everyone, how a race window interleaved two updates.
+
+Two renderers:
+
+- :func:`render_run` — lanes from a :class:`~repro.core.capture.CapturedRun`:
+  one column per global output event, one row per task, event numbers in
+  the producing task's lane.
+- :func:`render_trace` — lanes from a lockstep executor's scheduling
+  trace: ``#`` for running, ``.`` for blocked, so students can see the
+  token move between tasks and where everyone piled up at a barrier.
+
+Both are pure functions returning strings (printable anywhere, assertable
+in tests).  The CLI exposes them as ``patternlet trace``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.capture import CapturedRun
+
+__all__ = ["render_run", "render_trace", "lane_order"]
+
+
+def lane_order(run: CapturedRun) -> list[str]:
+    """Stable lane ordering: sorted task labels, ``main`` last."""
+    tasks = sorted(set(label for label, _ in run.records))
+    if "main" in tasks:
+        tasks.remove("main")
+        tasks.append("main")
+    return tasks
+
+
+def render_run(
+    run: CapturedRun,
+    *,
+    max_events: int = 60,
+    legend: bool = True,
+) -> str:
+    """One lane per task; event k marks the task that printed line k.
+
+    Example (barrier patternlet, 3 threads)::
+
+        omp:0 | 1 . . 4 . .
+        omp:1 | . 2 . . 5 .
+        omp:2 | . . 3 . . 6
+
+    Numbers wider than one digit widen their column; ``max_events`` caps
+    the width for very chatty runs (the tail is elided with a note).
+    """
+    records = run.records[:max_events]
+    elided = len(run.records) - len(records)
+    tasks = lane_order(run)
+    if not tasks:
+        return "(no output)"
+    label_w = max(len(t) for t in tasks)
+    cells: dict[str, list[str]] = {t: [] for t in tasks}
+    for k, (label, _line) in enumerate(records, start=1):
+        mark = str(k)
+        for t in tasks:
+            cells[t].append(mark if t == label else "." * len(mark))
+    lanes = [
+        f"{t:<{label_w}} | " + " ".join(cells[t]) for t in tasks
+    ]
+    out = "\n".join(lanes)
+    if elided > 0:
+        out += f"\n({elided} later events elided)"
+    if legend:
+        out += "\n" + "-" * (label_w + 3)
+        for k, (label, line) in enumerate(records, start=1):
+            out += f"\n{k:>3}. [{label}] {line}"
+    return out
+
+
+def render_trace(
+    events: Iterable[tuple[str, str]],
+    *,
+    max_steps: int = 120,
+) -> str:
+    """Lanes from a lockstep scheduling trace.
+
+    Each ``run`` event paints one ``#`` step in the chosen task's lane
+    and a space in the others; ``block`` paints ``b`` at the moment a
+    task parked, ``wake`` paints ``w``, ``done`` paints ``x``.  Reading a
+    barrier run, every lane shows ``b``s accumulating until the last
+    arrival, then a burst of ``w``s — the barrier made visible.
+    """
+    events = list(events)
+    steps = [e for e in events if e[0] in ("run", "block", "wake", "done")]
+    steps = steps[:max_steps]
+    tasks: list[str] = []
+    for _, label in steps:
+        if label not in tasks:
+            tasks.append(label)
+    if not tasks:
+        return "(empty trace)"
+    label_w = max(len(t) for t in tasks)
+    mark = {"run": "#", "block": "b", "wake": "w", "done": "x"}
+    lanes = {t: [] for t in tasks}
+    for kind, label in steps:
+        for t in tasks:
+            lanes[t].append(mark[kind] if t == label else " ")
+    body = "\n".join(f"{t:<{label_w}} | {''.join(lanes[t])}" for t in tasks)
+    key = "key: # running   b blocked   w woken   x finished"
+    return body + "\n" + key

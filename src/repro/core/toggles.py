@@ -1,0 +1,84 @@
+"""The comment/uncomment pedagogy as a first-class mechanic.
+
+Every patternlet in the paper ships with a crucial line commented out —
+``// #pragma omp parallel``, ``// MPI_Barrier(...)``, the
+``reduction(+:sum)`` clause — and the lesson *is* the behavioural delta
+when it is uncommented.  Here each such line is a named :class:`Toggle`
+with its C spelling attached, and a run receives a :class:`ToggleSet`
+saying which are "uncommented".
+
+    run_patternlet("openmp.barrier", toggles={"barrier": False})  # Fig. 8
+    run_patternlet("openmp.barrier", toggles={"barrier": True})   # Fig. 9
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import ToggleError
+
+__all__ = ["Toggle", "ToggleSet"]
+
+
+@dataclass(frozen=True)
+class Toggle:
+    """One comment/uncomment site in a patternlet.
+
+    ``pragma`` records the C line the paper comments out, so docs and the
+    CLI can show students exactly what the flag corresponds to.
+    """
+
+    name: str
+    pragma: str
+    description: str
+    default: bool = False
+
+
+class ToggleSet:
+    """Resolved on/off states for one run of a patternlet."""
+
+    def __init__(
+        self,
+        declared: Iterable[Toggle],
+        overrides: Mapping[str, bool] | None = None,
+    ):
+        self._declared = {t.name: t for t in declared}
+        self._state = {t.name: t.default for t in self._declared.values()}
+        for name, value in (overrides or {}).items():
+            if name not in self._declared:
+                known = sorted(self._declared)
+                raise ToggleError(
+                    f"unknown toggle {name!r} (this patternlet has: {known})"
+                )
+            self._state[name] = bool(value)
+
+    def __getitem__(self, name: str) -> bool:
+        try:
+            return self._state[name]
+        except KeyError:
+            raise ToggleError(f"unknown toggle {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._state
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._state)
+
+    def enabled(self) -> list[str]:
+        """Names of toggles currently 'uncommented'."""
+        return sorted(n for n, v in self._state.items() if v)
+
+    def as_dict(self) -> dict[str, bool]:
+        """A plain name -> state mapping (for run metadata)."""
+        return dict(self._state)
+
+    def describe(self, name: str) -> Toggle:
+        """The declaration (pragma text etc.) behind a toggle."""
+        try:
+            return self._declared[name]
+        except KeyError:
+            raise ToggleError(f"unknown toggle {name!r}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ToggleSet({self._state})"

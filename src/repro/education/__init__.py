@@ -1,0 +1,63 @@
+"""Educational-evaluation layer: the paper's Section IV in library form.
+
+- :mod:`repro.education.assessment` — the CS2 exam-score study (Fall
+  "no patternlets" vs Spring "with patternlets"): from-scratch two-sample
+  t-tests, the implied cohort statistics, and synthetic cohorts matching
+  the reported aggregates.
+- :mod:`repro.education.matrix_lab` — the Tuesday closed-lab: a Matrix
+  class with sequential and parallel add/transpose plus the
+  thread-count-vs-speedup harness students chart.
+- :mod:`repro.education.curriculum` — where PDC topics live across the
+  curriculum, and the CS2 parallel week's two schedules.
+"""
+
+from repro.education.assessment import (
+    FALL_COHORT,
+    SPRING_COHORT,
+    CohortSummary,
+    TestResult,
+    cohens_d,
+    generate_cohort,
+    infer_common_sd,
+    pooled_t_test,
+    reproduce_paper_analysis,
+    student_t_sf,
+    welch_t_test,
+)
+from repro.education.curriculum import (
+    CS2_WEEK_FALL,
+    CS2_WEEK_SPRING,
+    CURRICULUM,
+    Course,
+    Session,
+    courses_using,
+)
+from repro.education.matrix_lab import Matrix, lab_report, time_operation
+from repro.education.quiz import EXAM, Question, correct_answers, grade
+
+__all__ = [
+    "CohortSummary",
+    "TestResult",
+    "FALL_COHORT",
+    "SPRING_COHORT",
+    "student_t_sf",
+    "pooled_t_test",
+    "welch_t_test",
+    "cohens_d",
+    "infer_common_sd",
+    "generate_cohort",
+    "reproduce_paper_analysis",
+    "Matrix",
+    "time_operation",
+    "lab_report",
+    "Course",
+    "Session",
+    "CURRICULUM",
+    "CS2_WEEK_FALL",
+    "CS2_WEEK_SPRING",
+    "courses_using",
+    "Question",
+    "EXAM",
+    "correct_answers",
+    "grade",
+]

@@ -1,0 +1,174 @@
+"""The curriculum map of Section IV: where PDC topics live, course by course.
+
+The paper spreads parallel and distributed computing across five courses so
+"every student is exposed to PDC, and students who want more depth may get
+it", and uses patternlets in several of them.  This module records that
+structure, plus the CS2 parallel week in both of its historical forms —
+the Fall lecture-based schedule and the Spring live-coding-patternlet
+schedule whose comparison Section IV.B evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Course",
+    "Session",
+    "CURRICULUM",
+    "CS2_WEEK_FALL",
+    "CS2_WEEK_SPRING",
+    "courses_using",
+]
+
+
+@dataclass(frozen=True)
+class Course:
+    """One course in the departmental curriculum."""
+
+    code: str
+    title: str
+    year: int  # curriculum year (1 = first-year)
+    required: bool
+    pdc_topics: tuple[str, ...]
+    patternlet_backends: tuple[str, ...] = ()  # backends demonstrated, if any
+
+
+CURRICULUM: tuple[Course, ...] = (
+    Course(
+        "CS2",
+        "Data Structures",
+        year=1,
+        required=True,
+        pdc_topics=(
+            "multicore CPUs",
+            "multithreading with OpenMP",
+            "embarrassingly parallel problems",
+            "speedup measurement",
+            "parallel merge sort (concepts)",
+        ),
+        patternlet_backends=("openmp",),
+    ),
+    Course(
+        "CS3",
+        "Algorithms",
+        year=2,
+        required=True,
+        pdc_topics=(
+            "parallel searching",
+            "parallel sorting",
+            "parallel graph algorithms",
+        ),
+        patternlet_backends=("openmp",),
+    ),
+    Course(
+        "PL",
+        "Programming Languages",
+        year=2,
+        required=True,
+        pdc_topics=(
+            "message-passing constructs",
+            "synchronisation constructs",
+        ),
+        patternlet_backends=("mpi", "pthreads"),
+    ),
+    Course(
+        "OSNET",
+        "Operating Systems & Networking",
+        year=3,
+        required=True,
+        pdc_topics=(
+            "implementing synchronisation",
+            "implementing message passing",
+        ),
+        patternlet_backends=("pthreads", "mpi"),
+    ),
+    Course(
+        "HPC",
+        "High Performance Computing",
+        year=4,
+        required=False,
+        pdc_topics=(
+            "scalable MPI programming",
+            "OpenMP in depth",
+            "CUDA",
+            "Hadoop / MapReduce",
+        ),
+        patternlet_backends=("mpi", "openmp", "hybrid"),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class Session:
+    """One class meeting of the CS2 parallel week."""
+
+    day: str
+    kind: str  # "lecture", "lab", "active-learning", "live-coding"
+    topic: str
+    patternlets: tuple[str, ...] = field(default=())
+
+
+#: The Fall schedule: traditional lectures, no patternlets.
+CS2_WEEK_FALL: tuple[Session, ...] = (
+    Session(
+        "Monday",
+        "lecture",
+        "Multicore CPUs, multithreading, OpenMP as a multithreading library",
+    ),
+    Session(
+        "Tuesday",
+        "lab",
+        "Time sequential Matrix add/transpose; parallelise with OpenMP; "
+        "chart speedup against thread count",
+    ),
+    Session(
+        "Wednesday",
+        "lecture",
+        "Multithreading concepts, reinforcing the lab",
+    ),
+    Session(
+        "Friday",
+        "active-learning",
+        "Parallel algorithm design, culminating in parallel merge sort",
+    ),
+)
+
+#: The Spring schedule: the same week with live-coding patternlet demos
+#: concluding Monday and replacing the Wednesday lecture (Section IV.A).
+CS2_WEEK_SPRING: tuple[Session, ...] = (
+    Session(
+        "Monday",
+        "live-coding",
+        "Multicore CPUs and OpenMP, concluded with a live-coded patternlet demo",
+        patternlets=("openmp.spmd", "openmp.spmd2", "openmp.forkJoin"),
+    ),
+    Session(
+        "Tuesday",
+        "lab",
+        "Time sequential Matrix add/transpose; parallelise with OpenMP; "
+        "chart speedup against thread count",
+    ),
+    Session(
+        "Wednesday",
+        "live-coding",
+        "Multithreading concepts demonstrated in action with patternlets",
+        patternlets=(
+            "openmp.barrier",
+            "openmp.parallelLoopEqualChunks",
+            "openmp.parallelLoopChunksOf1",
+            "openmp.critical",
+            "openmp.reduction",
+        ),
+    ),
+    Session(
+        "Friday",
+        "active-learning",
+        "Parallel algorithm design, culminating in parallel merge sort",
+    ),
+)
+
+
+def courses_using(backend: str) -> list[Course]:
+    """Courses whose demos use patternlets of the given backend."""
+    return [c for c in CURRICULUM if backend in c.patternlet_backends]

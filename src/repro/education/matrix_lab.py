@@ -1,0 +1,166 @@
+"""The CS2 Tuesday lab: Matrix add/transpose, sequential vs parallel.
+
+Students (a) time sequential matrix addition and transposition, (b)
+parallelise them with OpenMP, (c) time the parallel versions at several
+thread counts, and (d) chart threads-vs-speedup.  This module is that lab
+against :mod:`repro.smp`:
+
+- :class:`Matrix` is the provided class, with sequential ``add`` /
+  ``transpose`` and parallel ``padd`` / ``ptranspose`` that divide rows
+  among a thread team;
+- :func:`time_operation` measures wall time *and* virtual span;
+- :func:`lab_report` runs the full sweep and returns the chart's rows.
+
+On this container (one core, GIL) wall-clock speedup is physically absent,
+so the chart students would draw is computed from the **span** under the
+work-per-row cost model — the same deterministic critical-path measure the
+rest of the reproduction uses.  Wall time is reported alongside, honestly.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable
+
+from repro.smp.runtime import SmpRuntime, TeamResult
+
+__all__ = ["Matrix", "time_operation", "lab_report"]
+
+
+class Matrix:
+    """A dense integer matrix with sequential and parallel operations."""
+
+    def __init__(self, rows: list[list[float]]):
+        if not rows or not rows[0]:
+            raise ValueError("matrix must be non-empty")
+        width = len(rows[0])
+        if any(len(r) != width for r in rows):
+            raise ValueError("ragged rows")
+        self.rows = rows
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, n: int, m: int) -> "Matrix":
+        return cls([[0.0] * m for _ in range(n)])
+
+    @classmethod
+    def random(cls, n: int, m: int, *, seed: int = 0, span: int = 100) -> "Matrix":
+        rng = random.Random(seed)
+        return cls([[float(rng.randrange(span)) for _ in range(m)] for _ in range(n)])
+
+    # -- shape & access -----------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (len(self.rows), len(self.rows[0]))
+
+    def __getitem__(self, rc: tuple[int, int]) -> float:
+        return self.rows[rc[0]][rc[1]]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Matrix) and self.rows == other.rows
+
+    # -- sequential operations (what students start from) ---------------------------
+
+    def add(self, other: "Matrix") -> "Matrix":
+        """Sequential elementwise addition."""
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        return Matrix(
+            [
+                [a + b for a, b in zip(ra, rb)]
+                for ra, rb in zip(self.rows, other.rows)
+            ]
+        )
+
+    def transpose(self) -> "Matrix":
+        """Sequential transposition."""
+        n, m = self.shape
+        return Matrix([[self.rows[i][j] for i in range(n)] for j in range(m)])
+
+    # -- parallel operations (what students write in the lab) ------------------------
+
+    def padd(self, other: "Matrix", rt: SmpRuntime) -> tuple["Matrix", TeamResult]:
+        """Parallel addition: rows divided among the team (static schedule)."""
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        n, m = self.shape
+        out = [[0.0] * m for _ in range(n)]
+
+        def body(i: int, ctx) -> None:
+            ra, rb = self.rows[i], other.rows[i]
+            out[i] = [a + b for a, b in zip(ra, rb)]
+
+        team = rt.parallel_for(n, body, schedule="static", work_per_iteration=float(m))
+        return Matrix(out), team
+
+    def ptranspose(self, rt: SmpRuntime) -> tuple["Matrix", TeamResult]:
+        """Parallel transposition: output rows divided among the team."""
+        n, m = self.shape
+        out = [[0.0] * n for _ in range(m)]
+
+        def body(j: int, ctx) -> None:
+            col = self.rows
+            out[j] = [col[i][j] for i in range(n)]
+
+        team = rt.parallel_for(m, body, schedule="static", work_per_iteration=float(n))
+        return Matrix(out), team
+
+
+def time_operation(fn: Callable[[], object]) -> tuple[object, float]:
+    """Run ``fn`` once, returning (result, wall_seconds)."""
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def lab_report(
+    *,
+    size: int = 120,
+    thread_counts: tuple[int, ...] = (1, 2, 4, 8),
+    seed: int = 0,
+) -> dict:
+    """The full lab sweep: one row per (operation, thread count).
+
+    Each row carries wall seconds, virtual span, and span-based speedup
+    relative to the single-thread run — the y-axis of the chart students
+    produce in step (d).
+    """
+    a = Matrix.random(size, size, seed=seed)
+    b = Matrix.random(size, size, seed=seed + 1)
+    seq_add, seq_add_wall = time_operation(lambda: a.add(b))
+    seq_tr, seq_tr_wall = time_operation(lambda: a.transpose())
+
+    rows = []
+    base_span = {}
+    for op_name in ("add", "transpose"):
+        for t in thread_counts:
+            rt = SmpRuntime(num_threads=t, mode="thread")
+            if op_name == "add":
+                (result, team), wall = time_operation(lambda rt=rt: a.padd(b, rt))
+                correct = result == seq_add
+            else:
+                (result, team), wall = time_operation(lambda rt=rt: a.ptranspose(rt))
+                correct = result == seq_tr
+            if t == thread_counts[0]:
+                base_span[op_name] = team.span
+            rows.append(
+                {
+                    "operation": op_name,
+                    "threads": t,
+                    "wall": wall,
+                    "span": team.span,
+                    "speedup": base_span[op_name] / team.span if team.span else 1.0,
+                    "efficiency": (
+                        base_span[op_name] / team.span / t if team.span else 1.0
+                    ),
+                    "correct": correct,
+                }
+            )
+    return {
+        "size": size,
+        "sequential": {"add_wall": seq_add_wall, "transpose_wall": seq_tr_wall},
+        "rows": rows,
+    }

@@ -1,0 +1,151 @@
+"""The four final-exam questions (Section IV.B), as autograded items.
+
+The paper assessed the parallel week "through the use of four final exam
+questions on parallelism and OpenMP", scored out of 4 total.  The actual
+questions were not published; these four cover the week's four sessions
+(multithreading basics, the lab's speedup ideas, synchronisation, and the
+reduction pattern) and — in this library's spirit — every correct answer
+is *computed from the runtime*, so the key cannot drift from the system
+it examines.
+
+Each :class:`Question` carries its prompt, choices, and a ``solve``
+callable returning the correct choice index; :func:`grade` scores a
+response sheet the way the paper reports scores (out of 4, one point per
+question).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = ["Question", "EXAM", "correct_answers", "grade"]
+
+
+@dataclass(frozen=True)
+class Question:
+    """One exam item with a machine-checkable answer."""
+
+    topic: str
+    prompt: str
+    choices: tuple[str, ...]
+    solve: Callable[[], int]  # returns the index of the correct choice
+
+    def correct_index(self) -> int:
+        """Compute (and sanity-check) the correct choice's index."""
+        answer = self.solve()
+        if not 0 <= answer < len(self.choices):
+            raise ValueError(f"solver returned bad index {answer}")
+        return answer
+
+
+def _q1_solve() -> int:
+    # How many greetings does a 4-thread SPMD hello print?
+    from repro.core.registry import run_patternlet
+
+    run = run_patternlet("openmp.spmd", tasks=4, seed=0)
+    count = len(run.grep("Hello from"))
+    return {1: 0, 4: 1, 5: 2, 16: 3}[count]
+
+
+def _q2_solve() -> int:
+    # Equal chunks of 8 iterations on 2 threads: which does thread 1 get?
+    from repro.smp import Schedule, static_iterations
+
+    mine = static_iterations(Schedule.static(), 8, 2, 1)
+    table = {
+        (0, 1, 2, 3): 0,
+        (4, 5, 6, 7): 1,
+        (1, 3, 5, 7): 2,
+        (0, 2, 4, 6): 3,
+    }
+    return table[tuple(mine)]
+
+
+def _q3_solve() -> int:
+    # Two threads each add 1 to a shared variable 100 times without
+    # synchronisation.  Which final values are possible?
+    from repro.smp import SharedCell, SmpRuntime
+
+    def race_total(policy: str, seed: int) -> int:
+        cell = SharedCell(0)
+        rt = SmpRuntime(num_threads=2, mode="lockstep", seed=seed, policy=policy)
+        rt.parallel(lambda ctx: [cell.unsafe_add(1, ctx) for _ in range(100)])
+        return cell.value
+
+    saw_less = any(race_total("random", seed) < 200 for seed in range(6))
+    # Run-to-completion scheduling shows 200 is also achievable:
+    saw_exact = race_total("fifo", 0) == 200
+    if saw_less and saw_exact:
+        return 2  # "at most 200, possibly less"
+    return 0
+
+
+def _q4_solve() -> int:
+    # Combining 16 partial sums with a reduction tree takes how many
+    # parallel steps?
+    from repro.smp import SmpCosts, SmpRuntime
+
+    rt = SmpRuntime(
+        num_threads=16, mode="lockstep", costs=SmpCosts(barrier=0.0, combine=1.0)
+    )
+    res = rt.parallel(lambda ctx: ctx.reduce(1, "+"))
+    return {15: 0, 8: 1, 4: 2, 2: 3}[int(res.span)]
+
+
+EXAM: tuple[Question, ...] = (
+    Question(
+        topic="multithreading / SPMD",
+        prompt=(
+            "A hello-world program forks a team of 4 threads, each printing "
+            "one greeting.  How many greetings appear?"
+        ),
+        choices=("1", "4", "5", "16"),
+        solve=_q1_solve,
+    ),
+    Question(
+        topic="parallel loop / data decomposition",
+        prompt=(
+            "8 loop iterations are divided among 2 threads in equal "
+            "contiguous chunks.  Which iterations does thread 1 perform?"
+        ),
+        choices=("0-3", "4-7", "the odd ones", "the even ones"),
+        solve=_q2_solve,
+    ),
+    Question(
+        topic="race conditions / mutual exclusion",
+        prompt=(
+            "Two threads each add 1 to a shared counter 100 times with no "
+            "synchronisation.  The final value is..."
+        ),
+        choices=(
+            "always exactly 200",
+            "always less than 200",
+            "at most 200, possibly less",
+            "more than 200 sometimes",
+        ),
+        solve=_q3_solve,
+    ),
+    Question(
+        topic="reduction",
+        prompt=(
+            "16 partial sums are combined with a parallel reduction tree.  "
+            "How many time steps of simultaneous additions are needed?"
+        ),
+        choices=("15", "8", "4", "2"),
+        solve=_q4_solve,
+    ),
+)
+
+
+def correct_answers() -> list[int]:
+    """The key, computed live from the runtime."""
+    return [q.correct_index() for q in EXAM]
+
+
+def grade(responses: Sequence[int]) -> float:
+    """Score a response sheet out of 4.0 (the paper's scale)."""
+    if len(responses) != len(EXAM):
+        raise ValueError(f"expected {len(EXAM)} responses, got {len(responses)}")
+    key = correct_answers()
+    return float(sum(1 for r, k in zip(responses, key) if r == k))

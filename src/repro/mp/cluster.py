@@ -1,0 +1,87 @@
+"""Simulated cluster topology: nodes, processor names, rank placement.
+
+The paper's MPI SPMD patternlet prints the node each process runs on
+(Figure 6: ``Hello from process 3 of 4 on node-04``) "to help students see
+the difference between distributed and non-distributed computations".
+This module supplies that visibility for the simulated world: a
+:class:`Cluster` maps ranks to named nodes under a placement policy.
+
+- ``block`` placement fills each node before moving on (ranks 0..c-1 on
+  node-01, c..2c-1 on node-02, ...), the mpirun default on real clusters;
+- ``cyclic`` placement deals ranks round-robin across nodes.
+
+With the default one core per node and block placement, rank *r* lands on
+``node-0{r+1}`` — reproducing Figure 6 exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CommError
+
+__all__ = ["Cluster"]
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """Rank-to-node placement for one simulated machine.
+
+    Parameters
+    ----------
+    cores_per_node:
+        Slots per node.
+    num_nodes:
+        Fixed node count, or ``None`` for "as many as needed".  With a
+        fixed count, placement wraps around (oversubscription), as mpirun
+        does.
+    placement:
+        ``"block"`` or ``"cyclic"``.
+    name_format:
+        ``str.format`` pattern for node names, applied to the 1-based node
+        number.
+    """
+
+    cores_per_node: int = 1
+    num_nodes: int | None = None
+    placement: str = "block"
+    name_format: str = "node-{:02d}"
+
+    def __post_init__(self) -> None:
+        if self.cores_per_node <= 0:
+            raise CommError("cores_per_node must be positive")
+        if self.num_nodes is not None and self.num_nodes <= 0:
+            raise CommError("num_nodes must be positive when given")
+        if self.placement not in ("block", "cyclic"):
+            raise CommError(f"unknown placement {self.placement!r}")
+
+    def nodes_used(self, world_size: int) -> int:
+        """How many distinct nodes a world of this size occupies."""
+        if world_size <= 0:
+            return 0
+        return len({self.node_of(r, world_size) for r in range(world_size)})
+
+    def node_of(self, rank: int, world_size: int) -> int:
+        """0-based node index hosting ``rank``."""
+        if not 0 <= rank < world_size:
+            raise CommError(f"rank {rank} out of range for world size {world_size}")
+        if self.placement == "block":
+            node = rank // self.cores_per_node
+        else:
+            span = self.num_nodes
+            if span is None:
+                span = -(-world_size // self.cores_per_node)
+            node = rank % max(span, 1)
+        if self.num_nodes is not None:
+            node %= self.num_nodes
+        return node
+
+    def processor_name(self, rank: int, world_size: int) -> str:
+        """``MPI_Get_processor_name()``: the hosting node's name."""
+        return self.name_format.format(self.node_of(rank, world_size) + 1)
+
+    def ranks_on_node(self, node: int, world_size: int) -> list[int]:
+        """All ranks placed on the given 0-based node (hybrid patternlets)."""
+        return [
+            r for r in range(world_size) if self.node_of(r, world_size) == node
+        ]

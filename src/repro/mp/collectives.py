@@ -1,0 +1,509 @@
+"""Collective operations, built entirely on point-to-point messaging.
+
+Like MPI itself, every collective here is an algorithm over sends and
+receives — nothing is magic, and the patternlets can point students at
+real tree structure:
+
+================  ============================  =====================
+collective        algorithm                     span (LogP units)
+================  ============================  =====================
+barrier           dissemination                 Θ(lg p)
+bcast             binomial tree                 Θ(lg p)
+reduce            binomial tree (operand-       Θ(lg p)
+                  order preserving)
+allreduce         reduce+bcast (default) or     Θ(lg p)
+                  recursive doubling
+gather / scatter  linear at root                Θ(p)
+allgather         gather + bcast                Θ(p)
+alltoall          rotation (p-1 rounds)         Θ(p)
+scan / exscan     linear chain                  Θ(p)
+================  ============================  =====================
+
+Each collective call derives a private context key from the calling
+communicator's collective sequence number, so successive collectives (and
+user point-to-point traffic) can never cross-match — but this also means
+**all ranks must execute the same collectives in the same order**, the
+standard MPI rule.  Getting that wrong produces an honest deadlock, which
+the deadlock patternlet demonstrates on purpose.
+
+The linear/flat alternatives (``reduce_linear``, ``barrier_central``) are
+kept public: they are the sequential baseline of Figure 19 and the ablation
+benches compare their Θ(p) spans against the trees' Θ(lg p).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.errors import CollectiveError
+from repro.ops import Op, resolve_op
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mp.comm import Comm
+
+__all__ = [
+    "barrier",
+    "barrier_central",
+    "bcast",
+    "bcast_linear",
+    "scatter",
+    "scatterv",
+    "gather",
+    "gatherv",
+    "allgather",
+    "allgather_ring",
+    "alltoall",
+    "reduce_scatter",
+    "reduce",
+    "reduce_linear",
+    "allreduce",
+    "scan",
+    "exscan",
+    "binomial_parent",
+    "binomial_children",
+]
+
+
+def _channel(comm: "Comm", opname: str) -> "Comm":
+    """A private same-shape communicator for one collective instance."""
+    from repro.mp.comm import Comm
+
+    ctx = comm._next_coll_ctx()
+    return Comm(comm._world, comm._rank, comm._ranks, ctx=ctx, name=f"{comm.name}:{opname}")
+
+
+def _validate_root(comm: "Comm", root: int) -> None:
+    if not 0 <= root < comm.size:
+        raise CollectiveError(
+            f"root {root} out of range for communicator of size {comm.size}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# binomial-tree structure (relative ranks; root is relative 0)
+# ---------------------------------------------------------------------------
+
+
+def binomial_parent(relative: int) -> int:
+    """Parent of a node in the binomial tree: clear the lowest set bit."""
+    if relative <= 0:
+        raise CollectiveError("relative rank 0 is the root; it has no parent")
+    return relative & (relative - 1)
+
+
+def binomial_children(relative: int, size: int) -> list[int]:
+    """Children of a node, ascending.
+
+    Node ``r``'s children are ``r + 2^k`` for ``2^k`` below ``r``'s lowest
+    set bit (unbounded for the root), clipped to ``size``.  Child ``r+2^k``
+    roots a subtree covering relative ranks ``[r+2^k, r+2^{k+1})``.
+    """
+    low = relative & -relative if relative else 1 << 62
+    out = []
+    k = 1
+    while k < low:
+        child = relative + k
+        if child >= size:
+            break
+        out.append(child)
+        k <<= 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# synchronisation
+# ---------------------------------------------------------------------------
+
+
+def barrier(comm: "Comm") -> None:
+    """Dissemination barrier: ⌈lg p⌉ rounds of shifted token exchange."""
+    ch = _channel(comm, "barrier")
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    round_no = 0
+    dist = 1
+    while dist < size:
+        ch.send(None, (rank + dist) % size, tag=round_no)
+        ch.recv(source=(rank - dist) % size, tag=round_no)
+        dist <<= 1
+        round_no += 1
+
+
+def barrier_central(comm: "Comm") -> None:
+    """Flat central-coordinator barrier: Θ(p) span (ablation baseline)."""
+    ch = _channel(comm, "barrier0")
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    if rank == 0:
+        for src in range(1, size):
+            ch.recv(source=src, tag=0)
+        for dst in range(1, size):
+            ch.send(None, dst, tag=1)
+    else:
+        ch.send(None, 0, tag=0)
+        ch.recv(source=0, tag=1)
+
+
+# ---------------------------------------------------------------------------
+# data movement
+# ---------------------------------------------------------------------------
+
+
+def bcast(comm: "Comm", obj: Any, root: int = 0) -> Any:
+    """Binomial-tree broadcast: Θ(lg p) span.
+
+    Larger subtrees are forwarded first so the critical path stays
+    logarithmic.
+    """
+    _validate_root(comm, root)
+    ch = _channel(comm, "bcast")
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        from repro.mp.serialize import deep_copy_by_value
+
+        return deep_copy_by_value(obj) if rank == root else obj
+    rel = (rank - root) % size
+    if rel != 0:
+        parent = (binomial_parent(rel) + root) % size
+        obj = ch.recv(source=parent, tag=0)
+    for child in reversed(binomial_children(rel, size)):  # biggest subtree first
+        ch.send(obj, (child + root) % size, tag=0)
+    if rel == 0:
+        from repro.mp.serialize import deep_copy_by_value
+
+        obj = deep_copy_by_value(obj)  # root's return is a private copy too
+    return obj
+
+
+def bcast_linear(comm: "Comm", obj: Any, root: int = 0) -> Any:
+    """Flat broadcast (root sends p-1 messages): Θ(p) span (ablation)."""
+    _validate_root(comm, root)
+    ch = _channel(comm, "bcast0")
+    if comm.rank == root:
+        for dst in range(comm.size):
+            if dst != root:
+                ch.send(obj, dst, tag=0)
+        from repro.mp.serialize import deep_copy_by_value
+
+        return deep_copy_by_value(obj)
+    return ch.recv(source=root, tag=0)
+
+
+def scatter(comm: "Comm", sendobj: Sequence[Any] | None, root: int = 0) -> Any:
+    """Root deals element ``i`` of its sequence to rank ``i`` (linear)."""
+    _validate_root(comm, root)
+    ch = _channel(comm, "scatter")
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        if sendobj is None:
+            raise CollectiveError("scatter root must supply a sequence")
+        items = list(sendobj)
+        if len(items) != size:
+            raise CollectiveError(
+                f"scatter needs exactly {size} items, got {len(items)}"
+            )
+        for dst in range(size):
+            if dst != root:
+                ch.send(items[dst], dst, tag=0)
+        from repro.mp.serialize import deep_copy_by_value
+
+        return deep_copy_by_value(items[root])
+    return ch.recv(source=root, tag=0)
+
+
+def gather(comm: "Comm", sendobj: Any, root: int = 0) -> list[Any] | None:
+    """Everyone sends to root; root returns the rank-ordered list (Fig. 26-28).
+
+    Non-root ranks return ``None``, as in mpi4py.
+    """
+    _validate_root(comm, root)
+    ch = _channel(comm, "gather")
+    size, rank = comm.size, comm.rank
+    if rank != root:
+        ch.send(sendobj, root, tag=0)
+        return None
+    from repro.mp.serialize import deep_copy_by_value
+
+    out: list[Any] = [None] * size
+    out[root] = deep_copy_by_value(sendobj)
+    for src in range(size):
+        if src != root:
+            out[src] = ch.recv(source=src, tag=0)
+    return out
+
+
+def allgather(comm: "Comm", sendobj: Any) -> list[Any]:
+    """Gather at rank 0, then broadcast the assembled list."""
+    gathered = gather(comm, sendobj, root=0)
+    return bcast(comm, gathered, root=0)
+
+
+def alltoall(comm: "Comm", sendobjs: Sequence[Any]) -> list[Any]:
+    """Personalised exchange: rank i's element j reaches rank j's slot i.
+
+    Rotation algorithm: p-1 rounds, exchanging with partners at increasing
+    offsets (deadlock-free because sends are eager).
+    """
+    size, rank = comm.size, comm.rank
+    items = list(sendobjs)
+    if len(items) != size:
+        raise CollectiveError(
+            f"alltoall needs exactly {size} items, got {len(items)}"
+        )
+    ch = _channel(comm, "alltoall")
+    from repro.mp.serialize import deep_copy_by_value
+
+    out: list[Any] = [None] * size
+    out[rank] = deep_copy_by_value(items[rank])
+    for offset in range(1, size):
+        dst = (rank + offset) % size
+        src = (rank - offset) % size
+        ch.send(items[dst], dst, tag=offset)
+        out[src] = ch.recv(source=src, tag=offset)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+
+def reduce(comm: "Comm", sendobj: Any, op: Op | str = "SUM", root: int = 0) -> Any:
+    """Binomial-tree reduction to root: Θ(lg p) span, p-1 total combines.
+
+    Children are received in ascending relative order, and each child's
+    contribution covers a contiguous ascending rank range, so operands
+    combine in rank order — safe for non-commutative (associative) ops.
+    Non-root ranks return ``None``.
+    """
+    _validate_root(comm, root)
+    rop = resolve_op(op)
+    ch = _channel(comm, "reduce")
+    size, rank = comm.size, comm.rank
+    # For commutative ops the tree can be rooted anywhere.  A
+    # non-commutative op must see operands in absolute rank order, so its
+    # tree is always rooted at rank 0 and the result forwarded to root.
+    tree_root = root if rop.commutative else 0
+    rel = (rank - tree_root) % size
+    acc = sendobj
+    for child in binomial_children(rel, size):
+        contribution = ch.recv(source=(child + tree_root) % size, tag=0)
+        acc = rop(acc, contribution)
+        comm.work(comm._world.costs.combine)
+    if rel != 0:
+        parent = (binomial_parent(rel) + tree_root) % size
+        ch.send(acc, parent, tag=0)
+        if rank != root:
+            return None
+    if tree_root != root:
+        if rank == tree_root:
+            ch.send(acc, root, tag=1)
+            return None
+        if rank == root:
+            return ch.recv(source=tree_root, tag=1)
+        return None
+    from repro.mp.serialize import deep_copy_by_value
+
+    return deep_copy_by_value(acc)
+
+
+def reduce_linear(
+    comm: "Comm", sendobj: Any, op: Op | str = "SUM", root: int = 0
+) -> Any:
+    """Sequential gather-and-fold at root: Θ(p) span.
+
+    This is Figure 19's "doing this summing sequentially takes time O(t)"
+    baseline; the ablation bench plots its span against :func:`reduce`.
+    """
+    _validate_root(comm, root)
+    rop = resolve_op(op)
+    ch = _channel(comm, "reduce0")
+    size, rank = comm.size, comm.rank
+    rel = (rank - root) % size
+    if rel != 0:
+        ch.send(sendobj, root, tag=0)
+        return None
+    acc = sendobj
+    for rel_src in range(1, size):
+        contribution = ch.recv(source=(rel_src + root) % size, tag=0)
+        acc = rop(acc, contribution)
+        comm.work(comm._world.costs.combine)
+    from repro.mp.serialize import deep_copy_by_value
+
+    return deep_copy_by_value(acc)
+
+
+def allreduce(
+    comm: "Comm", sendobj: Any, op: Op | str = "SUM", *, algorithm: str = "tree"
+) -> Any:
+    """Reduce-to-all.
+
+    ``algorithm="tree"``: binomial reduce to rank 0 then binomial bcast
+    (2·lg p message steps, works for any p and any associative op).
+    ``algorithm="doubling"``: recursive doubling (lg p steps, power-of-two
+    sizes only — others fall back to tree; requires commutativity for the
+    operand orders to matter not).
+    """
+    if algorithm not in ("tree", "doubling"):
+        raise CollectiveError(f"unknown allreduce algorithm {algorithm!r}")
+    rop = resolve_op(op)
+    size, rank = comm.size, comm.rank
+    if algorithm == "doubling" and size & (size - 1) == 0 and rop.commutative:
+        ch = _channel(comm, "allreduce-rd")
+        acc = sendobj
+        dist = 1
+        while dist < size:
+            partner = rank ^ dist
+            ch.send(acc, partner, tag=dist)
+            other = ch.recv(source=partner, tag=dist)
+            # Keep operand order by rank so results are bitwise identical
+            # across ranks even for order-sensitive floating point sums.
+            acc = rop(other, acc) if partner < rank else rop(acc, other)
+            comm.work(comm._world.costs.combine)
+            dist <<= 1
+        return acc
+    total = reduce(comm, sendobj, rop, root=0)
+    return bcast(comm, total, root=0)
+
+
+def scan(comm: "Comm", sendobj: Any, op: Op | str = "SUM") -> Any:
+    """Inclusive prefix reduction (linear chain)."""
+    rop = resolve_op(op)
+    ch = _channel(comm, "scan")
+    size, rank = comm.size, comm.rank
+    acc = sendobj
+    if rank > 0:
+        prefix = ch.recv(source=rank - 1, tag=0)
+        acc = rop(prefix, acc)
+        comm.work(comm._world.costs.combine)
+    if rank < size - 1:
+        ch.send(acc, rank + 1, tag=0)
+    return acc
+
+
+def exscan(comm: "Comm", sendobj: Any, op: Op | str = "SUM") -> Any:
+    """Exclusive prefix reduction; rank 0 returns ``None``."""
+    rop = resolve_op(op)
+    ch = _channel(comm, "exscan")
+    size, rank = comm.size, comm.rank
+    prefix = None
+    if rank > 0:
+        prefix = ch.recv(source=rank - 1, tag=0)
+    if rank < size - 1:
+        if prefix is None:
+            outgoing = sendobj
+        else:
+            outgoing = rop(prefix, sendobj)
+            comm.work(comm._world.costs.combine)
+        ch.send(outgoing, rank + 1, tag=0)
+    return prefix
+
+
+def scatterv(
+    comm: "Comm",
+    sendobj: Sequence[Any] | None,
+    counts: Sequence[int] | None,
+    root: int = 0,
+) -> list[Any]:
+    """Variable-count scatter: rank ``i`` receives ``counts[i]`` items.
+
+    The root supplies one flat sequence whose length is ``sum(counts)``;
+    this is the paper's exercise "make the array length indivisible by np
+    and adapt the slicing".  ``counts`` must be supplied (identically) by
+    every rank — as in MPI, where every rank passes the counts array.
+    """
+    _validate_root(comm, root)
+    size, rank = comm.size, comm.rank
+    if counts is None or len(counts) != size:
+        raise CollectiveError(
+            f"scatterv needs one count per rank ({size}), got {counts!r}"
+        )
+    if any(c < 0 for c in counts):
+        raise CollectiveError("scatterv counts must be non-negative")
+    ch = _channel(comm, "scatterv")
+    if rank == root:
+        if sendobj is None:
+            raise CollectiveError("scatterv root must supply the data")
+        items = list(sendobj)
+        if len(items) != sum(counts):
+            raise CollectiveError(
+                f"scatterv data length {len(items)} != sum(counts) {sum(counts)}"
+            )
+        offsets = [0]
+        for c in counts[:-1]:
+            offsets.append(offsets[-1] + c)
+        mine: list[Any] = []
+        for dst in range(size):
+            piece = items[offsets[dst] : offsets[dst] + counts[dst]]
+            if dst == root:
+                from repro.mp.serialize import deep_copy_by_value
+
+                mine = deep_copy_by_value(piece)
+            else:
+                ch.send(piece, dst, tag=0)
+        return mine
+    return ch.recv(source=root, tag=0)
+
+
+def gatherv(comm: "Comm", sendobj: Sequence[Any], root: int = 0) -> list[Any] | None:
+    """Variable-count gather: root receives every rank's items, flattened
+    in rank order.  (Counts are discovered from the payloads — the
+    pickle transport makes explicit recvcounts unnecessary.)
+    """
+    chunks = gather(comm, list(sendobj), root=root)
+    if chunks is None:
+        return None
+    return [item for chunk in chunks for item in chunk]
+
+
+def allgather_ring(comm: "Comm", sendobj: Any) -> list[Any]:
+    """Ring allgather: p-1 neighbour hops, each forwarding one block.
+
+    The bandwidth-friendly alternative to gather+bcast: every rank only
+    ever talks to its neighbours, and after p-1 hops everyone holds every
+    block.  Span Θ(p), but each *hop* moves one block instead of the
+    gather tree's growing payloads — the trade real implementations
+    weigh (ablation bench).
+    """
+    ch = _channel(comm, "allgather-ring")
+    size, rank = comm.size, comm.rank
+    from repro.mp.serialize import deep_copy_by_value
+
+    blocks: list[Any] = [None] * size
+    blocks[rank] = deep_copy_by_value(sendobj)
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    carrying = rank
+    for hop in range(size - 1):
+        ch.send((carrying, blocks[carrying]), right, tag=hop)
+        carrying, block = ch.recv(source=left, tag=hop)
+        blocks[carrying] = block
+    return blocks
+
+
+def reduce_scatter(
+    comm: "Comm", sendobj: Sequence[Any], op: Op | str = "SUM"
+) -> Any:
+    """``MPI_Reduce_scatter_block``: elementwise-reduce p vectors, then
+    deal element i of the combined result to rank i.
+
+    Every rank contributes a length-p sequence; rank i returns the
+    op-combination of everyone's element i.  Implemented as a tree reduce
+    of the whole vector followed by a scatter of its elements.
+    """
+    rop = resolve_op(op)
+    size = comm.size
+    items = list(sendobj)
+    if len(items) != size:
+        raise CollectiveError(
+            f"reduce_scatter needs exactly {size} elements, got {len(items)}"
+        )
+    vector_op = Op.create(
+        lambda a, b: [rop(x, y) for x, y in zip(a, b)],
+        name=f"vector({rop.name})",
+        commutative=rop.commutative,
+    )
+    combined = reduce(comm, items, vector_op, root=0)
+    return scatter(comm, combined, root=0)

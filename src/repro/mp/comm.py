@@ -1,0 +1,500 @@
+"""Communicators: point-to-point messaging, requests, and comm management.
+
+A :class:`Comm` is a rank's handle on one communication context, mirroring
+mpi4py's lowercase (pickle-based) API:
+
+    def main(comm):
+        if comm.rank == 0:
+            comm.send({"a": 7}, dest=1, tag=11)
+        elif comm.rank == 1:
+            data = comm.recv(source=0, tag=11)
+
+Payloads cross by value (see :mod:`repro.mp.serialize`), matching follows
+MPI rules (see :mod:`repro.mp.mailbox`), and every operation advances the
+rank's logical clock under the LogP cost model (see :mod:`repro.mp.vtime`).
+
+Send flavours:
+
+- :meth:`Comm.send` — *eager/buffered*: deposits and returns immediately,
+  like ``MPI_Send`` of a small message on a real implementation.
+- :meth:`Comm.ssend` — *synchronous*: returns only once the matching
+  receive has started.  This is the flavour whose naive head-to-head use
+  deadlocks, which the ``messagePassing2``/deadlock patternlets exploit.
+- :meth:`Comm.isend` / :meth:`Comm.irecv` — nonblocking, returning a
+  :class:`Request` with ``test``/``wait``.
+
+Collective operations live in :mod:`repro.mp.collectives`; ``Comm`` exposes
+them as methods (``bcast``, ``scatter``, ``gather``, ``reduce``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Sequence
+
+from repro.errors import CommError, MpError
+from repro.mp import collectives as _coll
+from repro.mp.mailbox import ANY_SOURCE, ANY_TAG, Mailbox, Message, Status, validate_tag
+from repro.mp.serialize import pack, unpack
+from repro.ops import Op
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mp.runtime import World
+
+__all__ = ["Comm", "Request", "ANY_SOURCE", "ANY_TAG", "Status", "waitall", "waitany", "testall"]
+
+
+class Request:
+    """Handle for a nonblocking operation (MPI_Request analogue)."""
+
+    def __init__(
+        self,
+        comm: "Comm",
+        *,
+        completed: bool = False,
+        value: Any = None,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+    ):
+        self._comm = comm
+        self._done = completed
+        self._value = value
+        self._source = source
+        self._tag = tag
+
+    def test(self) -> tuple[bool, Any]:
+        """Nonblocking completion check: ``(done, value_or_None)``."""
+        if self._done:
+            return True, self._value
+        msg = self._comm._mailbox.peek(self._comm._ctx, self._source, self._tag)
+        if msg is None:
+            # Give teammates a chance to make progress between polls (this
+            # is what makes test-loops live under the lockstep executor).
+            self._comm._world.executor.checkpoint()
+            return False, None
+        self._value = self._comm._complete_recv(self._source, self._tag)
+        self._done = True
+        return True, self._value
+
+    def wait(self) -> Any:
+        """Block until complete; return the received payload (None for sends)."""
+        if self._done:
+            return self._value
+        self._value = self._comm.recv(source=self._source, tag=self._tag)
+        self._done = True
+        return self._value
+
+
+def waitall(requests: "Sequence[Request]") -> list[Any]:
+    """``MPI_Waitall``: complete every request; return their payloads in order."""
+    return [req.wait() for req in requests]
+
+
+def waitany(requests: "Sequence[Request]") -> tuple[int, Any]:
+    """``MPI_Waitany``: block until *some* request completes.
+
+    Returns ``(index, payload)`` of the first completion found.  Polls the
+    request set through nonblocking tests (which are scheduler checkpoints,
+    so lockstep worlds keep making progress).
+    """
+    if not requests:
+        raise CommError("waitany on an empty request list")
+    comm = requests[0]._comm
+    while True:
+        for i, req in enumerate(requests):
+            done, value = req.test()
+            if done:
+                return i, value
+        comm._check_world()
+
+
+def testall(requests: "Sequence[Request]") -> tuple[bool, list[Any] | None]:
+    """``MPI_Testall``: ``(True, payloads)`` if all complete, else ``(False, None)``."""
+    values = []
+    for req in requests:
+        done, value = req.test()
+        if not done:
+            return False, None
+        values.append(value)
+    return True, values
+
+
+class Comm:
+    """One rank's communicator handle.
+
+    Exposes both pythonic (``comm.rank``) and MPI-spelled
+    (``comm.Get_rank()``) accessors, since the paper's audience will have
+    seen the latter.
+    """
+
+    def __init__(
+        self,
+        world: "World",
+        local_rank: int,
+        global_ranks: Sequence[int],
+        ctx: Hashable,
+        name: str = "COMM_WORLD",
+    ):
+        self._world = world
+        self._ranks = list(global_ranks)
+        self._rank = local_rank
+        self._ctx = ctx
+        self._name = name
+        self._coll_seq = 0
+        self._split_seq = 0
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of processes in the communicator."""
+        return len(self._ranks)
+
+    def Get_rank(self) -> int:
+        """MPI spelling of :attr:`rank`."""
+        return self._rank
+
+    def Get_size(self) -> int:
+        """MPI spelling of :attr:`size`."""
+        return len(self._ranks)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def world(self) -> "World":
+        return self._world
+
+    def Get_processor_name(self) -> str:
+        """Name of the simulated cluster node hosting this rank (Figure 6)."""
+        return self._world.cluster.processor_name(
+            self._global(self._rank), self._world.size
+        )
+
+    # -- virtual time -----------------------------------------------------------
+
+    @property
+    def vtime(self) -> float:
+        """This rank's logical clock (LogP work units)."""
+        return self._world.clocks[self._global(self._rank)].now
+
+    def work(self, cost: float = 1.0) -> None:
+        """Charge local compute to this rank's clock."""
+        self._world.clocks[self._global(self._rank)].advance(cost)
+
+    def wtime(self) -> float:
+        """Wall-clock seconds (``MPI_Wtime`` analogue)."""
+        import time
+
+        return time.perf_counter()
+
+    def abort(self, reason: str = "MPI_Abort called") -> None:
+        """``MPI_Abort``: tear the whole world down from one rank.
+
+        Marks the world broken (unblocking every rank waiting in a
+        receive or collective) and raises in the calling rank.
+        """
+        if self._world.group is not None:
+            self._world.group.failed = True
+        self._world.executor.notify()
+        raise MpError(f"rank {self._rank} aborted the world: {reason}")
+
+    # -- internals ----------------------------------------------------------------
+
+    def _global(self, local: int) -> int:
+        if not 0 <= local < len(self._ranks):
+            raise CommError(
+                f"rank {local} out of range for communicator {self._name!r} "
+                f"of size {len(self._ranks)}"
+            )
+        return self._ranks[local]
+
+    @property
+    def _mailbox(self) -> Mailbox:
+        return self._world.mailboxes[self._global(self._rank)]
+
+    def _check_world(self) -> None:
+        if self._world.broken:
+            raise MpError(
+                f"communication aborted: another rank in world "
+                f"{self._world.label!r} failed"
+            )
+
+    def _clock(self):
+        return self._world.clocks[self._global(self._rank)]
+
+    # -- point-to-point -------------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Eager (buffered) send: deposits the message and returns."""
+        self._post(obj, dest, tag, sync=False)
+
+    def ssend(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Synchronous send: blocks until the matching receive matches it."""
+        msg = self._post(obj, dest, tag, sync=True)
+        self._world.executor.wait_until(
+            lambda: msg.consumed or self._world.broken,
+            describe=(
+                f"{self._who()} ssend to rank {dest} tag {tag}: waiting for "
+                "matching recv"
+            ),
+        )
+        self._check_world()
+        # Rendezvous completes when the receiver matched; causality flows
+        # back to the sender.
+        self._clock().merge(msg.arrival)
+
+    def _post(self, obj: Any, dest: int, tag: int, *, sync: bool) -> Message:
+        validate_tag(tag)
+        gdest = self._global(dest)
+        data = pack(obj)
+        clock = self._clock()
+        depart = clock.now
+        clock.advance(self._world.costs.overhead)
+        msg = Message(
+            context=self._ctx,
+            source=self._rank,
+            tag=tag,
+            data=data,
+            size=len(data),
+            arrival=depart + self._world.costs.transit(len(data)),
+            sync=sync,
+        )
+        self._world.mailboxes[gdest].deposit(msg)
+        self._world.executor.notify()
+        return msg
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        *,
+        status: bool = False,
+    ) -> Any:
+        """Blocking receive; returns the payload (or ``(payload, Status)``).
+
+        ``source``/``tag`` accept the wildcards ``ANY_SOURCE``/``ANY_TAG``.
+        """
+        if source != ANY_SOURCE:
+            self._global(source)  # validate
+        mbox = self._mailbox
+        self._world.executor.wait_until(
+            lambda: mbox.peek(self._ctx, source, tag) is not None
+            or self._world.broken,
+            describe=self._recv_describe(source, tag),
+        )
+        self._check_world()
+        return self._complete_recv(source, tag, with_status=status)
+
+    def _complete_recv(
+        self, source: int, tag: int, *, with_status: bool = False
+    ) -> Any:
+        msg = self._mailbox.take(self._ctx, source, tag)
+        if msg is None:  # pragma: no cover - single consumer per mailbox
+            raise CommError("matched message vanished (mailbox misuse)")
+        clock = self._clock()
+        clock.merge(msg.arrival)
+        clock.advance(self._world.costs.overhead)
+        if msg.sync:
+            self._world.executor.notify()  # release the rendezvous sender
+        payload = unpack(msg.data)
+        if with_status:
+            return payload, Status(source=msg.source, tag=msg.tag, size=msg.size)
+        return payload
+
+    def sendrecv(
+        self,
+        sendobj: Any,
+        dest: int,
+        sendtag: int = 0,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+    ) -> Any:
+        """Combined send+receive (deadlock-free even head-to-head)."""
+        self.send(sendobj, dest, sendtag)
+        return self.recv(source=source, tag=recvtag)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send (eager, so it completes immediately)."""
+        self._post(obj, dest, tag, sync=False)
+        return Request(self, completed=True, value=None)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive; complete it with ``req.wait()``/``req.test()``."""
+        if source != ANY_SOURCE:
+            self._global(source)
+        return Request(self, source=source, tag=tag)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
+        """Block until a matching message is available; return its Status."""
+        mbox = self._mailbox
+        self._world.executor.wait_until(
+            lambda: mbox.peek(self._ctx, source, tag) is not None
+            or self._world.broken,
+            describe=self._recv_describe(source, tag, verb="probe"),
+        )
+        self._check_world()
+        msg = mbox.peek(self._ctx, source, tag)
+        assert msg is not None
+        return Status(source=msg.source, tag=msg.tag, size=msg.size)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status | None:
+        """Nonblocking probe: Status if a matching message is queued, else None."""
+        msg = self._mailbox.peek(self._ctx, source, tag)
+        if msg is None:
+            return None
+        return Status(source=msg.source, tag=msg.tag, size=msg.size)
+
+    def _recv_describe(self, source: int, tag: int, verb: str = "recv") -> str:
+        s = "ANY_SOURCE" if source == ANY_SOURCE else f"rank {source}"
+        t = "ANY_TAG" if tag == ANY_TAG else str(tag)
+        return f"{self._who()} {verb} from {s} tag {t}"
+
+    def _who(self) -> str:
+        return f"rank {self._rank} ({self._name})"
+
+    # -- collectives (delegating to repro.mp.collectives) -------------------------
+
+    def _next_coll_ctx(self) -> Hashable:
+        seq = self._coll_seq
+        self._coll_seq += 1
+        return (self._ctx, "coll", seq)
+
+    def barrier(self) -> None:
+        """Block until every rank of the communicator has entered (Fig. 10-12)."""
+        _coll.barrier(self)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast root's object to all ranks (binomial tree)."""
+        return _coll.bcast(self, obj, root)
+
+    def scatter(self, sendobj: Sequence[Any] | None, root: int = 0) -> Any:
+        """Deal one element of root's sequence to each rank."""
+        return _coll.scatter(self, sendobj, root)
+
+    def scatterv(
+        self,
+        sendobj: Sequence[Any] | None,
+        counts: Sequence[int],
+        root: int = 0,
+    ) -> list[Any]:
+        """Deal ``counts[i]`` items of root's flat sequence to rank ``i``."""
+        return _coll.scatterv(self, sendobj, counts, root)
+
+    def gather(self, sendobj: Any, root: int = 0) -> list[Any] | None:
+        """Collect one object per rank at root, in rank order (Fig. 25-28)."""
+        return _coll.gather(self, sendobj, root)
+
+    def gatherv(self, sendobj: Sequence[Any], root: int = 0) -> list[Any] | None:
+        """Collect variable-length sequences at root, flattened rank-major."""
+        return _coll.gatherv(self, sendobj, root)
+
+    def allgather(self, sendobj: Any) -> list[Any]:
+        """Gather to all ranks."""
+        return _coll.allgather(self, sendobj)
+
+    def alltoall(self, sendobjs: Sequence[Any]) -> list[Any]:
+        """Personalised all-to-all exchange."""
+        return _coll.alltoall(self, sendobjs)
+
+    def reduce_scatter(self, sendobj: Sequence[Any], op: "Op | str" = "SUM") -> Any:
+        """Elementwise-reduce p vectors, dealing element i to rank i."""
+        return _coll.reduce_scatter(self, sendobj, op)
+
+    def reduce(self, sendobj: Any, op: Op | str = "SUM", root: int = 0) -> Any:
+        """Combine one value per rank at root (binomial tree; Fig. 23-24)."""
+        return _coll.reduce(self, sendobj, op, root)
+
+    def allreduce(
+        self, sendobj: Any, op: Op | str = "SUM", *, algorithm: str = "tree"
+    ) -> Any:
+        """Combine and distribute to all ranks."""
+        return _coll.allreduce(self, sendobj, op, algorithm=algorithm)
+
+    def scan(self, sendobj: Any, op: Op | str = "SUM") -> Any:
+        """Inclusive prefix reduction over ranks."""
+        return _coll.scan(self, sendobj, op)
+
+    def exscan(self, sendobj: Any, op: Op | str = "SUM") -> Any:
+        """Exclusive prefix reduction (rank 0 receives ``None``)."""
+        return _coll.exscan(self, sendobj, op)
+
+    # -- communicator management ---------------------------------------------------
+
+    def dup(self, name: str | None = None) -> "Comm":
+        """A congruent communicator with an isolated message context."""
+        seq = self._split_seq
+        self._split_seq += 1
+        return Comm(
+            self._world,
+            self._rank,
+            self._ranks,
+            ctx=(self._ctx, "dup", seq),
+            name=name or f"{self._name}+dup{seq}",
+        )
+
+    def split(self, color: int | None, key: int = 0) -> "Comm | None":
+        """Partition the communicator by ``color``; order new ranks by ``key``.
+
+        Ranks passing ``color=None`` (MPI_UNDEFINED) get ``None`` back.
+        Collective: every rank of this communicator must call it.
+        """
+        seq = self._split_seq
+        self._split_seq += 1
+        triples = _coll.allgather(self, (color, key, self._rank))
+        if color is None:
+            return None
+        members = sorted(
+            (k, r) for c, k, r in triples if c == color
+        )
+        local_ranks = [r for _, r in members]
+        new_rank = local_ranks.index(self._rank)
+        new_globals = [self._ranks[r] for r in local_ranks]
+        return Comm(
+            self._world,
+            new_rank,
+            new_globals,
+            ctx=(self._ctx, "split", seq, color),
+            name=f"{self._name}.split{seq}[{color}]",
+        )
+
+    def create_cart(
+        self,
+        dims: "Sequence[int] | int",
+        *,
+        periods: "Sequence[bool] | bool" = False,
+        allow_smaller: bool = False,
+    ) -> Any:
+        """Attach a Cartesian grid (``MPI_Cart_create``); see repro.mp.topology."""
+        from repro.mp.topology import create_cart
+
+        return create_cart(
+            self, dims, periods=periods, allow_smaller=allow_smaller
+        )
+
+    # -- hybrid (MPI+OpenMP) support -------------------------------------------------
+
+    def smp_runtime(self, num_threads: int | None = None) -> Any:
+        """An :class:`~repro.smp.runtime.SmpRuntime` for *this node*.
+
+        Shares this world's executor (so lockstep determinism spans both
+        levels) and defaults the team size to the node's core count — the
+        MPI+OpenMP heterogeneous patternlets fork per-node thread teams
+        through this.
+        """
+        from repro.smp.runtime import SmpRuntime
+
+        if num_threads is None:
+            num_threads = max(1, self._world.cluster.cores_per_node)
+        return SmpRuntime(
+            num_threads=num_threads,
+            executor=self._world.executor,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Comm({self._name!r}, rank={self._rank}/{self.size})"

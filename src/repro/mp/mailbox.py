@@ -1,0 +1,137 @@
+"""Per-rank mailboxes with MPI matching semantics.
+
+Every rank owns one :class:`Mailbox`.  A message carries its communicator
+*context key* (so traffic on split/dup'd communicators and internal
+collective traffic can never cross-match), the sender's communicator-local
+rank, a non-negative tag, the pickled payload, and its virtual arrival
+time under the LogP model.
+
+Matching follows MPI's rules:
+
+- a receive names ``(source, tag)`` where either may be a wildcard
+  (``ANY_SOURCE`` / ``ANY_TAG``);
+- candidates are considered in arrival order, so messages between one
+  (sender, receiver, tag) pair are *non-overtaking*;
+- synchronous sends (``ssend``) park a rendezvous flag on the message; the
+  sender's clock and control only resume once the receive matched it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.errors import CommError
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "Mailbox", "Status"]
+
+#: Wildcard source for receives (MPI_ANY_SOURCE).
+ANY_SOURCE = -2
+#: Wildcard tag for receives (MPI_ANY_TAG).
+ANY_TAG = -1
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One in-flight message."""
+
+    context: Hashable
+    source: int
+    tag: int
+    data: bytes
+    size: int
+    arrival: float  # virtual time at which it becomes receivable
+    sync: bool = False  # ssend rendezvous?
+    consumed: bool = False  # set when matched (releases a waiting ssend)
+    uid: int = field(default_factory=lambda: next(_msg_ids))
+
+
+@dataclass(frozen=True)
+class Status:
+    """Receive status (MPI_Status): who sent it, with what tag, how big."""
+
+    source: int
+    tag: int
+    size: int
+
+    def Get_source(self) -> int:
+        """MPI spelling of :attr:`source`."""
+        return self.source
+
+    def Get_tag(self) -> int:
+        """MPI spelling of :attr:`tag`."""
+        return self.tag
+
+    def Get_count(self) -> int:
+        """Message size in bytes (the pickle length)."""
+        return self.size
+
+
+def _matches(msg: Message, context: Hashable, source: int, tag: int) -> bool:
+    if msg.context != context or msg.consumed:
+        return False
+    if source != ANY_SOURCE and msg.source != source:
+        return False
+    if tag != ANY_TAG and msg.tag != tag:
+        return False
+    return True
+
+
+class Mailbox:
+    """One rank's incoming-message store."""
+
+    def __init__(self, owner_rank: int):
+        self.owner_rank = owner_rank
+        self._lock = threading.Lock()
+        self._messages: list[Message] = []
+
+    def deposit(self, msg: Message) -> None:
+        """Append an in-flight message (called by the sender)."""
+        with self._lock:
+            self._messages.append(msg)
+
+    def peek(self, context: Hashable, source: int, tag: int) -> Message | None:
+        """First matching message in arrival order, not removed (probe)."""
+        with self._lock:
+            for msg in self._messages:
+                if _matches(msg, context, source, tag):
+                    return msg
+            return None
+
+    def take(self, context: Hashable, source: int, tag: int) -> Message | None:
+        """Remove and return the first matching message, or ``None``.
+
+        Marks the message consumed so a rendezvous (``ssend``) sender is
+        released.
+        """
+        with self._lock:
+            for i, msg in enumerate(self._messages):
+                if _matches(msg, context, source, tag):
+                    del self._messages[i]
+                    msg.consumed = True
+                    return msg
+            return None
+
+    def pending(self) -> int:
+        """Number of undelivered messages (diagnostics / leak tests)."""
+        with self._lock:
+            return len(self._messages)
+
+    def drain(self) -> list[Message]:
+        """Remove and return everything (used on world teardown)."""
+        with self._lock:
+            out = self._messages
+            self._messages = []
+            return out
+
+
+def validate_tag(tag: int) -> None:
+    """User-facing tags must be non-negative (wildcards are receive-only)."""
+    if not isinstance(tag, int) or isinstance(tag, bool):
+        raise CommError(f"tag must be an int, got {type(tag).__name__}")
+    if tag < 0:
+        raise CommError(f"send tag must be >= 0, got {tag}")

@@ -1,0 +1,46 @@
+"""Copy-on-send payload isolation.
+
+Distributed memory is an *isolation* property: ranks share no address
+space, so a message received is always a private copy.  Rank threads here
+share one interpreter, so the runtime enforces that property by pickling
+every payload at send time and unpickling at receive time — mutating a
+received object can never be observed by the sender, exactly as on the
+paper's Beowulf cluster.
+
+Unpicklable payloads (open files, locks, thread handles) would be the
+moral equivalent of sending a pointer across the network; they are
+rejected eagerly with :class:`~repro.errors.IsolationError`.
+
+The byte size of the pickle doubles as the message size for the LogP cost
+model, so "bigger payloads cost more virtual time" falls out for free.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from repro.errors import IsolationError
+
+__all__ = ["pack", "unpack", "deep_copy_by_value"]
+
+
+def pack(payload: Any) -> bytes:
+    """Serialise a payload for transport; raises IsolationError if impossible."""
+    try:
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise IsolationError(
+            f"payload of type {type(payload).__name__} cannot cross a "
+            f"distributed-memory boundary: {exc}"
+        ) from exc
+
+
+def unpack(data: bytes) -> Any:
+    """Materialise a received payload as a fresh private copy."""
+    return pickle.loads(data)
+
+
+def deep_copy_by_value(payload: Any) -> Any:
+    """One-shot pack+unpack (used by self-sends and testing)."""
+    return unpack(pack(payload))

@@ -1,0 +1,156 @@
+"""Cartesian process topologies (MPI_Cart_create and friends).
+
+Geometric decomposition — the mid-level pattern behind halo-exchange
+codes like the heat-diffusion exemplar — wants neighbours by grid
+coordinate, not raw rank arithmetic.  :meth:`CartComm.shift` answers "who
+is my left/right (up/down, ...) neighbour", honouring periodic and
+non-periodic dimensions exactly as ``MPI_Cart_shift`` does (non-periodic
+edges get ``None``, MPI's ``MPI_PROC_NULL``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import CommError
+from repro.mp.comm import Comm
+
+__all__ = ["CartComm", "create_cart", "dims_create"]
+
+
+def dims_create(nnodes: int, ndims: int) -> list[int]:
+    """Balanced grid dimensions for ``nnodes`` (``MPI_Dims_create``).
+
+    Factors ``nnodes`` into ``ndims`` factors as close to equal as
+    possible, largest first.
+    """
+    if nnodes <= 0 or ndims <= 0:
+        raise CommError("nnodes and ndims must be positive")
+    dims = [1] * ndims
+    remaining = nnodes
+    # Greedily peel prime factors onto the currently smallest dimension.
+    factor = 2
+    factors: list[int] = []
+    while factor * factor <= remaining:
+        while remaining % factor == 0:
+            factors.append(factor)
+            remaining //= factor
+        factor += 1
+    if remaining > 1:
+        factors.append(remaining)
+    for f in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= f
+    return sorted(dims, reverse=True)
+
+
+class CartComm(Comm):
+    """A communicator with an attached Cartesian grid."""
+
+    def __init__(self, base: Comm, dims: Sequence[int], periods: Sequence[bool]):
+        super().__init__(
+            base._world,
+            base._rank,
+            base._ranks,
+            ctx=(base._ctx, "cart", tuple(dims), tuple(periods)),
+            name=f"{base.name}.cart{tuple(dims)}",
+        )
+        self.dims = tuple(dims)
+        self.periods = tuple(periods)
+
+    # -- coordinate arithmetic ------------------------------------------------
+
+    def coords_of(self, rank: int) -> tuple[int, ...]:
+        """Grid coordinates of a rank (row-major, like MPI)."""
+        if not 0 <= rank < self.size:
+            raise CommError(f"rank {rank} out of range")
+        coords = []
+        rem = rank
+        for extent in reversed(self.dims):
+            coords.append(rem % extent)
+            rem //= extent
+        return tuple(reversed(coords))
+
+    @property
+    def coords(self) -> tuple[int, ...]:
+        """This rank's own grid coordinates."""
+        return self.coords_of(self.rank)
+
+    def rank_of(self, coords: Sequence[int]) -> int | None:
+        """Rank at the given coordinates; ``None`` if off a non-periodic edge."""
+        if len(coords) != len(self.dims):
+            raise CommError(
+                f"expected {len(self.dims)} coordinates, got {len(coords)}"
+            )
+        normalised = []
+        for c, extent, periodic in zip(coords, self.dims, self.periods):
+            if periodic:
+                c %= extent
+            elif not 0 <= c < extent:
+                return None
+            normalised.append(c)
+        rank = 0
+        for c, extent in zip(normalised, self.dims):
+            rank = rank * extent + c
+        return rank
+
+    def shift(self, dim: int, disp: int = 1) -> tuple[int | None, int | None]:
+        """``MPI_Cart_shift``: the ``(source, dest)`` pair for a shift.
+
+        ``dest`` is the neighbour ``disp`` steps along ``dim``; ``source``
+        is the rank whose shifted data lands here.  ``None`` marks the
+        void beyond a non-periodic edge.
+        """
+        if not 0 <= dim < len(self.dims):
+            raise CommError(f"dimension {dim} out of range for {self.dims}")
+        me = list(self.coords)
+        dest_coords = list(me)
+        dest_coords[dim] += disp
+        src_coords = list(me)
+        src_coords[dim] -= disp
+        return self.rank_of(src_coords), self.rank_of(dest_coords)
+
+    def neighbors(self, dim: int) -> tuple[int | None, int | None]:
+        """Convenience: the (lower, upper) neighbours along one dimension."""
+        lower, upper = self.shift(dim, +1)
+        return lower, upper
+
+
+def create_cart(
+    comm: Comm,
+    dims: Sequence[int] | int,
+    *,
+    periods: Sequence[bool] | bool = False,
+    allow_smaller: bool = False,
+) -> CartComm | None:
+    """Attach a Cartesian grid to a communicator (``MPI_Cart_create``).
+
+    ``dims`` may be an integer dimension count (balanced extents are
+    computed via :func:`dims_create`) or explicit extents.  If the grid is
+    smaller than the communicator and ``allow_smaller`` is set, surplus
+    ranks get ``None`` (as with MPI when ``reorder`` drops ranks);
+    otherwise the sizes must match exactly.  Collective.
+    """
+    if isinstance(dims, int):
+        dims = dims_create(comm.size, dims)
+    dims = list(dims)
+    if any(d <= 0 for d in dims):
+        raise CommError(f"grid extents must be positive, got {dims}")
+    if isinstance(periods, bool):
+        periods = [periods] * len(dims)
+    periods = [bool(p) for p in periods]
+    if len(periods) != len(dims):
+        raise CommError("periods must match dims in length")
+    cells = math.prod(dims)
+    if cells > comm.size:
+        raise CommError(f"grid {dims} needs {cells} ranks; have {comm.size}")
+    if cells < comm.size and not allow_smaller:
+        raise CommError(
+            f"grid {dims} uses {cells} of {comm.size} ranks; pass "
+            "allow_smaller=True to leave the surplus out"
+        )
+    member = comm.rank < cells
+    sub = comm.split(color=0 if member else None, key=comm.rank)
+    if sub is None:
+        return None
+    return CartComm(sub, dims, periods)

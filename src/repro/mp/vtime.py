@@ -1,0 +1,74 @@
+"""LogP-style virtual-time cost model for the message-passing runtime.
+
+The paper's Figure 19 claims the *Reduction* pattern combines ``t`` partial
+results in ``O(lg t)`` time against ``O(t)`` sequentially, counting unit
+additions.  On this single-core host wall-clock cannot exhibit that, so the
+runtime carries **logical clocks**: every rank owns a clock that advances by
+
+- ``overhead`` for each send/receive it performs (the LogP *o*),
+- ``latency + size_bytes * per_byte`` for a message in flight (LogP *L*,
+  and *G* for bandwidth),
+- explicit compute charged by the program (``comm.work(cost)``), including
+  ``combine`` per reduction-operator application.
+
+A message deposited at sender-clock ``s`` becomes *visible* to the receiver
+at ``s + overhead + latency + size*per_byte``; a receive completes at
+``max(receiver_clock, visible) + overhead``.  The **span** of a run is the
+maximum final clock over ranks — the critical-path length, which is the
+quantity Figure 19's time axis measures.  Under the default unit costs a
+binomial-tree reduction of ``t`` ranks has span ``Θ(lg t)`` and the
+sequential gather-and-add has span ``Θ(t)``, independent of the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LogPCosts", "RankClock"]
+
+
+@dataclass(frozen=True)
+class LogPCosts:
+    """Cost parameters, in abstract work units (defaults: unit latency/add).
+
+    ``overhead`` defaults to a small nonzero value: a sender that posts
+    p-1 messages must pay per message, otherwise flat (linear) algorithms
+    would be free at the root and the O(p)-vs-O(lg p) comparisons of
+    Figure 19 would degenerate.
+
+    ``latency`` is charged once per message; ``overhead`` per send *and* per
+    receive on the respective rank's own clock; ``per_byte`` models
+    bandwidth; ``combine`` is the conventional charge for one reduction
+    operator application (programs apply it via ``comm.work``).
+    """
+
+    latency: float = 1.0
+    overhead: float = 0.1
+    per_byte: float = 0.0
+    combine: float = 1.0
+
+    def transit(self, size_bytes: int) -> float:
+        """Clock delta from send-start to receivability."""
+        return self.overhead + self.latency + size_bytes * self.per_byte
+
+
+class RankClock:
+    """One rank's logical clock."""
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, cost: float) -> float:
+        """Add ``cost`` work units; returns the new time."""
+        if cost < 0:
+            raise ValueError("cost must be non-negative")
+        self.now += cost
+        return self.now
+
+    def merge(self, t: float) -> float:
+        """Advance to at least ``t`` (message causality / barrier release)."""
+        if t > self.now:
+            self.now = t
+        return self.now

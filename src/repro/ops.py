@@ -1,0 +1,166 @@
+"""Reduction operators shared by the SMP and MP runtimes.
+
+The paper's Section III.D lists the combining operations both OpenMP and MPI
+support for the *Reduction* pattern: sum, product, min, max, min/max with
+location, logical and/or/xor, bitwise and/or/xor, plus user-defined
+associative operations.  This module defines all of them once as
+:class:`Op` objects; ``repro.smp`` exposes them under their OpenMP clause
+spellings (``"+"``, ``"*"``, ``"&&"``, ...) and ``repro.mp`` under their MPI
+names (``SUM``, ``PROD``, ``LAND``, ...).
+
+An :class:`Op` is a binary function plus an optional identity element.  Ops
+must be associative (MPI requires this of user ops too — the runtime's tree
+reductions reassociate freely); commutativity is tracked so future
+optimisations could exploit it, but the built-in trees never reorder
+operands across ranks, so non-commutative associative ops are safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce as _functools_reduce
+from typing import Any, Callable, Iterable
+
+from repro.errors import ReductionError
+
+__all__ = [
+    "Op",
+    "SUM",
+    "PROD",
+    "MIN",
+    "MAX",
+    "MINLOC",
+    "MAXLOC",
+    "LAND",
+    "LOR",
+    "LXOR",
+    "BAND",
+    "BOR",
+    "BXOR",
+    "BUILTIN_OPS",
+    "OMP_OPERATORS",
+    "resolve_op",
+    "sequential_reduce",
+]
+
+
+@dataclass(frozen=True)
+class Op:
+    """A named associative combining operation.
+
+    Parameters
+    ----------
+    name:
+        MPI-style name (``"SUM"``); used in diagnostics.
+    fn:
+        Binary function combining two partial results.
+    identity:
+        Identity element, or ``None`` if the op has no usable identity (the
+        runtimes then seed reductions with the first contribution instead).
+    commutative:
+        Whether operand order is irrelevant.
+    """
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+    identity: Any = None
+    commutative: bool = True
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Op({self.name})"
+
+    @staticmethod
+    def create(
+        fn: Callable[[Any, Any], Any],
+        *,
+        name: str = "USER",
+        identity: Any = None,
+        commutative: bool = True,
+    ) -> "Op":
+        """Create a user-defined op (MPI's ``MPI_Op_create`` analogue).
+
+        The function must be associative; the runtimes' tree reductions
+        rely on it.
+        """
+        return Op(name=name, fn=fn, identity=identity, commutative=commutative)
+
+
+def _minloc(a: tuple[Any, int], b: tuple[Any, int]) -> tuple[Any, int]:
+    # Ties resolve to the lower index, matching MPI_MINLOC.
+    if b[0] < a[0] or (b[0] == a[0] and b[1] < a[1]):
+        return b
+    return a
+
+
+def _maxloc(a: tuple[Any, int], b: tuple[Any, int]) -> tuple[Any, int]:
+    if b[0] > a[0] or (b[0] == a[0] and b[1] < a[1]):
+        return b
+    return a
+
+
+SUM = Op("SUM", lambda a, b: a + b, identity=0)
+PROD = Op("PROD", lambda a, b: a * b, identity=1)
+MIN = Op("MIN", lambda a, b: b if b < a else a)
+MAX = Op("MAX", lambda a, b: b if b > a else a)
+MINLOC = Op("MINLOC", _minloc)
+MAXLOC = Op("MAXLOC", _maxloc)
+LAND = Op("LAND", lambda a, b: bool(a) and bool(b), identity=True)
+LOR = Op("LOR", lambda a, b: bool(a) or bool(b), identity=False)
+LXOR = Op("LXOR", lambda a, b: bool(a) != bool(b), identity=False)
+BAND = Op("BAND", lambda a, b: a & b, identity=-1)
+BOR = Op("BOR", lambda a, b: a | b, identity=0)
+BXOR = Op("BXOR", lambda a, b: a ^ b, identity=0)
+
+#: Every built-in op, keyed by MPI-style name.
+BUILTIN_OPS: dict[str, Op] = {
+    op.name: op
+    for op in (SUM, PROD, MIN, MAX, MINLOC, MAXLOC, LAND, LOR, LXOR, BAND, BOR, BXOR)
+}
+
+#: The OpenMP ``reduction(<operator>: var)`` clause spellings.
+OMP_OPERATORS: dict[str, Op] = {
+    "+": SUM,
+    "*": PROD,
+    "min": MIN,
+    "max": MAX,
+    "&": BAND,
+    "|": BOR,
+    "^": BXOR,
+    "&&": LAND,
+    "||": LOR,
+}
+
+
+def resolve_op(op: "Op | str") -> Op:
+    """Accept an :class:`Op`, an MPI name, or an OpenMP operator spelling."""
+    if isinstance(op, Op):
+        return op
+    if isinstance(op, str):
+        if op in BUILTIN_OPS:
+            return BUILTIN_OPS[op]
+        if op in OMP_OPERATORS:
+            return OMP_OPERATORS[op]
+        known = sorted(BUILTIN_OPS) + sorted(OMP_OPERATORS)
+        raise ReductionError(f"unknown reduction op {op!r} (known: {known})")
+    raise ReductionError(f"reduction op must be Op or str, got {type(op).__name__}")
+
+
+def sequential_reduce(op: "Op | str", values: Iterable[Any]) -> Any:
+    """The sequential specification every parallel reduction must match.
+
+    Left fold of ``values`` in order.  The identity is used only for an
+    empty input — matching MPI semantics, where reducing a single value
+    returns it untouched (never normalised through the operator, which
+    matters for type-coercing ops like LOR).  Property-based tests compare
+    tree reductions against this.
+    """
+    op = resolve_op(op)
+    values = list(values)
+    if not values:
+        if op.identity is None:
+            raise ReductionError(f"empty reduction with identity-free op {op.name}")
+        return op.identity
+    return _functools_reduce(op.fn, values)

@@ -1,0 +1,29 @@
+"""The patternlet collection.
+
+Importing this package imports every patternlet module, which registers it
+with :mod:`repro.core.registry`.  The collection mirrors the paper's
+inventory: 17 OpenMP-analogue, 16 MPI-analogue, 9 Pthreads-analogue and 2
+heterogeneous patternlets — 44 in all.
+
+Modules are discovered dynamically so adding a patternlet is a single new
+file; the registry's duplicate/metadata checks run at import time.
+"""
+
+import importlib
+import pkgutil
+
+__all__ = ["load_all"]
+
+
+def load_all() -> None:
+    """Import every patternlet module under this package (idempotent)."""
+    for pkg in pkgutil.iter_modules(__path__, prefix=f"{__name__}."):
+        sub = importlib.import_module(pkg.name)
+        subpath = getattr(sub, "__path__", None)
+        if subpath is None:
+            continue
+        for mod in pkgutil.iter_modules(subpath, prefix=f"{pkg.name}."):
+            importlib.import_module(mod.name)
+
+
+load_all()

@@ -1,0 +1,1 @@
+"""hybrid patternlet family (modules auto-discovered by the parent package)."""

@@ -1,0 +1,60 @@
+"""reduction patternlet (heterogeneous MPI+OpenMP-analogue).
+
+Two-level reduction, the canonical MPI+X composition: each process's
+thread team tree-reduces its local values in shared memory, then the
+per-process partials cross the network in an MPI reduce.  Only P messages
+ever hit the network for P*T contributions.
+
+Exercise: count combines at each level for P=2, T=4.  Why is doing the
+whole reduction in MPI (P*T single-value messages) wasteful?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+
+
+def main(cfg: RunConfig):
+    threads_per = int(cfg.extra.get("threads_per_process", 2))
+
+    def rank_main(comm):
+        smp = comm.smp_runtime(num_threads=threads_per)
+
+        def region(ctx):
+            # Globally unique task id across the whole machine:
+            gid = comm.rank * threads_per + ctx.thread_num
+            value = (gid + 1) * (gid + 1)
+            print(f"Process {comm.rank} thread {ctx.thread_num} contributes {value}")
+            ctx.checkpoint()
+            return ctx.reduce(value, "+")  # level 1: shared-memory tree
+
+        team = smp.parallel(region)
+        local_sum = team.results[0]
+        print(f"Process {comm.rank} local sum: {local_sum}")
+        total = comm.reduce(local_sum, op="SUM", root=0)  # level 2: network
+        if comm.rank == 0:
+            n = comm.size * threads_per
+            print()
+            print(f"Global sum of squares 1..{n}: {total}")
+            return total
+        return None
+
+    # Default cluster: one process per node, so each team is one node's cores.
+    return cfg.mpirun(rank_main)
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="hybrid.reduction",
+        backend="hybrid",
+        summary="Two-level reduction: shared-memory trees feeding an MPI reduce.",
+        patterns=("Reduction", "Collective Communication", "Fork-Join"),
+        toggles=(),
+        exercise=(
+            "Verify the total against n(n+1)(2n+1)/6 for n = P*T.  Then "
+            "swap the levels conceptually - why can't the network level "
+            "go first?"
+        ),
+        default_tasks=2,
+        main=main,
+        source=__name__,
+    )
+)

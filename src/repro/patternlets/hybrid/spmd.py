@@ -1,0 +1,52 @@
+"""spmd patternlet (heterogeneous MPI+OpenMP-analogue).
+
+The MPI+X hello: mpirun places one process per node, and each process
+forks a thread team sized to its node's cores.  Every thread reports the
+full hierarchy — thread t of T, inside process r of R, on node-XX — making
+the two levels of parallelism visible at once.
+
+Exercise: with 2 processes x 3 threads, how many lines print?  Which
+parts of each line come from MPI calls and which from OpenMP calls?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+
+
+def main(cfg: RunConfig):
+    threads_per = int(cfg.extra.get("threads_per_process", 2))
+
+    def rank_main(comm):
+        node = comm.Get_processor_name()
+        smp = comm.smp_runtime(num_threads=threads_per)
+
+        def region(ctx):
+            print(
+                f"Hello from thread {ctx.thread_num} of {ctx.num_threads} "
+                f"in process {comm.rank} of {comm.size} on {node}"
+            )
+            ctx.checkpoint()
+            return (comm.rank, ctx.thread_num)
+
+        team = smp.parallel(region)
+        return team.results
+
+    # Default cluster: one process per node, so each team is one node's cores.
+    return cfg.mpirun(rank_main)
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="hybrid.spmd",
+        backend="hybrid",
+        summary="MPI+OpenMP hello: thread t of T in process r of R on node-XX.",
+        patterns=("SPMD", "Fork-Join", "Message Passing"),
+        toggles=(),
+        exercise=(
+            "Total tasks = processes x threads.  Sketch which pairs share "
+            "memory and which can only exchange messages."
+        ),
+        default_tasks=2,
+        main=main,
+        source=__name__,
+    )
+)

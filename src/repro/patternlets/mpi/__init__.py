@@ -1,0 +1,1 @@
+"""mpi patternlet family (modules auto-discovered by the parent package)."""

@@ -1,0 +1,43 @@
+"""allgather patternlet (MPI-analogue).
+
+Every process contributes one block and *every* process receives the
+assembled whole — gather's symmetric sibling, the backbone of the parallel
+matrix-vector product in the mpi4py tutorial.
+
+Exercise: express allgather as gather+bcast.  Count the message rounds of
+each formulation; when is the fused collective worth it?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+
+
+def main(cfg: RunConfig):
+    def rank_main(comm):
+        block = [comm.rank * 10 + i for i in range(2)]
+        print(f"Process {comm.rank} contributes {block}")
+        comm.world.executor.checkpoint()
+        whole = comm.allgather(block)
+        flat = [v for chunk in whole for v in chunk]
+        print(f"Process {comm.rank} assembled {flat}")
+        return flat
+
+    return cfg.mpirun(rank_main)
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="mpi.allgather",
+        backend="mpi",
+        summary="Everyone contributes a block; everyone gets the whole.",
+        patterns=("Gather", "Broadcast", "Collective Communication"),
+        toggles=(),
+        exercise=(
+            "Verify every process assembled an identical list.  Why does a "
+            "distributed matrix-vector product need allgather rather than "
+            "gather?"
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

@@ -1,0 +1,70 @@
+"""barrier patternlet (MPI-analogue) — the paper's Figure 10.
+
+Because distributed stdout does not preserve cross-process write order,
+the MPI barrier demo routes worker output through the master: each worker
+sends its BEFORE/AFTER lines to rank 0, which prints them in arrival
+order.  With the barrier toggle off the phases interleave (Figure 11);
+with MPI_Barrier uncommented every BEFORE precedes every AFTER
+(Figure 12).
+
+Exercise: why is the master-printing arrangement needed here when the
+OpenMP version just printed directly?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.core.toggles import Toggle
+from repro.mp import ANY_SOURCE
+
+
+def main(cfg: RunConfig):
+    use_barrier = cfg.toggles["barrier"]
+
+    def rank_main(comm):
+        if comm.size == 1:
+            print("Need at least 2 processes for the master-printing barrier demo.")
+            return None
+        workers = comm.size - 1
+        # Workers get their own communicator for the barrier; rank 0 opts
+        # out (split is collective, so it still participates in the call).
+        sub = comm.split(color=None if comm.rank == 0 else 1, key=comm.rank)
+        if comm.rank == 0:
+            printed = []
+            for _ in range(2 * workers):
+                line = comm.recv(source=ANY_SOURCE, tag=9)
+                print(line)
+                printed.append(line)
+            return printed
+        me = comm.rank
+        comm.send(f"Process {me} of {comm.size} is BEFORE the barrier.", dest=0, tag=9)
+        comm.world.executor.checkpoint()
+        if use_barrier:
+            sub.barrier()
+        comm.send(f"Process {me} of {comm.size} is AFTER the barrier.", dest=0, tag=9)
+        return me
+
+    return cfg.mpirun(rank_main)
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="mpi.barrier",
+        backend="mpi",
+        summary="Worker BEFORE/AFTER lines printed by the master, with a toggleable barrier.",
+        patterns=("Barrier", "Master-Worker", "Message Passing"),
+        figures=("Fig. 10", "Fig. 11", "Fig. 12"),
+        toggles=(
+            Toggle(
+                "barrier",
+                "MPI_Barrier(workerComm);",
+                "Hold every worker until all workers have sent BEFORE.",
+            ),
+        ),
+        exercise=(
+            "The workers' barrier excludes rank 0.  What would happen if "
+            "rank 0 joined it while also printing everyone's lines?"
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

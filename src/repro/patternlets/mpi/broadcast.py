@@ -1,0 +1,42 @@
+"""broadcast patternlet (MPI-analogue).
+
+Rank 0 fills an array; MPI_Bcast delivers a copy to everyone.  Each
+process prints its array before and after so the delivery is visible.
+
+Exercise: how many messages does a naive root-sends-to-all broadcast use,
+and how many rounds does the tree use?  Print the world's span to check.
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+
+
+def main(cfg: RunConfig):
+    length = int(cfg.extra.get("length", 4))
+
+    def rank_main(comm):
+        array = [i * 11 for i in range(length)] if comm.rank == 0 else None
+        print(f"Process {comm.rank} BEFORE broadcast: {array}")
+        comm.world.executor.checkpoint()
+        array = comm.bcast(array, root=0)
+        print(f"Process {comm.rank} AFTER  broadcast: {array}")
+        return array
+
+    return cfg.mpirun(rank_main)
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="mpi.broadcast",
+        backend="mpi",
+        summary="Root's array delivered to every process.",
+        patterns=("Broadcast", "Collective Communication"),
+        toggles=(),
+        exercise=(
+            "Mutate the received array in one process and print everyone's "
+            "copy again.  Why are the other processes unaffected?"
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

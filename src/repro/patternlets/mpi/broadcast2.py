@@ -1,0 +1,51 @@
+"""broadcast2 patternlet (MPI-analogue).
+
+Broadcast of a structured configuration object (the usual reason real
+programs broadcast): rank 0 "reads" settings, everyone else receives a
+private copy and acts on it.
+
+Exercise: in the C version the struct must be packed into an MPI datatype.
+What does the pickle-based transport do instead, and what does that cost?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+
+
+def main(cfg: RunConfig):
+    def rank_main(comm):
+        if comm.rank == 0:
+            config = {
+                "input": "corpus.txt",
+                "iterations": 25,
+                "tolerance": 1e-6,
+                "verbose": False,
+            }
+            print(f"Process 0 read configuration: {sorted(config)}")
+        else:
+            config = None
+        config = comm.bcast(config, root=0)
+        print(
+            f"Process {comm.rank} will run {config['iterations']} iterations "
+            f"on {config['input']!r}"
+        )
+        return config
+
+    return cfg.mpirun(rank_main)
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="mpi.broadcast2",
+        backend="mpi",
+        summary="Broadcast of a structured config object to all processes.",
+        patterns=("Broadcast", "Collective Communication"),
+        toggles=(),
+        exercise=(
+            "Add a field to the config.  How many other lines must change?  "
+            "Compare with adding a field to an MPI derived datatype."
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

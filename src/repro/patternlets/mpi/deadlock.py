@@ -1,0 +1,64 @@
+"""deadlock patternlet (MPI-analogue).
+
+Everyone receives before sending — the classic circular wait.  With the
+``fix`` toggle, even ranks send first, which breaks the cycle.  The
+runtime's deadlock detector names each stuck process and what it awaits,
+turning the usual silent hang into a teachable diagnosis.
+
+Exercise: draw the wait-for graph for np=4 with the fix off.  Why does
+parity-based ordering break every cycle, for any even or odd np > 1?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.core.toggles import Toggle
+from repro.errors import DeadlockError
+
+
+def main(cfg: RunConfig):
+    fix = cfg.toggles["fix"]
+
+    def rank_main(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        token = f"token from {comm.rank}"
+        if fix and comm.rank % 2 == 0:
+            comm.ssend(token, dest=right, tag=4)
+            got = comm.recv(source=left, tag=4)
+        else:
+            got = comm.recv(source=left, tag=4)
+            comm.ssend(token, dest=right, tag=4)
+        print(f"Process {comm.rank} received {got!r}")
+        return got
+
+    try:
+        return cfg.mpirun(rank_main)
+    except DeadlockError as exc:
+        print("DEADLOCK detected: the ring is a circular wait.")
+        for who, what in sorted(exc.blocked.items()):
+            print(f"  {who} is waiting for: {what}")
+        return exc
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="mpi.deadlock",
+        backend="mpi",
+        summary="Receive-before-send ring: a circular wait, diagnosed.",
+        patterns=("Message Passing", "Synchronisation"),
+        toggles=(
+            Toggle(
+                "fix",
+                "if (rank % 2 == 0) { send; recv } else { recv; send }",
+                "Break the cycle by alternating send/receive order by parity.",
+            ),
+        ),
+        exercise=(
+            "With the fix off, the detector lists every process waiting on "
+            "its left neighbour.  Explain why eager (buffered) sends would "
+            "also 'fix' this ring — and why relying on that is dangerous."
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

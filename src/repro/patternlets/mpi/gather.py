@@ -1,0 +1,55 @@
+"""gather patternlet (MPI-analogue) — the paper's Figure 25.
+
+Each process builds a small array of distinct values (rank*10 + i) and
+prints it; MPI_Gather assembles all of them, rank-ordered, at the master,
+which prints the combined array (Figures 26-28).
+
+Exercise: run with 2, 4 and 6 processes.  How does the gathered array
+relate to the per-process arrays?  Who allocates the space for it, and why
+only there?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+
+SIZE = 3
+
+
+def _print_arr(rank, name, arr):
+    print(f"Process {rank}, {name}: " + " ".join(str(v) for v in arr))
+
+
+def main(cfg: RunConfig):
+    size_each = int(cfg.extra.get("size", SIZE))
+
+    def rank_main(comm):
+        compute_array = [comm.rank * 10 + i for i in range(size_each)]
+        _print_arr(comm.rank, "computeArray", compute_array)
+        comm.world.executor.checkpoint()
+        gathered = comm.gather(compute_array, root=0)
+        if comm.rank == 0:
+            flat = [v for chunk in gathered for v in chunk]
+            _print_arr(comm.rank, "gatherArray", flat)
+            return flat
+        return None
+
+    return cfg.mpirun(rank_main)
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="mpi.gather",
+        backend="mpi",
+        summary="Per-process arrays collected rank-ordered at the master.",
+        patterns=("Gather", "Collective Communication"),
+        figures=("Fig. 25", "Fig. 26", "Fig. 27", "Fig. 28"),
+        toggles=(),
+        exercise=(
+            "Predict the gathered array for np=6 before running (Figure "
+            "28).  Then change each process's values to rank*100+i and "
+            "verify your updated prediction."
+        ),
+        default_tasks=2,
+        main=main,
+        source=__name__,
+    )
+)

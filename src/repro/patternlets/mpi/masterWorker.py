@@ -1,0 +1,54 @@
+"""masterWorker patternlet (MPI-analogue).
+
+Rank 0 (the master) hands each worker a distinct assignment by message and
+collects a result back — coordination by explicit message passing rather
+than a shared queue.
+
+Exercise: compare this to the OpenMP masterWorker patternlet.  Where did
+the shared queue go?  What replaces the critical section?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.mp import ANY_SOURCE
+
+
+def main(cfg: RunConfig):
+    def rank_main(comm):
+        if comm.rank == 0:
+            if comm.size == 1:
+                print("Master has no workers; add processes with -np.")
+                return []
+            for worker in range(1, comm.size):
+                comm.send(f"assignment #{worker}", dest=worker, tag=1)
+            print(f"Master sent {comm.size - 1} assignments")
+            replies = []
+            for _ in range(1, comm.size):
+                reply, status = comm.recv(source=ANY_SOURCE, tag=2, status=True)
+                print(f"Master received {reply!r} from worker {status.source}")
+                replies.append((status.source, reply))
+            return sorted(replies)
+        job = comm.recv(source=0, tag=1)
+        print(f"Worker {comm.rank} working on {job!r}")
+        comm.send(f"done: {job}", dest=0, tag=2)
+        return job
+
+    return cfg.mpirun(rank_main)
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="mpi.masterWorker",
+        backend="mpi",
+        summary="Master assigns work by message; workers reply with results.",
+        patterns=("Master-Worker", "Message Passing"),
+        toggles=(),
+        exercise=(
+            "The master receives replies with ANY_SOURCE.  What changes in "
+            "the output if you force replies to be received in rank order "
+            "instead, and when would that matter for performance?"
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

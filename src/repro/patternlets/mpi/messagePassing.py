@@ -1,0 +1,41 @@
+"""messagePassing patternlet (MPI-analogue).
+
+The basic send/receive pair, arranged in a ring: each process sends a
+greeting to its right neighbour and receives one from its left neighbour.
+
+Exercise: what guarantees that the receive gets the neighbour's greeting
+and not some other message?  Change the tags so they mismatch — what
+happens, and why is that better than silently matching?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+
+
+def main(cfg: RunConfig):
+    def rank_main(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        comm.send(f"greetings from rank {comm.rank}", dest=right, tag=7)
+        msg = comm.recv(source=left, tag=7)
+        print(f"Process {comm.rank} received: {msg}")
+        return msg
+
+    return cfg.mpirun(rank_main)
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="mpi.messagePassing",
+        backend="mpi",
+        summary="Ring exchange: everyone sends right, receives from the left.",
+        patterns=("Message Passing", "SPMD"),
+        toggles=(),
+        exercise=(
+            "Reverse the ring direction.  Which two lines change, and does "
+            "the output order change deterministically?"
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

@@ -1,0 +1,64 @@
+"""messagePassing2 patternlet (MPI-analogue).
+
+A head-to-head exchange between two processes, with a toggle selecting
+*synchronous* sends.  Buffered (eager) sends complete immediately, so the
+naive send-then-receive order works; synchronous sends block until the
+matching receive starts, so the same order deadlocks — both processes
+stand at ssend waiting for a receiver who is also stuck at ssend.
+
+Exercise: with ssend enabled, fix the deadlock without removing the
+synchronous sends (hint: one process must receive first — or use
+sendrecv).  Why does the buffered version merely *hide* the hazard?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.core.toggles import Toggle
+from repro.errors import DeadlockError
+
+
+def main(cfg: RunConfig):
+    synchronous = cfg.toggles["ssend"]
+
+    def rank_main(comm):
+        partner = 1 - comm.rank
+        payload = f"hello from {comm.rank}"
+        if synchronous:
+            comm.ssend(payload, dest=partner, tag=3)
+        else:
+            comm.send(payload, dest=partner, tag=3)
+        got = comm.recv(source=partner, tag=3)
+        print(f"Process {comm.rank} exchanged messages; got: {got}")
+        return got
+
+    try:
+        return cfg.mpirun(rank_main)
+    except DeadlockError as exc:
+        print("DEADLOCK: every process is blocked.")
+        for who, what in sorted(exc.blocked.items()):
+            print(f"  {who} is waiting for: {what}")
+        print("Each ssend waits for a matching recv that can never be posted.")
+        return exc
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="mpi.messagePassing2",
+        backend="mpi",
+        summary="Head-to-head exchange; synchronous sends expose the deadlock.",
+        patterns=("Message Passing", "Synchronisation"),
+        toggles=(
+            Toggle(
+                "ssend",
+                "MPI_Ssend(...)",
+                "Use synchronous sends that wait for the matching receive.",
+            ),
+        ),
+        exercise=(
+            "List three distinct fixes for the synchronous deadlock "
+            "(ordering, sendrecv, nonblocking) and the trade-offs of each."
+        ),
+        default_tasks=2,
+        main=main,
+        source=__name__,
+    )
+)

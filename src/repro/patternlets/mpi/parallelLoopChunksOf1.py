@@ -1,0 +1,43 @@
+"""parallelLoopChunksOf1 patternlet (MPI-analogue).
+
+The cyclic deal in message-passing form: process r performs iterations
+r, r+P, r+2P, ... — one line of loop header instead of the equal-chunk
+arithmetic.
+
+Exercise: why is the cyclic deal *simpler* to write than equal chunks in
+MPI, when in OpenMP both are just schedule clauses?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+
+
+def main(cfg: RunConfig):
+    reps = int(cfg.extra.get("reps", 8))
+
+    def rank_main(comm):
+        mine = []
+        for i in range(comm.rank, reps, comm.size):
+            print(f"Process {comm.rank} performed iteration {i}")
+            comm.world.executor.checkpoint()
+            mine.append(i)
+        return mine
+
+    return cfg.mpirun(rank_main)
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="mpi.parallelLoopChunksOf1",
+        backend="mpi",
+        summary="Cyclic loop deal: for (i = rank; i < REPS; i += size).",
+        patterns=("Parallel Loop", "Data Decomposition"),
+        toggles=(),
+        exercise=(
+            "For a loop whose iteration i costs i units, compare the load "
+            "balance of the cyclic deal against equal chunks at np=4."
+        ),
+        default_tasks=2,
+        main=main,
+        source=__name__,
+    )
+)

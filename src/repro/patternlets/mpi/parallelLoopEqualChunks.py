@@ -1,0 +1,52 @@
+"""parallelLoopEqualChunks patternlet (MPI-analogue) — the paper's Figure 16.
+
+MPI has no worksharing directive, so the pattern is implemented by hand
+with the ceiling-division arithmetic of the paper's C code: chunkSize =
+ceil(REPS / numProcesses), each process takes [id*chunkSize, (id+1)*chunkSize),
+and the last process absorbs the remainder (Figures 17-18).
+
+Exercise: for REPS=8, np=3, compute each process's range by hand.  Which
+process does the least work?  Rewrite using the cyclic deal instead.
+"""
+
+import math
+
+from repro.core.registry import Patternlet, RunConfig, register
+
+
+def main(cfg: RunConfig):
+    reps = int(cfg.extra.get("reps", 8))
+
+    def rank_main(comm):
+        chunk = math.ceil(reps / comm.size)
+        start = comm.rank * chunk
+        stop = (comm.rank + 1) * chunk if comm.rank < comm.size - 1 else reps
+        start = min(start, reps)
+        stop = max(min(stop, reps), start)
+        mine = []
+        for i in range(start, stop):
+            print(f"Process {comm.rank} performed iteration {i}")
+            comm.world.executor.checkpoint()
+            mine.append(i)
+        return mine
+
+    return cfg.mpirun(rank_main)
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="mpi.parallelLoopEqualChunks",
+        backend="mpi",
+        summary="Hand-rolled equal-chunk loop split across processes.",
+        patterns=("Parallel Loop", "Data Decomposition", "SPMD"),
+        figures=("Fig. 16", "Fig. 17", "Fig. 18"),
+        toggles=(),
+        exercise=(
+            "Run with np=1, 2, 4 on 8 iterations and verify the splits "
+            "match the OpenMP static schedule.  What happens with np=5?"
+        ),
+        default_tasks=2,
+        main=main,
+        source=__name__,
+    )
+)

@@ -1,0 +1,50 @@
+"""reduction patternlet (MPI-analogue) — the paper's Figure 23.
+
+Each process computes the square of (rank+1); MPI_Reduce combines the
+squares twice — once with MPI_SUM and once with MPI_MAX — delivering both
+results to the master (Figure 24: with 10 processes, sum 385 and max 100).
+
+Exercise: which other built-in operations does MPI_Reduce support?  Why
+must a user-defined operation be associative?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+
+MASTER = 0
+
+
+def main(cfg: RunConfig):
+    def rank_main(comm):
+        square = (comm.rank + 1) * (comm.rank + 1)
+        print(f"Process {comm.rank} computed {square}")
+        comm.world.executor.checkpoint()
+        total = comm.reduce(square, op="SUM", root=MASTER)
+        biggest = comm.reduce(square, op="MAX", root=MASTER)
+        if comm.rank == MASTER:
+            print()
+            print(f"The sum of the squares is {total}")
+            print(f"The max of the squares is {biggest}")
+            return (total, biggest)
+        return None
+
+    return cfg.mpirun(rank_main)
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="mpi.reduction",
+        backend="mpi",
+        summary="Sum and max of per-process squares, reduced to the master.",
+        patterns=("Reduction", "Collective Communication"),
+        figures=("Fig. 23", "Fig. 24"),
+        toggles=(),
+        exercise=(
+            "Run with np=10 and check the results against the closed forms "
+            "n(n+1)(2n+1)/6 and n^2.  Then reduce with PROD — why does it "
+            "overflow so quickly in C but not here?"
+        ),
+        default_tasks=10,
+        main=main,
+        source=__name__,
+    )
+)

@@ -1,0 +1,58 @@
+"""reduction2 patternlet (MPI-analogue).
+
+The located reductions (MINLOC/MAXLOC pair a value with its owner) and a
+user-defined associative op (componentwise vector add), exercising the
+parts of the MPI reduction menu the basic patternlet skips.
+
+Exercise: MINLOC ties resolve to the lower rank.  Construct inputs that
+hit a tie and verify.  What must Op.create's function satisfy?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.ops import Op
+
+VECTOR_ADD = Op.create(
+    lambda a, b: tuple(x + y for x, y in zip(a, b)), name="VECTOR_ADD"
+)
+
+
+def main(cfg: RunConfig):
+    def rank_main(comm):
+        measurement = abs(comm.rank - comm.size // 2) + 1  # V-shaped data
+        print(f"Process {comm.rank} measured {measurement}")
+        comm.world.executor.checkpoint()
+        lo = comm.reduce((measurement, comm.rank), op="MINLOC", root=0)
+        hi = comm.reduce((measurement, comm.rank), op="MAXLOC", root=0)
+        histogram = comm.reduce(
+            tuple(1 if i == comm.rank % 3 else 0 for i in range(3)),
+            op=VECTOR_ADD,
+            root=0,
+        )
+        if comm.rank == 0:
+            print()
+            print(f"smallest measurement {lo[0]} came from rank {lo[1]}")
+            print(f"largest  measurement {hi[0]} came from rank {hi[1]}")
+            print(f"rank%3 histogram: {list(histogram)}")
+            return (lo, hi, histogram)
+        return None
+
+    return cfg.mpirun(rank_main)
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="mpi.reduction2",
+        backend="mpi",
+        summary="MINLOC/MAXLOC and a user-defined vector-add reduction.",
+        patterns=("Reduction",),
+        toggles=(),
+        exercise=(
+            "Replace the histogram op with one that is NOT associative "
+            "(e.g. subtraction) and run at several np values.  Explain the "
+            "inconsistent results."
+        ),
+        default_tasks=5,
+        main=main,
+        source=__name__,
+    )
+)

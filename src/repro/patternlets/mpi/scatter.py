@@ -1,0 +1,48 @@
+"""scatter patternlet (MPI-analogue).
+
+Rank 0 builds one big array and MPI_Scatter deals an equal slice to each
+process — data decomposition by collective, the distributed-memory twin of
+the equal-chunks loop.
+
+Exercise: scatter then gather; does every value come home to its original
+position?  What invariant of scatter/gather guarantees that?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+
+
+def main(cfg: RunConfig):
+    per_rank = int(cfg.extra.get("per_rank", 2))
+
+    def rank_main(comm):
+        if comm.rank == 0:
+            whole = list(range(100, 100 + per_rank * comm.size))
+            slices = [
+                whole[r * per_rank : (r + 1) * per_rank] for r in range(comm.size)
+            ]
+            print(f"Process 0 scatters: {whole}")
+        else:
+            slices = None
+        mine = comm.scatter(slices, root=0)
+        print(f"Process {comm.rank} received slice: {mine}")
+        return mine
+
+    return cfg.mpirun(rank_main)
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="mpi.scatter",
+        backend="mpi",
+        summary="Root deals equal slices of one array to all processes.",
+        patterns=("Scatter", "Collective Communication", "Data Decomposition"),
+        toggles=(),
+        exercise=(
+            "Make the array length indivisible by np and adapt the slicing "
+            "(scatterv-style).  Which ranks get the longer slices?"
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

@@ -1,0 +1,59 @@
+"""sequence patternlet (MPI-analogue).
+
+Interleaved output is fine for hello-worlds but real reports need order.
+This patternlet enforces rank order two ways (toggle ``token_ring``):
+funnelling lines through rank 0, or passing a "your turn" token around the
+ring so each process prints in sequence.
+
+Exercise: compare the two strategies' message counts and their span as the
+world grows.  Which centralises load, and where?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.core.toggles import Toggle
+
+
+def main(cfg: RunConfig):
+    token_ring = cfg.toggles["token_ring"]
+
+    def rank_main(comm):
+        line = f"Process {comm.rank} of {comm.size} reporting in order."
+        if token_ring:
+            if comm.rank > 0:
+                comm.recv(source=comm.rank - 1, tag=5)  # wait for my turn
+            print(line)
+            if comm.rank < comm.size - 1:
+                comm.send("your turn", dest=comm.rank + 1, tag=5)
+        else:
+            lines = comm.gather(line, root=0)
+            if comm.rank == 0:
+                for text in lines:
+                    print(text)
+        return comm.rank
+
+    return cfg.mpirun(rank_main)
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="mpi.sequence",
+        backend="mpi",
+        summary="Rank-ordered output via gather-at-master or a turn token.",
+        patterns=("Message Passing", "Synchronisation", "Gather"),
+        toggles=(
+            Toggle(
+                "token_ring",
+                "MPI_Recv(...); print; MPI_Send(...)",
+                "Pass a turn token instead of gathering lines at rank 0.",
+            ),
+        ),
+        exercise=(
+            "Measure the span of both strategies at np=16 (use the "
+            "WorldResult).  Explain the difference using the message "
+            "dependency chains."
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

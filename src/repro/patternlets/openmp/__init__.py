@@ -1,0 +1,1 @@
+"""openmp patternlet family (modules auto-discovered by the parent package)."""

@@ -1,0 +1,60 @@
+"""atomic patternlet (OpenMP-analogue).
+
+The same lost-update race as the critical patternlet, fixed with the
+cheaper ``atomic`` directive — hardware-assisted mutual exclusion limited
+to a single simple update.
+
+Exercise: replace the guarded line with two updates.  Why can ``atomic``
+not protect both while ``critical`` can?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.core.toggles import Toggle
+from repro.smp import SharedCell
+
+
+def main(cfg: RunConfig):
+    reps = int(cfg.extra.get("reps", 50))
+    rt = cfg.smp_runtime()
+    protect = cfg.toggles["atomic"]
+    counter = SharedCell(0)
+
+    def region(ctx):
+        for _ in range(reps):
+            if protect:
+                counter.atomic_add(1, ctx)
+            else:
+                counter.unsafe_add(1, ctx)
+
+    print()
+    expected = reps * cfg.tasks
+    rt.parallel(region)
+    print(f"Expected count: {expected}")
+    print(f"Actual count:   {counter.value}")
+    print()
+    return counter.value
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="openmp.atomic",
+        backend="openmp",
+        summary="The lost-update race fixed with the atomic directive.",
+        patterns=("Atomic Update", "Mutual Exclusion", "Shared Data"),
+        toggles=(
+            Toggle(
+                "atomic",
+                "#pragma omp atomic",
+                "Make each increment a single indivisible update.",
+            ),
+        ),
+        exercise=(
+            "With the toggle off, how low can the count go for 4 threads x "
+            "50 increments?  Construct (on paper) the interleaving that "
+            "achieves the minimum."
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

@@ -1,0 +1,57 @@
+"""barrier patternlet (OpenMP-analogue) — the paper's Figure 7.
+
+Each thread announces itself BEFORE and AFTER a (toggleable) barrier.
+Without the barrier the two phases interleave freely (Figure 8); with it,
+every BEFORE line precedes every AFTER line (Figure 9).
+
+Exercise: predict the output before uncommenting ``#pragma omp barrier``;
+then uncomment, rerun, and explain the difference.  Can AFTER lines still
+appear in any relative order among themselves?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.core.toggles import Toggle
+
+
+def main(cfg: RunConfig):
+    rt = cfg.smp_runtime()
+    use_barrier = cfg.toggles["barrier"]
+
+    def region(ctx):
+        print(f"Thread {ctx.thread_num} of {ctx.num_threads} is BEFORE the barrier.")
+        ctx.checkpoint()
+        if use_barrier:
+            ctx.barrier()
+        print(f"Thread {ctx.thread_num} of {ctx.num_threads} is AFTER the barrier.")
+        ctx.checkpoint()
+
+    print()
+    result = rt.parallel(region)
+    print()
+    return result
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="openmp.barrier",
+        backend="openmp",
+        summary="BEFORE/AFTER prints around a toggleable barrier.",
+        patterns=("Barrier", "SPMD"),
+        figures=("Fig. 7", "Fig. 8", "Fig. 9"),
+        toggles=(
+            Toggle(
+                "barrier",
+                "#pragma omp barrier",
+                "Hold every thread until the whole team arrives.",
+            ),
+        ),
+        exercise=(
+            "Run without the barrier and circle every AFTER line that "
+            "appears above some BEFORE line.  Rerun with the barrier: why "
+            "can that no longer happen?"
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

@@ -1,0 +1,64 @@
+"""critical patternlet (OpenMP-analogue).
+
+The bank-balance demo: every thread deposits $1 REPS times into a shared
+balance.  Unprotected, deposits are lost to the read-modify-write race
+("the resulting race condition costs them imaginary money"); with the
+``critical`` toggle the total is exact.
+
+Exercise: with the toggle off, is the final balance ever *more* than the
+expected total?  Explain using the interleaving of loads and stores.
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.core.toggles import Toggle
+from repro.smp import SharedCell
+
+
+def main(cfg: RunConfig):
+    reps = int(cfg.extra.get("reps", 50))
+    rt = cfg.smp_runtime()
+    protect = cfg.toggles["critical"]
+    balance = SharedCell(0)
+
+    def region(ctx):
+        for _ in range(reps):
+            if protect:
+                balance.critical_add(1, ctx)
+            else:
+                balance.unsafe_add(1, ctx)
+
+    print()
+    expected = reps * cfg.tasks
+    result = rt.parallel(region)
+    print(f"After {expected} one-dollar deposits, the balance is {balance.value}.")
+    if balance.value != expected:
+        print(f"The race condition lost {expected - balance.value} deposits!")
+    else:
+        print("Every deposit survived.")
+    print()
+    return balance.value
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="openmp.critical",
+        backend="openmp",
+        summary="Lost bank deposits from an unprotected shared update.",
+        patterns=("Mutual Exclusion", "Critical Section", "Shared Data"),
+        toggles=(
+            Toggle(
+                "critical",
+                "#pragma omp critical",
+                "Protect the balance update with a critical section.",
+            ),
+        ),
+        exercise=(
+            "Run with 2, 4 and 8 threads with the toggle off and plot lost "
+            "deposits against thread count.  Then enable the toggle and "
+            "confirm the loss is always zero."
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

@@ -1,0 +1,44 @@
+"""forkJoin patternlet (OpenMP-analogue).
+
+Sequential code runs before the fork and after the join; only the block in
+between is replicated across the team.  The prints make the three phases
+visible.
+
+Exercise: which lines appear exactly once regardless of the thread count,
+and why?  Move the 'During' print outside the region and predict the new
+output.
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+
+
+def main(cfg: RunConfig):
+    rt = cfg.smp_runtime()
+
+    print("Before forking: only the initial thread exists.")
+
+    def region(ctx):
+        print(f"During: thread {ctx.thread_num} of {ctx.num_threads} is working.")
+        ctx.checkpoint()
+
+    result = rt.parallel(region)
+    print("After joining: only the initial thread remains.")
+    return result
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="openmp.forkJoin",
+        backend="openmp",
+        summary="Sequential-parallel-sequential structure made visible.",
+        patterns=("Fork-Join",),
+        toggles=(),
+        exercise=(
+            "Count the lines for 1, 2 and 4 threads.  Write the formula for "
+            "the total as a function of the thread count."
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

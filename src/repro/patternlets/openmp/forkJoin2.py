@@ -1,0 +1,49 @@
+"""forkJoin2 patternlet (OpenMP-analogue).
+
+Two parallel regions of *different* sizes separated by sequential code:
+teams are created per region, so the program can fork 2 threads, join,
+then fork 4.
+
+Exercise: why might a program want differently-sized teams in different
+phases?  What happens to the thread ids between the two regions?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+
+
+def main(cfg: RunConfig):
+    rt = cfg.smp_runtime()
+    first = max(1, cfg.tasks // 2)
+
+    def phase(tag):
+        def region(ctx):
+            print(f"Phase {tag}: thread {ctx.thread_num} of {ctx.num_threads}")
+            ctx.checkpoint()
+
+        return region
+
+    print("Forking first team...")
+    r1 = rt.parallel(phase("A"), num_threads=first)
+    print("Joined. Forking second team...")
+    r2 = rt.parallel(phase("B"), num_threads=cfg.tasks)
+    print("Joined again.")
+    return (r1, r2)
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="openmp.forkJoin2",
+        backend="openmp",
+        summary="Successive parallel regions with different team sizes.",
+        patterns=("Fork-Join",),
+        toggles=(),
+        exercise=(
+            "Run with 4 tasks: phase A uses 2 threads and phase B uses 4.  "
+            "Is 'thread 1 of phase A' the same OS thread as 'thread 1 of "
+            "phase B'?  Does it matter to the programming model?"
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

@@ -1,0 +1,60 @@
+"""masterWorker patternlet (OpenMP-analogue).
+
+Thread 0 (the master) fills a shared work queue; the whole team (workers)
+drains it under mutual exclusion.  A barrier separates the filling and
+draining phases so no worker races the master's setup.
+
+Exercise: delete the barrier (conceptually: what could a worker observe?).
+Then make the master also consume — is a dedicated master worth a core?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+
+
+def main(cfg: RunConfig):
+    items = int(cfg.extra.get("items", 8))
+    rt = cfg.smp_runtime()
+    queue = []
+    done = []
+
+    def region(ctx):
+        me = ctx.thread_num
+        ctx.master(lambda: queue.extend(f"task#{k}" for k in range(items)))
+        ctx.master(lambda: print(f"Master (thread 0) queued {items} tasks"))
+        ctx.barrier()
+        taken = 0
+        while True:
+            with ctx.critical("queue"):
+                job = queue.pop(0) if queue else None
+            if job is None:
+                break
+            done.append((job, me))
+            print(f"Worker thread {me} completed {job}")
+            taken += 1
+            ctx.checkpoint()
+        return taken
+
+    print()
+    result = rt.parallel(region)
+    print()
+    print(f"Work completed: {len(done)} of {items} tasks "
+          f"by {sum(1 for n in result.results if n)} active workers")
+    return {"done": done, "per_thread": result.results}
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="openmp.masterWorker",
+        backend="openmp",
+        summary="Master fills a queue; the team drains it under a lock.",
+        patterns=("Master-Worker", "Task Decomposition", "Critical Section"),
+        toggles=(),
+        exercise=(
+            "Chart tasks-per-worker for 2, 4 and 8 threads on 8 tasks.  "
+            "When do added workers stop helping?"
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

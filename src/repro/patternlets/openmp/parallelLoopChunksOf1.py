@@ -1,0 +1,46 @@
+"""parallelLoopChunksOf1 patternlet (OpenMP-analogue).
+
+``schedule(static,1)`` deals iterations to threads round-robin — thread t
+performs iterations t, t+T, t+2T, ... — the cyclic/striped counterpart of
+the equal-chunks deal.
+
+Exercise: compare the iteration→thread maps of this patternlet and
+parallelLoopEqualChunks for 8 iterations on 2 threads.  For an image-
+processing loop where nearby pixels cost similar work, which deal balances
+better?  Which uses caches better?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+
+
+def main(cfg: RunConfig):
+    reps = int(cfg.extra.get("reps", 8))
+    rt = cfg.smp_runtime()
+
+    def body(i, ctx):
+        print(f"Thread {ctx.thread_num} performed iteration {i}")
+        ctx.checkpoint()
+
+    print()
+    result = rt.parallel_for(reps, body, schedule="static,1")
+    print()
+    return result
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="openmp.parallelLoopChunksOf1",
+        backend="openmp",
+        summary="Cyclic schedule(static,1): iterations dealt round-robin.",
+        patterns=("Parallel Loop", "Loop Schedule"),
+        toggles=(),
+        exercise=(
+            "With 8 iterations on 2 threads, list each thread's "
+            "iterations.  Now change the chunk to 2; predict the map before "
+            "running."
+        ),
+        default_tasks=2,
+        main=main,
+        source=__name__,
+    )
+)

@@ -1,0 +1,58 @@
+"""parallelLoopDynamic patternlet (OpenMP-analogue).
+
+``schedule(dynamic)`` hands out iterations first-come-first-served, which
+balances *uneven* work: here iteration i simulates i units of work, so a
+static deal overloads the high-numbered chunk while dynamic adapts.
+
+Exercise: run with static and dynamic schedules and compare each thread's
+total simulated work.  When is dynamic's extra coordination worth it?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.core.toggles import Toggle
+
+
+def main(cfg: RunConfig):
+    reps = int(cfg.extra.get("reps", 12))
+    rt = cfg.smp_runtime()
+    schedule = "dynamic" if cfg.toggles["dynamic"] else "static"
+    totals = [0] * cfg.tasks
+
+    def body(i, ctx):
+        ctx.work(i)  # iteration i costs i units: skewed load
+        totals[ctx.thread_num] += i
+        print(f"Thread {ctx.thread_num} performed iteration {i} (cost {i})")
+        ctx.checkpoint()
+
+    print()
+    result = rt.parallel_for(reps, body, schedule=schedule, work_per_iteration=0.0)
+    print()
+    for t, w in enumerate(totals):
+        print(f"Thread {t} total simulated work: {w}")
+    return result
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="openmp.parallelLoopDynamic",
+        backend="openmp",
+        summary="Dynamic schedule balancing a skewed-work loop.",
+        patterns=("Parallel Loop", "Loop Schedule"),
+        toggles=(
+            Toggle(
+                "dynamic",
+                "#pragma omp parallel for schedule(dynamic)",
+                "First-come-first-served iterations instead of a static deal.",
+                default=True,
+            ),
+        ),
+        exercise=(
+            "Toggle dynamic off and compare the per-thread work totals.  "
+            "Explain why the static deal is unfair for this loop even "
+            "though every thread gets the same number of iterations."
+        ),
+        default_tasks=3,
+        main=main,
+        source=__name__,
+    )
+)

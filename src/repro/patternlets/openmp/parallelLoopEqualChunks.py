@@ -1,0 +1,54 @@
+"""parallelLoopEqualChunks patternlet (OpenMP-analogue) — Figure 13.
+
+The default static schedule splits the loop's iterations into one
+contiguous chunk per thread: with 8 iterations and 2 threads, thread 0
+performs 0-3 and thread 1 performs 4-7 (Figures 14-15).
+
+Exercise: vary the number of threads and iterations.  When iterations do
+not divide evenly, which threads get the extra work?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.core.toggles import Toggle
+
+
+def main(cfg: RunConfig):
+    reps = int(cfg.extra.get("reps", 8))
+    rt = cfg.smp_runtime(
+        num_threads=cfg.tasks if cfg.toggles["parallel_for"] else 1
+    )
+
+    def body(i, ctx):
+        print(f"Thread {ctx.thread_num} performed iteration {i}")
+        ctx.checkpoint()
+
+    print()
+    result = rt.parallel_for(reps, body, schedule="static")
+    print()
+    return result
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="openmp.parallelLoopEqualChunks",
+        backend="openmp",
+        summary="Static schedule: one contiguous equal chunk per thread.",
+        patterns=("Parallel Loop", "Loop Schedule", "Data Decomposition"),
+        figures=("Fig. 13", "Fig. 14", "Fig. 15"),
+        toggles=(
+            Toggle(
+                "parallel_for",
+                "#pragma omp parallel for",
+                "Divide the loop among a thread team (off = sequential).",
+                default=True,
+            ),
+        ),
+        exercise=(
+            "Run with 1, 2 and 4 threads and write down which thread did "
+            "which iterations.  Derive the chunk-size formula."
+        ),
+        default_tasks=2,
+        main=main,
+        source=__name__,
+    )
+)

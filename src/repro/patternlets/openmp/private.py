@@ -1,0 +1,66 @@
+"""private patternlet (OpenMP-analogue).
+
+When every thread writes the *same* shared temporary, their updates trample
+each other; declaring it private gives each thread its own copy.  Here each
+thread computes its own square via a shared or private scratch slot.
+
+Exercise: with the toggle off, which results are wrong and why can the
+wrong answers differ from run to run?  What does OpenMP's ``private``
+clause change about the variable's storage?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.core.toggles import Toggle
+
+
+def main(cfg: RunConfig):
+    rt = cfg.smp_runtime()
+    use_private = cfg.toggles["private"]
+    shared_scratch = {"value": None}  # one location shared by all threads
+
+    def region(ctx):
+        me = ctx.thread_num
+        if use_private:
+            scratch = {"value": None}  # per-thread private copy
+        else:
+            scratch = shared_scratch
+        scratch["value"] = me
+        ctx.race_window()  # ...another thread may overwrite the shared slot
+        square = scratch["value"] * scratch["value"]
+        expected = me * me
+        verdict = "ok" if square == expected else f"WRONG (expected {expected})"
+        print(f"Thread {me}: my id squared is {square} ... {verdict}")
+        ctx.checkpoint()
+        return square == expected
+
+    print()
+    result = rt.parallel(region)
+    print()
+    correct = sum(1 for ok in result.results if ok)
+    print(f"{correct} of {result.size} threads computed the right square.")
+    return result
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="openmp.private",
+        backend="openmp",
+        summary="Shared scratch variable trampled by teammates vs a private copy.",
+        patterns=("Private Data", "Shared Data"),
+        toggles=(
+            Toggle(
+                "private",
+                "#pragma omp parallel private(scratch)",
+                "Give each thread its own copy of the scratch variable.",
+            ),
+        ),
+        exercise=(
+            "Run several seeds with the toggle off and tabulate how many "
+            "threads compute a wrong square.  Why does thread 0's answer "
+            "sometimes survive?"
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

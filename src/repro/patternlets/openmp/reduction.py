@@ -1,0 +1,86 @@
+"""reduction patternlet (OpenMP-analogue) — the paper's Figure 20.
+
+Builds an array of random values and sums it twice: sequentially, then
+with a parallel loop.  Three behaviours, two toggles:
+
+- both off: the "parallel" sum is just a second sequential sum and the
+  two agree (Figure 21);
+- ``parallel_for`` on, ``reduction`` off: every thread hammers one shared
+  sum — a data race, and the parallel total comes up short (Figure 22);
+- both on: per-thread partial sums combined by a reduction tree — correct
+  again, with multiple threads (Figure 21's output restored).
+
+Exercise: brainstorm fixes for the racy version before enabling the
+reduction toggle; compare your fix to what reduction(+:sum) does.
+"""
+
+import random
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.core.toggles import Toggle
+from repro.smp import SharedCell
+
+
+def main(cfg: RunConfig):
+    size = int(cfg.extra.get("size", 200))
+    rng = random.Random(int(cfg.extra.get("data_seed", 42)))
+    array = [rng.randrange(1000) for _ in range(size)]
+    seq_sum = sum(array)
+
+    use_parallel = cfg.toggles["parallel_for"]
+    use_reduction = cfg.toggles["reduction"]
+    rt = cfg.smp_runtime(num_threads=cfg.tasks if use_parallel else 1)
+
+    if use_reduction:
+        result = rt.parallel_for(
+            size, lambda i, ctx: array[i], reduction="+", work_per_iteration=0.0
+        )
+        par_sum = result.reduction
+    else:
+        shared = SharedCell(0)
+        result = rt.parallel_for(
+            size,
+            lambda i, ctx: shared.unsafe_add(array[i], ctx),
+            work_per_iteration=0.0,
+        )
+        par_sum = shared.value
+
+    print()
+    print(f"Seq. sum: \t{seq_sum}")
+    print(f"Par. sum: \t{par_sum}")
+    print()
+    if par_sum != seq_sum:
+        print(f"MISMATCH: the parallel sum lost {seq_sum - par_sum} "
+              "due to a data race on the shared sum variable.")
+    return {"sequential": seq_sum, "parallel": par_sum, "team": result}
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="openmp.reduction",
+        backend="openmp",
+        summary="Sequential vs parallel array sum; race without the reduction clause.",
+        patterns=("Reduction", "Parallel Loop", "Shared Data"),
+        figures=("Fig. 20", "Fig. 21", "Fig. 22"),
+        toggles=(
+            Toggle(
+                "parallel_for",
+                "#pragma omp parallel for",
+                "Divide the summing loop among a thread team.",
+            ),
+            Toggle(
+                "reduction",
+                "reduction(+:sum)",
+                "Give each thread a private sum and combine them at the end.",
+            ),
+        ),
+        exercise=(
+            "Enable only parallel_for and rerun several seeds: how much is "
+            "lost each time?  Describe where each thread's additions go "
+            "once the reduction clause is enabled."
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

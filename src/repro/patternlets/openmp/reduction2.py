@@ -1,0 +1,63 @@
+"""reduction2 patternlet (OpenMP-analogue).
+
+Beyond ``+``: OpenMP permits *, min, max, the bitwise and logical
+operators, and (since 4.0) user-defined reductions.  Each thread
+contributes a record; a user-defined associative op merges them — here a
+running (min, max, count) summary combined pairwise.
+
+Exercise: prove the merge op is associative.  What goes wrong in the tree
+combine if it is not?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.ops import Op
+
+
+def summarize(a, b):
+    """Merge two (min, max, count) summaries (associative, commutative)."""
+    return (min(a[0], b[0]), max(a[1], b[1]), a[2] + b[2])
+
+
+SUMMARY = Op.create(summarize, name="SUMMARY")
+
+
+def main(cfg: RunConfig):
+    rt = cfg.smp_runtime()
+
+    def region(ctx):
+        me = ctx.thread_num
+        value = (me + 1) * (me + 1)  # this thread's local measurement
+        print(f"Thread {me} contributes {value}")
+        ctx.checkpoint()
+        lo, hi, n = ctx.reduce((value, value, 1), SUMMARY)
+        product = ctx.reduce(value, "*")
+        any_odd = ctx.reduce(value % 2 == 1, "||")
+        if me == 0:
+            print()
+            print(f"min of squares: {lo}")
+            print(f"max of squares: {hi}")
+            print(f"count:          {n}")
+            print(f"product:        {product}")
+            print(f"any odd?        {any_odd}")
+        return (lo, hi, n)
+
+    print()
+    return rt.parallel(region)
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="openmp.reduction2",
+        backend="openmp",
+        summary="Built-in operator menagerie plus a user-defined reduction.",
+        patterns=("Reduction",),
+        toggles=(),
+        exercise=(
+            "Add an 'average' field to the summary.  Why must you carry "
+            "(sum, count) through the tree rather than averaging early?"
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

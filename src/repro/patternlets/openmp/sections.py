@@ -1,0 +1,54 @@
+"""sections patternlet (OpenMP-analogue).
+
+Task decomposition: the program has a few *different* jobs rather than one
+loop, and ``sections`` deals each job to some thread.  With more jobs than
+threads, threads take several; with more threads than jobs, some idle.
+
+Exercise: run with 2 and then 6 threads for the 4 sections below.  Which
+threads ran which sections?  What pattern would you use if the number of
+jobs were data-dependent?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+
+
+def main(cfg: RunConfig):
+    rt = cfg.smp_runtime()
+    jobs = ("parse the input", "index the corpus", "render the report",
+            "compress the archive")
+    ran_by = {}
+
+    def make_section(label):
+        def section():
+            from repro.sched.base import current_task_label
+
+            who = current_task_label() or "?"
+            ran_by[label] = who
+            print(f"Section '{label}' handled by {who}")
+            return label
+
+        return section
+
+    print()
+    results = rt.sections([make_section(j) for j in jobs])
+    print()
+    print(f"All {len(results)} sections completed.")
+    return {"results": results, "ran_by": ran_by}
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="openmp.sections",
+        backend="openmp",
+        summary="Distinct jobs dealt to threads: task decomposition.",
+        patterns=("Task Decomposition", "Fork-Join"),
+        toggles=(),
+        exercise=(
+            "Make one section artificially slow (ctx.work).  How does the "
+            "deal adapt, and what would a static assignment have cost?"
+        ),
+        default_tasks=2,
+        main=main,
+        source=__name__,
+    )
+)

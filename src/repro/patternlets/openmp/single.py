@@ -1,0 +1,55 @@
+"""single patternlet (OpenMP-analogue).
+
+``single`` lets exactly one thread — whichever arrives first — execute a
+block, with the rest waiting at its implicit barrier; ``master`` pins the
+block to thread 0 and implies no barrier.  The prints expose both
+differences.
+
+Exercise: run several seeds.  Which thread executes the single block?
+Which executes the master block?  Where do the other threads wait in each
+case?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+
+
+def main(cfg: RunConfig):
+    rt = cfg.smp_runtime()
+    chosen = {}
+
+    def region(ctx):
+        me = ctx.thread_num
+
+        def announce():
+            chosen["single"] = me
+            print(f"single block executed by thread {me} (first to arrive)")
+            return me
+
+        winner = ctx.single(announce)
+        ctx.master(lambda: print(f"master block executed by thread {me} (always 0)"))
+        print(f"Thread {me} proceeds knowing the single ran on thread {winner}")
+        ctx.checkpoint()
+        return winner
+
+    print()
+    result = rt.parallel(region)
+    print()
+    return {"chosen": chosen, "team": result}
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="openmp.single",
+        backend="openmp",
+        summary="single (first arrival + barrier) contrasted with master.",
+        patterns=("Synchronisation", "Fork-Join"),
+        toggles=(),
+        exercise=(
+            "Why does single imply a barrier but master does not?  Give one "
+            "use where each choice is the only correct one."
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

@@ -1,0 +1,54 @@
+"""spmd patternlet (OpenMP-analogue) — the paper's Figure 1.
+
+The canonical first patternlet: each thread of the team introduces itself.
+With the ``parallel`` toggle off (the commented-out ``#pragma omp
+parallel``) the "team" is a single thread (Figure 2); uncommenting it makes
+four greetings appear in nondeterministic order (Figure 3).
+
+Exercise: compile and run, then uncomment the pragma, recompile, and rerun.
+Explain why the number of lines changes, why their order varies from run to
+run, and where each thread's id number comes from.
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.core.toggles import Toggle
+
+
+def main(cfg: RunConfig):
+    rt = cfg.smp_runtime(num_threads=cfg.tasks if cfg.toggles["parallel"] else 1)
+
+    def region(ctx):
+        print(f"Hello from thread {ctx.thread_num} of {ctx.num_threads}")
+        ctx.checkpoint()
+
+    print()
+    result = rt.parallel(region)
+    print()
+    return result
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="openmp.spmd",
+        backend="openmp",
+        summary="Each thread prints its id: the Single Program Multiple Data pattern.",
+        patterns=("SPMD", "Fork-Join"),
+        figures=("Fig. 1", "Fig. 2", "Fig. 3"),
+        toggles=(
+            Toggle(
+                "parallel",
+                "#pragma omp parallel",
+                "Fork a thread team for the block (off = sequential run).",
+                default=True,
+            ),
+        ),
+        exercise=(
+            "Run with the parallel toggle off, then on.  Why does the order "
+            "of the greetings change between runs?  What does "
+            "omp_get_thread_num() return in each thread, and why?"
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

@@ -1,0 +1,43 @@
+"""spmd2 patternlet (OpenMP-analogue).
+
+The second SPMD patternlet makes the team size a command-line argument
+(``omp_set_num_threads(atoi(argv[1]))``), so students can scale the run
+without editing code — the *scalable* property of patternlets.
+
+Exercise: run with 1, 2, 4, 8 threads.  Does each thread always print
+exactly one line?  Is thread 0 always first?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+
+
+def main(cfg: RunConfig):
+    rt = cfg.smp_runtime()
+    rt.set_num_threads(cfg.tasks)  # the atoi(argv[1]) of the C version
+
+    def region(ctx):
+        print(f"Hello from thread {ctx.thread_num} of {ctx.num_threads}")
+        ctx.checkpoint()
+
+    print()
+    result = rt.parallel(region)
+    print()
+    return result
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="openmp.spmd2",
+        backend="openmp",
+        summary="SPMD with the team size taken from the command line.",
+        patterns=("SPMD",),
+        toggles=(),
+        exercise=(
+            "Run with 1, 2, 4 and 8 threads.  Record which thread prints "
+            "first in each run; what decides that order?"
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

@@ -1,0 +1,1 @@
+"""pthreads patternlet family (modules auto-discovered by the parent package)."""

@@ -1,0 +1,66 @@
+"""barrier patternlet (Pthreads-analogue).
+
+The BEFORE/AFTER demo again, but with an explicit pthread_barrier_t the
+program must size correctly itself.  The wait returns True on exactly one
+thread per cycle (PTHREAD_BARRIER_SERIAL_THREAD), which this patternlet
+uses to print the separator.
+
+Exercise: initialise the barrier for n-1 parties instead of n.  What
+happens, and how does the deadlock report identify the mistake?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.core.toggles import Toggle
+from repro.pthreads import PthreadsRuntime
+
+
+def main(cfg: RunConfig):
+    rt = PthreadsRuntime(mode=cfg.mode, seed=cfg.seed, policy=cfg.policy)
+    n = cfg.tasks
+    use_barrier = cfg.toggles["barrier"]
+
+    def program(pt):
+        bar = pt.barrier(n)
+
+        def worker(tid):
+            print(f"Thread {tid} of {n} is BEFORE the barrier.")
+            pt.checkpoint()
+            serial = bar.wait() if use_barrier else False
+            if serial:
+                print("--- barrier crossed (serial thread speaking) ---")
+            print(f"Thread {tid} of {n} is AFTER the barrier.")
+            pt.checkpoint()
+            return tid
+
+        handles = [pt.create(worker, t) for t in range(n)]
+        return [pt.join(h) for h in handles]
+
+    print()
+    result = rt.run(program)
+    print()
+    return result
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="pthreads.barrier",
+        backend="pthreads",
+        summary="Explicit pthread barrier with the serial-thread convention.",
+        patterns=("Barrier",),
+        toggles=(
+            Toggle(
+                "barrier",
+                "pthread_barrier_wait(&bar);",
+                "Hold every thread until all have arrived.",
+            ),
+        ),
+        exercise=(
+            "Exactly one thread prints the separator line per cycle.  "
+            "Which one is it across seeds, and what does POSIX guarantee "
+            "about that choice?"
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

@@ -1,0 +1,72 @@
+"""conditionVariable patternlet (Pthreads-analogue).
+
+A producer/consumer pair coordinated by a condition variable: the consumer
+waits (releasing the mutex) until the producer signals that the shared
+queue is non-empty.  The while-loop re-check around wait is the part
+students always want to delete — the exercise explains why they must not.
+
+Exercise: replace 'while not queue' with 'if not queue'.  Under what
+scheduling is the consumer now wrong, even without spurious wakeups?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.pthreads import PthreadsRuntime
+
+
+def main(cfg: RunConfig):
+    rt = PthreadsRuntime(mode=cfg.mode, seed=cfg.seed, policy=cfg.policy)
+    items = int(cfg.extra.get("items", 3))
+
+    def program(pt):
+        lock = pt.mutex("queue")
+        nonempty = pt.cond(lock, "nonempty")
+        queue = []
+        consumed = []
+
+        def consumer():
+            for _ in range(items):
+                with lock:
+                    while not queue:
+                        nonempty.wait()
+                    item = queue.pop(0)
+                consumed.append(item)
+                print(f"Consumer took {item!r}")
+                pt.checkpoint()
+            return consumed
+
+        def producer():
+            for k in range(items):
+                pt.checkpoint()
+                with lock:
+                    queue.append(f"item#{k}")
+                    nonempty.signal()
+                print(f"Producer queued item#{k}")
+            return items
+
+        c = pt.create(consumer, name="consumer")
+        p = pt.create(producer, name="producer")
+        pt.join(p)
+        got = pt.join(c)
+        return got
+
+    result = rt.run(program)
+    print(f"All consumed, in order: {result}")
+    return result
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="pthreads.conditionVariable",
+        backend="pthreads",
+        summary="Producer/consumer hand-off via a condition variable.",
+        patterns=("Synchronisation", "Shared Data"),
+        toggles=(),
+        exercise=(
+            "Why must the consumer hold the mutex when calling wait, and "
+            "who owns it when wait returns?"
+        ),
+        default_tasks=2,
+        main=main,
+        source=__name__,
+    )
+)

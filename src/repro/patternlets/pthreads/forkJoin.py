@@ -1,0 +1,49 @@
+"""forkJoin patternlet (Pthreads-analogue).
+
+One child thread, created and joined around sequential prints — the
+minimal fork-join, exposing that join is what makes the child's work
+*happen-before* the parent's continuation.
+
+Exercise: move the join after the final print.  Which orderings become
+possible that were impossible before?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.pthreads import PthreadsRuntime
+
+
+def main(cfg: RunConfig):
+    rt = PthreadsRuntime(mode=cfg.mode, seed=cfg.seed, policy=cfg.policy)
+
+    def program(pt):
+        print("Parent: before fork")
+
+        def child():
+            print("Child: doing my work")
+            pt.checkpoint()
+            return "child result"
+
+        handle = pt.create(child)
+        got = pt.join(handle)
+        print(f"Parent: after join, child returned {got!r}")
+        return got
+
+    return rt.run(program)
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="pthreads.forkJoin",
+        backend="pthreads",
+        summary="Create one thread, join it: the minimal fork-join.",
+        patterns=("Fork-Join",),
+        toggles=(),
+        exercise=(
+            "What does pthread_join return and through which parameter in "
+            "C?  What plays that role here?"
+        ),
+        default_tasks=2,
+        main=main,
+        source=__name__,
+    )
+)

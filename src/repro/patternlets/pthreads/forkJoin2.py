@@ -1,0 +1,50 @@
+"""forkJoin2 patternlet (Pthreads-analogue).
+
+Two waves of threads with a join wall between them: wave B must not start
+until every wave-A thread has finished — phased computation built from
+bare create/join.
+
+Exercise: replace the join wall with a barrier shared by both waves.  What
+changes about thread creation cost?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.pthreads import PthreadsRuntime
+
+
+def main(cfg: RunConfig):
+    rt = PthreadsRuntime(mode=cfg.mode, seed=cfg.seed, policy=cfg.policy)
+    n = max(2, cfg.tasks // 2)
+
+    def program(pt):
+        def worker(wave, tid):
+            print(f"Wave {wave}: thread {tid} running")
+            pt.checkpoint()
+            return (wave, tid)
+
+        first = [pt.create(worker, "A", t) for t in range(n)]
+        done_a = [pt.join(h) for h in first]
+        print("--- all of wave A joined ---")
+        second = [pt.create(worker, "B", t) for t in range(n)]
+        done_b = [pt.join(h) for h in second]
+        return done_a + done_b
+
+    return rt.run(program)
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="pthreads.forkJoin2",
+        backend="pthreads",
+        summary="Two thread waves separated by a join wall.",
+        patterns=("Fork-Join", "Synchronisation"),
+        toggles=(),
+        exercise=(
+            "Can a 'Wave B' line ever print above the separator?  Point to "
+            "the exact calls that forbid it."
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

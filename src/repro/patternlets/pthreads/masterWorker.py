@@ -1,0 +1,75 @@
+"""masterWorker patternlet (Pthreads-analogue).
+
+The initial thread plays master: it queues assignments, signals workers
+through a condition variable, and collects results by joining.  A sentinel
+per worker (None) signals shutdown — the part directive-based models hide.
+
+Exercise: what goes wrong if the master enqueues fewer sentinels than
+workers?  Run it and read the deadlock report.
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.pthreads import PthreadsRuntime
+
+
+def main(cfg: RunConfig):
+    rt = PthreadsRuntime(mode=cfg.mode, seed=cfg.seed, policy=cfg.policy)
+    n_workers = max(1, cfg.tasks - 1)
+    items = int(cfg.extra.get("items", 6))
+
+    def program(pt):
+        lock = pt.mutex("jobs")
+        avail = pt.cond(lock, "jobs-available")
+        jobs = []
+        completed = []
+
+        def worker(wid):
+            count = 0
+            while True:
+                with lock:
+                    while not jobs:
+                        avail.wait()
+                    job = jobs.pop(0)
+                if job is None:
+                    break
+                completed.append((job, wid))
+                print(f"Worker {wid} finished {job}")
+                pt.checkpoint()
+                count += 1
+            return count
+
+        handles = [pt.create(worker, w, name=f"worker:{w}") for w in range(n_workers)]
+        print(f"Master queues {items} jobs for {n_workers} workers")
+        for k in range(items):
+            with lock:
+                jobs.append(f"job#{k}")
+                avail.signal()
+            pt.checkpoint()
+        for _ in range(n_workers):  # one shutdown sentinel per worker
+            with lock:
+                jobs.append(None)
+                avail.signal()
+        counts = [pt.join(h) for h in handles]
+        return {"completed": completed, "per_worker": counts}
+
+    result = rt.run(program)
+    print(f"Jobs done: {len(result['completed'])}; per-worker: {result['per_worker']}")
+    return result
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="pthreads.masterWorker",
+        backend="pthreads",
+        summary="Master thread feeds a condvar-guarded job queue; sentinels stop workers.",
+        patterns=("Master-Worker", "Synchronisation", "Task Decomposition"),
+        toggles=(),
+        exercise=(
+            "Why signal rather than broadcast after each enqueue?  When "
+            "would broadcast be required?"
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

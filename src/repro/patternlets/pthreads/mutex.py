@@ -1,0 +1,72 @@
+"""mutex patternlet (Pthreads-analogue).
+
+The bank-balance race, fixed (or not, per the toggle) with an explicit
+pthread mutex the program creates, passes to its threads, locks and
+unlocks itself.
+
+Exercise: lock around the whole loop instead of one deposit.  Still
+correct?  What did it cost?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.core.toggles import Toggle
+from repro.pthreads import PthreadsRuntime
+
+
+def main(cfg: RunConfig):
+    rt = PthreadsRuntime(mode=cfg.mode, seed=cfg.seed, policy=cfg.policy)
+    n = cfg.tasks
+    reps = int(cfg.extra.get("reps", 25))
+    protect = cfg.toggles["mutex"]
+
+    def program(pt):
+        lock = pt.mutex("balance")
+        account = {"balance": 0}
+
+        def depositor(tid):
+            for _ in range(reps):
+                if protect:
+                    with lock:
+                        account["balance"] += 1
+                else:
+                    tmp = account["balance"]
+                    pt.race_window()
+                    account["balance"] = tmp + 1
+            return tid
+
+        handles = [pt.create(depositor, t) for t in range(n)]
+        for h in handles:
+            pt.join(h)
+        return account["balance"]
+
+    expected = n * reps
+    balance = rt.run(program)
+    print(f"Expected balance: {expected}")
+    print(f"Actual balance:   {balance}")
+    if balance != expected:
+        print(f"The race lost {expected - balance} deposits.")
+    return balance
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="pthreads.mutex",
+        backend="pthreads",
+        summary="Bank-balance race fixed with an explicit mutex.",
+        patterns=("Mutual Exclusion", "Shared Data"),
+        toggles=(
+            Toggle(
+                "mutex",
+                "pthread_mutex_lock(&lock); ... pthread_mutex_unlock(&lock);",
+                "Protect each deposit with the mutex.",
+            ),
+        ),
+        exercise=(
+            "Compare this patternlet to openmp.critical line by line: what "
+            "does the directive hide that the mutex makes explicit?"
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

@@ -1,0 +1,78 @@
+"""semaphore patternlet (Pthreads-analogue).
+
+A bounded buffer with two counting semaphores: ``slots`` (free capacity)
+gates the producer, ``filled`` (available items) gates the consumer; a
+mutex guards the buffer itself.
+
+Exercise: delete the mutex but keep both semaphores.  With one producer
+and one consumer, is the buffer still safe?  With two producers?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.pthreads import PthreadsRuntime
+
+
+def main(cfg: RunConfig):
+    rt = PthreadsRuntime(mode=cfg.mode, seed=cfg.seed, policy=cfg.policy)
+    items = int(cfg.extra.get("items", 5))
+    capacity = int(cfg.extra.get("capacity", 2))
+
+    def program(pt):
+        slots = pt.semaphore(capacity, "slots")
+        filled = pt.semaphore(0, "filled")
+        guard = pt.mutex("buffer")
+        buffer = []
+        high_water = {"max": 0}
+
+        def producer():
+            for k in range(items):
+                slots.wait()
+                with guard:
+                    buffer.append(k)
+                    high_water["max"] = max(high_water["max"], len(buffer))
+                print(f"Produced {k} (buffer size {len(buffer)})")
+                filled.post()
+                pt.checkpoint()
+
+        def consumer():
+            got = []
+            for _ in range(items):
+                filled.wait()
+                with guard:
+                    got.append(buffer.pop(0))
+                print(f"Consumed {got[-1]}")
+                slots.post()
+                pt.checkpoint()
+            return got
+
+        p = pt.create(producer, name="producer")
+        c = pt.create(consumer, name="consumer")
+        pt.join(p)
+        got = pt.join(c)
+        return {"consumed": got, "high_water": high_water["max"]}
+
+    result = rt.run(program)
+    print(
+        f"Consumed {result['consumed']}; buffer never exceeded "
+        f"{result['high_water']} of capacity {capacity}."
+    )
+    return result
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="pthreads.semaphore",
+        backend="pthreads",
+        summary="Bounded buffer gated by two counting semaphores.",
+        patterns=("Synchronisation", "Shared Data"),
+        toggles=(),
+        exercise=(
+            "Verify from the output that the buffer never exceeds its "
+            "capacity.  Which semaphore enforces that bound, and what does "
+            "the other one prevent?"
+        ),
+        default_tasks=2,
+        main=main,
+        source=__name__,
+    )
+)

@@ -1,0 +1,49 @@
+"""spmd patternlet (Pthreads-analogue).
+
+The raw-threads hello: the program explicitly creates each thread, passes
+it its id as an argument, and joins them all.  Everything OpenMP's
+``parallel`` directive did implicitly is now visible code.
+
+Exercise: list each line of this program that the OpenMP spmd patternlet
+did not need.  What did you gain for that extra code?
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.pthreads import PthreadsRuntime
+
+
+def main(cfg: RunConfig):
+    rt = PthreadsRuntime(mode=cfg.mode, seed=cfg.seed, policy=cfg.policy)
+    n = cfg.tasks
+
+    def program(pt):
+        def worker(tid):
+            print(f"Hello from thread {tid} of {n}")
+            pt.checkpoint()
+            return tid
+
+        handles = [pt.create(worker, tid) for tid in range(n)]
+        return [pt.join(h) for h in handles]
+
+    print()
+    result = rt.run(program)
+    print()
+    return result
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="pthreads.spmd",
+        backend="pthreads",
+        summary="Explicit create/join hello: SPMD without directives.",
+        patterns=("SPMD", "Fork-Join"),
+        toggles=(),
+        exercise=(
+            "Where does each thread's id come from here, compared to "
+            "omp_get_thread_num()?  What happens if you forget one join?"
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

@@ -1,0 +1,68 @@
+"""spmd2 patternlet (Pthreads-analogue).
+
+Thread arguments done properly: each thread receives a small argument
+record (id, total, shared results slot) instead of a bare integer — the
+pthreads idiom for passing multiple values through the single void*.
+
+Exercise: why does the C version heap-allocate one args struct per thread
+instead of reusing one?  Reproduce the bug that reuse causes (hint: the
+race_window helper).
+"""
+
+from repro.core.registry import Patternlet, RunConfig, register
+from repro.pthreads import PthreadsRuntime
+
+
+def main(cfg: RunConfig):
+    rt = PthreadsRuntime(mode=cfg.mode, seed=cfg.seed, policy=cfg.policy)
+    n = cfg.tasks
+    shared_args = cfg.extra.get("share_args", False)  # the classic bug, opt-in
+
+    def program(pt):
+        results = [None] * n
+        handles = []
+        reused = {"tid": None}
+        for tid in range(n):
+            if shared_args:
+                reused["tid"] = tid  # every thread sees ONE mutable record
+                args = reused
+            else:
+                args = {"tid": tid}  # fresh record per thread
+
+            def worker(a=args):
+                pt.race_window()
+                mine = a["tid"]
+                results[mine] = f"thread {mine} of {n} checked in"
+                print(f"Hello from thread {mine} of {n}")
+                return mine
+
+            handles.append(pt.create(worker))
+        joined = [pt.join(h) for h in handles]
+        return {"joined": joined, "results": results}
+
+    print()
+    result = rt.run(program)
+    print()
+    missing = sum(1 for r in result["results"] if r is None)
+    if missing:
+        print(f"{missing} thread slot(s) never checked in - argument race!")
+    return result
+
+
+PATTERNLET = register(
+    Patternlet(
+        name="pthreads.spmd2",
+        backend="pthreads",
+        summary="Per-thread argument records, and the bug when they are shared.",
+        patterns=("SPMD", "Private Data"),
+        toggles=(),
+        exercise=(
+            "Run with extra share_args=True at several seeds.  Which ids "
+            "get duplicated, which get lost, and why does the heap-per-"
+            "thread version never show this?"
+        ),
+        default_tasks=4,
+        main=main,
+        source=__name__,
+    )
+)

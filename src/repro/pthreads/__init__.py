@@ -1,0 +1,34 @@
+"""POSIX-threads-analogue layer.
+
+The paper's 9 Pthreads patternlets use the raw create/join + mutex +
+condition-variable vocabulary rather than OpenMP's directives.  This
+package supplies that vocabulary over the shared execution substrate:
+
+    from repro.pthreads import PthreadsRuntime
+
+    rt = PthreadsRuntime(num_threads=4, mode="lockstep", seed=1)
+
+    def program(pt):
+        handles = [pt.create(worker, i) for i in range(4)]
+        for h in handles:
+            h = pt.join(h)
+
+    rt.run(program)
+
+``run`` executes the program's *initial thread* as a managed task (the
+initial thread **is** a thread, as every pthreads tutorial eventually has
+to explain), so lockstep determinism covers it too.
+"""
+
+from repro.pthreads.api import PthreadContext, PthreadsRuntime
+from repro.pthreads.sync import CondVar, Mutex, PthreadBarrier, RWLock, Semaphore
+
+__all__ = [
+    "PthreadsRuntime",
+    "PthreadContext",
+    "Mutex",
+    "CondVar",
+    "Semaphore",
+    "PthreadBarrier",
+    "RWLock",
+]

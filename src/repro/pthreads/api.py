@@ -1,0 +1,127 @@
+"""The pthreads create/join API and program runner.
+
+A :class:`PthreadsRuntime` runs a *program* — an ordinary function given a
+:class:`PthreadContext` — as the initial thread of a managed world.  The
+context supplies:
+
+- ``create(fn, *args)`` → handle (``pthread_create``), running
+  ``fn(*args)`` concurrently;
+- ``join(handle)`` → the thread's return value (``pthread_join``);
+- factories for :class:`~repro.pthreads.sync.Mutex`,
+  :class:`~repro.pthreads.sync.CondVar`,
+  :class:`~repro.pthreads.sync.Semaphore` and
+  :class:`~repro.pthreads.sync.PthreadBarrier`;
+- ``self_id()``, ``checkpoint()`` and a ``race_window()`` matching the SMP
+  layer's race machinery, so the pthreads race patternlets behave the same
+  way.
+
+Unlike the SMP layer there is no implicit team: thread counts, shared
+state, and synchronisation objects are all explicit — which is exactly the
+pedagogical contrast the paper's Pthreads patternlets exist to show.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Callable
+
+from repro.pthreads.sync import CondVar, Mutex, PthreadBarrier, RWLock, Semaphore
+from repro.sched import Executor, make_executor
+from repro.sched.base import TaskHandle, current_task_label
+
+__all__ = ["PthreadsRuntime", "PthreadContext"]
+
+
+class PthreadContext:
+    """Per-program handle passed to the program's main function."""
+
+    def __init__(self, runtime: "PthreadsRuntime"):
+        self._runtime = runtime
+        self._counter = itertools.count()
+
+    # -- thread lifecycle ------------------------------------------------------
+
+    def create(
+        self, fn: Callable[..., Any], *args: Any, name: str | None = None
+    ) -> TaskHandle:
+        """``pthread_create``: start ``fn(*args)`` on a new thread."""
+        label = name or f"pthread:{next(self._counter)}"
+        return self._runtime.executor.spawn(lambda: fn(*args), label)
+
+    def join(self, handle: TaskHandle) -> Any:
+        """``pthread_join``: wait for a thread; return its result."""
+        return handle.join()
+
+    def self_id(self) -> str:
+        """``pthread_self``: the current task's label."""
+        return current_task_label() or "main"
+
+    # -- synchronisation factories -----------------------------------------------
+
+    def mutex(self, name: str = "mutex") -> Mutex:
+        """A fresh named :class:`~repro.pthreads.sync.Mutex`."""
+        return Mutex(self._runtime.executor, name)
+
+    def cond(self, mutex: Mutex, name: str = "cond") -> CondVar:
+        """A condition variable bound to ``mutex``."""
+        return CondVar(self._runtime.executor, mutex, name)
+
+    def semaphore(self, value: int = 0, name: str = "sem") -> Semaphore:
+        """A counting semaphore with the given initial value."""
+        return Semaphore(self._runtime.executor, value, name)
+
+    def barrier(self, parties: int, name: str = "barrier") -> PthreadBarrier:
+        """A reusable barrier sized for ``parties`` threads."""
+        return PthreadBarrier(self._runtime.executor, parties, name)
+
+    def rwlock(self, name: str = "rwlock") -> RWLock:
+        """A writer-preferring reader-writer lock."""
+        return RWLock(self._runtime.executor, name)
+
+    # -- scheduling hooks -----------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Offer the scheduler a switch point (lockstep visibility)."""
+        self._runtime.executor.checkpoint()
+
+    def race_window(self) -> None:
+        """Injectable preemption gap for the race patternlets."""
+        if self._runtime.executor.mode == "lockstep":
+            self._runtime.executor.checkpoint()
+        else:
+            jitter = self._runtime.race_jitter
+            time.sleep(jitter if jitter > 0 else 0)
+
+
+class PthreadsRuntime:
+    """Runner for pthreads-style programs."""
+
+    def __init__(
+        self,
+        *,
+        mode: str = "thread",
+        seed: int = 0,
+        policy: str = "random",
+        deadlock_timeout: float = 30.0,
+        race_jitter: float = 0.0,
+        executor: Executor | None = None,
+    ):
+        self.executor = executor or make_executor(
+            mode, seed=seed, policy=policy, deadlock_timeout=deadlock_timeout
+        )
+        self.race_jitter = race_jitter
+
+    def run(self, program: Callable[[PthreadContext], Any]) -> Any:
+        """Run ``program(pt)`` as the managed initial thread; return its result.
+
+        Exceptions in the initial thread (including
+        :class:`~repro.errors.TaskFailedError` from joining a crashed
+        thread) propagate as a
+        :class:`~repro.errors.ParallelError` from the underlying executor.
+        """
+        ctx = PthreadContext(self)
+        group = self.executor.run_tasks(
+            [lambda: program(ctx)], ["pthread:main"], group_label="pthreads"
+        )
+        return group.results()[0]

@@ -1,0 +1,418 @@
+"""Deterministic lockstep executor.
+
+Tasks are real threads, but exactly one holds the *token* at any moment and
+control transfers only at explicit switch points:
+
+- ``checkpoint()`` — called by the runtimes after every observable action
+  (a print, a message send, a race-window entry);
+- ``wait_until(pred)`` — the task blocks; the token moves on;
+- task completion.
+
+At each switch the executor first re-evaluates the predicates of blocked
+tasks (promoting the satisfied ones to runnable), then asks its
+:class:`~repro.sched.policy.Policy` which runnable task runs next.  With a
+seeded :class:`~repro.sched.policy.RandomPolicy` the complete interleaving —
+and therefore the output order, the outcome of a data race, whether a
+deadlock manifests — is a pure function of the seed.  This gives the
+patternlets a *replay* capability the paper's C versions lack: "run it again
+with seed 7" shows the same lost update every time.
+
+If the runnable set empties while blocked tasks remain, every task is woken
+with a :class:`~repro.errors.DeadlockError` naming each blocked task and
+what it was waiting for.
+
+Limitations (documented, enforced): one lockstep world at a time per
+executor — concurrent ``run_tasks`` calls from *different unmanaged threads*
+are rejected; nested ``run_tasks`` from inside a managed task (hybrid
+MPI+OpenMP patternlets) is fully supported.  Managed tasks must not block on
+raw OS primitives the executor cannot see; the runtimes in this library
+never do.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.errors import DeadlockError, ParallelError, SchedulerError
+from repro.sched.base import (
+    Executor,
+    TaskGroup,
+    TaskHandle,
+    TaskRecord,
+    set_task_label,
+)
+from repro.sched.policy import Policy, RandomPolicy
+
+__all__ = ["LockstepExecutor"]
+
+_NEW = "new"
+_RUNNABLE = "runnable"
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_DONE = "done"
+
+
+class _TaskState:
+    __slots__ = (
+        "tid",
+        "label",
+        "status",
+        "event",
+        "pred",
+        "describe",
+        "group",
+        "record",
+    )
+
+    def __init__(self, tid: int, label: str, group: "_GroupState", record: TaskRecord):
+        self.tid = tid
+        self.label = label
+        self.status = _NEW
+        self.event = threading.Event()
+        self.pred: Callable[[], bool] | None = None
+        self.describe = ""
+        self.group = group
+        self.record = record
+
+
+class _GroupState:
+    __slots__ = ("group", "remaining", "done_event")
+
+    def __init__(self, group: TaskGroup, size: int):
+        self.group = group
+        self.remaining = size
+        self.done_event = threading.Event()
+
+
+class LockstepExecutor(Executor):
+    """Deterministic, seed-replayable cooperative executor."""
+
+    mode = "lockstep"
+
+    #: Trace entries beyond this are dropped (the trace is a teaching aid,
+    #: not a log; unbounded growth would bloat long benchmark runs).
+    TRACE_LIMIT = 200_000
+
+    def __init__(self, *, policy: Policy | None = None, max_steps: int = 5_000_000):
+        self.policy = policy if policy is not None else RandomPolicy(0)
+        #: Hard cap on scheduler switches; a runaway loop aborts instead of
+        #: hanging the session.
+        self.max_steps = max_steps
+        self._lock = threading.Lock()
+        self._tasks: dict[int, _TaskState] = {}
+        self._current: int | None = None
+        self._next_tid = 0
+        self._steps = 0
+        self._aborted: BaseException | None = None
+        self._trace: list[tuple[str, str]] = []
+        self._tls = threading.local()
+
+    # -- introspection -------------------------------------------------------
+
+    def steps(self) -> Iterator[tuple[str, str]]:
+        """Recorded ``(event, task_label)`` scheduling trace, in order."""
+        return iter(list(self._trace))
+
+    @property
+    def step_count(self) -> int:
+        return self._steps
+
+    # -- Executor interface --------------------------------------------------
+
+    def run_tasks(
+        self,
+        thunks: Sequence[Callable[[], Any]],
+        labels: Sequence[str],
+        *,
+        group_label: str = "group",
+        on_group: Callable[[TaskGroup], None] | None = None,
+    ) -> TaskGroup:
+        if len(thunks) != len(labels):
+            raise ValueError("thunks and labels must have equal length")
+        group = TaskGroup(label=group_label)
+        group.records = [TaskRecord(i, labels[i]) for i in range(len(thunks))]
+        if on_group is not None:
+            on_group(group)
+        if not thunks:
+            return group
+        gstate = _GroupState(group, len(thunks))
+
+        caller = self._current_state()
+        with self._lock:
+            if self._aborted is not None:
+                raise SchedulerError("executor already aborted; create a new one")
+            if caller is None and self._current is not None:
+                raise SchedulerError(
+                    "lockstep executor already driving a task group from "
+                    "another thread; use one outer run_tasks at a time"
+                )
+            states = []
+            for rec, thunk in zip(group.records, thunks):
+                tid = self._next_tid
+                self._next_tid += 1
+                st = _TaskState(tid, rec.label, gstate, rec)
+                self._tasks[tid] = st
+                states.append((st, thunk))
+
+        threads = []
+        for st, thunk in states:
+            t = threading.Thread(
+                target=self._task_main,
+                args=(st, thunk),
+                name=f"{group_label}:{st.label}",
+                daemon=True,
+            )
+            threads.append(t)
+            t.start()
+        with self._lock:
+            for st, _ in states:
+                st.status = _RUNNABLE
+
+        if caller is not None:
+            # Nested fork-join from inside a managed task: the parent simply
+            # blocks until its children are all done; the children are now
+            # runnable and the normal switching machinery drives them.
+            self.wait_until(
+                lambda: gstate.remaining == 0,
+                describe=f"completion of nested group {group_label!r}",
+            )
+        else:
+            # Outer call from an unmanaged thread: hand the token to the
+            # first task, then sleep until the group completes (or aborts).
+            with self._lock:
+                first = self._pick_next_locked(current_ok=None)
+                if first is not None:
+                    self._hand_token_locked(first)
+            gstate.done_event.wait()
+            if self._aborted is not None:
+                # Give every task thread a moment to unwind before raising.
+                for t in threads:
+                    t.join(timeout=5.0)
+                # A real task failure often *causes* the subsequent
+                # deadlock (its orphaned peers block forever); report the
+                # root cause, with the deadlock among the failures.
+                genuine = [
+                    f
+                    for f in group.failures()
+                    if f.cause is not self._aborted
+                    and not isinstance(f.cause, DeadlockError)
+                ]
+                if genuine:
+                    raise ParallelError(group.failures())
+                raise self._aborted
+
+        for t in threads:
+            t.join(timeout=5.0)
+        self._raise_group_failures(group)
+        return group
+
+    def spawn(self, thunk: Callable[[], Any], label: str) -> TaskHandle:
+        caller = self._current_state()
+        if caller is None:
+            raise SchedulerError(
+                "lockstep spawn requires a managed caller: run the program's "
+                "main under run_tasks (e.g. PthreadsRuntime.run)"
+            )
+        record = TaskRecord(0, label)
+        group = TaskGroup(label=f"spawn:{label}", records=[record])
+        gstate = _GroupState(group, 1)
+        with self._lock:
+            if self._aborted is not None:
+                raise SchedulerError("executor already aborted; create a new one")
+            tid = self._next_tid
+            self._next_tid += 1
+            st = _TaskState(tid, label, gstate, record)
+            self._tasks[tid] = st
+        thread = threading.Thread(
+            target=self._task_main, args=(st, thunk), name=f"spawn:{label}", daemon=True
+        )
+        thread.start()
+        with self._lock:
+            st.status = _RUNNABLE
+
+        def waiter() -> None:
+            self.wait_until(
+                lambda: gstate.remaining == 0,
+                describe=f"join of spawned task {label!r}",
+            )
+            thread.join(timeout=5.0)
+
+        return TaskHandle(record, waiter)
+
+    def checkpoint(self) -> None:
+        me = self._current_state()
+        if me is None:
+            return
+        self._check_abort()
+        with self._lock:
+            nxt = self._pick_next_locked(current_ok=me)
+            if nxt is None or nxt is me:
+                return
+            me.status = _RUNNABLE
+            self._hand_token_locked(nxt)
+        self._await_token(me)
+
+    def wait_until(
+        self, pred: Callable[[], bool], *, describe: str = "condition"
+    ) -> None:
+        me = self._current_state()
+        if me is None:
+            # Unmanaged thread (e.g. the pytest main thread polling some
+            # state): poll politely.  Rare, but keeps the API total.
+            while not pred():
+                if self._aborted is not None:
+                    raise self._aborted
+                threading.Event().wait(0.001)
+            return
+        while not pred():
+            self._check_abort()
+            with self._lock:
+                me.status = _BLOCKED
+                me.pred = pred
+                me.describe = describe
+                self._trace_add(("block", me.label))
+                nxt = self._pick_next_locked(current_ok=None)
+                if nxt is None:
+                    self._abort_locked(self._deadlock_locked())
+                    break
+                self._hand_token_locked(nxt)
+            self._await_token(me)
+        self._check_abort()
+        with self._lock:
+            me.pred = None
+            me.describe = ""
+
+    def notify(self) -> None:
+        # State changes only propagate at switch points, so every notify is
+        # also a preemption opportunity; this is what lets a seeded run
+        # interleave sends with receives, prints with prints, and so on.
+        self.checkpoint()
+
+    # -- internals -----------------------------------------------------------
+
+    def _trace_add(self, entry: tuple[str, str]) -> None:
+        if len(self._trace) < self.TRACE_LIMIT:
+            self._trace.append(entry)
+
+    def _current_state(self) -> _TaskState | None:
+        tid = getattr(self._tls, "tid", None)
+        if tid is None:
+            return None
+        return self._tasks.get(tid)
+
+    def _task_main(self, st: _TaskState, thunk: Callable[[], Any]) -> None:
+        self._tls.tid = st.tid
+        set_task_label(st.label)
+        self._await_token(st, first=True)
+        try:
+            if self._aborted is None:
+                st.record.result = thunk()
+        except _AbortUnwind:
+            st.record.exception = self._aborted
+            st.group.group.failed = True
+        except BaseException as exc:  # noqa: BLE001 - reported via group
+            st.record.exception = exc
+            st.group.group.failed = True
+        finally:
+            set_task_label(None)
+            self._tls.tid = None
+            self._finish(st)
+
+    def _await_token(self, st: _TaskState, *, first: bool = False) -> None:
+        st.event.wait()
+        st.event.clear()
+        if self._aborted is not None and first:
+            # Woken only to unwind; _task_main handles it.
+            return
+        if self._aborted is not None:
+            raise _AbortUnwind()
+
+    def _check_abort(self) -> None:
+        if self._aborted is not None:
+            raise _AbortUnwind()
+
+    def _hand_token_locked(self, nxt: _TaskState) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            self._abort_locked(
+                SchedulerError(
+                    f"lockstep step limit exceeded ({self.max_steps}); "
+                    "probable livelock"
+                )
+            )
+            return
+        nxt.status = _RUNNING
+        self._current = nxt.tid
+        self._trace_add(("run", nxt.label))
+        nxt.event.set()
+
+    def _pick_next_locked(self, current_ok: _TaskState | None) -> _TaskState | None:
+        # Promote blocked tasks whose predicates came true.
+        for st in self._tasks.values():
+            if st.status == _BLOCKED and st.pred is not None and st.pred():
+                st.status = _RUNNABLE
+                self._trace_add(("wake", st.label))
+        runnable = sorted(
+            tid
+            for tid, st in self._tasks.items()
+            if st.status == _RUNNABLE or (current_ok is not None and st is current_ok)
+        )
+        if not runnable:
+            return None
+        cur = current_ok.tid if current_ok is not None else None
+        chosen = self.policy.choose(runnable, cur)
+        if chosen not in self._tasks:
+            raise SchedulerError(f"policy chose unknown task id {chosen}")
+        return self._tasks[chosen]
+
+    def _finish(self, st: _TaskState) -> None:
+        with self._lock:
+            st.status = _DONE
+            self._trace_add(("done", st.label))
+            st.group.remaining -= 1
+            group_done = st.group.remaining == 0
+            self._current = None
+            nxt = self._pick_next_locked(current_ok=None)
+            if nxt is not None:
+                self._hand_token_locked(nxt)
+            else:
+                live = [
+                    t for t in self._tasks.values() if t.status in (_BLOCKED, _RUNNING)
+                ]
+                if live and self._aborted is None:
+                    self._abort_locked(self._deadlock_locked())
+            if group_done:
+                st.group.done_event.set()
+            # Garbage-collect finished tasks so long sessions stay small.
+            if all(t.status == _DONE for t in self._tasks.values()):
+                self._tasks.clear()
+                self._current = None
+
+    def _deadlock_locked(self) -> DeadlockError:
+        blocked = {
+            st.label: st.describe or "unspecified condition"
+            for st in self._tasks.values()
+            if st.status == _BLOCKED
+        }
+        detail = "; ".join(f"{k} waiting for: {v}" for k, v in sorted(blocked.items()))
+        return DeadlockError(
+            f"deadlock: all live tasks are blocked ({detail})", blocked=blocked
+        )
+
+    def _abort_locked(self, exc: BaseException) -> None:
+        if self._aborted is None:
+            self._aborted = exc
+        # Wake everything; each task unwinds via _AbortUnwind, and every
+        # group waiter is released.
+        for st in self._tasks.values():
+            if st.status in (_BLOCKED, _RUNNABLE, _RUNNING):
+                st.group.group.failed = True
+                st.event.set()
+        groups = {id(st.group): st.group for st in self._tasks.values()}
+        for g in groups.values():
+            g.done_event.set()
+
+
+class _AbortUnwind(BaseException):
+    """Internal unwind signal; never escapes the executor."""

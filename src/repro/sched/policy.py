@@ -1,0 +1,128 @@
+"""Switch policies for the lockstep executor.
+
+A policy answers one question: given the ordered list of runnable task ids
+(and the id of the task currently holding the token, if it is among them),
+which task runs next?  Policies are deliberately tiny, deterministic state
+machines so an interleaving is fully reproducible from ``(policy, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+__all__ = [
+    "Policy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "FifoPolicy",
+    "LifoPolicy",
+    "make_policy",
+]
+
+
+class Policy(ABC):
+    """Chooses the next task to run from the runnable set."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def choose(self, runnable: Sequence[int], current: int | None) -> int:
+        """Return the id of the next task to run.
+
+        ``runnable`` is non-empty and sorted ascending; ``current`` is the
+        id of the task performing the switch if it is itself still runnable
+        (a voluntary ``checkpoint``), else ``None``.
+        """
+
+
+class RandomPolicy(Policy):
+    """Uniform random choice from a seeded PRNG.
+
+    This is the default: it mimics the nondeterminism of a real scheduler
+    (different seeds give the varied outputs of the paper's figures) while
+    keeping each run exactly reproducible.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, runnable: Sequence[int], current: int | None) -> int:
+        return self._rng.choice(list(runnable))
+
+
+class RoundRobinPolicy(Policy):
+    """Cycle through tasks in id order, starting after the current task."""
+
+    name = "roundrobin"
+
+    def __init__(self, seed: int = 0):  # seed accepted for API uniformity
+        self._last: int | None = None
+
+    def choose(self, runnable: Sequence[int], current: int | None) -> int:
+        pivot = current if current is not None else self._last
+        chosen = None
+        if pivot is not None:
+            for tid in runnable:
+                if tid > pivot:
+                    chosen = tid
+                    break
+        if chosen is None:
+            chosen = runnable[0]
+        self._last = chosen
+        return chosen
+
+
+class FifoPolicy(Policy):
+    """Always run the lowest-id runnable task (run-to-completion order).
+
+    Under FIFO a task keeps the token until it blocks or finishes, which
+    produces the fully *serialised* outputs (like the paper's single-thread
+    figures) even with many tasks — useful as a contrast case in demos.
+    """
+
+    name = "fifo"
+
+    def __init__(self, seed: int = 0):
+        pass
+
+    def choose(self, runnable: Sequence[int], current: int | None) -> int:
+        if current is not None and current in runnable:
+            return current
+        return runnable[0]
+
+
+class LifoPolicy(Policy):
+    """Always run the highest-id runnable task."""
+
+    name = "lifo"
+
+    def __init__(self, seed: int = 0):
+        pass
+
+    def choose(self, runnable: Sequence[int], current: int | None) -> int:
+        if current is not None and current == runnable[-1]:
+            return current
+        return runnable[-1]
+
+
+_POLICIES: dict[str, type[Policy]] = {
+    RandomPolicy.name: RandomPolicy,
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    FifoPolicy.name: FifoPolicy,
+    LifoPolicy.name: LifoPolicy,
+}
+
+
+def make_policy(name: str, *, seed: int = 0) -> Policy:
+    """Construct a policy by name (``random``/``roundrobin``/``fifo``/``lifo``)."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_POLICIES))
+        raise ValueError(f"unknown policy {name!r} (known: {known})") from None
+    return cls(seed=seed)

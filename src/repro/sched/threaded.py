@@ -1,0 +1,138 @@
+"""Real-OS-thread executor.
+
+Each task of a fork-join group is a genuine ``threading.Thread``, so
+interleavings are decided by the operating system exactly as they are for
+the paper's C programs.  The only additions over raw threads are:
+
+- a single global condition variable implementing ``wait_until``/``notify``
+  (every state change wakes every waiter, which then re-check their
+  predicates — simple and correct at teaching scale);
+- a watchdog inside ``wait_until``: if a predicate stays false for
+  ``deadlock_timeout`` seconds with *no* intervening ``notify`` anywhere in
+  the runtime, the wait aborts with :class:`~repro.errors.DeadlockError`
+  instead of hanging the test suite.  Legitimate long waits keep being fed
+  by notifies (message arrivals, barrier arrivals) and never trip it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+from repro.errors import DeadlockError
+from repro.sched.base import (
+    Executor,
+    TaskGroup,
+    TaskHandle,
+    TaskRecord,
+    set_task_label,
+)
+
+__all__ = ["ThreadExecutor"]
+
+
+class ThreadExecutor(Executor):
+    """Executor backed by real OS threads (nondeterministic interleavings)."""
+
+    mode = "thread"
+
+    def __init__(self, *, deadlock_timeout: float = 30.0):
+        if deadlock_timeout <= 0:
+            raise ValueError("deadlock_timeout must be positive")
+        #: Seconds of notify-free blocking after which a wait is declared dead.
+        self.deadlock_timeout = deadlock_timeout
+        self._cond = threading.Condition()
+        self._progress = 0  # bumped by every notify()
+
+    # -- Executor interface -------------------------------------------------
+
+    def run_tasks(
+        self,
+        thunks: Sequence[Callable[[], Any]],
+        labels: Sequence[str],
+        *,
+        group_label: str = "group",
+        on_group: Callable[[TaskGroup], None] | None = None,
+    ) -> TaskGroup:
+        if len(thunks) != len(labels):
+            raise ValueError("thunks and labels must have equal length")
+        group = TaskGroup(label=group_label)
+        group.records = [TaskRecord(i, labels[i]) for i in range(len(thunks))]
+        if on_group is not None:
+            on_group(group)
+
+        def runner(record: TaskRecord, thunk: Callable[[], Any]) -> None:
+            set_task_label(record.label)
+            try:
+                record.result = thunk()
+            except BaseException as exc:  # noqa: BLE001 - reported via group
+                record.exception = exc
+                group.failed = True
+                self.notify()  # unblock teammates so they can observe failure
+            finally:
+                set_task_label(None)
+
+        threads = [
+            threading.Thread(
+                target=runner,
+                args=(rec, thunk),
+                name=f"{group_label}:{rec.label}",
+                daemon=True,
+            )
+            for rec, thunk in zip(group.records, thunks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        self._raise_group_failures(group)
+        return group
+
+    def spawn(self, thunk: Callable[[], Any], label: str) -> TaskHandle:
+        record = TaskRecord(0, label)
+
+        def runner() -> None:
+            set_task_label(label)
+            try:
+                record.result = thunk()
+            except BaseException as exc:  # noqa: BLE001 - reported via handle
+                record.exception = exc
+                self.notify()
+            finally:
+                set_task_label(None)
+
+        thread = threading.Thread(target=runner, name=f"spawn:{label}", daemon=True)
+        thread.start()
+        return TaskHandle(record, thread.join)
+
+    def checkpoint(self) -> None:
+        # The OS preempts wherever it likes; nothing to do.  (A sleep(0)
+        # here would only distort the timing patternlets.)
+        pass
+
+    def wait_until(
+        self, pred: Callable[[], bool], *, describe: str = "condition"
+    ) -> None:
+        deadline_window = self.deadlock_timeout
+        with self._cond:
+            while not pred():
+                seen = self._progress
+                waited = 0.0
+                # Wait in short slices so a notify that raced with our
+                # predicate check is picked up quickly.
+                while not pred() and self._progress == seen:
+                    slice_ = min(0.5, deadline_window - waited)
+                    if slice_ <= 0:
+                        raise DeadlockError(
+                            f"no progress for {self.deadlock_timeout:.1f}s "
+                            f"while waiting for: {describe}",
+                            blocked={describe: "timed out"},
+                        )
+                    self._cond.wait(slice_)
+                    waited += slice_
+
+    def notify(self) -> None:
+        with self._cond:
+            self._progress += 1
+            self._cond.notify_all()

@@ -1,0 +1,43 @@
+"""Shared-memory (OpenMP-analogue) runtime.
+
+Public surface::
+
+    from repro.smp import SmpRuntime, Schedule, SharedCell
+
+    rt = SmpRuntime(num_threads=4)
+    rt.parallel(lambda ctx: print(ctx.thread_num))
+    total = rt.parallel_for(8, lambda i, ctx: i, reduction="+").reduction
+
+See :mod:`repro.smp.runtime` for the full directive vocabulary and the
+DESIGN.md substitution table for how this maps onto the paper's C+OpenMP
+patternlets.
+"""
+
+from repro.smp.race import SharedCell
+from repro.smp.runtime import (
+    ExecutionContext,
+    SmpCosts,
+    SmpRuntime,
+    Team,
+    TeamResult,
+    get_wtime,
+)
+from repro.smp.schedule import Schedule, equal_chunk_bounds, static_iterations
+from repro.smp.sync import AtomicGuard, OrderedCursor, TeamBarrier, TicketLock
+
+__all__ = [
+    "SmpRuntime",
+    "SmpCosts",
+    "Team",
+    "TeamResult",
+    "ExecutionContext",
+    "Schedule",
+    "SharedCell",
+    "TeamBarrier",
+    "TicketLock",
+    "AtomicGuard",
+    "OrderedCursor",
+    "static_iterations",
+    "equal_chunk_bounds",
+    "get_wtime",
+]

@@ -1,0 +1,168 @@
+"""Loop schedules for the *Parallel Loop* pattern.
+
+The paper demonstrates two static variants (``parallelLoopEqualChunks``,
+``parallelLoopChunksOf1``) and mentions patternlets for "different chunk
+sizes or scheduling algorithms".  This module implements the full OpenMP
+schedule family:
+
+- ``static`` (no chunk): iterations split into one contiguous chunk per
+  thread, as equal as possible — thread 0 gets iterations ``0..⌈n/t⌉-1``
+  and so on, reproducing Figure 15's 0-3 / 4-7 split.
+- ``static, chunk``: fixed-size chunks dealt round-robin; chunk 1 is the
+  cyclic/striped deal of ``parallelLoopChunksOf1``.
+- ``dynamic, chunk``: first-come-first-served chunks from a shared counter.
+- ``guided, chunk``: like dynamic, but each grab takes ``⌈remaining/t⌉``
+  iterations (never below ``chunk``), shrinking exponentially.
+
+Static assignments are pure functions (:func:`static_iterations`), which is
+what the property-based tests exercise: for every ``(n, t, schedule)`` the
+per-thread index sets must partition ``range(n)`` exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import ScheduleError
+
+__all__ = [
+    "Schedule",
+    "static_iterations",
+    "equal_chunk_bounds",
+    "chunk_starts",
+]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A loop schedule specification.
+
+    Build one with the class methods (``Schedule.static()``,
+    ``Schedule.static(chunk=1)``, ``Schedule.dynamic(2)``,
+    ``Schedule.guided()``) or parse an OpenMP-style string with
+    :meth:`parse` (``"static"``, ``"static,4"``, ``"dynamic"``,
+    ``"guided,2"``).
+    """
+
+    kind: str
+    chunk: int | None = None
+
+    _KINDS = ("static", "dynamic", "guided")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ScheduleError(
+                f"unknown schedule kind {self.kind!r} (known: {self._KINDS})"
+            )
+        if self.chunk is not None and self.chunk <= 0:
+            raise ScheduleError(f"chunk must be positive, got {self.chunk}")
+        if self.kind == "dynamic" and self.chunk is None:
+            object.__setattr__(self, "chunk", 1)
+        if self.kind == "guided" and self.chunk is None:
+            object.__setattr__(self, "chunk", 1)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def static(cls, chunk: int | None = None) -> "Schedule":
+        """Equal contiguous chunks (default) or round-robin chunks of ``chunk``."""
+        return cls("static", chunk)
+
+    @classmethod
+    def dynamic(cls, chunk: int = 1) -> "Schedule":
+        """First-come-first-served chunks of ``chunk`` iterations."""
+        return cls("dynamic", chunk)
+
+    @classmethod
+    def guided(cls, chunk: int = 1) -> "Schedule":
+        """Exponentially shrinking self-scheduled chunks (min size ``chunk``)."""
+        return cls("guided", chunk)
+
+    @classmethod
+    def parse(cls, text: str) -> "Schedule":
+        """Parse ``"kind"`` or ``"kind,chunk"`` (OpenMP clause spelling)."""
+        parts = [p.strip() for p in text.split(",")]
+        if len(parts) == 1:
+            return cls(parts[0], None)
+        if len(parts) == 2:
+            try:
+                chunk = int(parts[1])
+            except ValueError:
+                raise ScheduleError(f"bad chunk in schedule {text!r}") from None
+            return cls(parts[0], chunk)
+        raise ScheduleError(f"bad schedule spec {text!r}")
+
+    @property
+    def is_static(self) -> bool:
+        return self.kind == "static"
+
+    def __str__(self) -> str:
+        if self.chunk is None:
+            return self.kind
+        return f"{self.kind},{self.chunk}"
+
+
+def equal_chunk_bounds(n: int, num_threads: int, tid: int) -> tuple[int, int]:
+    """The ``[start, stop)`` bounds of thread ``tid``'s equal chunk.
+
+    This is exactly the arithmetic of the paper's MPI
+    ``parallelLoopEqualChunks.c`` (Figure 16): ``chunkSize = ⌈n / t⌉``,
+    ``start = tid * chunkSize``, and the *last* thread absorbs the remainder
+    (its stop is clamped to ``n``).  Threads whose start falls beyond ``n``
+    get an empty range.
+    """
+    if num_threads <= 0:
+        raise ScheduleError("num_threads must be positive")
+    if not 0 <= tid < num_threads:
+        raise ScheduleError(f"tid {tid} out of range for {num_threads} threads")
+    if n <= 0:
+        return (0, 0)
+    chunk_size = math.ceil(n / num_threads)
+    start = tid * chunk_size
+    if tid < num_threads - 1:
+        stop = (tid + 1) * chunk_size
+    else:
+        stop = n
+    start = min(start, n)
+    stop = min(max(stop, start), n)
+    return (start, stop)
+
+
+def chunk_starts(n: int, chunk: int) -> Iterator[int]:
+    """Start offsets of consecutive ``chunk``-sized blocks covering ``range(n)``."""
+    return iter(range(0, max(n, 0), chunk))
+
+
+def static_iterations(
+    schedule: Schedule, n: int, num_threads: int, tid: int
+) -> list[int]:
+    """The iteration indices thread ``tid`` executes under a static schedule.
+
+    Raises :class:`~repro.errors.ScheduleError` for dynamic/guided schedules,
+    whose assignment depends on runtime arrival order.
+    """
+    if not schedule.is_static:
+        raise ScheduleError(
+            f"{schedule} is not static; its assignment is decided at run time"
+        )
+    if num_threads <= 0:
+        raise ScheduleError("num_threads must be positive")
+    if not 0 <= tid < num_threads:
+        raise ScheduleError(f"tid {tid} out of range for {num_threads} threads")
+    if n <= 0:
+        return []
+    if schedule.chunk is None:
+        start, stop = equal_chunk_bounds(n, num_threads, tid)
+        return list(range(start, stop))
+    out: list[int] = []
+    for block_index, start in enumerate(chunk_starts(n, schedule.chunk)):
+        if block_index % num_threads == tid:
+            out.extend(range(start, min(start + schedule.chunk, n)))
+    return out
+
+
+def coverage(schedule: Schedule, n: int, num_threads: int) -> Sequence[list[int]]:
+    """Per-thread static assignments for all threads (testing helper)."""
+    return [static_iterations(schedule, n, num_threads, t) for t in range(num_threads)]

@@ -1,0 +1,142 @@
+"""Monte Carlo pi, merge sort, search, histogram exemplars."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.histogram import STRATEGIES, histogram
+from repro.algorithms.mergesort import merge, parallel_mergesort, sequential_mergesort
+from repro.algorithms.monte_carlo import estimate_pi_mp, estimate_pi_smp
+from repro.algorithms.search import parallel_find_min, parallel_membership
+from repro.errors import ReductionError
+from repro.mp import MpRuntime
+from repro.smp import SmpRuntime
+
+
+class TestMonteCarlo:
+    def test_smp_estimate_in_range(self):
+        pi, span = estimate_pi_smp(4000, num_threads=4, seed=1)
+        assert 3.0 < pi < 3.3
+        assert span > 0
+
+    def test_mp_estimate_in_range(self):
+        pi, _ = estimate_pi_mp(4000, num_ranks=4, seed=1)
+        assert 3.0 < pi < 3.3
+
+    def test_seeded_estimates_deterministic(self):
+        a, _ = estimate_pi_smp(2000, num_threads=2, seed=5)
+        b, _ = estimate_pi_smp(2000, num_threads=2, seed=5)
+        assert a == b
+
+    def test_smp_and_mp_agree_given_same_seeding(self):
+        a, _ = estimate_pi_smp(2000, num_threads=4, seed=3)
+        b, _ = estimate_pi_mp(2000, num_ranks=4, seed=3)
+        assert a == b  # same per-task generators by construction
+
+
+class TestMergesort:
+    def test_merge_basic(self):
+        assert merge([1, 3], [2, 4]) == [1, 2, 3, 4]
+
+    def test_merge_empty_sides(self):
+        assert merge([], [1]) == [1]
+        assert merge([1], []) == [1]
+
+    def test_merge_stability(self):
+        left = [(1, "L")]
+        right = [(1, "R")]
+        assert merge(left, right) == [(1, "L"), (1, "R")]
+
+    def test_sequential_sorts(self):
+        data = [5, 2, 9, 2, 7]
+        assert sequential_mergesort(data) == sorted(data)
+
+    @pytest.mark.parametrize("depth", [0, 1, 2, 3])
+    def test_parallel_matches_sorted(self, depth):
+        rng = random.Random(depth)
+        data = [rng.randrange(100) for _ in range(80)]
+        assert parallel_mergesort(data, max_depth=depth) == sorted(data)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), max_size=60))
+    def test_parallel_sort_property(self, data):
+        assert parallel_mergesort(data, max_depth=2) == sorted(data)
+
+    def test_lockstep_deterministic(self):
+        from repro.pthreads import PthreadsRuntime
+
+        data = list(range(40, 0, -1))
+        rt = PthreadsRuntime(mode="lockstep", seed=2)
+        assert parallel_mergesort(data, max_depth=2, rt=rt) == sorted(data)
+
+
+class TestSearch:
+    def test_find_min_matches_python(self):
+        data = [9, 4, 7, 4, 8, 1, 6, 1]
+        value, index = parallel_find_min(data, num_ranks=3)
+        assert value == 1 and index == 5  # first occurrence wins
+
+    def test_find_min_single_element(self):
+        assert parallel_find_min([42], num_ranks=4) == (42, 0)
+
+    def test_find_min_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_find_min([], num_ranks=2)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=40))
+    def test_find_min_property(self, data):
+        value, index = parallel_find_min(data, num_ranks=4)
+        assert value == min(data)
+        assert index == data.index(min(data))
+
+    def test_membership(self):
+        data = list(range(0, 50, 3))
+        assert parallel_membership(data, 27, num_ranks=4)
+        assert not parallel_membership(data, 28, num_ranks=4)
+
+
+class TestHistogram:
+    def _data(self, n=400, seed=0):
+        rng = random.Random(seed)
+        return [rng.random() for _ in range(n)]
+
+    def _expected(self, data, bins=10):
+        out = [0] * bins
+        for x in data:
+            out[min(int(x * bins), bins - 1)] += 1
+        return out
+
+    @pytest.mark.parametrize("strategy", ["private", "atomic", "critical"])
+    def test_correct_strategies(self, strategy):
+        data = self._data()
+        got, _ = histogram(data, strategy=strategy, num_threads=4)
+        assert got == self._expected(data)
+
+    def test_racy_strategy_loses_counts_lockstep(self):
+        data = self._data(200)
+        rt = SmpRuntime(num_threads=4, mode="lockstep", seed=5)
+        got, _ = histogram(data, strategy="racy", num_threads=4, rt=rt)
+        assert sum(got) < len(data)
+
+    def test_bins_sum_to_n(self):
+        data = self._data(300, seed=2)
+        got, _ = histogram(data, strategy="private", num_threads=3)
+        assert sum(got) == 300
+
+    def test_out_of_range_clamped(self):
+        got, _ = histogram([-1.0, 2.0], bins=4, strategy="private", num_threads=2)
+        assert got == [1, 0, 0, 1]
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ReductionError):
+            histogram([0.5], strategy="hope")
+
+    def test_bad_bins(self):
+        with pytest.raises(ValueError):
+            histogram([0.5], bins=0)
+
+    def test_strategies_constant(self):
+        assert set(STRATEGIES) == {"racy", "atomic", "critical", "private"}

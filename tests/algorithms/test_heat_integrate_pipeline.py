@@ -1,0 +1,195 @@
+"""Heat diffusion, trapezoid integration, and pipeline exemplars."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.heat import simulate_mp, simulate_sequential, step_sequential
+from repro.algorithms.integrate import (
+    trapezoid_mp,
+    trapezoid_sequential,
+    trapezoid_smp,
+)
+from repro.algorithms.pipeline import run_pipeline
+from repro.errors import MpError, ParallelError
+from repro.mp import MpRuntime
+from repro.pthreads import PthreadsRuntime
+
+
+class TestHeatSequential:
+    def test_ends_pinned(self):
+        u = [100.0, 0.0, 0.0, 50.0]
+        out = step_sequential(u, 0.25)
+        assert out[0] == 100.0 and out[-1] == 50.0
+
+    def test_interior_relaxes_toward_neighbours(self):
+        out = step_sequential([100.0, 0.0, 0.0], 0.25)
+        assert out[1] == pytest.approx(25.0)
+
+    def test_steady_state_is_fixed_point(self):
+        # A linear profile is the 1-D steady state.
+        u = [float(i) for i in range(10)]
+        assert step_sequential(u, 0.25) == pytest.approx(u)
+
+    def test_heat_conserved_interiorly(self):
+        # With both ends at 0, total heat decays monotonically to 0.
+        u = [0.0, 10.0, 10.0, 10.0, 0.0]
+        prev = sum(u)
+        for _ in range(50):
+            u = step_sequential(u, 0.25)
+            assert sum(u) <= prev + 1e-9
+            prev = sum(u)
+
+    def test_tiny_rod(self):
+        assert step_sequential([5.0], 0.25) == [5.0]
+        assert step_sequential([5.0, 7.0], 0.25) == [5.0, 7.0]
+
+
+class TestHeatDistributed:
+    def rod(self, n=24):
+        rod = [0.0] * n
+        rod[0], rod[-1] = 100.0, 50.0
+        return rod
+
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 4, 5])
+    def test_matches_sequential_exactly(self, ranks):
+        rod = self.rod()
+        ref = simulate_sequential(rod, steps=20)
+        got, _ = simulate_mp(
+            rod, steps=20, num_ranks=ranks, runtime=MpRuntime(mode="lockstep")
+        )
+        assert got == pytest.approx(ref, abs=1e-12)
+
+    def test_thread_mode(self):
+        rod = self.rod(16)
+        ref = simulate_sequential(rod, steps=10)
+        got, _ = simulate_mp(rod, steps=10, num_ranks=3)
+        assert got == pytest.approx(ref, abs=1e-12)
+
+    def test_span_falls_with_ranks(self):
+        rod = self.rod(40)
+        spans = {}
+        for ranks in (1, 2, 4):
+            _, spans[ranks] = simulate_mp(
+                rod, steps=12, num_ranks=ranks, runtime=MpRuntime(mode="lockstep")
+            )
+        assert spans[1] > spans[2] > spans[4]
+
+    def test_uneven_split_supported(self):
+        rod = self.rod(23)  # 23 cells over 4 ranks: 6,6,6,5
+        ref = simulate_sequential(rod, steps=8)
+        got, _ = simulate_mp(
+            rod, steps=8, num_ranks=4, runtime=MpRuntime(mode="lockstep")
+        )
+        assert got == pytest.approx(ref, abs=1e-12)
+
+    def test_too_many_ranks_rejected(self):
+        with pytest.raises(MpError):
+            simulate_mp([1.0, 2.0], steps=1, num_ranks=5)
+
+    def test_tiny_rod_rejected(self):
+        with pytest.raises(MpError):
+            simulate_mp([1.0], steps=1, num_ranks=1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(6, 30),
+        steps=st.integers(1, 10),
+        ranks=st.integers(1, 4),
+        seed=st.integers(0, 5),
+    )
+    def test_distributed_equals_sequential_property(self, n, steps, ranks, seed):
+        rng = random.Random(seed)
+        rod = [rng.uniform(0, 100) for _ in range(n)]
+        ref = simulate_sequential(rod, steps=steps)
+        got, _ = simulate_mp(
+            rod, steps=steps, num_ranks=ranks, runtime=MpRuntime(mode="lockstep")
+        )
+        assert got == pytest.approx(ref, abs=1e-9)
+
+
+class TestTrapezoid:
+    def test_exact_for_linear(self):
+        assert trapezoid_sequential(lambda x: 2 * x, 0, 1, 7) == pytest.approx(1.0)
+
+    def test_pi_estimate(self):
+        val = trapezoid_sequential(lambda x: 4 / (1 + x * x), 0, 1, 500)
+        assert val == pytest.approx(math.pi, abs=1e-4)
+
+    @pytest.mark.parametrize("tasks", [1, 2, 3, 8])
+    def test_smp_matches_sequential_bitwise(self, tasks):
+        f = lambda x: math.sin(x) + 1
+        ref = trapezoid_sequential(f, 0, 2, 64)
+        got, _ = trapezoid_smp(f, 0, 2, 64, num_threads=tasks)
+        assert got == pytest.approx(ref, abs=1e-12)
+
+    @pytest.mark.parametrize("ranks", [1, 2, 5])
+    def test_mp_matches_sequential(self, ranks):
+        f = lambda x: x * x
+        ref = trapezoid_sequential(f, -1, 3, 48)
+        got, _ = trapezoid_mp(
+            f, -1, 3, 48, num_ranks=ranks, runtime=MpRuntime(mode="lockstep")
+        )
+        assert got == pytest.approx(ref, abs=1e-12)
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            trapezoid_sequential(lambda x: x, 0, 1, 0)
+        with pytest.raises(ValueError):
+            trapezoid_smp(lambda x: x, 0, 1, 0)
+
+    def test_span_scales_down(self):
+        from repro.smp import SmpRuntime
+
+        f = lambda x: x
+        spans = {}
+        for t in (1, 4):
+            rt = SmpRuntime(num_threads=t, mode="lockstep")
+            _, spans[t] = trapezoid_smp(f, 0, 1, 400, num_threads=t, rt=rt)
+        assert spans[4] < spans[1]
+
+
+class TestPipeline:
+    STAGES = [lambda x: x + 1, lambda x: x * 2]
+
+    def test_transforms_in_stage_order(self):
+        out = run_pipeline([1, 2, 3], self.STAGES)
+        assert out == [4, 6, 8]
+
+    def test_preserves_item_order(self):
+        rt = PthreadsRuntime(mode="lockstep", seed=9)
+        out = run_pipeline(range(20), self.STAGES, rt=rt)
+        assert out == [(x + 1) * 2 for x in range(20)]
+
+    def test_empty_stage_list(self):
+        assert run_pipeline([1, 2], []) == [1, 2]
+
+    def test_empty_items(self):
+        assert run_pipeline([], self.STAGES) == []
+
+    def test_single_stage(self):
+        assert run_pipeline([5], [str]) == ["5"]
+
+    def test_capacity_one(self):
+        rt = PthreadsRuntime(mode="lockstep", seed=1)
+        out = run_pipeline(range(6), self.STAGES, capacity=1, rt=rt)
+        assert out == [(x + 1) * 2 for x in range(6)]
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            run_pipeline([1], self.STAGES, capacity=0)
+
+    def test_deterministic_lockstep(self):
+        a = run_pipeline(range(10), self.STAGES, rt=PthreadsRuntime(mode="lockstep", seed=4))
+        b = run_pipeline(range(10), self.STAGES, rt=PthreadsRuntime(mode="lockstep", seed=4))
+        assert a == b
+
+    def test_stage_exception_propagates(self):
+        def boom(x):
+            raise RuntimeError("stage died")
+
+        with pytest.raises(ParallelError):
+            run_pipeline([1], [boom], rt=PthreadsRuntime(mode="lockstep"))

@@ -1,0 +1,153 @@
+"""N-body ring pipeline and 2-D heat diffusion exemplars."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.heat import simulate2d_mp, simulate2d_sequential, step2d_sequential
+from repro.algorithms.nbody import (
+    Body,
+    forces_mp,
+    forces_sequential,
+    make_bodies,
+    step_bodies,
+)
+from repro.errors import MpError
+from repro.mp import MpRuntime
+
+
+def _close(a, b, tol=1e-12):
+    return abs(a[0] - b[0]) < tol and abs(a[1] - b[1]) < tol
+
+
+class TestNbodySequential:
+    def test_two_bodies_attract(self):
+        bodies = [Body(0.0, 0.0), Body(1.0, 0.0)]
+        f = forces_sequential(bodies)
+        assert f[0][0] > 0 and f[1][0] < 0  # toward each other
+        assert f[0][0] == pytest.approx(-f[1][0])  # Newton's third law
+
+    def test_forces_scale_with_mass(self):
+        light = forces_sequential([Body(0, 0), Body(1, 0, mass=1.0)])
+        heavy = forces_sequential([Body(0, 0), Body(1, 0, mass=2.0)])
+        assert heavy[0][0] == pytest.approx(2 * light[0][0])
+
+    def test_third_law_with_unequal_masses(self):
+        f = forces_sequential([Body(0, 0, mass=3.0), Body(1, 0.4, mass=0.5)])
+        assert f[0][0] == pytest.approx(-f[1][0])
+        assert f[0][1] == pytest.approx(-f[1][1])
+
+    def test_momentum_conserved_from_rest(self):
+        bodies = make_bodies(9, seed=5)
+        state = bodies
+        for _ in range(5):
+            forces = forces_sequential(state)
+            state = step_bodies(state, forces, dt=0.05)
+        px = sum(b.vx * b.mass for b in state)
+        py = sum(b.vy * b.mass for b in state)
+        assert px == pytest.approx(0.0, abs=1e-9)
+        assert py == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetric_cluster_net_zero(self):
+        bodies = [Body(1, 0), Body(-1, 0), Body(0, 1), Body(0, -1)]
+        f = forces_sequential(bodies)
+        net = (sum(x for x, _ in f), sum(y for _, y in f))
+        assert net[0] == pytest.approx(0.0, abs=1e-12)
+        assert net[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_step_preserves_count_and_inputs(self):
+        bodies = make_bodies(5, seed=1)
+        before = [(b.x, b.y) for b in bodies]
+        forces = forces_sequential(bodies)
+        nxt = step_bodies(bodies, forces, dt=0.1)
+        assert len(nxt) == 5
+        assert [(b.x, b.y) for b in bodies] == before  # inputs untouched
+
+
+class TestNbodyDistributed:
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 4, 5])
+    def test_matches_sequential_exactly(self, ranks):
+        bodies = make_bodies(17, seed=2)
+        ref = forces_sequential(bodies)
+        got, _ = forces_mp(bodies, num_ranks=ranks, runtime=MpRuntime(mode="lockstep"))
+        assert all(_close(a, b) for a, b in zip(got, ref))
+
+    def test_thread_mode(self):
+        bodies = make_bodies(12, seed=4)
+        ref = forces_sequential(bodies)
+        got, _ = forces_mp(bodies, num_ranks=3)
+        assert all(_close(a, b) for a, b in zip(got, ref))
+
+    def test_span_falls_with_ranks(self):
+        bodies = make_bodies(32, seed=0)
+        spans = {}
+        for ranks in (1, 2, 4):
+            _, spans[ranks] = forces_mp(
+                bodies, num_ranks=ranks, runtime=MpRuntime(mode="lockstep")
+            )
+        assert spans[1] > spans[2] > spans[4]
+
+    def test_too_few_bodies_rejected(self):
+        with pytest.raises(MpError):
+            forces_mp(make_bodies(2), num_ranks=4)
+
+    @settings(max_examples=6, deadline=None)
+    @given(n=st.integers(4, 20), ranks=st.integers(1, 4), seed=st.integers(0, 9))
+    def test_distributed_equals_sequential_property(self, n, ranks, seed):
+        bodies = make_bodies(n, seed=seed)
+        ref = forces_sequential(bodies)
+        got, _ = forces_mp(bodies, num_ranks=ranks, runtime=MpRuntime(mode="lockstep"))
+        assert all(_close(a, b, 1e-9) for a, b in zip(got, ref))
+
+
+class TestHeat2D:
+    def plate(self, rows=8, cols=12, seed=0):
+        rng = random.Random(seed)
+        return [[rng.uniform(0, 100) for _ in range(cols)] for _ in range(rows)]
+
+    def test_edges_pinned(self):
+        plate = self.plate(4, 4)
+        out = step2d_sequential(plate, 0.125)
+        assert out[0] == plate[0] and out[-1] == plate[-1]
+        assert [r[0] for r in out] == [r[0] for r in plate]
+
+    def test_uniform_plate_is_fixed_point(self):
+        plate = [[5.0] * 6 for _ in range(5)]
+        assert step2d_sequential(plate, 0.125) == plate
+
+    @pytest.mark.parametrize("shape", [(1, 1), (2, 2), (2, 3), (4, 2), (1, 4)])
+    def test_matches_sequential_exactly(self, shape):
+        plate = self.plate()
+        ref = simulate2d_sequential(plate, steps=5)
+        got, _ = simulate2d_mp(
+            plate, steps=5, grid_shape=shape, runtime=MpRuntime(mode="lockstep")
+        )
+        assert all(
+            a == pytest.approx(b, abs=1e-12)
+            for ra, rb in zip(got, ref)
+            for a, b in zip(ra, rb)
+        )
+
+    def test_thread_mode(self):
+        plate = self.plate(6, 6, seed=3)
+        ref = simulate2d_sequential(plate, steps=3)
+        got, _ = simulate2d_mp(plate, steps=3, grid_shape=(2, 2))
+        flat_got = [v for row in got for v in row]
+        flat_ref = [v for row in ref for v in row]
+        assert flat_got == pytest.approx(flat_ref, abs=1e-12)
+
+    def test_non_dividing_tiles_rejected(self):
+        with pytest.raises(MpError):
+            simulate2d_mp(self.plate(7, 12), steps=1, grid_shape=(2, 2))
+
+    def test_span_falls_with_grid(self):
+        plate = self.plate(8, 8, seed=1)
+        _, s1 = simulate2d_mp(
+            plate, steps=4, grid_shape=(1, 1), runtime=MpRuntime(mode="lockstep")
+        )
+        _, s4 = simulate2d_mp(
+            plate, steps=4, grid_shape=(2, 2), runtime=MpRuntime(mode="lockstep")
+        )
+        assert s4 < s1

@@ -1,0 +1,65 @@
+"""Odd-even transposition sort."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.oddeven import odd_even_sort
+from repro.errors import MpError
+from repro.mp import MpRuntime
+
+
+class TestOddEvenSort:
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 4, 6])
+    def test_sorts_random_data(self, ranks):
+        rng = random.Random(ranks)
+        data = [rng.randrange(1000) for _ in range(37)]
+        got, _ = odd_even_sort(
+            data, num_ranks=ranks, runtime=MpRuntime(mode="lockstep")
+        )
+        assert got == sorted(data)
+
+    def test_thread_mode(self):
+        data = list(range(20, 0, -1))
+        got, _ = odd_even_sort(data, num_ranks=4)
+        assert got == sorted(data)
+
+    def test_already_sorted(self):
+        data = list(range(12))
+        got, _ = odd_even_sort(data, num_ranks=3, runtime=MpRuntime(mode="lockstep"))
+        assert got == data
+
+    def test_reverse_sorted_worst_case(self):
+        data = list(range(16, 0, -1))
+        got, _ = odd_even_sort(data, num_ranks=4, runtime=MpRuntime(mode="lockstep"))
+        assert got == sorted(data)
+
+    def test_duplicates_preserved(self):
+        data = [3, 1, 3, 1, 3, 1, 2, 2]
+        got, _ = odd_even_sort(data, num_ranks=4, runtime=MpRuntime(mode="lockstep"))
+        assert got == sorted(data)
+
+    def test_strings_sort(self):
+        data = ["pear", "apple", "fig", "date", "cherry"]
+        got, _ = odd_even_sort(data, num_ranks=2, runtime=MpRuntime(mode="lockstep"))
+        assert got == sorted(data)
+
+    def test_too_few_items_rejected(self):
+        with pytest.raises(MpError):
+            odd_even_sort([1, 2], num_ranks=4)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        data=st.lists(st.integers(-100, 100), min_size=1, max_size=40),
+        ranks=st.integers(1, 5),
+        seed=st.integers(0, 10),
+    )
+    def test_sort_property(self, data, ranks, seed):
+        if len(data) < ranks:
+            ranks = len(data)
+        got, _ = odd_even_sort(
+            data, num_ranks=ranks, runtime=MpRuntime(mode="lockstep", seed=seed)
+        )
+        assert got == sorted(data)

@@ -1,0 +1,63 @@
+"""The paper's red-pixel Reduction walk-through (Section III.D)."""
+
+import pytest
+
+from repro.algorithms.red_pixels import (
+    PAPER_PARTIALS,
+    count_red_mp,
+    count_red_sequential,
+    count_red_smp,
+    is_red,
+    make_image,
+)
+
+
+class TestImage:
+    def test_paper_partials_by_construction(self):
+        img = make_image()
+        chunk = 100
+        for k, want in enumerate(PAPER_PARTIALS):
+            block = img[k * chunk : (k + 1) * chunk]
+            assert sum(1 for p in block if is_red(p)) == want
+
+    def test_total_is_42(self):
+        assert count_red_sequential(make_image()) == sum(PAPER_PARTIALS) == 42
+
+    def test_custom_partials(self):
+        img = make_image(partials=(1, 2, 3), chunk=10)
+        assert count_red_sequential(img) == 6
+
+    def test_overfull_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            make_image(partials=(11,), chunk=10)
+
+    def test_is_red_classifier(self):
+        assert is_red((200, 30, 30))
+        assert not is_red((90, 90, 90))
+        assert not is_red((100, 60, 20))
+
+
+class TestParallelCounts:
+    def test_smp_matches_paper(self, any_mode):
+        from repro.smp import SmpRuntime
+
+        img = make_image()
+        rt = SmpRuntime(num_threads=8, mode=any_mode)
+        total, partials, span = count_red_smp(img, num_threads=8, rt=rt)
+        assert total == 42
+        assert partials == list(PAPER_PARTIALS)
+
+    def test_mp_matches_paper(self, any_mode):
+        from repro.mp import MpRuntime
+
+        img = make_image()
+        rt = MpRuntime(mode=any_mode)
+        total, partials, span = count_red_mp(img, num_ranks=8, runtime=rt)
+        assert total == 42
+        assert partials == list(PAPER_PARTIALS)
+
+    @pytest.mark.parametrize("tasks", [1, 2, 3, 5, 8])
+    def test_total_independent_of_task_count(self, tasks):
+        img = make_image(seed=7)
+        total, _, _ = count_red_smp(img, num_threads=tasks)
+        assert total == 42

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sched import make_executor
+
+
+@pytest.fixture(params=["thread", "lockstep"])
+def any_mode(request):
+    """Run a test under both execution modes."""
+    return request.param
+
+
+@pytest.fixture
+def lockstep():
+    """A fresh deterministic executor with the default seed."""
+    return make_executor("lockstep", seed=0)
+
+
+@pytest.fixture
+def threaded():
+    """A real-thread executor with a short watchdog (tests must not hang)."""
+    return make_executor("thread", deadlock_timeout=5.0)

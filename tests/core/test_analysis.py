@@ -1,0 +1,75 @@
+"""Output-shape predicates (repro.core.analysis)."""
+
+from repro.core.analysis import (
+    contiguous_blocks,
+    iterations_by_task,
+    parse_hello_lines,
+    phases_interleaved,
+    phases_separated,
+    tasks_interleaved,
+)
+from repro.core.capture import CapturedRun
+
+
+def run_with(records):
+    run = CapturedRun()
+    run.records = records
+    return run
+
+
+class TestPhases:
+    def test_separated(self):
+        run = run_with([
+            ("t0", "A BEFORE"), ("t1", "B BEFORE"),
+            ("t0", "A AFTER"), ("t1", "B AFTER"),
+        ])
+        assert phases_separated(run, "BEFORE", "AFTER")
+        assert not phases_interleaved(run, "BEFORE", "AFTER")
+
+    def test_interleaved(self):
+        run = run_with([
+            ("t0", "A BEFORE"), ("t0", "A AFTER"), ("t1", "B BEFORE"),
+            ("t1", "B AFTER"),
+        ])
+        assert phases_interleaved(run, "BEFORE", "AFTER")
+        assert not phases_separated(run, "BEFORE", "AFTER")
+
+    def test_missing_phase_is_neither(self):
+        run = run_with([("t0", "A BEFORE")])
+        assert not phases_separated(run, "BEFORE", "AFTER")
+        assert not phases_interleaved(run, "BEFORE", "AFTER")
+
+
+class TestTaskInterleaving:
+    def test_overlapping_blocks(self):
+        run = run_with([("a", "1"), ("b", "1"), ("a", "2")])
+        assert tasks_interleaved(run)
+
+    def test_back_to_back_blocks(self):
+        run = run_with([("a", "1"), ("a", "2"), ("b", "1")])
+        assert not tasks_interleaved(run)
+
+    def test_single_task_never_interleaved(self):
+        assert not tasks_interleaved(run_with([("a", "1"), ("a", "2")]))
+
+
+class TestParsers:
+    def test_iterations_both_wordings(self):
+        run = run_with([
+            ("x", "Thread 0 performed iteration 3"),
+            ("x", "Process 1 performed iteration 4"),
+        ])
+        assert iterations_by_task(run) == {0: [3], 1: [4]}
+
+    def test_hello_with_hostname(self):
+        run = run_with([("x", "Hello from process 3 of 4 on node-04")])
+        assert parse_hello_lines(run) == [(3, 4, "node-04")]
+
+    def test_hello_without_hostname(self):
+        run = run_with([("x", "Hello from thread 2 of 8")])
+        assert parse_hello_lines(run) == [(2, 8, None)]
+
+    def test_contiguous(self):
+        assert contiguous_blocks([4, 5, 6])
+        assert not contiguous_blocks([4, 6])
+        assert contiguous_blocks([])

@@ -1,0 +1,103 @@
+"""Task-attributed output capture (repro.core.capture)."""
+
+from repro.core.capture import CapturedRun, OutputRecorder, capture_run, say
+from repro.smp import SmpRuntime
+
+
+class TestRecorder:
+    def test_unlabelled_output_is_main(self):
+        with OutputRecorder() as rec:
+            print("hello")
+        assert rec.run.records == [("main", "hello")]
+
+    def test_multiline_split(self):
+        with OutputRecorder() as rec:
+            print("a\nb")
+        assert rec.run.lines == ["a", "b"]
+
+    def test_partial_line_committed_at_exit(self):
+        with OutputRecorder() as rec:
+            print("no newline", end="")
+        assert rec.run.lines == ["no newline"]
+
+    def test_stdout_restored(self):
+        import sys
+
+        before = sys.stdout
+        with OutputRecorder():
+            pass
+        assert sys.stdout is before
+
+    def test_say_is_print(self):
+        with OutputRecorder() as rec:
+            say("x", 1, sep="-")
+        assert rec.run.lines == ["x-1"]
+
+
+class TestAttribution:
+    def test_smp_threads_attributed(self):
+        rt = SmpRuntime(num_threads=3, mode="lockstep", seed=1)
+        run = capture_run(lambda: rt.parallel(lambda ctx: print(ctx.thread_num)))
+        labels = {label for label, _ in run.records}
+        assert labels == {"omp:0", "omp:1", "omp:2"}
+
+    def test_by_task_groups_lines(self):
+        rt = SmpRuntime(num_threads=2, mode="lockstep", seed=1)
+
+        def body(ctx):
+            print(f"one from {ctx.thread_num}")
+            print(f"two from {ctx.thread_num}")
+
+        run = capture_run(lambda: rt.parallel(body))
+        assert run.by_task["omp:0"] == ["one from 0", "two from 0"]
+
+    def test_tasks_in_first_appearance_order(self):
+        with OutputRecorder() as rec:
+            print("x")
+        assert rec.run.tasks == ["main"]
+
+
+class TestCaptureRun:
+    def test_result_captured(self):
+        run = capture_run(lambda: 42)
+        assert run.result == 42
+
+    def test_span_lifted_from_result(self):
+        rt = SmpRuntime(num_threads=2, mode="lockstep")
+        run = capture_run(lambda: rt.parallel(lambda ctx: ctx.work(3.0)))
+        assert run.span == 3.0
+
+    def test_wall_time_positive(self):
+        assert capture_run(lambda: None).wall >= 0
+
+    def test_grep(self):
+        run = capture_run(lambda: [print(x) for x in ("cat", "dog", "catalog")])
+        assert run.grep("cat") == ["cat", "catalog"]
+
+    def test_text_joins_lines(self):
+        run = capture_run(lambda: print("a\nb"))
+        assert run.text == "a\nb"
+
+    def test_args_forwarded(self):
+        run = capture_run(lambda a, b=0: a + b, 1, b=2)
+        assert run.result == 3
+
+
+class TestEcho:
+    def test_echo_forwards_to_real_stdout(self, capsys):
+        from repro.core.capture import OutputRecorder
+
+        with OutputRecorder(echo=True) as rec:
+            print("seen twice")
+        # Recorded...
+        assert rec.run.lines == ["seen twice"]
+        # ...and echoed through to the original stream (pytest's capture).
+        assert "seen twice" in capsys.readouterr().out
+
+    def test_no_echo_by_default(self, capsys):
+        from repro.core.capture import OutputRecorder
+
+        with OutputRecorder() as rec:
+            print("recorded only")
+        assert rec.run.lines == ["recorded only"]
+        assert "recorded only" not in capsys.readouterr().out

@@ -1,0 +1,62 @@
+"""The design-pattern catalog (repro.core.patterns)."""
+
+import pytest
+
+from repro.core.patterns import (
+    CATALOG,
+    LAYERS,
+    get_pattern,
+    patterns_by_layer,
+    validate_pattern_names,
+)
+from repro.errors import RegistryError
+
+
+class TestCatalog:
+    def test_paper_named_patterns_present(self):
+        for name in (
+            "SPMD", "Barrier", "Reduction", "Parallel Loop", "Fork-Join",
+            "Master-Worker", "Mutual Exclusion", "Critical Section",
+            "Broadcast", "Scatter", "Gather", "Message Passing",
+            "Data Decomposition", "Task Decomposition",
+            "N-body Problems", "Monte Carlo Simulation",
+        ):
+            assert name in CATALOG, name
+
+    def test_layers_assigned(self):
+        assert {p.layer for p in CATALOG.values()} <= set(LAYERS)
+
+    def test_paper_layer_examples(self):
+        """Section II.B's examples sit at the layers the paper names."""
+        assert get_pattern("N-body Problems").layer == "application"
+        assert get_pattern("Monte Carlo Simulation").layer == "application"
+        assert get_pattern("Data Decomposition").layer == "algorithm-strategy"
+        assert get_pattern("Task Decomposition").layer == "algorithm-strategy"
+        assert get_pattern("Barrier").layer == "execution"
+        assert get_pattern("Reduction").layer == "execution"
+        assert get_pattern("Message Passing").layer == "execution"
+
+    def test_related_names_resolve(self):
+        for p in CATALOG.values():
+            for rel in p.related:
+                assert rel in CATALOG, (p.name, rel)
+
+    def test_by_layer_sorted(self):
+        names = [p.name for p in patterns_by_layer("execution")]
+        assert names == sorted(names) and names
+
+    def test_unknown_layer(self):
+        with pytest.raises(RegistryError):
+            patterns_by_layer("quantum")
+
+    def test_get_unknown(self):
+        with pytest.raises(RegistryError):
+            get_pattern("Time Travel")
+
+    def test_validate_names(self):
+        validate_pattern_names(("SPMD", "Barrier"))
+        with pytest.raises(RegistryError):
+            validate_pattern_names(("SPMD", "Nope"))
+
+    def test_catalog_is_reasonably_complete(self):
+        assert len(CATALOG) >= 25

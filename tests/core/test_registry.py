@@ -1,0 +1,167 @@
+"""Patternlet registry, toggles, and the run harness."""
+
+import pytest
+
+from repro.core.registry import (
+    Patternlet,
+    RunConfig,
+    all_patternlets,
+    get_patternlet,
+    inventory,
+    register,
+    run_patternlet,
+)
+from repro.core.toggles import Toggle, ToggleSet
+from repro.errors import RegistryError, ToggleError
+
+
+class TestInventory:
+    def test_paper_counts(self):
+        inv = inventory()
+        assert inv["openmp"] == 17
+        assert inv["mpi"] == 16
+        assert inv["pthreads"] == 9
+        assert inv["hybrid"] == 2
+        assert inv["total"] == 44
+
+    def test_all_patternlets_sorted(self):
+        names = [p.name for p in all_patternlets()]
+        assert names == sorted(names)
+        assert len(names) == 44
+
+    def test_backend_filter(self):
+        assert all(p.backend == "mpi" for p in all_patternlets("mpi"))
+        assert len(all_patternlets("hybrid")) == 2
+
+    def test_unknown_backend(self):
+        with pytest.raises(RegistryError):
+            all_patternlets("cuda")
+
+    def test_every_patternlet_has_exercise(self):
+        for p in all_patternlets():
+            assert p.exercise.strip(), p.name
+
+    def test_every_patternlet_teaches_known_patterns(self):
+        from repro.core.patterns import CATALOG
+
+        for p in all_patternlets():
+            for pattern in p.patterns:
+                assert pattern in CATALOG, (p.name, pattern)
+
+    def test_figures_unique_owner(self):
+        """Each paper figure is reproduced by exactly one patternlet."""
+        seen = {}
+        for p in all_patternlets():
+            for fig in p.figures:
+                assert fig not in seen, (fig, p.name, seen[fig])
+                seen[fig] = p.name
+        # The paper's behavioural figures are all covered:
+        for num in (2, 3, 5, 6, 8, 9, 11, 12, 14, 15, 17, 18, 21, 22, 24, 26, 27, 28, 30):
+            assert f"Fig. {num}" in seen, num
+
+
+class TestLookup:
+    def test_get_known(self):
+        p = get_patternlet("openmp.spmd")
+        assert p.backend == "openmp"
+
+    def test_get_unknown(self):
+        with pytest.raises(RegistryError, match="unknown patternlet"):
+            get_patternlet("openmp.nonsense")
+
+    def test_duplicate_registration_rejected(self):
+        existing = get_patternlet("openmp.spmd")
+        with pytest.raises(RegistryError, match="duplicate"):
+            register(existing)
+
+    def test_register_validates_backend(self):
+        with pytest.raises(RegistryError, match="unknown backend"):
+            register(
+                Patternlet(
+                    name="x.y", backend="cuda", summary="s",
+                    patterns=("SPMD",), main=lambda cfg: None,
+                )
+            )
+
+    def test_register_validates_patterns(self):
+        with pytest.raises(RegistryError):
+            register(
+                Patternlet(
+                    name="x.z", backend="openmp", summary="s",
+                    patterns=("Quantum Entanglement",), main=lambda cfg: None,
+                )
+            )
+
+
+class TestToggles:
+    def test_defaults(self):
+        ts = ToggleSet([Toggle("a", "#pragma", "d", default=True), Toggle("b", "x", "d")])
+        assert ts["a"] is True and ts["b"] is False
+
+    def test_overrides(self):
+        ts = ToggleSet([Toggle("a", "p", "d")], {"a": True})
+        assert ts["a"] is True
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ToggleError, match="unknown toggle"):
+            ToggleSet([Toggle("a", "p", "d")], {"zz": True})
+
+    def test_unknown_lookup_rejected(self):
+        ts = ToggleSet([])
+        with pytest.raises(ToggleError):
+            ts["missing"]
+
+    def test_enabled_list(self):
+        ts = ToggleSet(
+            [Toggle("a", "p", "d", default=True), Toggle("b", "p", "d")],
+            {"b": True},
+        )
+        assert ts.enabled() == ["a", "b"]
+
+    def test_describe_returns_declaration(self):
+        t = Toggle("barrier", "#pragma omp barrier", "desc")
+        ts = ToggleSet([t])
+        assert ts.describe("barrier").pragma == "#pragma omp barrier"
+
+    def test_iteration_and_contains(self):
+        ts = ToggleSet([Toggle("a", "p", "d")])
+        assert "a" in ts and list(ts) == ["a"]
+
+
+class TestRunHarness:
+    def test_meta_recorded(self):
+        run = run_patternlet("openmp.spmd", tasks=3, seed=5)
+        assert run.meta["patternlet"] == "openmp.spmd"
+        assert run.meta["tasks"] == 3
+        assert run.meta["seed"] == 5
+        assert run.meta["toggles"]["parallel"] is True
+
+    def test_invalid_tasks(self):
+        with pytest.raises(RegistryError):
+            run_patternlet("openmp.spmd", tasks=0)
+
+    def test_unknown_toggle_rejected(self):
+        with pytest.raises(ToggleError):
+            run_patternlet("openmp.spmd", toggles={"warp": True})
+
+    def test_extra_kwargs_reach_patternlet(self):
+        run = run_patternlet("openmp.parallelLoopEqualChunks", tasks=2, reps=4)
+        assert len(run.grep("performed iteration")) == 4
+
+    def test_default_tasks_used(self):
+        p = get_patternlet("mpi.reduction")
+        run = run_patternlet("mpi.reduction")
+        assert run.meta["tasks"] == p.default_tasks
+
+
+class TestRunConfig:
+    def test_smp_runtime_honours_config(self):
+        cfg = RunConfig(tasks=3, toggles=ToggleSet([]), mode="lockstep", seed=9)
+        rt = cfg.smp_runtime()
+        assert rt.default_num_threads == 3
+        assert rt.executor.mode == "lockstep"
+
+    def test_mp_runtime_honours_config(self):
+        cfg = RunConfig(tasks=2, toggles=ToggleSet([]), mode="thread")
+        rt = cfg.mp_runtime()
+        assert rt.executor.mode == "thread"

@@ -1,0 +1,40 @@
+"""The figure self-check harness."""
+
+import pytest
+
+from repro.core.selfcheck import FIGURE_CHECKS, CheckResult, run_selfcheck
+
+
+class TestSelfcheck:
+    def test_all_figures_pass(self):
+        results = run_selfcheck()
+        failures = [r for r in results if not r.passed]
+        assert not failures, failures
+
+    def test_covers_key_figures(self):
+        for fig in ("Fig. 2", "Fig. 9", "Fig. 22", "Fig. 24", "Fig. 28", "Fig. 30"):
+            assert fig in FIGURE_CHECKS
+
+    def test_single_figure_filter(self):
+        results = run_selfcheck(only="Fig. 5")
+        assert len(results) == 1 and results[0].figure == "Fig. 5"
+
+    def test_unknown_figure_yields_empty(self):
+        assert run_selfcheck(only="Fig. 999") == []
+
+    def test_exceptions_reported_not_raised(self, monkeypatch):
+        import repro.core.selfcheck as sc
+
+        def boom():
+            raise RuntimeError("broken check")
+
+        monkeypatch.setitem(sc.FIGURE_CHECKS, "Fig. X", ("synthetic", boom))
+        results = run_selfcheck(only="Fig. X")
+        assert len(results) == 1
+        assert not results[0].passed
+        assert "RuntimeError" in results[0].detail
+
+    def test_result_shape(self):
+        r = run_selfcheck(only="Fig. 2")[0]
+        assert isinstance(r, CheckResult)
+        assert r.description and isinstance(r.passed, bool)

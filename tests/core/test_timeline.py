@@ -1,0 +1,74 @@
+"""ASCII timeline rendering (repro.core.timeline)."""
+
+from repro.core.capture import CapturedRun, capture_run
+from repro.core.timeline import lane_order, render_run, render_trace
+from repro.sched import make_executor
+from repro.smp import SmpRuntime
+
+
+def fake_run(records):
+    run = CapturedRun()
+    run.records = records
+    return run
+
+
+class TestRenderRun:
+    def test_one_lane_per_task(self):
+        run = fake_run([("a", "x"), ("b", "y"), ("a", "z")])
+        out = render_run(run, legend=False)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a") and lines[1].startswith("b")
+
+    def test_event_numbers_land_in_producing_lane(self):
+        run = fake_run([("a", "x"), ("b", "y")])
+        out = render_run(run, legend=False).splitlines()
+        assert "1" in out[0] and "1" not in out[1].replace("b |", "")
+        assert "2" in out[1]
+
+    def test_main_lane_sorts_last(self):
+        run = fake_run([("main", "m"), ("omp:0", "x")])
+        assert lane_order(run) == ["omp:0", "main"]
+
+    def test_legend_lists_lines(self):
+        run = fake_run([("a", "hello world")])
+        out = render_run(run, legend=True)
+        assert "1. [a] hello world" in out
+
+    def test_max_events_elides(self):
+        run = fake_run([("a", str(i)) for i in range(100)])
+        out = render_run(run, max_events=10, legend=False)
+        assert "90 later events elided" in out
+
+    def test_empty_run(self):
+        assert render_run(fake_run([])) == "(no output)"
+
+    def test_real_patternlet_run(self):
+        rt = SmpRuntime(num_threads=3, mode="lockstep", seed=4)
+        run = capture_run(lambda: rt.parallel(lambda ctx: print(ctx.thread_num)))
+        out = render_run(run, legend=False)
+        assert out.count("|") == 3
+
+
+class TestRenderTrace:
+    def test_marks(self):
+        events = [("run", "a"), ("block", "a"), ("run", "b"), ("wake", "a"),
+                  ("run", "a"), ("done", "a"), ("done", "b")]
+        out = render_trace(events)
+        a_lane = next(l for l in out.splitlines() if l.startswith("a"))
+        assert "#" in a_lane and "b" in a_lane and "x" in a_lane
+
+    def test_empty(self):
+        assert render_trace([]) == "(empty trace)"
+
+    def test_real_lockstep_trace(self):
+        ex = make_executor("lockstep", seed=2)
+        ex.run_tasks([lambda: None] * 2, ["t0", "t1"])
+        out = render_trace(ex.steps())
+        assert "t0" in out and "t1" in out and "key:" in out
+
+    def test_max_steps_cap(self):
+        events = [("run", "a")] * 500
+        out = render_trace(events, max_steps=20)
+        lane = out.splitlines()[0]
+        assert lane.count("#") == 20

@@ -1,0 +1,137 @@
+"""Exam-score statistics: from-scratch inference vs scipy, paper inversion."""
+
+import math
+
+import pytest
+
+from repro.education.assessment import (
+    FALL_COHORT,
+    PAPER_P_VALUE,
+    SPRING_COHORT,
+    CohortSummary,
+    cohens_d,
+    generate_cohort,
+    infer_common_sd,
+    pooled_t_test,
+    reproduce_paper_analysis,
+    sample_stats,
+    student_t_sf,
+    welch_t_test,
+)
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestStudentT:
+    @pytest.mark.parametrize(
+        "t,df",
+        [(0.0, 1), (0.5, 3), (1.0, 10), (2.5, 30), (-1.3, 7), (4.0, 77), (0.05, 2.5)],
+    )
+    def test_matches_scipy(self, t, df):
+        assert student_t_sf(t, df) == pytest.approx(
+            scipy_stats.t.sf(t, df), abs=1e-10
+        )
+
+    def test_symmetry(self):
+        assert student_t_sf(1.7, 9) + student_t_sf(-1.7, 9) == pytest.approx(1.0)
+
+    def test_zero_is_half(self):
+        assert student_t_sf(0.0, 5) == pytest.approx(0.5)
+
+    def test_bad_df(self):
+        with pytest.raises(ValueError):
+            student_t_sf(1.0, 0)
+
+
+class TestTwoSampleTests:
+    def test_pooled_matches_scipy(self):
+        res = pooled_t_test(3.05, 0.8, 38, 2.95, 0.8, 41)
+        t_ref, p_ref = scipy_stats.ttest_ind_from_stats(
+            3.05, 0.8, 38, 2.95, 0.8, 41, equal_var=True
+        )
+        assert res.t == pytest.approx(t_ref)
+        assert res.p_two_tailed == pytest.approx(p_ref)
+
+    def test_welch_matches_scipy(self):
+        res = welch_t_test(3.05, 0.66, 38, 2.95, 0.81, 41)
+        t_ref, p_ref = scipy_stats.ttest_ind_from_stats(
+            3.05, 0.66, 38, 2.95, 0.81, 41, equal_var=False
+        )
+        assert res.t == pytest.approx(t_ref)
+        assert res.p_two_tailed == pytest.approx(p_ref)
+
+    def test_identical_samples_p_near_one(self):
+        res = pooled_t_test(3.0, 0.5, 40, 3.0, 0.5, 40)
+        assert res.p_two_tailed == pytest.approx(1.0)
+
+    def test_significance_helper(self):
+        res = pooled_t_test(4.0, 0.2, 40, 3.0, 0.2, 40)
+        assert res.significant()
+        weak = pooled_t_test(3.01, 0.9, 10, 3.0, 0.9, 10)
+        assert not weak.significant()
+
+    def test_tiny_samples_rejected(self):
+        with pytest.raises(ValueError):
+            pooled_t_test(3.0, 0.5, 1, 3.0, 0.5, 5)
+
+    def test_cohens_d(self):
+        assert cohens_d(3.5, 1.0, 30, 3.0, 1.0, 30) == pytest.approx(0.5)
+
+
+class TestPaperInversion:
+    def test_published_aggregates(self):
+        assert FALL_COHORT.n == 41 and FALL_COHORT.mean == 2.95
+        assert SPRING_COHORT.n == 38 and SPRING_COHORT.mean == 3.05
+        assert PAPER_P_VALUE == 0.293
+
+    @pytest.mark.parametrize("tails", [1, 2])
+    def test_inferred_sd_reproduces_p(self, tails):
+        sd = infer_common_sd(tails=tails)
+        res = pooled_t_test(3.05, sd, 38, 2.95, sd, 41)
+        p = res.p_one_tailed if tails == 1 else res.p_two_tailed
+        assert p == pytest.approx(PAPER_P_VALUE, abs=1e-6)
+
+    def test_implied_sds_are_plausible_exam_spreads(self):
+        assert 0.3 < infer_common_sd(tails=2) < 0.6
+        assert 0.6 < infer_common_sd(tails=1) < 1.1
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            infer_common_sd(p_value=0.0)
+        with pytest.raises(ValueError):
+            infer_common_sd(tails=3)
+
+    def test_full_reproduction_bundle(self):
+        out = reproduce_paper_analysis(seed=1)
+        assert out["improvement_pct"] == pytest.approx(2.5)
+        assert not out["test_1tailed"].significant()
+        assert not out["synthetic"]["pooled"].significant()
+
+
+class TestSyntheticCohorts:
+    def test_mean_matches_published(self):
+        scores = generate_cohort(FALL_COHORT, sd=0.8, seed=3)
+        mean, _ = sample_stats(scores)
+        assert mean == pytest.approx(FALL_COHORT.mean, abs=0.01)
+
+    def test_size_matches(self):
+        assert len(generate_cohort(SPRING_COHORT, 0.8, seed=0)) == 38
+
+    def test_scores_on_grading_grid(self):
+        for s in generate_cohort(FALL_COHORT, 0.8, seed=2):
+            assert 0.0 <= s <= 4.0
+            assert (s / 0.25) == pytest.approx(round(s / 0.25))
+
+    def test_deterministic_per_seed(self):
+        a = generate_cohort(FALL_COHORT, 0.8, seed=9)
+        b = generate_cohort(FALL_COHORT, 0.8, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert generate_cohort(FALL_COHORT, 0.8, seed=1) != generate_cohort(
+            FALL_COHORT, 0.8, seed=2
+        )
+
+    def test_cohort_validation(self):
+        with pytest.raises(ValueError):
+            CohortSummary("tiny", n=1, mean=3.0)

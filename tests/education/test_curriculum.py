@@ -1,0 +1,50 @@
+"""Curriculum map and CS2 week schedules."""
+
+from repro.core import get_patternlet
+from repro.education.curriculum import (
+    CS2_WEEK_FALL,
+    CS2_WEEK_SPRING,
+    CURRICULUM,
+    courses_using,
+)
+
+
+class TestCurriculum:
+    def test_five_courses(self):
+        assert len(CURRICULUM) == 5
+        assert [c.code for c in CURRICULUM] == ["CS2", "CS3", "PL", "OSNET", "HPC"]
+
+    def test_pdc_in_required_core(self):
+        """Every student is exposed: required courses cover PDC topics."""
+        required = [c for c in CURRICULUM if c.required]
+        assert len(required) == 4
+        assert all(c.pdc_topics for c in required)
+
+    def test_hpc_is_elective_depth(self):
+        hpc = CURRICULUM[-1]
+        assert not hpc.required
+        assert "CUDA" in hpc.pdc_topics
+
+    def test_courses_using_backends(self):
+        assert {c.code for c in courses_using("openmp")} >= {"CS2", "CS3"}
+        assert any(c.code == "HPC" for c in courses_using("hybrid"))
+
+
+class TestCS2Week:
+    def test_both_weeks_same_days(self):
+        assert [s.day for s in CS2_WEEK_FALL] == [s.day for s in CS2_WEEK_SPRING]
+
+    def test_fall_has_no_patternlets(self):
+        assert all(not s.patternlets for s in CS2_WEEK_FALL)
+
+    def test_spring_changes_monday_and_wednesday(self):
+        spring = {s.day: s for s in CS2_WEEK_SPRING}
+        assert spring["Monday"].kind == "live-coding"
+        assert spring["Wednesday"].kind == "live-coding"
+        assert spring["Tuesday"].kind == "lab"  # unchanged
+        assert spring["Friday"].kind == "active-learning"  # unchanged
+
+    def test_spring_patternlets_exist_in_registry(self):
+        for session in CS2_WEEK_SPRING:
+            for name in session.patternlets:
+                assert get_patternlet(name).backend == "openmp"

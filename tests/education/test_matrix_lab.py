@@ -1,0 +1,92 @@
+"""The CS2 matrix lab (repro.education.matrix_lab)."""
+
+import pytest
+
+from repro.education.matrix_lab import Matrix, lab_report, time_operation
+from repro.smp import SmpRuntime
+
+
+class TestMatrix:
+    def test_zeros(self):
+        m = Matrix.zeros(2, 3)
+        assert m.shape == (2, 3) and m[0, 2] == 0.0
+
+    def test_random_deterministic(self):
+        assert Matrix.random(4, 4, seed=1) == Matrix.random(4, 4, seed=1)
+
+    def test_add(self):
+        a = Matrix([[1, 2], [3, 4]])
+        b = Matrix([[10, 20], [30, 40]])
+        assert a.add(b) == Matrix([[11, 22], [33, 44]])
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Matrix.zeros(2, 2).add(Matrix.zeros(3, 2))
+
+    def test_transpose(self):
+        m = Matrix([[1, 2, 3], [4, 5, 6]])
+        assert m.transpose() == Matrix([[1, 4], [2, 5], [3, 6]])
+
+    def test_transpose_involution(self):
+        m = Matrix.random(5, 7, seed=2)
+        assert m.transpose().transpose() == m
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            Matrix([[1, 2], [3]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Matrix([])
+
+
+class TestParallelOps:
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_padd_matches_sequential(self, threads, any_mode):
+        a, b = Matrix.random(10, 10, seed=0), Matrix.random(10, 10, seed=1)
+        rt = SmpRuntime(num_threads=threads, mode=any_mode)
+        got, team = a.padd(b, rt)
+        assert got == a.add(b)
+        assert team.size == threads
+
+    @pytest.mark.parametrize("threads", [1, 3])
+    def test_ptranspose_matches_sequential(self, threads, any_mode):
+        a = Matrix.random(8, 12, seed=3)
+        rt = SmpRuntime(num_threads=threads, mode=any_mode)
+        got, _ = a.ptranspose(rt)
+        assert got == a.transpose()
+
+    def test_span_halves_with_threads(self):
+        a, b = Matrix.random(16, 16, seed=0), Matrix.random(16, 16, seed=1)
+        spans = {}
+        for t in (1, 2, 4):
+            rt = SmpRuntime(num_threads=t, mode="lockstep")
+            _, team = a.padd(b, rt)
+            spans[t] = team.span
+        assert spans[1] == 2 * spans[2] == 4 * spans[4]
+
+
+class TestLabReport:
+    def test_report_structure(self):
+        rep = lab_report(size=20, thread_counts=(1, 2))
+        assert rep["size"] == 20
+        assert len(rep["rows"]) == 4  # 2 ops x 2 thread counts
+        for row in rep["rows"]:
+            assert row["correct"]
+            assert row["wall"] >= 0
+
+    def test_speedup_curve_shape(self):
+        rep = lab_report(size=24, thread_counts=(1, 2, 4))
+        adds = [r for r in rep["rows"] if r["operation"] == "add"]
+        speedups = [r["speedup"] for r in adds]
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups == sorted(speedups)  # monotone in threads
+        assert speedups[-1] == pytest.approx(4.0, rel=0.05)
+
+    def test_efficiency_bounded(self):
+        rep = lab_report(size=20, thread_counts=(1, 2))
+        assert all(0 < r["efficiency"] <= 1.01 for r in rep["rows"])
+
+    def test_time_operation(self):
+        value, wall = time_operation(lambda: "x")
+        assert value == "x" and wall >= 0

@@ -1,0 +1,37 @@
+"""The autograded exam (repro.education.quiz)."""
+
+import pytest
+
+from repro.education.quiz import EXAM, correct_answers, grade
+
+
+class TestQuiz:
+    def test_four_questions(self):
+        assert len(EXAM) == 4  # "four final exam questions"
+
+    def test_key_is_computable_and_stable(self):
+        key = correct_answers()
+        assert key == correct_answers()
+        assert all(0 <= k < len(q.choices) for k, q in zip(key, EXAM))
+
+    def test_expected_key_values(self):
+        # 4 greetings; thread 1 gets 4-7; "at most 200"; 4 tree steps.
+        assert correct_answers() == [1, 1, 2, 2]
+
+    def test_perfect_score(self):
+        assert grade(correct_answers()) == 4.0
+
+    def test_partial_score(self):
+        key = correct_answers()
+        responses = list(key)
+        responses[0] = (key[0] + 1) % len(EXAM[0].choices)
+        assert grade(responses) == 3.0
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            grade([0, 1])
+
+    def test_topics_cover_the_week(self):
+        topics = " ".join(q.topic for q in EXAM)
+        for word in ("SPMD", "loop", "race", "reduction"):
+            assert word.lower() in topics.lower() or word in topics

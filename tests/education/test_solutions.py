@@ -1,0 +1,37 @@
+"""The instructor answer key must stay correct (it asserts internally)."""
+
+import pytest
+
+from repro.education import solutions
+
+
+class TestSolutions:
+    def test_spmd_line_count(self):
+        counts = solutions.spmd_line_count_formula(max_threads=5)
+        assert counts == {t: t + 2 for t in range(1, 6)}
+
+    def test_remainder_owners(self):
+        sizes = solutions.equal_chunk_remainder_owners(n=10, threads=4)
+        assert sizes == {0: 3, 1: 3, 2: 3, 3: 1}
+
+    def test_cyclic_balance(self):
+        result = solutions.cyclic_vs_equal_balance()
+        assert result["cyclic_spread"] < result["equal_chunks_spread"]
+
+    def test_minimum_racy_count(self):
+        worst = solutions.minimum_racy_count(threads=4, reps=30)
+        assert 2 <= worst < 120
+
+    def test_race_loss_chart(self):
+        losses = solutions.race_loss_by_thread_count(reps=30)
+        assert losses[1] == 0 and losses[4] > 0
+
+    def test_after_lines_reorder(self):
+        assert solutions.barrier_after_lines_can_reorder()
+
+    def test_tree_levels(self):
+        levels = solutions.reduction_tree_levels()
+        assert levels[8] == 3 and levels[64] == 6 and levels[3] == 2
+
+    def test_gather_prediction(self):
+        assert solutions.gather_prediction(4)[:4] == [0, 1, 2, 10]

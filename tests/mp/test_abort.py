@@ -1,0 +1,35 @@
+"""MPI_Abort analogue."""
+
+import pytest
+
+from repro.errors import MpError, ParallelError
+from repro.mp import mpirun
+
+
+class TestAbort:
+    def test_abort_raises_in_caller(self, any_mode):
+        def main(comm):
+            comm.abort("going down")
+
+        with pytest.raises(ParallelError) as ei:
+            mpirun(1, main, mode=any_mode)
+        assert "going down" in str(ei.value.causes[0])
+
+    def test_abort_unblocks_other_ranks(self, any_mode):
+        def main(comm):
+            if comm.rank == 0:
+                comm.abort("rank 0 bails")
+            comm.recv(source=0)  # would otherwise hang forever
+
+        with pytest.raises(ParallelError) as ei:
+            mpirun(3, main, mode=any_mode, deadlock_timeout=5.0)
+        assert all(isinstance(c, MpError) for c in ei.value.causes)
+
+    def test_abort_breaks_collectives(self, any_mode):
+        def main(comm):
+            if comm.rank == 1:
+                comm.abort("mid-collective")
+            comm.barrier()
+
+        with pytest.raises(ParallelError):
+            mpirun(4, main, mode=any_mode, deadlock_timeout=5.0)

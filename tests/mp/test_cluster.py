@@ -1,0 +1,69 @@
+"""Simulated cluster topology (repro.mp.cluster)."""
+
+import pytest
+
+from repro.errors import CommError
+from repro.mp import Cluster, mpirun
+
+
+class TestPlacement:
+    def test_default_one_rank_per_node(self):
+        c = Cluster()
+        assert [c.processor_name(r, 4) for r in range(4)] == [
+            "node-01", "node-02", "node-03", "node-04",
+        ]
+
+    def test_block_fills_nodes(self):
+        c = Cluster(cores_per_node=2)
+        assert [c.node_of(r, 6) for r in range(6)] == [0, 0, 1, 1, 2, 2]
+
+    def test_cyclic_deals_round_robin(self):
+        c = Cluster(cores_per_node=2, placement="cyclic")
+        assert [c.node_of(r, 6) for r in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_fixed_nodes_wrap(self):
+        c = Cluster(cores_per_node=1, num_nodes=2)
+        assert [c.node_of(r, 5) for r in range(5)] == [0, 1, 0, 1, 0]
+
+    def test_nodes_used(self):
+        assert Cluster(cores_per_node=2).nodes_used(5) == 3
+        assert Cluster().nodes_used(0) == 0
+        assert Cluster(num_nodes=2).nodes_used(8) == 2
+
+    def test_ranks_on_node(self):
+        c = Cluster(cores_per_node=2)
+        assert c.ranks_on_node(1, 6) == [2, 3]
+
+    def test_custom_name_format(self):
+        c = Cluster(name_format="compute{:d}.local")
+        assert c.processor_name(2, 4) == "compute3.local"
+
+    def test_bad_rank(self):
+        with pytest.raises(CommError):
+            Cluster().node_of(4, 4)
+
+    def test_bad_config(self):
+        with pytest.raises(CommError):
+            Cluster(cores_per_node=0)
+        with pytest.raises(CommError):
+            Cluster(num_nodes=0)
+        with pytest.raises(CommError):
+            Cluster(placement="diagonal")
+
+
+class TestInWorld:
+    def test_figure_6_hostnames(self):
+        """mpirun -np 4 on the paper's cluster: one process per node."""
+
+        def main(comm):
+            return comm.Get_processor_name()
+
+        res = mpirun(4, main, mode="lockstep")
+        assert res.results == ["node-01", "node-02", "node-03", "node-04"]
+
+    def test_multicore_nodes_share_names(self):
+        def main(comm):
+            return comm.Get_processor_name()
+
+        res = mpirun(4, main, mode="lockstep", cluster=Cluster(cores_per_node=2))
+        assert res.results == ["node-01", "node-01", "node-02", "node-02"]

@@ -1,0 +1,344 @@
+"""Collective operations vs their sequential specifications."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CollectiveError, ParallelError
+from repro.mp import MpRuntime, mpirun
+from repro.mp import collectives as C
+from repro.ops import Op, sequential_reduce
+
+
+def run(n, main, mode="lockstep", seed=0, **kw):
+    if mode == "thread":
+        kw.setdefault("deadlock_timeout", 5.0)
+    return mpirun(n, main, mode=mode, seed=seed, **kw)
+
+
+class TestTreeStructure:
+    def test_parent_clears_lowest_bit(self):
+        assert C.binomial_parent(1) == 0
+        assert C.binomial_parent(6) == 4
+        assert C.binomial_parent(7) == 6
+        assert C.binomial_parent(12) == 8
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(CollectiveError):
+            C.binomial_parent(0)
+
+    def test_children_of_root(self):
+        assert C.binomial_children(0, 8) == [1, 2, 4]
+        assert C.binomial_children(0, 16) == [1, 2, 4, 8]
+
+    def test_children_clip_to_size(self):
+        assert C.binomial_children(0, 6) == [1, 2, 4]
+        assert C.binomial_children(4, 6) == [5]
+
+    def test_leaf_has_no_children(self):
+        assert C.binomial_children(7, 8) == []
+
+    @given(size=st.integers(1, 64))
+    def test_tree_is_spanning(self, size):
+        """Every node except 0 has exactly one parent; all reachable."""
+        reached = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for child in C.binomial_children(node, size):
+                assert child not in reached
+                reached.add(child)
+                frontier.append(child)
+        assert reached == set(range(size))
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("np", [1, 2, 3, 5, 8])
+    def test_barrier_orders_phases(self, np, any_mode):
+        log = []
+
+        def main(comm):
+            log.append(("pre", comm.rank))
+            comm.world.executor.checkpoint()
+            comm.barrier()
+            log.append(("post", comm.rank))
+
+        run(np, main, mode=any_mode)
+        pres = [i for i, (p, _) in enumerate(log) if p == "pre"]
+        posts = [i for i, (p, _) in enumerate(log) if p == "post"]
+        assert max(pres) < min(posts)
+
+    def test_central_barrier_equivalent(self, any_mode):
+        log = []
+
+        def main(comm):
+            log.append(("pre", comm.rank))
+            comm.world.executor.checkpoint()
+            C.barrier_central(comm)
+            log.append(("post", comm.rank))
+
+        run(4, main, mode=any_mode)
+        pres = [i for i, (p, _) in enumerate(log) if p == "pre"]
+        posts = [i for i, (p, _) in enumerate(log) if p == "post"]
+        assert max(pres) < min(posts)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("np,root", [(1, 0), (2, 0), (5, 3), (8, 7), (9, 4)])
+    def test_all_receive_roots_value(self, np, root, any_mode):
+        def main(comm):
+            obj = {"data": list(range(5))} if comm.rank == root else None
+            return comm.bcast(obj, root=root)
+
+        res = run(np, main, mode=any_mode)
+        assert all(r == {"data": [0, 1, 2, 3, 4]} for r in res.results)
+
+    def test_root_gets_private_copy(self, any_mode):
+        def main(comm):
+            obj = [1] if comm.rank == 0 else None
+            got = comm.bcast(obj, root=0)
+            got.append(2)
+            return obj
+
+        res = run(2, main, mode=any_mode)
+        assert res.results[0] == [1]  # root's original unmutated
+
+    def test_linear_bcast_same_result(self, any_mode):
+        def main(comm):
+            return C.bcast_linear(comm, "v" if comm.rank == 0 else None, root=0)
+
+        assert run(4, main, mode=any_mode).results == ["v"] * 4
+
+    def test_bad_root(self, any_mode):
+        with pytest.raises(ParallelError) as ei:
+            run(2, lambda comm: comm.bcast(1, root=9), mode=any_mode)
+        assert any(isinstance(c, CollectiveError) for c in ei.value.causes)
+
+
+class TestScatterGather:
+    def test_scatter_deals_in_rank_order(self, any_mode):
+        def main(comm):
+            data = [f"slice{r}" for r in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        res = run(4, main, mode=any_mode)
+        assert res.results == ["slice0", "slice1", "slice2", "slice3"]
+
+    def test_scatter_wrong_count_raises(self, any_mode):
+        def main(comm):
+            comm.scatter([1, 2, 3] if comm.rank == 0 else None, root=0)
+
+        with pytest.raises(ParallelError) as ei:
+            run(2, main, mode=any_mode)
+        assert any(isinstance(c, CollectiveError) for c in ei.value.causes)
+
+    def test_scatter_missing_data_raises(self, any_mode):
+        with pytest.raises(ParallelError) as ei:
+            run(2, lambda comm: comm.scatter(None, root=0), mode=any_mode)
+        assert any(isinstance(c, CollectiveError) for c in ei.value.causes)
+
+    @pytest.mark.parametrize("np,root", [(2, 0), (4, 0), (6, 0), (5, 2)])
+    def test_gather_rank_order(self, np, root, any_mode):
+        def main(comm):
+            return comm.gather(comm.rank * 10, root=root)
+
+        res = run(np, main, mode=any_mode)
+        for r, value in enumerate(res.results):
+            if r == root:
+                assert value == [k * 10 for k in range(np)]
+            else:
+                assert value is None
+
+    def test_paper_gather_figure(self, any_mode):
+        """Figure 26: per-rank [r*10, r*10+1, r*10+2] gathers to a flat list."""
+
+        def main(comm):
+            arr = [comm.rank * 10 + i for i in range(3)]
+            chunks = comm.gather(arr, root=0)
+            if comm.rank == 0:
+                return [v for c in chunks for v in c]
+            return None
+
+        res = run(2, main, mode=any_mode)
+        assert res.results[0] == [0, 1, 2, 10, 11, 12]
+
+    def test_scatter_then_gather_roundtrip(self, any_mode):
+        def main(comm):
+            data = list(range(comm.size)) if comm.rank == 0 else None
+            mine = comm.scatter(data, root=0)
+            return comm.gather(mine, root=0)
+
+        res = run(5, main, mode=any_mode)
+        assert res.results[0] == list(range(5))
+
+    def test_allgather_identical_everywhere(self, any_mode):
+        def main(comm):
+            return comm.allgather(comm.rank ** 2)
+
+        res = run(5, main, mode=any_mode)
+        assert all(r == [0, 1, 4, 9, 16] for r in res.results)
+
+    def test_alltoall_transpose(self, any_mode):
+        def main(comm):
+            out = comm.alltoall([f"{comm.rank}->{j}" for j in range(comm.size)])
+            return out
+
+        res = run(4, main, mode=any_mode)
+        for j, row in enumerate(res.results):
+            assert row == [f"{i}->{j}" for i in range(4)]
+
+    def test_alltoall_wrong_count(self, any_mode):
+        with pytest.raises(ParallelError) as ei:
+            run(3, lambda comm: comm.alltoall([1, 2]), mode=any_mode)
+        assert any(isinstance(c, CollectiveError) for c in ei.value.causes)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("np", [1, 2, 3, 4, 7, 8, 10])
+    def test_sum_of_squares(self, np, any_mode):
+        def main(comm):
+            return comm.reduce((comm.rank + 1) ** 2, op="SUM", root=0)
+
+        res = run(np, main, mode=any_mode)
+        assert res.results[0] == sum((r + 1) ** 2 for r in range(np))
+        assert all(v is None for v in res.results[1:])
+
+    def test_paper_figure_24(self, any_mode):
+        def main(comm):
+            sq = (comm.rank + 1) ** 2
+            return (comm.reduce(sq, "SUM", 0), comm.reduce(sq, "MAX", 0))
+
+        res = run(10, main, mode=any_mode)
+        assert res.results[0] == (385, 100)
+
+    @pytest.mark.parametrize("root", [0, 1, 3])
+    def test_nonzero_root(self, root, any_mode):
+        def main(comm):
+            return comm.reduce(comm.rank, op="SUM", root=root)
+
+        res = run(4, main, mode=any_mode)
+        assert res.results[root] == 6
+
+    def test_non_commutative_rank_order(self, any_mode):
+        concat = Op.create(lambda a, b: a + b, name="CONCAT", commutative=False)
+
+        def main(comm):
+            return comm.reduce(chr(ord("a") + comm.rank), op=concat, root=0)
+
+        res = run(6, main, mode=any_mode)
+        assert res.results[0] == "abcdef"
+
+    def test_non_commutative_nonzero_root(self, any_mode):
+        concat = Op.create(lambda a, b: a + b, name="CONCAT", commutative=False)
+
+        def main(comm):
+            return comm.reduce(chr(ord("a") + comm.rank), op=concat, root=2)
+
+        res = run(5, main, mode=any_mode)
+        assert res.results[2] == "abcde"
+        assert all(v is None for r, v in enumerate(res.results) if r != 2)
+
+    def test_linear_reduce_same_answer(self, any_mode):
+        def main(comm):
+            return C.reduce_linear(comm, comm.rank + 1, op="PROD", root=0)
+
+        res = run(5, main, mode=any_mode)
+        assert res.results[0] == 120
+
+    def test_minloc(self, any_mode):
+        def main(comm):
+            value = abs(comm.rank - 2)  # min at rank 2
+            return comm.reduce((value, comm.rank), op="MINLOC", root=0)
+
+        assert run(5, main, mode=any_mode).results[0] == (0, 2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=st.lists(st.integers(-50, 50), min_size=1, max_size=9),
+        op_name=st.sampled_from(["SUM", "MIN", "MAX", "BXOR", "PROD"]),
+    )
+    def test_matches_sequential_spec(self, values, op_name):
+        def main(comm):
+            return comm.reduce(values[comm.rank], op=op_name, root=0)
+
+        res = run(len(values), main)
+        assert res.results[0] == sequential_reduce(op_name, values)
+
+
+class TestAllreduceScan:
+    @pytest.mark.parametrize("algorithm", ["tree", "doubling"])
+    @pytest.mark.parametrize("np", [1, 2, 4, 8])
+    def test_allreduce_pow2(self, np, algorithm, any_mode):
+        def main(comm):
+            return comm.allreduce(comm.rank + 1, op="SUM", algorithm=algorithm)
+
+        res = run(np, main, mode=any_mode)
+        expected = np * (np + 1) // 2
+        assert res.results == [expected] * np
+
+    def test_allreduce_doubling_non_pow2_falls_back(self, any_mode):
+        def main(comm):
+            return comm.allreduce(comm.rank, op="MAX", algorithm="doubling")
+
+        assert run(5, main, mode=any_mode).results == [4] * 5
+
+    def test_allreduce_bad_algorithm(self, any_mode):
+        with pytest.raises(ParallelError) as ei:
+            run(2, lambda c: c.allreduce(1, algorithm="magic"), mode=any_mode)
+        assert any(isinstance(c, CollectiveError) for c in ei.value.causes)
+
+    def test_scan_inclusive_prefix(self, any_mode):
+        def main(comm):
+            return comm.scan(comm.rank + 1, op="SUM")
+
+        res = run(5, main, mode=any_mode)
+        assert res.results == [1, 3, 6, 10, 15]
+
+    def test_exscan_exclusive_prefix(self, any_mode):
+        def main(comm):
+            return comm.exscan(comm.rank + 1, op="SUM")
+
+        res = run(5, main, mode=any_mode)
+        assert res.results == [None, 1, 3, 6, 10]
+
+    @settings(max_examples=15, deadline=None)
+    @given(values=st.lists(st.integers(-20, 20), min_size=1, max_size=8))
+    def test_scan_property(self, values):
+        def main(comm):
+            return comm.scan(values[comm.rank], op="SUM")
+
+        res = run(len(values), main)
+        prefix = 0
+        for r, v in enumerate(values):
+            prefix += v
+            assert res.results[r] == prefix
+
+
+class TestMixedTraffic:
+    def test_collectives_do_not_cross_match_p2p(self, any_mode):
+        """User messages with arbitrary tags can never satisfy a collective."""
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("user traffic", dest=1, tag=0)
+            total = comm.allreduce(1, op="SUM")
+            if comm.rank == 1:
+                extra = comm.recv(source=0, tag=0)
+                return (total, extra)
+            return total
+
+        res = run(3, main, mode=any_mode)
+        assert res.results[0] == 3
+        assert res.results[1] == (3, "user traffic")
+
+    def test_back_to_back_collectives(self, any_mode):
+        def main(comm):
+            a = comm.allreduce(comm.rank, "SUM")
+            b = comm.allreduce(comm.rank, "MAX")
+            c = comm.bcast("x" if comm.rank == 1 else None, root=1)
+            comm.barrier()
+            d = comm.gather(comm.rank, root=0)
+            return (a, b, c, d if comm.rank == 0 else None)
+
+        res = run(4, main, mode=any_mode)
+        assert res.results[0] == (6, 3, "x", [0, 1, 2, 3])

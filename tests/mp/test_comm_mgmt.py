@@ -1,0 +1,113 @@
+"""Communicator management: dup, split, names, hybrid bridge."""
+
+import pytest
+
+from repro.mp import mpirun
+
+
+def run(n, main, mode="lockstep", seed=0, **kw):
+    if mode == "thread":
+        kw.setdefault("deadlock_timeout", 5.0)
+    return mpirun(n, main, mode=mode, seed=seed, **kw)
+
+
+class TestDup:
+    def test_dup_same_shape(self, any_mode):
+        def main(comm):
+            d = comm.dup()
+            return (d.rank, d.size)
+
+        res = run(3, main, mode=any_mode)
+        assert res.results == [(0, 3), (1, 3), (2, 3)]
+
+    def test_dup_isolates_traffic(self, any_mode):
+        """A message on the dup can never match a recv on the parent."""
+
+        def main(comm):
+            d = comm.dup()
+            if comm.rank == 0:
+                d.send("on dup", dest=1, tag=5)
+                comm.send("on world", dest=1, tag=5)
+                return None
+            world_msg = comm.recv(source=0, tag=5)
+            dup_msg = d.recv(source=0, tag=5)
+            return (world_msg, dup_msg)
+
+        res = run(2, main, mode=any_mode)
+        assert res.results[1] == ("on world", "on dup")
+
+    def test_mpi_spellings(self, any_mode):
+        def main(comm):
+            return (comm.Get_rank(), comm.Get_size())
+
+        assert run(2, main, mode=any_mode).results == [(0, 2), (1, 2)]
+
+
+class TestSplit:
+    def test_split_by_parity(self, any_mode):
+        def main(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            return (sub.rank, sub.size, sub.allgather(comm.rank))
+
+        res = run(6, main, mode=any_mode)
+        assert res.results[0] == (0, 3, [0, 2, 4])
+        assert res.results[1] == (0, 3, [1, 3, 5])
+        assert res.results[5] == (2, 3, [1, 3, 5])
+
+    def test_split_undefined_color(self, any_mode):
+        def main(comm):
+            sub = comm.split(color=None if comm.rank == 0 else 1, key=comm.rank)
+            if sub is None:
+                return "excluded"
+            return sub.size
+
+        res = run(3, main, mode=any_mode)
+        assert res.results == ["excluded", 2, 2]
+
+    def test_split_key_reorders_ranks(self, any_mode):
+        def main(comm):
+            # Reverse the rank order inside the new communicator.
+            sub = comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        res = run(4, main, mode=any_mode)
+        assert res.results == [3, 2, 1, 0]
+
+    def test_split_collectives_stay_inside(self, any_mode):
+        def main(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            return sub.allreduce(comm.rank, op="SUM")
+
+        res = run(6, main, mode=any_mode)
+        assert res.results == [6, 9, 6, 9, 6, 9]
+
+    def test_nested_split(self, any_mode):
+        def main(comm):
+            half = comm.split(color=comm.rank // 2, key=comm.rank)
+            solo = half.split(color=half.rank, key=0)
+            return (half.size, solo.size)
+
+        res = run(4, main, mode=any_mode)
+        assert all(r == (2, 1) for r in res.results)
+
+
+class TestHybridBridge:
+    def test_smp_runtime_shares_executor(self, any_mode):
+        def main(comm):
+            smp = comm.smp_runtime(num_threads=2)
+            assert smp.executor is comm.world.executor
+            team = smp.parallel(lambda ctx: (comm.rank, ctx.thread_num))
+            return team.results
+
+        res = run(2, main, mode=any_mode)
+        assert res.results[0] == [(0, 0), (0, 1)]
+        assert res.results[1] == [(1, 0), (1, 1)]
+
+    def test_two_level_reduction(self, any_mode):
+        def main(comm):
+            smp = comm.smp_runtime(num_threads=3)
+            team = smp.parallel(lambda ctx: ctx.reduce(1, "+"))
+            return comm.allreduce(team.results[0], op="SUM")
+
+        res = run(2, main, mode=any_mode)
+        assert res.results == [6, 6]

@@ -1,0 +1,95 @@
+"""Mailbox matching rules (repro.mp.mailbox)."""
+
+import pytest
+
+from repro.errors import CommError
+from repro.mp.mailbox import ANY_SOURCE, ANY_TAG, Mailbox, Message, validate_tag
+
+
+def msg(source=0, tag=0, ctx="c", data=b"x", arrival=0.0, sync=False):
+    return Message(
+        context=ctx, source=source, tag=tag, data=data, size=len(data),
+        arrival=arrival, sync=sync,
+    )
+
+
+class TestMatching:
+    def test_exact_match(self):
+        box = Mailbox(0)
+        box.deposit(msg(source=1, tag=5))
+        assert box.take("c", 1, 5) is not None
+
+    def test_no_match_wrong_tag(self):
+        box = Mailbox(0)
+        box.deposit(msg(tag=5))
+        assert box.take("c", ANY_SOURCE, 6) is None
+
+    def test_no_match_wrong_context(self):
+        box = Mailbox(0)
+        box.deposit(msg(ctx="other"))
+        assert box.take("c", ANY_SOURCE, ANY_TAG) is None
+
+    def test_wildcards(self):
+        box = Mailbox(0)
+        box.deposit(msg(source=3, tag=9))
+        got = box.take("c", ANY_SOURCE, ANY_TAG)
+        assert got.source == 3 and got.tag == 9
+
+    def test_fifo_order_same_channel(self):
+        box = Mailbox(0)
+        box.deposit(msg(data=b"first"))
+        box.deposit(msg(data=b"second"))
+        assert box.take("c", ANY_SOURCE, ANY_TAG).data == b"first"
+        assert box.take("c", ANY_SOURCE, ANY_TAG).data == b"second"
+
+    def test_peek_does_not_remove(self):
+        box = Mailbox(0)
+        box.deposit(msg())
+        assert box.peek("c", ANY_SOURCE, ANY_TAG) is not None
+        assert box.pending() == 1
+
+    def test_take_marks_consumed(self):
+        box = Mailbox(0)
+        m = msg(sync=True)
+        box.deposit(m)
+        box.take("c", ANY_SOURCE, ANY_TAG)
+        assert m.consumed is True
+
+    def test_consumed_messages_invisible(self):
+        box = Mailbox(0)
+        m = msg()
+        m.consumed = True
+        box.deposit(m)
+        assert box.peek("c", ANY_SOURCE, ANY_TAG) is None
+
+    def test_drain(self):
+        box = Mailbox(0)
+        box.deposit(msg())
+        box.deposit(msg())
+        assert len(box.drain()) == 2
+        assert box.pending() == 0
+
+    def test_selective_take_preserves_others(self):
+        box = Mailbox(0)
+        box.deposit(msg(tag=1, data=b"a"))
+        box.deposit(msg(tag=2, data=b"b"))
+        assert box.take("c", ANY_SOURCE, 2).data == b"b"
+        assert box.take("c", ANY_SOURCE, 1).data == b"a"
+
+
+class TestTagValidation:
+    def test_valid(self):
+        validate_tag(0)
+        validate_tag(12345)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CommError):
+            validate_tag(-1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(CommError):
+            validate_tag(True)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(CommError):
+            validate_tag("tag")

@@ -1,0 +1,86 @@
+"""reduce_scatter and ring allgather."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CollectiveError, ParallelError
+from repro.mp import mpirun
+from repro.mp import collectives as C
+
+
+class TestReduceScatter:
+    def test_elementwise_sums(self, any_mode):
+        def main(comm):
+            vec = [comm.rank * 10 + i for i in range(comm.size)]
+            return comm.reduce_scatter(vec, op="SUM")
+
+        res = mpirun(4, main, mode=any_mode)
+        assert res.results == [60, 64, 68, 72]
+
+    def test_max_op(self, any_mode):
+        def main(comm):
+            vec = [(comm.rank + 1) * (i + 1) for i in range(comm.size)]
+            return comm.reduce_scatter(vec, op="MAX")
+
+        res = mpirun(3, main, mode=any_mode)
+        assert res.results == [3, 6, 9]
+
+    def test_single_rank(self, any_mode):
+        def main(comm):
+            return comm.reduce_scatter([42], op="SUM")
+
+        assert mpirun(1, main, mode=any_mode).results == [42]
+
+    def test_wrong_length_rejected(self, any_mode):
+        with pytest.raises(ParallelError) as ei:
+            mpirun(3, lambda c: c.reduce_scatter([1, 2]), mode=any_mode)
+        assert any(isinstance(x, CollectiveError) for x in ei.value.causes)
+
+    @settings(max_examples=10, deadline=None)
+    @given(np=st.integers(1, 5), seed=st.integers(0, 20))
+    def test_matches_manual_reduction(self, np, seed):
+        import random
+
+        rng = random.Random(seed)
+        table = [[rng.randrange(-50, 50) for _ in range(np)] for _ in range(np)]
+
+        def main(comm):
+            return comm.reduce_scatter(table[comm.rank], op="SUM")
+
+        res = mpirun(np, main, mode="lockstep", seed=seed)
+        for i in range(np):
+            assert res.results[i] == sum(table[r][i] for r in range(np))
+
+
+class TestRingAllgather:
+    def test_everyone_gets_everything(self, any_mode):
+        def main(comm):
+            return C.allgather_ring(comm, comm.rank ** 2)
+
+        res = mpirun(5, main, mode=any_mode)
+        assert all(r == [0, 1, 4, 9, 16] for r in res.results)
+
+    def test_single_rank(self, any_mode):
+        def main(comm):
+            return C.allgather_ring(comm, "solo")
+
+        assert mpirun(1, main, mode=any_mode).results == [["solo"]]
+
+    def test_agrees_with_tree_allgather(self, any_mode):
+        def main(comm):
+            ring = C.allgather_ring(comm, (comm.rank, "x"))
+            tree = comm.allgather((comm.rank, "x"))
+            return ring == tree
+
+        assert all(mpirun(6, main, mode=any_mode).results)
+
+    def test_isolation_of_blocks(self, any_mode):
+        def main(comm):
+            mine = [comm.rank]
+            everyone = C.allgather_ring(comm, mine)
+            everyone[0].append(99)  # mutating a received copy
+            return mine
+
+        res = mpirun(3, main, mode=any_mode)
+        assert res.results == [[0], [1], [2]]

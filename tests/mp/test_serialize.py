@@ -1,0 +1,40 @@
+"""Copy-on-send isolation layer (repro.mp.serialize)."""
+
+import threading
+
+import pytest
+
+from repro.errors import IsolationError
+from repro.mp.serialize import deep_copy_by_value, pack, unpack
+
+
+class TestPackUnpack:
+    def test_roundtrip_scalars(self):
+        for obj in (1, 2.5, "text", True, None, b"bytes"):
+            assert unpack(pack(obj)) == obj
+
+    def test_roundtrip_containers(self):
+        obj = {"list": [1, 2], "tuple": (3, 4), "set": {5}, "nested": {"k": [6]}}
+        assert unpack(pack(obj)) == obj
+
+    def test_copy_is_independent(self):
+        original = {"items": [1, 2]}
+        copy = deep_copy_by_value(original)
+        copy["items"].append(3)
+        assert original == {"items": [1, 2]}
+
+    def test_copy_is_deep(self):
+        inner = [1]
+        copy = deep_copy_by_value({"inner": inner})
+        assert copy["inner"] is not inner
+
+    def test_unpicklable_raises_isolation_error(self):
+        with pytest.raises(IsolationError, match="cannot cross"):
+            pack(threading.Lock())
+
+    def test_isolation_error_names_type(self):
+        with pytest.raises(IsolationError, match="lock"):
+            pack(threading.Lock())
+
+    def test_size_tracks_payload(self):
+        assert len(pack("x" * 1000)) > len(pack("x"))

@@ -1,0 +1,173 @@
+"""Cartesian topologies and variable-count collectives."""
+
+import pytest
+
+from repro.errors import CommError, CollectiveError, ParallelError
+from repro.mp import mpirun
+from repro.mp.topology import dims_create
+
+
+def run(n, main, mode="lockstep", seed=0, **kw):
+    if mode == "thread":
+        kw.setdefault("deadlock_timeout", 5.0)
+    return mpirun(n, main, mode=mode, seed=seed, **kw)
+
+
+class TestDimsCreate:
+    def test_balanced_factorings(self):
+        assert dims_create(12, 2) == [4, 3]
+        assert dims_create(8, 3) == [2, 2, 2]
+        assert dims_create(6, 2) == [3, 2]
+
+    def test_prime_count(self):
+        assert dims_create(7, 2) == [7, 1]
+
+    def test_one_dim(self):
+        assert dims_create(10, 1) == [10]
+
+    def test_product_invariant(self):
+        import math
+
+        for n in (1, 2, 6, 16, 24, 36, 60):
+            for d in (1, 2, 3):
+                assert math.prod(dims_create(n, d)) == n
+
+    def test_bad_args(self):
+        with pytest.raises(CommError):
+            dims_create(0, 2)
+        with pytest.raises(CommError):
+            dims_create(4, 0)
+
+
+class TestCartComm:
+    def test_coords_row_major(self, any_mode):
+        def main(comm):
+            cart = comm.create_cart([2, 3])
+            return cart.coords
+
+        res = run(6, main, mode=any_mode)
+        assert res.results == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_rank_of_roundtrip(self, any_mode):
+        def main(comm):
+            cart = comm.create_cart([2, 2])
+            return cart.rank_of(cart.coords_of(comm.rank))
+
+        assert run(4, main, mode=any_mode).results == [0, 1, 2, 3]
+
+    def test_nonperiodic_edges_are_none(self, any_mode):
+        def main(comm):
+            cart = comm.create_cart([comm.size])
+            return cart.shift(0)
+
+        res = run(3, main, mode=any_mode)
+        assert res.results == [(None, 1), (0, 2), (1, None)]
+
+    def test_periodic_ring_wraps(self, any_mode):
+        def main(comm):
+            cart = comm.create_cart([comm.size], periods=True)
+            return cart.shift(0)
+
+        res = run(3, main, mode=any_mode)
+        assert res.results == [(2, 1), (0, 2), (1, 0)]
+
+    def test_shift_second_dimension(self, any_mode):
+        def main(comm):
+            cart = comm.create_cart([2, 2])
+            return cart.shift(1)
+
+        res = run(4, main, mode=any_mode)
+        assert res.results == [(None, 1), (0, None), (None, 3), (2, None)]
+
+    def test_integer_dims_uses_dims_create(self, any_mode):
+        def main(comm):
+            cart = comm.create_cart(2)
+            return cart.dims
+
+        assert run(6, main, mode=any_mode).results == [(3, 2)] * 6
+
+    def test_grid_too_big_raises(self, any_mode):
+        with pytest.raises(ParallelError) as ei:
+            run(2, lambda c: c.create_cart([2, 2]), mode=any_mode)
+        assert any(isinstance(x, CommError) for x in ei.value.causes)
+
+    def test_surplus_ranks_need_opt_in(self, any_mode):
+        with pytest.raises(ParallelError):
+            run(5, lambda c: c.create_cart([2, 2]), mode=any_mode)
+
+        def main(comm):
+            cart = comm.create_cart([2, 2], allow_smaller=True)
+            return None if cart is None else cart.coords
+
+        res = run(5, main, mode=any_mode)
+        assert res.results[4] is None
+        assert res.results[0] == (0, 0)
+
+    def test_communication_on_cart(self, any_mode):
+        def main(comm):
+            cart = comm.create_cart([comm.size], periods=True)
+            _, dest = cart.shift(0)
+            src, _ = cart.shift(0)
+            return cart.sendrecv(cart.rank * 100, dest=dest, source=src)
+
+        res = run(4, main, mode=any_mode)
+        assert res.results == [300, 0, 100, 200]
+
+
+class TestScattervGatherv:
+    def test_uneven_split(self, any_mode):
+        counts = [3, 1, 2]
+
+        def main(comm):
+            data = list(range(6)) if comm.rank == 0 else None
+            return comm.scatterv(data, counts)
+
+        res = run(3, main, mode=any_mode)
+        assert res.results == [[0, 1, 2], [3], [4, 5]]
+
+    def test_zero_count_rank(self, any_mode):
+        counts = [2, 0, 2]
+
+        def main(comm):
+            data = list(range(4)) if comm.rank == 0 else None
+            return comm.scatterv(data, counts)
+
+        res = run(3, main, mode=any_mode)
+        assert res.results[1] == []
+
+    def test_gatherv_flattens_in_rank_order(self, any_mode):
+        def main(comm):
+            mine = list(range(comm.rank + 1))  # sizes 1, 2, 3
+            return comm.gatherv(mine)
+
+        res = run(3, main, mode=any_mode)
+        assert res.results[0] == [0, 0, 1, 0, 1, 2]
+        assert res.results[1] is None
+
+    def test_scatterv_gatherv_roundtrip(self, any_mode):
+        counts = [1, 4, 2, 1]
+
+        def main(comm):
+            data = list(range(8)) if comm.rank == 0 else None
+            mine = comm.scatterv(data, counts)
+            return comm.gatherv(mine)
+
+        res = run(4, main, mode=any_mode)
+        assert res.results[0] == list(range(8))
+
+    def test_count_validation(self, any_mode):
+        with pytest.raises(ParallelError) as ei:
+            run(2, lambda c: c.scatterv([1, 2], [1]), mode=any_mode)
+        assert any(isinstance(x, CollectiveError) for x in ei.value.causes)
+
+    def test_length_mismatch(self, any_mode):
+        def main(comm):
+            comm.scatterv([1, 2, 3] if comm.rank == 0 else None, [1, 1])
+
+        with pytest.raises(ParallelError) as ei:
+            run(2, main, mode=any_mode)
+        assert any(isinstance(x, CollectiveError) for x in ei.value.causes)
+
+    def test_negative_count(self, any_mode):
+        with pytest.raises(ParallelError):
+            run(2, lambda c: c.scatterv([1], [2, -1]), mode=any_mode)

@@ -1,0 +1,120 @@
+"""LogP virtual-time model: spans and scaling shapes."""
+
+import math
+
+import pytest
+
+from repro.mp import LogPCosts, MpRuntime, mpirun
+from repro.mp import collectives as C
+from repro.mp.vtime import RankClock
+
+UNIT = LogPCosts(latency=1.0, overhead=0.1, per_byte=0.0, combine=1.0)
+
+
+def span_of(np, main, costs=UNIT):
+    return mpirun(np, main, mode="lockstep", costs=costs).span
+
+
+class TestClock:
+    def test_advance(self):
+        c = RankClock()
+        assert c.advance(2.5) == 2.5
+
+    def test_merge_only_moves_forward(self):
+        c = RankClock()
+        c.advance(5.0)
+        c.merge(3.0)
+        assert c.now == 5.0
+        c.merge(8.0)
+        assert c.now == 8.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            RankClock().advance(-1)
+
+    def test_transit_includes_size(self):
+        costs = LogPCosts(latency=2.0, overhead=0.5, per_byte=0.1)
+        assert costs.transit(10) == 0.5 + 2.0 + 1.0
+
+
+class TestMessageCausality:
+    def test_recv_after_send_in_virtual_time(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.work(5.0)
+                comm.send("x", dest=1)
+                return comm.vtime
+            comm.recv(source=0)
+            return comm.vtime
+
+        res = mpirun(2, main, mode="lockstep", costs=UNIT)
+        # Receiver's clock >= sender's departure + latency.
+        assert res.results[1] >= 5.0 + 1.0
+
+    def test_bigger_payload_costs_more(self):
+        costs = LogPCosts(latency=1.0, per_byte=0.01)
+
+        def main(comm, payload):
+            if comm.rank == 0:
+                comm.send(payload, dest=1)
+                return 0.0
+            comm.recv(source=0)
+            return comm.vtime
+
+        small = mpirun(2, main, b"x", mode="lockstep", costs=costs).results[1]
+        large = mpirun(2, main, b"x" * 10000, mode="lockstep", costs=costs).results[1]
+        assert large > small
+
+    def test_work_is_per_rank(self):
+        def main(comm):
+            comm.work(float(comm.rank))
+            return comm.vtime
+
+        assert mpirun(3, main, mode="lockstep").results == [0.0, 1.0, 2.0]
+
+
+class TestCollectiveSpans:
+    def test_tree_reduce_is_logarithmic(self):
+        spans = {p: span_of(p, lambda c: c.reduce(1, "SUM", 0)) for p in (2, 4, 16, 64)}
+        # Each doubling adds a constant number of levels.
+        assert spans[4] - spans[2] == pytest.approx(spans[64] / math.log2(64) * 1, rel=1)
+        assert spans[64] <= 2.5 * math.log2(64)
+
+    def test_linear_reduce_is_linear(self):
+        spans = {
+            p: span_of(p, lambda c: C.reduce_linear(c, 1, "SUM", 0))
+            for p in (4, 8, 16)
+        }
+        assert spans[8] >= 2 * spans[4] * 0.8
+        assert spans[16] >= 2 * spans[8] * 0.8
+
+    def test_crossover_tree_beats_linear(self):
+        """Figure 19: O(lg t) beats O(t) and the gap widens."""
+        for p in (8, 32, 128):
+            tree = span_of(p, lambda c: c.reduce(1, "SUM", 0))
+            lin = span_of(p, lambda c: C.reduce_linear(c, 1, "SUM", 0))
+            assert tree < lin
+        p = 128
+        assert span_of(p, lambda c: c.reduce(1, "SUM", 0)) < 0.2 * span_of(
+            p, lambda c: C.reduce_linear(c, 1, "SUM", 0)
+        )
+
+    def test_dissemination_barrier_beats_central(self):
+        big = 32
+        diss = span_of(big, lambda c: c.barrier())
+        cent = span_of(big, lambda c: C.barrier_central(c))
+        assert diss < cent
+
+    def test_binomial_bcast_beats_linear(self):
+        big = 64
+        tree = span_of(big, lambda c: c.bcast("v" if c.rank == 0 else None, 0))
+        lin = span_of(big, lambda c: C.bcast_linear(c, "v" if c.rank == 0 else None, 0))
+        assert tree < lin
+
+    def test_span_deterministic_across_seeds(self):
+        """Virtual time must not depend on the interleaving."""
+        spans = {
+            mpirun(8, lambda c: c.allreduce(1, "SUM"), mode="lockstep", seed=s).span
+            for s in range(4)
+        }
+        assert len(spans) == 1

@@ -1,0 +1,66 @@
+"""waitall / waitany / testall request helpers."""
+
+import pytest
+
+from repro.errors import CommError, ParallelError
+from repro.mp import mpirun, waitall, waitany
+from repro.mp import testall as mpi_testall
+
+
+class TestWaitHelpers:
+    def test_waitall_order(self, any_mode):
+        def main(comm):
+            if comm.rank == 0:
+                reqs = [comm.irecv(source=s, tag=s) for s in range(1, comm.size)]
+                return waitall(reqs)
+            comm.send(comm.rank * 11, dest=0, tag=comm.rank)
+            return None
+
+        res = mpirun(4, main, mode=any_mode)
+        assert res.results[0] == [11, 22, 33]
+
+    def test_waitall_empty(self, any_mode):
+        def main(comm):
+            return waitall([])
+
+        assert mpirun(1, main, mode=any_mode).results == [[]]
+
+    def test_waitany_returns_a_completion(self, any_mode):
+        def main(comm):
+            if comm.rank == 0:
+                reqs = [comm.irecv(source=s, tag=1) for s in (1, 2)]
+                idx, val = waitany(reqs)
+                other = reqs[1 - idx].wait()
+                return sorted([val, other])
+            comm.send(f"r{comm.rank}", dest=0, tag=1)
+            return None
+
+        res = mpirun(3, main, mode=any_mode)
+        assert res.results[0] == ["r1", "r2"]
+
+    def test_waitany_empty_rejected(self, any_mode):
+        def main(comm):
+            waitany([])
+
+        with pytest.raises(ParallelError) as ei:
+            mpirun(1, main, mode=any_mode)
+        assert any(isinstance(c, CommError) for c in ei.value.causes)
+
+    def test_testall_incomplete_then_complete(self, any_mode):
+        def main(comm):
+            if comm.rank == 0:
+                reqs = [comm.irecv(source=1, tag=1)]
+                first, _ = mpi_testall(reqs)
+                comm.send("go", dest=1, tag=2)
+                values = waitall(reqs)
+                done, again = mpi_testall(reqs)
+                return (first, values, done, again)
+            comm.recv(source=0, tag=2)
+            comm.send("payload", dest=0, tag=1)
+            return None
+
+        res = mpirun(2, main, mode=any_mode)
+        first, values, done, again = res.results[0]
+        assert first is False
+        assert values == ["payload"]
+        assert done is True and again == ["payload"]

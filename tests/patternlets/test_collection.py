@@ -1,0 +1,61 @@
+"""Every patternlet runs cleanly under both executors and several shapes."""
+
+import pytest
+
+from repro.core import all_patternlets, run_patternlet
+
+ALL_NAMES = [p.name for p in all_patternlets()]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_runs_with_defaults_lockstep(name):
+    run = run_patternlet(name, mode="lockstep", seed=1)
+    assert run.lines  # every patternlet says something
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_runs_with_all_toggles_on(name):
+    p = next(p for p in all_patternlets() if p.name == name)
+    toggles = {t.name: True for t in p.toggles}
+    run = run_patternlet(name, toggles=toggles, mode="lockstep", seed=2)
+    assert run.lines
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_runs_with_all_toggles_off(name):
+    p = next(p for p in all_patternlets() if p.name == name)
+    toggles = {t.name: False for t in p.toggles}
+    run = run_patternlet(name, toggles=toggles, mode="lockstep", seed=3)
+    assert run.lines
+
+
+@pytest.mark.parametrize(
+    "name",
+    [n for n in ALL_NAMES if n not in ("openmp.critical2",)],  # wall-timing one is slow
+)
+def test_runs_under_real_threads(name):
+    # Enable the fix/safety toggles for the deliberately-deadlocking
+    # patternlets: under real threads detection costs a watchdog timeout.
+    p = next(p for p in all_patternlets() if p.name == name)
+    toggles = {}
+    if name == "mpi.deadlock":
+        toggles["fix"] = True
+    run = run_patternlet(name, mode="thread", toggles=toggles or None, seed=0)
+    assert run.lines
+
+
+@pytest.mark.parametrize("name", ["openmp.spmd", "mpi.spmd", "pthreads.spmd"])
+@pytest.mark.parametrize("tasks", [1, 2, 3, 8])
+def test_scalability_one_line_per_task(name, tasks):
+    """The 'scalable' property: task count changes the output size."""
+    run = run_patternlet(name, tasks=tasks, mode="lockstep", seed=0)
+    assert len(run.grep("Hello from")) == tasks
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_seed_replay_is_identical(name):
+    if name == "openmp.critical2":
+        pytest.skip("wall-clock timing output differs between runs by design")
+    a = run_patternlet(name, mode="lockstep", seed=7)
+    b = run_patternlet(name, mode="lockstep", seed=7)
+    assert a.lines == b.lines

@@ -1,0 +1,181 @@
+"""Figure-shape assertions for the MPI-analogue patternlets."""
+
+import pytest
+
+from repro.core import run_patternlet
+from repro.core.analysis import (
+    iterations_by_task,
+    parse_hello_lines,
+    phases_interleaved,
+    phases_separated,
+)
+from repro.errors import DeadlockError
+
+
+class TestSpmdFigures:
+    def test_figure_5_single_process(self):
+        run = run_patternlet("mpi.spmd", tasks=1, seed=0)
+        assert parse_hello_lines(run) == [(0, 1, "node-01")]
+
+    def test_figure_6_four_processes_four_nodes(self):
+        run = run_patternlet("mpi.spmd", tasks=4, seed=0)
+        hellos = sorted(parse_hello_lines(run))
+        assert hellos == [
+            (0, 4, "node-01"), (1, 4, "node-02"), (2, 4, "node-03"), (3, 4, "node-04"),
+        ]
+
+
+class TestBarrierFigures:
+    def test_figure_11_interleaved(self):
+        run = run_patternlet("mpi.barrier", tasks=4, toggles={"barrier": False}, seed=6)
+        assert phases_interleaved(run, "BEFORE", "AFTER")
+
+    def test_figure_12_separated(self):
+        for seed in range(5):
+            run = run_patternlet("mpi.barrier", tasks=4, toggles={"barrier": True}, seed=seed)
+            assert phases_separated(run, "BEFORE", "AFTER"), seed
+
+    def test_worker_count_lines(self):
+        run = run_patternlet("mpi.barrier", tasks=5, toggles={"barrier": True}, seed=0)
+        assert len(run.grep("BEFORE")) == 4  # rank 0 is the printer
+
+    def test_degenerate_single_process(self):
+        run = run_patternlet("mpi.barrier", tasks=1, seed=0)
+        assert run.grep("at least 2 processes")
+
+
+class TestParallelLoopFigures:
+    def test_figure_17_two_processes(self):
+        run = run_patternlet("mpi.parallelLoopEqualChunks", tasks=2, seed=1)
+        got = iterations_by_task(run)
+        assert got == {0: [0, 1, 2, 3], 1: [4, 5, 6, 7]}
+
+    def test_figure_18_four_processes(self):
+        run = run_patternlet("mpi.parallelLoopEqualChunks", tasks=4, seed=1)
+        assert iterations_by_task(run) == {0: [0, 1], 1: [2, 3], 2: [4, 5], 3: [6, 7]}
+
+    def test_odd_process_count(self):
+        run = run_patternlet("mpi.parallelLoopEqualChunks", tasks=3, seed=1)
+        got = iterations_by_task(run)
+        # ceil(8/3)=3: 0-2 / 3-5 / 6-7.
+        assert got == {0: [0, 1, 2], 1: [3, 4, 5], 2: [6, 7]}
+
+    def test_cyclic_deal(self):
+        run = run_patternlet("mpi.parallelLoopChunksOf1", tasks=3, seed=1)
+        assert iterations_by_task(run) == {0: [0, 3, 6], 1: [1, 4, 7], 2: [2, 5]}
+
+
+class TestCollectiveFigures:
+    def test_figure_24_reduction(self):
+        run = run_patternlet("mpi.reduction", tasks=10, seed=0)
+        assert run.grep("The sum of the squares is 385")
+        assert run.grep("The max of the squares is 100")
+        assert len(run.grep("computed")) == 10
+
+    def test_figure_26_gather_two(self):
+        run = run_patternlet("mpi.gather", tasks=2, seed=0)
+        assert run.grep("gatherArray: 0 1 2 10 11 12")
+
+    def test_figure_27_gather_four(self):
+        run = run_patternlet("mpi.gather", tasks=4, seed=0)
+        assert run.grep("gatherArray: 0 1 2 10 11 12 20 21 22 30 31 32")
+
+    def test_figure_28_gather_six(self):
+        run = run_patternlet("mpi.gather", tasks=6, seed=0)
+        expected = " ".join(str(r * 10 + i) for r in range(6) for i in range(3))
+        assert run.grep(f"gatherArray: {expected}")
+
+    def test_broadcast_delivers_to_all(self):
+        run = run_patternlet("mpi.broadcast", tasks=4, seed=0)
+        afters = run.grep("AFTER  broadcast")
+        assert len(afters) == 4
+        assert all("[0, 11, 22, 33]" in line for line in afters)
+
+    def test_broadcast_non_roots_start_empty(self):
+        run = run_patternlet("mpi.broadcast", tasks=4, seed=0)
+        nones = [l for l in run.grep("BEFORE broadcast") if l.endswith("None")]
+        assert len(nones) == 3
+
+    def test_scatter_slices(self):
+        run = run_patternlet("mpi.scatter", tasks=4, seed=0)
+        assert run.grep("Process 3 received slice: \\[106, 107]".replace("\\", "")) or \
+               run.grep("Process 3 received slice: [106, 107]")
+
+    def test_allgather_same_everywhere(self):
+        run = run_patternlet("mpi.allgather", tasks=3, seed=0)
+        assembled = run.grep("assembled")
+        assert len(assembled) == 3
+        assert len({line.split("assembled")[1] for line in assembled}) == 1
+
+    def test_reduction2_locates_extremes(self):
+        run = run_patternlet("mpi.reduction2", tasks=5, seed=0)
+        assert run.grep("smallest measurement 1 came from rank 2")
+        assert run.grep("largest  measurement 3 came from rank 0")
+
+
+class TestMessagingFigures:
+    def test_ring_everyone_hears_left_neighbour(self):
+        run = run_patternlet("mpi.messagePassing", tasks=4, seed=3)
+        for r in range(4):
+            left = (r - 1) % 4
+            assert run.grep(f"Process {r} received: greetings from rank {left}")
+
+    def test_master_worker_round_trip(self):
+        run = run_patternlet("mpi.masterWorker", tasks=4, seed=2)
+        assert len(run.grep("Worker")) == 3
+        assert len(run.grep("Master received")) == 3
+
+    def test_master_alone_degenerates(self):
+        run = run_patternlet("mpi.masterWorker", tasks=1, seed=0)
+        assert run.grep("no workers")
+
+    def test_sequence_gather_orders_output(self):
+        run = run_patternlet("mpi.sequence", tasks=5, seed=4)
+        reports = run.grep("reporting in order")
+        assert [int(line.split()[1]) for line in reports] == list(range(5))
+
+    def test_sequence_token_ring_orders_output(self):
+        run = run_patternlet("mpi.sequence", tasks=5, toggles={"token_ring": True}, seed=4)
+        reports = run.grep("reporting in order")
+        assert [int(line.split()[1]) for line in reports] == list(range(5))
+
+    def test_messagepassing2_buffered_is_safe(self):
+        run = run_patternlet("mpi.messagePassing2", tasks=2, seed=0)
+        assert len(run.grep("exchanged messages")) == 2
+
+    def test_messagepassing2_ssend_deadlocks(self):
+        run = run_patternlet("mpi.messagePassing2", tasks=2, toggles={"ssend": True}, seed=0)
+        assert run.grep("DEADLOCK")
+        assert isinstance(run.result, DeadlockError)
+
+    def test_deadlock_patternlet_diagnoses_cycle(self):
+        run = run_patternlet("mpi.deadlock", tasks=4, seed=0)
+        assert run.grep("circular wait")
+        assert len(run.grep("is waiting for")) == 4
+
+    def test_deadlock_fix_breaks_cycle(self):
+        run = run_patternlet("mpi.deadlock", tasks=4, toggles={"fix": True}, seed=0)
+        assert len(run.grep("received")) == 4
+
+    def test_deadlock_fix_works_odd_ring(self):
+        run = run_patternlet("mpi.deadlock", tasks=5, toggles={"fix": True}, seed=0)
+        assert len(run.grep("received")) == 5
+
+
+class TestHybridFigures:
+    def test_hybrid_spmd_full_hierarchy(self):
+        run = run_patternlet("hybrid.spmd", tasks=2, threads_per_process=3, seed=1)
+        hellos = run.grep("Hello from thread")
+        assert len(hellos) == 6
+        assert run.grep("on node-01") and run.grep("on node-02")
+
+    def test_hybrid_reduction_closed_form(self):
+        run = run_patternlet("hybrid.reduction", tasks=2, threads_per_process=4, seed=1)
+        n = 8
+        expected = n * (n + 1) * (2 * n + 1) // 6
+        assert run.grep(f"Global sum of squares 1..8: {expected}")
+
+    def test_hybrid_reduction_local_sums(self):
+        run = run_patternlet("hybrid.reduction", tasks=2, threads_per_process=2, seed=0)
+        assert run.grep("Process 0 local sum: 5")
+        assert run.grep("Process 1 local sum: 25")

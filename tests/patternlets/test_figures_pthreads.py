@@ -1,0 +1,84 @@
+"""Shape assertions for the Pthreads-analogue patternlets."""
+
+import pytest
+
+from repro.core import run_patternlet
+from repro.core.analysis import phases_interleaved, phases_separated
+
+
+class TestSpmd:
+    def test_one_hello_per_thread(self):
+        run = run_patternlet("pthreads.spmd", tasks=5, seed=0)
+        assert len(run.grep("Hello from thread")) == 5
+
+    def test_spmd2_fresh_args_all_check_in(self):
+        run = run_patternlet("pthreads.spmd2", tasks=4, seed=1)
+        assert not run.grep("argument race")
+
+    def test_spmd2_shared_args_bug(self):
+        for seed in range(8):
+            run = run_patternlet("pthreads.spmd2", tasks=4, seed=seed, share_args=True)
+            if run.grep("argument race"):
+                return
+        pytest.fail("shared-args bug never manifested across 8 seeds")
+
+
+class TestForkJoin:
+    def test_join_orders_output(self):
+        run = run_patternlet("pthreads.forkJoin", seed=0)
+        lines = run.lines
+        assert lines.index("Parent: before fork") < lines.index("Child: doing my work")
+        assert lines.index("Child: doing my work") < len(lines) - 0
+
+    def test_two_waves_separated(self):
+        for seed in range(4):
+            run = run_patternlet("pthreads.forkJoin2", tasks=4, seed=seed)
+            sep = run.lines.index("--- all of wave A joined ---")
+            for i, line in enumerate(run.lines):
+                if line.startswith("Wave A"):
+                    assert i < sep
+                if line.startswith("Wave B"):
+                    assert i > sep
+
+
+class TestBarrier:
+    def test_separated_with_barrier(self):
+        for seed in range(4):
+            run = run_patternlet("pthreads.barrier", toggles={"barrier": True}, seed=seed)
+            assert phases_separated(run, "BEFORE", "AFTER"), seed
+
+    def test_interleaved_without_barrier(self):
+        hits = 0
+        for seed in range(8):
+            run = run_patternlet("pthreads.barrier", toggles={"barrier": False}, seed=seed)
+            if phases_interleaved(run, "BEFORE", "AFTER"):
+                hits += 1
+        assert hits > 0
+
+    def test_serial_thread_banner_once(self):
+        run = run_patternlet("pthreads.barrier", toggles={"barrier": True}, seed=1)
+        assert len(run.grep("serial thread speaking")) == 1
+
+
+class TestMutexCondSem:
+    def test_mutex_race_vs_fix(self):
+        racy = run_patternlet("pthreads.mutex", toggles={"mutex": False}, seed=2)
+        safe = run_patternlet("pthreads.mutex", toggles={"mutex": True}, seed=2)
+        assert racy.grep("race lost")
+        assert not safe.grep("race lost")
+
+    def test_condvar_order_preserved(self):
+        run = run_patternlet("pthreads.conditionVariable", seed=3, items=4)
+        takes = run.grep("Consumer took")
+        assert [line.split("#")[1].rstrip("'") for line in takes] == ["0", "1", "2", "3"]
+
+    def test_semaphore_capacity_respected(self):
+        for seed in range(5):
+            run = run_patternlet("pthreads.semaphore", seed=seed, items=6, capacity=2)
+            assert run.grep("never exceeded"), seed
+            for line in run.grep("buffer size"):
+                assert int(line.rsplit("size ", 1)[1].rstrip(")")) <= 2
+
+    def test_master_worker_sentinels_stop_everyone(self):
+        run = run_patternlet("pthreads.masterWorker", tasks=4, seed=1, items=9)
+        assert run.grep("Jobs done: 9")

@@ -1,0 +1,274 @@
+"""Pthreads-analogue layer: create/join and synchronisation objects."""
+
+import pytest
+
+from repro.errors import DeadlockError, ParallelError, SmpError
+from repro.pthreads import PthreadsRuntime
+
+
+def rt_for(mode, seed=0, **kw):
+    if mode == "thread":
+        kw.setdefault("deadlock_timeout", 5.0)
+    return PthreadsRuntime(mode=mode, seed=seed, **kw)
+
+
+class TestCreateJoin:
+    def test_join_returns_value(self, any_mode):
+        rt = rt_for(any_mode)
+
+        def program(pt):
+            return pt.join(pt.create(lambda: "payload"))
+
+        assert rt.run(program) == "payload"
+
+    def test_args_passed(self, any_mode):
+        rt = rt_for(any_mode)
+
+        def program(pt):
+            return pt.join(pt.create(lambda a, b: a + b, 3, 4))
+
+        assert rt.run(program) == 7
+
+    def test_many_threads(self, any_mode):
+        rt = rt_for(any_mode)
+
+        def program(pt):
+            hs = [pt.create(lambda i=i: i * i, name=f"w{i}") for i in range(6)]
+            return [pt.join(h) for h in hs]
+
+        assert rt.run(program) == [0, 1, 4, 9, 16, 25]
+
+    def test_self_id(self, any_mode):
+        rt = rt_for(any_mode)
+
+        def program(pt):
+            return (pt.self_id(), pt.join(pt.create(pt.self_id, name="kid")))
+
+        main_id, child_id = rt.run(program)
+        assert main_id == "pthread:main"
+        assert child_id == "kid"
+
+    def test_child_failure_surfaces_at_join(self, any_mode):
+        rt = rt_for(any_mode)
+
+        def program(pt):
+            h = pt.create(lambda: 1 / 0)
+            try:
+                pt.join(h)
+            except Exception as exc:
+                return type(exc).__name__
+
+        assert rt.run(program) == "TaskFailedError"
+
+
+class TestMutex:
+    def test_mutual_exclusion(self, any_mode):
+        rt = rt_for(any_mode)
+
+        def program(pt):
+            m = pt.mutex()
+            box = {"n": 0}
+
+            def worker():
+                for _ in range(20):
+                    with m:
+                        tmp = box["n"]
+                        pt.checkpoint()
+                        box["n"] = tmp + 1
+
+            hs = [pt.create(worker) for _ in range(4)]
+            for h in hs:
+                pt.join(h)
+            return box["n"]
+
+        assert rt.run(program) == 80
+
+    def test_unlock_without_lock_raises(self, any_mode):
+        rt = rt_for(any_mode)
+
+        def program(pt):
+            m = pt.mutex()
+            try:
+                m.unlock()
+            except SmpError:
+                return "caught"
+
+        assert rt.run(program) == "caught"
+
+    def test_locked_property(self, any_mode):
+        rt = rt_for(any_mode)
+
+        def program(pt):
+            m = pt.mutex()
+            before = m.locked
+            with m:
+                during = m.locked
+            return (before, during, m.locked)
+
+        assert rt.run(program) == (False, True, False)
+
+
+class TestCondVar:
+    def test_wait_signal(self, any_mode):
+        rt = rt_for(any_mode)
+
+        def program(pt):
+            m = pt.mutex()
+            cv = pt.cond(m)
+            state = {"ready": False}
+
+            def waiter():
+                with m:
+                    while not state["ready"]:
+                        cv.wait()
+                return "woke"
+
+            def signaler():
+                pt.checkpoint()
+                with m:
+                    state["ready"] = True
+                    cv.signal()
+
+            w = pt.create(waiter)
+            s = pt.create(signaler)
+            pt.join(s)
+            return pt.join(w)
+
+        assert rt.run(program) == "woke"
+
+    def test_broadcast_wakes_all(self, any_mode):
+        rt = rt_for(any_mode)
+
+        def program(pt):
+            m = pt.mutex()
+            cv = pt.cond(m)
+            state = {"go": False}
+
+            def waiter(i):
+                with m:
+                    while not state["go"]:
+                        cv.wait()
+                return i
+
+            hs = [pt.create(waiter, i) for i in range(3)]
+            pt.checkpoint()
+            # Wait until all three are parked, then release them together.
+            pt._runtime.executor.wait_until(
+                lambda: cv.waiting == 3, describe="three waiters parked"
+            )
+            with m:
+                state["go"] = True
+                cv.broadcast()
+            return sorted(pt.join(h) for h in hs)
+
+        assert rt.run(program) == [0, 1, 2]
+
+    def test_wait_without_mutex_raises(self, any_mode):
+        rt = rt_for(any_mode)
+
+        def program(pt):
+            m = pt.mutex()
+            cv = pt.cond(m)
+            try:
+                cv.wait()
+            except SmpError:
+                return "caught"
+
+        assert rt.run(program) == "caught"
+
+
+class TestSemaphore:
+    def test_counts(self, any_mode):
+        rt = rt_for(any_mode)
+
+        def program(pt):
+            s = pt.semaphore(2)
+            assert s.trywait() and s.trywait()
+            empty = s.trywait()
+            s.post()
+            return (empty, s.value)
+
+        assert rt.run(program) == (False, 1)
+
+    def test_wait_blocks_until_post(self, any_mode):
+        rt = rt_for(any_mode)
+
+        def program(pt):
+            s = pt.semaphore(0)
+            log = []
+
+            def waiter():
+                s.wait()
+                log.append("through")
+
+            def poster():
+                pt.checkpoint()
+                log.append("posting")
+                s.post()
+
+            w, p = pt.create(waiter), pt.create(poster)
+            pt.join(w), pt.join(p)
+            return log
+
+        assert rt.run(program) == ["posting", "through"]
+
+    def test_negative_initial_rejected(self, any_mode):
+        rt = rt_for(any_mode)
+        with pytest.raises(ParallelError):
+            rt.run(lambda pt: pt.semaphore(-1))
+
+
+class TestBarrier:
+    def test_exactly_one_serial_thread(self, any_mode):
+        rt = rt_for(any_mode)
+
+        def program(pt):
+            bar = pt.barrier(4)
+
+            def worker():
+                return bar.wait()
+
+            hs = [pt.create(worker) for _ in range(4)]
+            return sorted(pt.join(h) for h in hs)
+
+        assert rt.run(program) == [False, False, False, True]
+
+    def test_reusable(self, any_mode):
+        rt = rt_for(any_mode)
+
+        def program(pt):
+            bar = pt.barrier(2)
+            serials = []
+
+            def worker():
+                for _ in range(3):
+                    if bar.wait():
+                        serials.append(1)
+
+            hs = [pt.create(worker) for _ in range(2)]
+            for h in hs:
+                pt.join(h)
+            return len(serials)
+
+        assert rt.run(program) == 3
+
+    def test_undersized_barrier_deadlocks_lockstep(self):
+        rt = rt_for("lockstep")
+
+        def program(pt):
+            bar = pt.barrier(3)  # sized for 3 but only 2 arrive
+
+            def worker():
+                bar.wait()
+
+            hs = [pt.create(worker) for _ in range(2)]
+            for h in hs:
+                pt.join(h)
+
+        with pytest.raises(DeadlockError):
+            rt.run(program)
+
+    def test_bad_parties(self, any_mode):
+        rt = rt_for(any_mode)
+        with pytest.raises(ParallelError):
+            rt.run(lambda pt: pt.barrier(0))

@@ -1,0 +1,76 @@
+"""Switch-policy determinism and selection rules."""
+
+import pytest
+
+from repro.sched.policy import (
+    FifoPolicy,
+    LifoPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+
+
+class TestRandomPolicy:
+    def test_same_seed_same_sequence(self):
+        a, b = RandomPolicy(7), RandomPolicy(7)
+        runnable = [0, 1, 2, 3]
+        assert [a.choose(runnable, None) for _ in range(50)] == [
+            b.choose(runnable, None) for _ in range(50)
+        ]
+
+    def test_different_seeds_differ(self):
+        a, b = RandomPolicy(1), RandomPolicy(2)
+        runnable = list(range(10))
+        seq_a = [a.choose(runnable, None) for _ in range(30)]
+        seq_b = [b.choose(runnable, None) for _ in range(30)]
+        assert seq_a != seq_b
+
+    def test_choice_is_member(self):
+        p = RandomPolicy(0)
+        for _ in range(100):
+            assert p.choose([3, 9, 17], None) in (3, 9, 17)
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self):
+        p = RoundRobinPolicy()
+        runnable = [0, 1, 2]
+        got = [p.choose(runnable, None) for _ in range(6)]
+        assert got == [0, 1, 2, 0, 1, 2]
+
+    def test_starts_after_current(self):
+        p = RoundRobinPolicy()
+        assert p.choose([0, 1, 2], current=1) == 2
+
+    def test_wraps(self):
+        p = RoundRobinPolicy()
+        assert p.choose([0, 1, 2], current=2) == 0
+
+    def test_skips_missing_ids(self):
+        p = RoundRobinPolicy()
+        assert p.choose([0, 5, 9], current=0) == 5
+
+
+class TestFifoLifo:
+    def test_fifo_prefers_current(self):
+        p = FifoPolicy()
+        assert p.choose([0, 1, 2], current=2) == 2
+
+    def test_fifo_lowest_otherwise(self):
+        p = FifoPolicy()
+        assert p.choose([4, 7], current=None) == 4
+
+    def test_lifo_highest(self):
+        p = LifoPolicy()
+        assert p.choose([4, 7], current=None) == 7
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["random", "roundrobin", "fifo", "lifo"])
+    def test_known_names(self, name):
+        assert make_policy(name, seed=3).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("quantum")

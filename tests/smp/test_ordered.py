@@ -1,0 +1,80 @@
+"""The ordered directive (OrderedCursor)."""
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.smp import Schedule, SmpRuntime
+
+
+def rt_for(mode, n=3, seed=0):
+    kw = {"deadlock_timeout": 5.0} if mode == "thread" else {}
+    return SmpRuntime(num_threads=n, mode=mode, seed=seed, **kw)
+
+
+class TestOrdered:
+    def test_sections_run_in_iteration_order(self, any_mode):
+        rt = rt_for(any_mode)
+        out = []
+
+        def region(ctx):
+            cursor = ctx.ordered_cursor()
+            for i in ctx.for_range(9, Schedule.static(1)):
+                with cursor.turn(i):
+                    out.append(i)
+
+        rt.parallel(region)
+        assert out == list(range(9))
+
+    def test_order_independent_of_schedule(self, any_mode):
+        rt = rt_for(any_mode, n=4)
+        out = []
+
+        def region(ctx):
+            cursor = ctx.ordered_cursor()
+            for i in ctx.for_range(8, "static"):
+                with cursor.turn(i):
+                    out.append(i)
+
+        rt.parallel(region)
+        assert out == list(range(8))
+
+    def test_order_independent_of_seed(self):
+        for seed in range(5):
+            rt = rt_for("lockstep", n=3, seed=seed)
+            out = []
+
+            def region(ctx):
+                cursor = ctx.ordered_cursor()
+                for i in ctx.for_range(6, Schedule.static(1)):
+                    with cursor.turn(i):
+                        out.append(i)
+
+            rt.parallel(region)
+            assert out == list(range(6)), seed
+
+    def test_custom_start_and_step(self, any_mode):
+        rt = rt_for(any_mode, n=2)
+        out = []
+
+        def region(ctx):
+            cursor = ctx.ordered_cursor(start=10, step=10)
+            for k in ctx.for_range(4, Schedule.static(1)):
+                with cursor.turn(10 + 10 * k):
+                    out.append(k)
+
+        rt.parallel(region)
+        assert out == [0, 1, 2, 3]
+
+    def test_all_threads_share_one_cursor(self, any_mode):
+        rt = rt_for(any_mode, n=3)
+
+        def region(ctx):
+            return id(ctx.ordered_cursor())
+
+        res = rt.parallel(region)
+        assert len(set(res.results)) == 1
+
+    def test_zero_step_rejected(self, any_mode):
+        rt = rt_for(any_mode, n=1)
+        with pytest.raises(ParallelError):
+            rt.parallel(lambda ctx: ctx.ordered_cursor(step=0))

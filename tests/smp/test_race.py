@@ -1,0 +1,87 @@
+"""SharedCell race machinery: deterministic lost updates."""
+
+import pytest
+
+from repro.smp import SharedCell, SmpRuntime
+
+
+def run_race(n_threads, reps, seed, add):
+    cell = SharedCell(0)
+    rt = SmpRuntime(num_threads=n_threads, mode="lockstep", seed=seed)
+
+    def body(ctx):
+        for _ in range(reps):
+            add(cell, ctx)
+
+    rt.parallel(body)
+    return cell
+
+
+class TestUnsafe:
+    def test_lockstep_race_loses_updates(self):
+        cell = run_race(4, 25, seed=3, add=lambda c, ctx: c.unsafe_add(1, ctx))
+        assert cell.value < 100
+
+    def test_race_outcome_is_seed_deterministic(self):
+        a = run_race(4, 25, seed=3, add=lambda c, ctx: c.unsafe_add(1, ctx))
+        b = run_race(4, 25, seed=3, add=lambda c, ctx: c.unsafe_add(1, ctx))
+        assert a.value == b.value and a.torn_updates == b.torn_updates
+
+    def test_different_seeds_differ(self):
+        outcomes = {
+            run_race(4, 25, seed=s, add=lambda c, ctx: c.unsafe_add(1, ctx)).value
+            for s in range(5)
+        }
+        assert len(outcomes) > 1
+
+    def test_torn_updates_counted(self):
+        cell = run_race(4, 25, seed=3, add=lambda c, ctx: c.unsafe_add(1, ctx))
+        assert cell.torn_updates > 0
+
+    def test_single_thread_never_races(self):
+        cell = run_race(1, 50, seed=0, add=lambda c, ctx: c.unsafe_add(1, ctx))
+        assert cell.value == 50 and cell.torn_updates == 0
+
+    def test_fifo_policy_never_races(self):
+        # Run-to-completion scheduling leaves no window to interleave.
+        cell = SharedCell(0)
+        rt = SmpRuntime(num_threads=4, mode="lockstep", seed=0, policy="fifo")
+        rt.parallel(lambda ctx: [cell.unsafe_add(1, ctx) for _ in range(25)])
+        assert cell.value == 100
+
+
+class TestProtected:
+    def test_atomic_add_exact(self, any_mode):
+        cell = SharedCell(0)
+        rt = SmpRuntime(num_threads=4, mode=any_mode, seed=3)
+        rt.parallel(lambda ctx: [cell.atomic_add(1, ctx) for _ in range(25)])
+        assert cell.value == 100
+
+    def test_critical_add_exact(self, any_mode):
+        cell = SharedCell(0)
+        rt = SmpRuntime(num_threads=4, mode=any_mode, seed=3)
+        rt.parallel(lambda ctx: [cell.critical_add(1, ctx) for _ in range(25)])
+        assert cell.value == 100
+
+    def test_atomic_add_without_ctx(self):
+        cell = SharedCell(10)
+        cell.atomic_add(5)
+        assert cell.value == 15
+
+    def test_read(self):
+        assert SharedCell("x").read() == "x"
+
+    def test_generic_payload(self):
+        cell = SharedCell(0.0)
+        cell.atomic_add(0.5)
+        assert cell.value == 0.5
+
+
+class TestThreadModeRace:
+    def test_thread_mode_with_jitter_loses_updates(self):
+        # With a positive jitter the GIL is released inside every RMW, so
+        # losses are overwhelmingly likely even on one core.
+        cell = SharedCell(0)
+        rt = SmpRuntime(num_threads=4, mode="thread", race_jitter=0.0005)
+        rt.parallel(lambda ctx: [cell.unsafe_add(1, ctx) for _ in range(10)])
+        assert cell.value < 40

@@ -1,0 +1,101 @@
+"""Team tree reductions vs the sequential specification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ops import Op, sequential_reduce
+from repro.smp import SmpCosts, SmpRuntime
+
+
+def reduce_team(values, op, *, mode="lockstep", seed=0):
+    rt = SmpRuntime(num_threads=len(values), mode=mode, seed=seed)
+    res = rt.parallel(lambda ctx: ctx.reduce(values[ctx.thread_num], op))
+    return res
+
+
+class TestCorrectness:
+    def test_sum(self, any_mode):
+        res = reduce_team([1, 2, 3, 4, 5], "+", mode=any_mode)
+        assert res.results == [15] * 5
+
+    def test_all_threads_receive_result(self, any_mode):
+        res = reduce_team([2, 4, 8], "*", mode=any_mode)
+        assert res.results == [64, 64, 64]
+
+    def test_single_thread(self, any_mode):
+        assert reduce_team([7], "max", mode=any_mode).results == [7]
+
+    def test_non_power_of_two_team(self, any_mode):
+        values = [3, 1, 4, 1, 5, 9, 2]
+        assert reduce_team(values, "min", mode=any_mode).results[0] == 1
+
+    def test_successive_reductions(self, any_mode):
+        rt = SmpRuntime(num_threads=4, mode=any_mode)
+
+        def body(ctx):
+            a = ctx.reduce(ctx.thread_num, "+")
+            b = ctx.reduce(ctx.thread_num, "max")
+            c = ctx.reduce(ctx.thread_num + 1, "*")
+            return (a, b, c)
+
+        res = rt.parallel(body)
+        assert res.results == [(6, 3, 24)] * 4
+
+    def test_non_commutative_op_keeps_thread_order(self, any_mode):
+        concat = Op.create(lambda a, b: a + b, name="CONCAT", commutative=False)
+        values = ["a", "b", "c", "d", "e", "f"]
+        res = reduce_team(values, concat, mode=any_mode)
+        assert res.results[0] == "abcdef"
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(st.integers(-100, 100), min_size=1, max_size=9),
+        op_name=st.sampled_from(["SUM", "PROD", "MIN", "MAX", "BXOR", "LOR"]),
+    )
+    def test_matches_sequential_spec(self, values, op_name):
+        res = reduce_team(values, op_name)
+        assert res.results[0] == sequential_reduce(op_name, values)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.text(max_size=3), min_size=1, max_size=8))
+    def test_associative_non_commutative_property(self, values):
+        concat = Op.create(lambda a, b: a + b, name="CONCAT", commutative=False)
+        res = reduce_team(values, concat)
+        assert res.results[0] == "".join(values)
+
+
+class TestSpan:
+    def spans(self, sizes):
+        out = {}
+        for t in sizes:
+            rt = SmpRuntime(
+                num_threads=t,
+                mode="lockstep",
+                costs=SmpCosts(barrier=0.0, combine=1.0),
+            )
+            res = rt.parallel(lambda ctx: ctx.reduce(1, "+"))
+            out[t] = res.span
+        return out
+
+    def test_logarithmic_span(self):
+        """Figure 19's claim: combining t values takes ceil(lg t) levels."""
+        spans = self.spans([2, 4, 8, 16, 32])
+        assert spans[2] == 1.0
+        assert spans[4] == 2.0
+        assert spans[8] == 3.0
+        assert spans[16] == 4.0
+        assert spans[32] == 5.0
+
+    def test_total_combines_is_t_minus_1(self):
+        """Same total additions as sequential summing (paper, Sec. III.D)."""
+        for t in (2, 3, 4, 7, 8, 13):
+            count = {"n": 0}
+
+            def tick(a, b):
+                count["n"] += 1
+                return a + b
+
+            op = Op.create(tick, name="COUNTING")
+            reduce_team([1] * t, op)
+            assert count["n"] == t - 1, t

@@ -1,0 +1,194 @@
+"""Parallel regions, worksharing, and virtual time (repro.smp.runtime)."""
+
+import pytest
+
+from repro.errors import ParallelError, ScheduleError
+from repro.smp import Schedule, SmpCosts, SmpRuntime
+
+
+def rt_for(mode, n=4, seed=0, **kw):
+    if mode == "thread":
+        kw.setdefault("deadlock_timeout", 5.0)
+    return SmpRuntime(num_threads=n, mode=mode, seed=seed, **kw)
+
+
+class TestParallelRegion:
+    def test_every_thread_runs_body(self, any_mode):
+        rt = rt_for(any_mode)
+        res = rt.parallel(lambda ctx: ctx.thread_num)
+        assert res.results == [0, 1, 2, 3]
+
+    def test_num_threads_reported(self, any_mode):
+        rt = rt_for(any_mode)
+        res = rt.parallel(lambda ctx: ctx.num_threads, num_threads=3)
+        assert res.results == [3, 3, 3]
+
+    def test_override_beats_default(self, any_mode):
+        rt = rt_for(any_mode, n=2)
+        assert rt.parallel(lambda c: 1, num_threads=5).size == 5
+
+    def test_set_num_threads(self, any_mode):
+        rt = rt_for(any_mode)
+        rt.set_num_threads(2)
+        assert rt.get_max_threads() == 2
+        assert rt.parallel(lambda c: 1).size == 2
+
+    def test_single_thread_region(self, any_mode):
+        rt = rt_for(any_mode)
+        assert rt.parallel(lambda c: c.thread_num, num_threads=1).results == [0]
+
+    def test_bad_thread_counts(self):
+        with pytest.raises(ValueError):
+            SmpRuntime(num_threads=0)
+        rt = SmpRuntime(num_threads=2)
+        with pytest.raises(ValueError):
+            rt.parallel(lambda c: 1, num_threads=0)
+        with pytest.raises(ValueError):
+            rt.set_num_threads(-1)
+
+    def test_exception_propagates_as_parallel_error(self, any_mode):
+        rt = rt_for(any_mode)
+
+        def body(ctx):
+            if ctx.thread_num == 2:
+                raise RuntimeError("thread 2 dies")
+            return ctx.thread_num
+
+        with pytest.raises(ParallelError) as ei:
+            rt.parallel(body)
+        assert any(isinstance(c, RuntimeError) for c in ei.value.causes)
+
+    def test_team_results_indexed_by_thread(self, any_mode):
+        rt = rt_for(any_mode)
+        res = rt.parallel(lambda ctx: ctx.thread_num * 10)
+        assert res.results == [0, 10, 20, 30]
+
+    def test_wall_time_recorded(self, any_mode):
+        res = rt_for(any_mode).parallel(lambda c: None)
+        assert res.wall >= 0
+
+
+class TestParallelFor:
+    def test_assignment_matches_static_map(self, any_mode):
+        rt = rt_for(any_mode, n=2)
+        owner = {}
+        rt.parallel_for(8, lambda i, ctx: owner.setdefault(i, ctx.thread_num))
+        assert owner == {0: 0, 1: 0, 2: 0, 3: 0, 4: 1, 5: 1, 6: 1, 7: 1}
+
+    def test_cyclic_schedule(self, any_mode):
+        rt = rt_for(any_mode, n=2)
+        owner = {}
+        rt.parallel_for(
+            6, lambda i, ctx: owner.setdefault(i, ctx.thread_num), schedule="static,1"
+        )
+        assert owner == {0: 0, 1: 1, 2: 0, 3: 1, 4: 0, 5: 1}
+
+    def test_dynamic_covers_everything(self, any_mode):
+        rt = rt_for(any_mode, n=3)
+        seen = []
+        rt.parallel_for(20, lambda i, ctx: seen.append(i), schedule="dynamic,2")
+        assert sorted(seen) == list(range(20))
+
+    def test_guided_covers_everything(self, any_mode):
+        rt = rt_for(any_mode, n=3)
+        seen = []
+        rt.parallel_for(25, lambda i, ctx: seen.append(i), schedule=Schedule.guided())
+        assert sorted(seen) == list(range(25))
+
+    def test_reduction_sum(self, any_mode):
+        rt = rt_for(any_mode)
+        res = rt.parallel_for(100, lambda i, ctx: i, reduction="+")
+        assert res.reduction == sum(range(100))
+
+    def test_reduction_max(self, any_mode):
+        rt = rt_for(any_mode)
+        res = rt.parallel_for(50, lambda i, ctx: (i * 7) % 31, reduction="max")
+        assert res.reduction == max((i * 7) % 31 for i in range(50))
+
+    def test_reduction_with_idle_threads(self, any_mode):
+        # More threads than iterations: empty partials must not poison
+        # an identity-free op like max.
+        rt = rt_for(any_mode, n=8)
+        res = rt.parallel_for(3, lambda i, ctx: i, reduction="max")
+        assert res.reduction == 2
+
+    def test_zero_iterations_with_identity(self, any_mode):
+        rt = rt_for(any_mode)
+        res = rt.parallel_for(0, lambda i, ctx: i, reduction="+")
+        assert res.reduction is None  # all partials empty
+
+    def test_bad_schedule_type(self, any_mode):
+        rt = rt_for(any_mode)
+        with pytest.raises((ScheduleError, ParallelError)):
+            rt.parallel_for(4, lambda i, ctx: i, schedule=3.14)
+
+
+class TestVirtualTime:
+    def test_work_accumulates(self):
+        rt = rt_for("lockstep")
+        res = rt.parallel(lambda ctx: ctx.work(5.0) or ctx.vtime, num_threads=2)
+        assert res.results == [5.0, 5.0]
+
+    def test_span_is_max_clock(self):
+        rt = rt_for("lockstep")
+
+        def body(ctx):
+            ctx.work(float(ctx.thread_num))
+
+        assert rt.parallel(body).span == 3.0
+
+    def test_barrier_syncs_clocks(self):
+        rt = rt_for("lockstep", costs=SmpCosts(barrier=0.0))
+
+        def body(ctx):
+            ctx.work(10.0 if ctx.thread_num == 0 else 1.0)
+            ctx.barrier()
+            return ctx.vtime
+
+        res = rt.parallel(body, num_threads=3)
+        assert all(v == 10.0 for v in res.results)
+
+    def test_barrier_charges_cost(self):
+        rt = rt_for("lockstep", costs=SmpCosts(barrier=2.5))
+        res = rt.parallel(lambda ctx: ctx.barrier() or ctx.vtime, num_threads=2)
+        assert all(v == 2.5 for v in res.results)
+
+    def test_parallel_for_span_scales_down(self):
+        spans = {}
+        for t in (1, 2, 4):
+            rt = rt_for("lockstep", n=t)
+            spans[t] = rt.parallel_for(
+                64, lambda i, ctx: None, work_per_iteration=1.0
+            ).span
+        assert spans[1] > spans[2] > spans[4]
+        assert spans[1] == 64.0
+
+    def test_negative_work_rejected(self):
+        rt = rt_for("lockstep")
+        with pytest.raises(ParallelError):
+            rt.parallel(lambda ctx: ctx.work(-1.0), num_threads=1)
+
+
+class TestNestedRegions:
+    def test_region_inside_region(self, any_mode):
+        rt = rt_for(any_mode, n=2)
+
+        def outer(ctx):
+            inner = rt.parallel(lambda c: c.thread_num, num_threads=2)
+            return (ctx.thread_num, inner.results)
+
+        res = rt.parallel(outer, num_threads=2)
+        assert res.results == [(0, [0, 1]), (1, [0, 1])]
+
+    def test_nested_labels(self, any_mode):
+        from repro.sched.base import current_task_label
+
+        rt = rt_for(any_mode, n=1)
+
+        def outer(ctx):
+            return rt.parallel(
+                lambda c: current_task_label(), num_threads=1
+            ).results[0]
+
+        label = rt.parallel(outer, num_threads=1).results[0]
+        assert label.count("omp:") == 2 and "/" in label

@@ -1,0 +1,154 @@
+"""Loop-schedule arithmetic: exact-cover properties and figure shapes."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.smp.schedule import (
+    Schedule,
+    coverage,
+    equal_chunk_bounds,
+    static_iterations,
+)
+
+
+class TestScheduleSpec:
+    def test_default_static(self):
+        s = Schedule.static()
+        assert s.kind == "static" and s.chunk is None
+
+    def test_static_chunk(self):
+        assert Schedule.static(2).chunk == 2
+
+    def test_dynamic_default_chunk(self):
+        assert Schedule.dynamic().chunk == 1
+
+    def test_guided_default_chunk(self):
+        assert Schedule.guided().chunk == 1
+
+    def test_parse_plain(self):
+        assert Schedule.parse("static") == Schedule.static()
+
+    def test_parse_with_chunk(self):
+        assert Schedule.parse("static,4") == Schedule.static(4)
+        assert Schedule.parse("dynamic, 2") == Schedule.dynamic(2)
+
+    def test_parse_garbage_chunk(self):
+        with pytest.raises(ScheduleError):
+            Schedule.parse("static,many")
+
+    def test_parse_too_many_fields(self):
+        with pytest.raises(ScheduleError):
+            Schedule.parse("static,1,2")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ScheduleError):
+            Schedule("fair", None)
+
+    def test_nonpositive_chunk(self):
+        with pytest.raises(ScheduleError):
+            Schedule.static(0)
+
+    def test_str_roundtrip(self):
+        assert str(Schedule.static(3)) == "static,3"
+        assert Schedule.parse(str(Schedule.guided(2))) == Schedule.guided(2)
+
+
+class TestEqualChunks:
+    def test_paper_figure_15(self):
+        # 8 iterations, 2 threads: thread 0 -> 0-3, thread 1 -> 4-7.
+        assert static_iterations(Schedule.static(), 8, 2, 0) == [0, 1, 2, 3]
+        assert static_iterations(Schedule.static(), 8, 2, 1) == [4, 5, 6, 7]
+
+    def test_paper_figure_18(self):
+        # 8 iterations, 4 processes: pairs.
+        got = coverage(Schedule.static(), 8, 4)
+        assert got == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_last_thread_absorbs_remainder(self):
+        got = coverage(Schedule.static(), 10, 4)
+        # ceil(10/4)=3: 0-2, 3-5, 6-8, and the last gets only 9.
+        assert got == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9]]
+
+    def test_more_threads_than_iterations(self):
+        got = coverage(Schedule.static(), 2, 4)
+        assert got == [[0], [1], [], []]
+
+    def test_bounds_match_paper_arithmetic(self):
+        reps, procs = 8, 3
+        chunk = math.ceil(reps / procs)
+        for tid in range(procs):
+            start, stop = equal_chunk_bounds(reps, procs, tid)
+            assert start == min(tid * chunk, reps)
+            if tid < procs - 1:
+                assert stop == min((tid + 1) * chunk, reps)
+            else:
+                assert stop == reps
+
+    def test_zero_iterations(self):
+        assert equal_chunk_bounds(0, 4, 2) == (0, 0)
+
+    def test_bad_tid(self):
+        with pytest.raises(ScheduleError):
+            equal_chunk_bounds(8, 4, 4)
+
+    def test_bad_thread_count(self):
+        with pytest.raises(ScheduleError):
+            equal_chunk_bounds(8, 0, 0)
+
+
+class TestCyclic:
+    def test_chunks_of_1_stripes(self):
+        got = coverage(Schedule.static(1), 8, 2)
+        assert got == [[0, 2, 4, 6], [1, 3, 5, 7]]
+
+    def test_chunks_of_2(self):
+        got = coverage(Schedule.static(2), 8, 2)
+        assert got == [[0, 1, 4, 5], [2, 3, 6, 7]]
+
+    def test_chunk_larger_than_n(self):
+        got = coverage(Schedule.static(100), 5, 3)
+        assert got == [[0, 1, 2, 3, 4], [], []]
+
+
+class TestStaticProperties:
+    @given(
+        n=st.integers(0, 200),
+        t=st.integers(1, 16),
+        chunk=st.one_of(st.none(), st.integers(1, 20)),
+    )
+    def test_partition_exact_cover(self, n, t, chunk):
+        """Every static schedule partitions range(n) exactly."""
+        sched = Schedule.static(chunk)
+        seen = []
+        for tid in range(t):
+            seen.extend(static_iterations(sched, n, t, tid))
+        assert sorted(seen) == list(range(n))
+        assert len(seen) == n  # no duplicates
+
+    @given(n=st.integers(0, 200), t=st.integers(1, 16))
+    def test_equal_chunks_are_contiguous(self, n, t):
+        for tid in range(t):
+            mine = static_iterations(Schedule.static(), n, t, tid)
+            assert mine == list(range(mine[0], mine[0] + len(mine))) if mine else True
+
+    @given(n=st.integers(1, 200), t=st.integers(1, 16))
+    def test_equal_chunk_balance(self, n, t):
+        """No thread exceeds ceil(n/t) iterations under the equal deal."""
+        cap = math.ceil(n / t)
+        for tid in range(t):
+            assert len(static_iterations(Schedule.static(), n, t, tid)) <= cap
+
+    @given(n=st.integers(0, 100), t=st.integers(1, 8), chunk=st.integers(1, 9))
+    def test_cyclic_round_robin_invariant(self, n, t, chunk):
+        """Iteration i's block index i//chunk mod t decides its owner."""
+        for tid in range(t):
+            for i in static_iterations(Schedule.static(chunk), n, t, tid):
+                assert (i // chunk) % t == tid
+
+    def test_dynamic_rejected_statically(self):
+        with pytest.raises(ScheduleError, match="not static"):
+            static_iterations(Schedule.dynamic(), 8, 2, 0)

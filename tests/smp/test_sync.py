@@ -1,0 +1,231 @@
+"""Barrier, critical, atomic, single, master, sections (repro.smp.sync)."""
+
+import pytest
+
+from repro.errors import ParallelError, TeamBrokenError
+from repro.smp import SmpRuntime
+
+
+def rt_for(mode, n=4, seed=0, **kw):
+    if mode == "thread":
+        kw.setdefault("deadlock_timeout", 5.0)
+    return SmpRuntime(num_threads=n, mode=mode, seed=seed, **kw)
+
+
+class TestBarrier:
+    def test_orders_phases(self, any_mode):
+        rt = rt_for(any_mode)
+        log = []
+
+        def body(ctx):
+            log.append(("before", ctx.thread_num))
+            ctx.checkpoint()
+            ctx.barrier()
+            log.append(("after", ctx.thread_num))
+
+        rt.parallel(body)
+        last_before = max(i for i, (p, _) in enumerate(log) if p == "before")
+        first_after = min(i for i, (p, _) in enumerate(log) if p == "after")
+        assert last_before < first_after
+
+    def test_reusable_many_generations(self, any_mode):
+        rt = rt_for(any_mode, n=3)
+        log = []
+
+        def body(ctx):
+            for round_no in range(5):
+                log.append((round_no, ctx.thread_num))
+                ctx.barrier()
+
+        rt.parallel(body)
+        # All of round k appears before any of round k+1.
+        rounds = [r for r, _ in log]
+        assert rounds == sorted(rounds)
+
+    def test_generation_counter(self, any_mode):
+        rt = rt_for(any_mode, n=2)
+        gens = []
+
+        def body(ctx):
+            ctx.barrier()
+            ctx.barrier()
+            if ctx.thread_num == 0:
+                gens.append(ctx.team.barrier.generation)
+
+        rt.parallel(body)
+        assert gens == [2]
+
+    def test_teammate_death_breaks_barrier(self, any_mode):
+        rt = rt_for(any_mode, n=2)
+
+        def body(ctx):
+            if ctx.thread_num == 0:
+                raise ValueError("dies before barrier")
+            ctx.barrier()
+
+        with pytest.raises(ParallelError) as ei:
+            rt.parallel(body)
+        kinds = {type(c) for c in ei.value.causes}
+        assert ValueError in kinds
+        assert TeamBrokenError in kinds
+
+
+class TestCritical:
+    def test_protects_counter(self, any_mode):
+        rt = rt_for(any_mode)
+        box = {"n": 0}
+
+        def body(ctx):
+            for _ in range(20):
+                with ctx.critical():
+                    tmp = box["n"]
+                    ctx.checkpoint()  # invite preemption inside the section
+                    box["n"] = tmp + 1
+
+        rt.parallel(body)
+        assert box["n"] == 80
+
+    def test_named_sections_are_distinct_locks(self, any_mode):
+        rt = rt_for(any_mode, n=2)
+        team_holder = {}
+
+        def body(ctx):
+            team_holder["team"] = ctx.team
+            with ctx.critical("a"):
+                pass
+            with ctx.critical("b"):
+                pass
+
+        rt.parallel(body)
+        team = team_holder["team"]
+        assert team.critical_lock("a") is not team.critical_lock("b")
+
+    def test_acquisition_counter(self, any_mode):
+        rt = rt_for(any_mode, n=3)
+        holder = {}
+
+        def body(ctx):
+            holder["team"] = ctx.team
+            with ctx.critical("counted"):
+                pass
+
+        rt.parallel(body)
+        assert holder["team"].critical_lock("counted").acquisitions == 3
+
+    def test_fifo_fairness_lockstep(self):
+        # Tickets are served in acquisition order.
+        rt = rt_for("lockstep", n=4, seed=9)
+        order = []
+
+        def body(ctx):
+            with ctx.critical():
+                order.append(("enter", ctx.thread_num))
+                ctx.checkpoint()
+                order.append(("exit", ctx.thread_num))
+
+        rt.parallel(body)
+        # Sections never overlap: enter/exit strictly alternate.
+        kinds = [k for k, _ in order]
+        assert kinds == ["enter", "exit"] * 4
+
+
+class TestAtomic:
+    def test_protects_update(self, any_mode):
+        rt = rt_for(any_mode)
+        box = {"n": 0}
+
+        def body(ctx):
+            for _ in range(25):
+                with ctx.atomic():
+                    box["n"] += 1
+
+        rt.parallel(body)
+        assert box["n"] == 100
+
+    def test_update_counter(self, any_mode):
+        rt = rt_for(any_mode, n=2)
+        holder = {}
+
+        def body(ctx):
+            holder["team"] = ctx.team
+            with ctx.atomic():
+                pass
+
+        rt.parallel(body)
+        assert holder["team"].atomic_guard.updates == 2
+
+
+class TestSingleMaster:
+    def test_single_runs_once(self, any_mode):
+        rt = rt_for(any_mode)
+        runs = []
+
+        def body(ctx):
+            return ctx.single(lambda: runs.append(ctx.thread_num) or "v")
+
+        res = rt.parallel(body)
+        assert len(runs) == 1
+        assert res.results == ["v"] * 4  # result broadcast to all
+
+    def test_single_nowait_skips_broadcast(self, any_mode):
+        rt = rt_for(any_mode)
+
+        def body(ctx):
+            return ctx.single(lambda: "winner", nowait=True)
+
+        res = rt.parallel(body)
+        winners = [r for r in res.results if r == "winner"]
+        assert len(winners) == 1
+
+    def test_successive_singles_independent(self, any_mode):
+        rt = rt_for(any_mode, n=3)
+        counts = []
+
+        def body(ctx):
+            for k in range(3):
+                ctx.single(lambda k=k: counts.append(k))
+
+        rt.parallel(body)
+        assert sorted(counts) == [0, 1, 2]
+
+    def test_master_is_thread_zero(self, any_mode):
+        rt = rt_for(any_mode)
+        ran = []
+
+        def body(ctx):
+            ctx.master(lambda: ran.append(ctx.thread_num))
+
+        rt.parallel(body)
+        assert ran == [0]
+
+    def test_master_returns_none_elsewhere(self, any_mode):
+        rt = rt_for(any_mode, n=2)
+        res = rt.parallel(lambda ctx: ctx.master(lambda: "boss"))
+        assert res.results == ["boss", None]
+
+
+class TestSections:
+    def test_all_sections_execute_once(self, any_mode):
+        rt = rt_for(any_mode, n=2)
+        counts = {k: 0 for k in range(5)}
+
+        def mk(k):
+            def fn():
+                counts[k] += 1
+                return k * k
+
+            return fn
+
+        out = rt.sections([mk(k) for k in range(5)])
+        assert out == [0, 1, 4, 9, 16]
+        assert all(v == 1 for v in counts.values())
+
+    def test_more_threads_than_sections(self, any_mode):
+        rt = rt_for(any_mode, n=6)
+        out = rt.sections([lambda: "a", lambda: "b"])
+        assert out == ["a", "b"]
+
+    def test_results_order_matches_fns_order(self, any_mode):
+        rt = rt_for(any_mode, n=3)
+        out = rt.sections([lambda k=k: k for k in range(7)])
+        assert out == list(range(7))

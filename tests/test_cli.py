@@ -1,0 +1,106 @@
+"""The patternlet command-line tool."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_flags(self):
+        args = build_parser().parse_args(
+            ["run", "openmp.spmd", "--tasks", "8", "--on", "parallel", "--seed", "3"]
+        )
+        assert args.tasks == 8 and args.on == ["parallel"] and args.seed == 3
+
+
+class TestCommands:
+    def test_inventory(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        assert "total       44" in out
+
+    def test_list_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "openmp.spmd" in out and "mpi.gather" in out
+        assert len(out.strip().splitlines()) == 44
+
+    def test_list_backend(self, capsys):
+        assert main(["list", "--backend", "pthreads"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 9
+
+    def test_show(self, capsys):
+        assert main(["show", "openmp.barrier"]) == 0
+        out = capsys.readouterr().out
+        assert "#pragma omp barrier" in out and "exercise" in out
+
+    def test_show_unknown_is_error(self, capsys):
+        assert main(["show", "openmp.zzz"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_run(self, capsys):
+        assert main(["run", "openmp.spmd", "--tasks", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Hello from thread") == 3
+
+    def test_run_with_toggle(self, capsys):
+        assert main(
+            ["run", "openmp.barrier", "--tasks", "2", "--on", "barrier"]
+        ) == 0
+
+    def test_run_attributed(self, capsys):
+        assert main(["run", "openmp.spmd", "--attribute", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[omp:0" in out
+
+    def test_run_bad_toggle(self, capsys):
+        assert main(["run", "openmp.spmd", "--on", "hyperdrive"]) == 1
+
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "== execution ==" in out and "Reduction" in out
+
+
+class TestNewCommands:
+    def test_trace(self, capsys):
+        assert main(["trace", "openmp.spmd", "--tasks", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "omp:0" in out and "|" in out
+
+    def test_trace_no_legend(self, capsys):
+        assert main(
+            ["trace", "openmp.spmd", "--tasks", "2", "--no-legend"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Hello" not in out  # legend suppressed; lanes only
+
+    def test_selfcheck_single_figure(self, capsys):
+        assert main(["selfcheck", "--figure", "Fig. 5"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "1/1" in out
+
+    def test_selfcheck_unknown_figure(self, capsys):
+        assert main(["selfcheck", "--figure", "Fig. 99"]) == 1
+
+
+class TestQuizCommand:
+    def test_quiz_prints_four_questions(self, capsys):
+        assert main(["quiz"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Q") >= 4 and "(a)" in out
+
+    def test_quiz_key_marks_answers(self, capsys):
+        assert main(["quiz", "--key"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("*") == 4
+
+    def test_source_command(self, capsys):
+        assert main(["source", "mpi.gather"]) == 0
+        out = capsys.readouterr().out
+        assert "MPI_Gather" in out or "gather" in out

@@ -1,0 +1,60 @@
+"""Every example script runs end-to-end (in-process, stdout captured)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv, capsys):
+    saved = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = saved
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", [], capsys)
+        assert "44 patternlets" in out
+        assert "Hello from thread" in out
+
+    def test_classroom_demo(self, capsys):
+        out = run_example("classroom_demo.py", ["3"], capsys)
+        assert "openmp.barrier" in out and "uncomment" in out
+
+    def test_red_pixel_reduction(self, capsys):
+        out = run_example("red_pixel_reduction.py", [], capsys)
+        assert "42 red pixels" in out
+        assert "[6, 8, 9, 1, 5, 7, 2, 4]" in out
+
+    def test_cs2_matrix_lab(self, capsys):
+        out = run_example("cs2_matrix_lab.py", ["24"], capsys)
+        assert "speedup vs threads" in out
+
+    def test_parallel_mergesort(self, capsys):
+        out = run_example("parallel_mergesort.py", ["120"], capsys)
+        assert "OK (matches sorted())" in out
+
+    def test_deadlock_clinic(self, capsys):
+        out = run_example("deadlock_clinic.py", [], capsys)
+        assert "DEADLOCK" in out and "waiting for" in out
+
+    def test_heat_diffusion(self, capsys):
+        out = run_example("heat_diffusion.py", ["24", "10"], capsys)
+        assert "True" in out and "span" in out
+
+    def test_nbody(self, capsys):
+        out = run_example("nbody_simulation.py", ["10", "2"], capsys)
+        assert "exact=True" in out and "centre of mass" in out
+
+    def test_dining_philosophers(self, capsys):
+        out = run_example("dining_philosophers.py", ["2", "0"], capsys)
+        assert "DEADLOCK" in out  # naive policy at seed 0
+        assert out.count("everyone ate") == 2  # both fixes complete

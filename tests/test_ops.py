@@ -1,0 +1,149 @@
+"""Reduction operator semantics (repro.ops)."""
+
+import functools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ReductionError
+from repro.ops import (
+    BAND,
+    BOR,
+    BXOR,
+    LAND,
+    LOR,
+    LXOR,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    PROD,
+    SUM,
+    BUILTIN_OPS,
+    OMP_OPERATORS,
+    Op,
+    resolve_op,
+    sequential_reduce,
+)
+
+
+class TestBuiltins:
+    def test_sum_and_identity(self):
+        assert SUM(3, 4) == 7
+        assert SUM.identity == 0
+
+    def test_prod(self):
+        assert PROD(3, 4) == 12
+        assert PROD.identity == 1
+
+    def test_min_max(self):
+        assert MIN(3, 4) == 3
+        assert MAX(3, 4) == 4
+
+    def test_min_max_no_identity(self):
+        assert MIN.identity is None
+        assert MAX.identity is None
+
+    def test_logical(self):
+        assert LAND(1, 0) is False
+        assert LOR(0, 1) is True
+        assert LXOR(1, 1) is False
+        assert LXOR(1, 0) is True
+
+    def test_bitwise(self):
+        assert BAND(0b1100, 0b1010) == 0b1000
+        assert BOR(0b1100, 0b1010) == 0b1110
+        assert BXOR(0b1100, 0b1010) == 0b0110
+
+    def test_minloc_picks_lower_value(self):
+        assert MINLOC((5, 0), (3, 1)) == (3, 1)
+
+    def test_minloc_tie_resolves_to_lower_index(self):
+        assert MINLOC((3, 2), (3, 1)) == (3, 1)
+        assert MINLOC((3, 1), (3, 2)) == (3, 1)
+
+    def test_maxloc(self):
+        assert MAXLOC((5, 0), (3, 1)) == (5, 0)
+        assert MAXLOC((5, 2), (5, 1)) == (5, 1)
+
+    def test_builtin_table_complete(self):
+        assert set(BUILTIN_OPS) == {
+            "SUM", "PROD", "MIN", "MAX", "MINLOC", "MAXLOC",
+            "LAND", "LOR", "LXOR", "BAND", "BOR", "BXOR",
+        }
+
+    def test_omp_spellings(self):
+        assert OMP_OPERATORS["+"] is SUM
+        assert OMP_OPERATORS["*"] is PROD
+        assert OMP_OPERATORS["&&"] is LAND
+        assert OMP_OPERATORS["||"] is LOR
+        assert OMP_OPERATORS["^"] is BXOR
+
+
+class TestResolve:
+    def test_resolve_op_instance(self):
+        assert resolve_op(SUM) is SUM
+
+    def test_resolve_mpi_name(self):
+        assert resolve_op("SUM") is SUM
+
+    def test_resolve_omp_spelling(self):
+        assert resolve_op("+") is SUM
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ReductionError, match="unknown reduction op"):
+            resolve_op("frobnicate")
+
+    def test_resolve_bad_type_raises(self):
+        with pytest.raises(ReductionError):
+            resolve_op(42)
+
+
+class TestUserOps:
+    def test_create(self):
+        concat = Op.create(lambda a, b: a + b, name="CONCAT", identity="")
+        assert concat("ab", "cd") == "abcd"
+        assert concat.name == "CONCAT"
+
+    def test_user_op_in_sequential_reduce(self):
+        concat = Op.create(lambda a, b: a + b, identity="")
+        assert sequential_reduce(concat, ["a", "b", "c"]) == "abc"
+
+
+class TestSequentialReduce:
+    def test_matches_functools(self):
+        values = [5, 3, 8, 1]
+        assert sequential_reduce("SUM", values) == functools.reduce(
+            lambda a, b: a + b, values, 0
+        )
+
+    def test_empty_with_identity(self):
+        assert sequential_reduce("SUM", []) == 0
+
+    def test_empty_without_identity_raises(self):
+        with pytest.raises(ReductionError, match="empty reduction"):
+            sequential_reduce("MIN", [])
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1))
+    def test_sum_property(self, values):
+        assert sequential_reduce("SUM", values) == sum(values)
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1))
+    def test_min_property(self, values):
+        assert sequential_reduce("MIN", values) == min(values)
+
+    @given(st.lists(st.booleans(), min_size=1))
+    def test_lor_property(self, values):
+        assert sequential_reduce("LOR", values) == any(values)
+
+    @given(st.lists(st.integers(0, 2**16), min_size=1))
+    def test_bxor_property(self, values):
+        expected = functools.reduce(lambda a, b: a ^ b, values, 0)
+        assert sequential_reduce("BXOR", values) == expected
+
+    @given(st.lists(st.tuples(st.integers(-50, 50), st.integers(0, 20)), min_size=1))
+    def test_minloc_matches_python_min(self, pairs):
+        got = sequential_reduce("MINLOC", pairs)
+        best = min(pairs, key=lambda p: (p[0], p[1]))
+        assert got == best

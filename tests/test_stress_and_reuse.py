@@ -1,0 +1,93 @@
+"""Scale stress and runtime-reuse behaviour."""
+
+import pytest
+
+from repro.mp import MpRuntime, mpirun
+from repro.pthreads import PthreadsRuntime
+from repro.smp import SmpRuntime
+
+
+class TestScale:
+    def test_large_world_allreduce(self, any_mode):
+        res = mpirun(64, lambda c: c.allreduce(1, "SUM"), mode=any_mode)
+        assert res.results == [64] * 64
+
+    def test_large_team_reduction(self, any_mode):
+        rt = SmpRuntime(num_threads=48, mode=any_mode)
+        res = rt.parallel(lambda ctx: ctx.reduce(ctx.thread_num, "+"))
+        assert res.results[0] == sum(range(48))
+
+    def test_deep_message_chain(self, any_mode):
+        """A 40-rank token relay exercises long dependency chains."""
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(0, dest=1)
+                return comm.recv(source=comm.size - 1)
+            token = comm.recv(source=comm.rank - 1)
+            nxt = (comm.rank + 1) % comm.size
+            comm.send(token + 1, dest=nxt)
+            return token
+
+        res = mpirun(40, main, mode=any_mode)
+        assert res.results[0] == 39
+
+    def test_many_small_collectives(self, any_mode):
+        def main(comm):
+            total = 0
+            for _ in range(25):
+                total = comm.allreduce(total + 1, "MAX")
+            return total
+
+        res = mpirun(6, main, mode=any_mode)
+        assert res.results == [25] * 6
+
+
+class TestRuntimeReuse:
+    def test_smp_runtime_many_regions(self, any_mode):
+        rt = SmpRuntime(num_threads=3, mode=any_mode)
+        for k in range(10):
+            res = rt.parallel(lambda ctx, k=k: ctx.thread_num + k)
+            assert res.results == [k, k + 1, k + 2]
+
+    def test_mp_runtime_many_worlds(self, any_mode):
+        rt = MpRuntime(mode=any_mode)
+        for k in range(5):
+            res = rt.run(3, lambda comm, k=k: comm.allreduce(k, "SUM"))
+            assert res.results == [3 * k] * 3
+
+    def test_mixed_runtimes_one_lockstep_executor(self):
+        """SMP teams and MP worlds can interleave on one executor."""
+        from repro.sched import make_executor
+
+        ex = make_executor("lockstep", seed=5)
+        smp = SmpRuntime(num_threads=2, executor=ex)
+        mp = MpRuntime(executor=ex)
+        a = smp.parallel(lambda ctx: ctx.thread_num).results
+        b = mp.run(2, lambda comm: comm.rank).results
+        c = smp.parallel_for(6, lambda i, ctx: i, reduction="+").reduction
+        assert (a, b, c) == ([0, 1], [0, 1], 15)
+
+    def test_pthreads_runtime_reuse(self, any_mode):
+        rt = PthreadsRuntime(mode=any_mode, seed=1)
+        for _ in range(3):
+            total = rt.run(
+                lambda pt: sum(pt.join(h) for h in [pt.create(lambda i=i: i) for i in range(4)])
+            )
+            assert total == 6
+
+    def test_seed_determinism_survives_reuse(self):
+        def story(seed):
+            rt = SmpRuntime(num_threads=3, mode="lockstep", seed=seed)
+            log = []
+
+            def body(ctx):
+                log.append(ctx.thread_num)
+                ctx.checkpoint()
+                log.append(-ctx.thread_num)
+
+            rt.parallel(body)
+            rt.parallel(body)  # second region on the same executor
+            return log
+
+        assert story(9) == story(9)
