@@ -58,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("random", "roundrobin", "fifo", "lifo"))
     p_run.add_argument("--attribute", action="store_true",
                        help="prefix every line with the task that printed it")
+    p_run.add_argument("--detect-races", action="store_true",
+                       help="prove (or refute) data races on shared cells "
+                            "via happens-before analysis of the run's trace")
 
     p_trace = sub.add_parser(
         "trace", help="run a patternlet and draw its interleaving timeline"
@@ -71,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("random", "roundrobin", "fifo", "lifo"))
     p_trace.add_argument("--no-legend", action="store_true",
                          help="omit the numbered line legend")
+    p_trace.add_argument("--events", action="store_true",
+                         help="draw lanes over the full event trace, not "
+                              "just the printed lines")
+    p_trace.add_argument("--json", action="store_true",
+                         help="print the run's trace as Chrome trace-event "
+                              "JSON instead of drawing lanes")
+    p_trace.add_argument("--out", metavar="FILE", default=None,
+                         help="write the Chrome trace-event JSON to FILE "
+                              "(open in a trace viewer)")
 
     p_source = sub.add_parser(
         "source", help="print a patternlet's source (its module, like cat-ing the .c file)"
@@ -137,11 +149,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if run.span is not None:
         print(f"(virtual span: {run.span:g} work units; wall: {run.wall:.4f}s)",
               file=sys.stderr)
+    if args.detect_races:
+        from repro.trace import detect_races, race_summary
+
+        races = detect_races(run.trace)
+        print()
+        print(race_summary(races))
+        return 2 if races else 0
     return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.core.timeline import render_run
+    from repro.core.timeline import render_events, render_run
 
     toggles = {name: True for name in args.on}
     toggles.update({name: False for name in args.off})
@@ -153,7 +172,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         seed=args.seed,
         policy=args.policy,
     )
-    print(render_run(run, legend=not args.no_legend))
+    if args.json or args.out:
+        from repro.trace import dumps, write_chrome_trace
+
+        if args.out:
+            try:
+                count = write_chrome_trace(args.out, run.trace)
+            except OSError as exc:
+                print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+                return 1
+            print(f"wrote {count} events to {args.out}")
+        else:
+            print(dumps(run.trace, indent=2))
+        return 0
+    if args.events:
+        print(render_events(run.trace, legend=not args.no_legend))
+    else:
+        print(render_run(run, legend=not args.no_legend))
     return 0
 
 

@@ -1,20 +1,25 @@
-"""Task-attributed output capture.
+"""Task-attributed output capture, as a view over the event spine.
 
 The paper's figures *are* program output: interleaved "Hello from thread 3
 of 4" lines, before/after barrier orderings, gathered arrays.  To turn those
 into testable artifacts, a :class:`OutputRecorder` replaces ``sys.stdout``
-for the duration of a run and records every completed line together with
-the label of the task that wrote it (``"omp:2"``, ``"mpi:0"``, nested
-``"mpi:1/omp:3"``), in global arrival order.
+for the duration of a run and emits every completed line into the run's
+:class:`~repro.trace.TraceRecorder` as an ``io.print`` event, attributed to
+the task that wrote it (``"omp:2"``, ``"mpi:0"``, nested ``"mpi:1/omp:3"``),
+in global arrival order.
+
+The recorder is also installed as the *ambient* trace recorder (see
+:mod:`repro.trace.events`), so every substrate event of the run — task
+lifetimes, barrier generations, lock hand-offs, message edges, shared-cell
+accesses — lands in the same stream, interleaved with the prints.  A
+:class:`CapturedRun` is therefore one trace plus views: ``records``/``text``
+read the ``io.print`` events, ``span`` derives from ``task.end`` virtual
+times, and the happens-before analyses of :mod:`repro.trace.hb` run over
+``run.trace`` directly.
 
 Patternlets just call :func:`say` (or plain ``print``) — attribution comes
 from :func:`repro.sched.base.current_task_label`, which both executors
 maintain.  Lines written outside any task are labelled ``"main"``.
-
-The resulting :class:`CapturedRun` is the universal figure format: its
-``text`` matches what a terminal would show, while ``by_task`` and the
-helpers in :mod:`repro.core.analysis` support the shape assertions the
-benches and tests make.
 """
 
 from __future__ import annotations
@@ -26,16 +31,23 @@ import time
 from typing import Any, Callable
 
 from repro.sched.base import current_task_label
+from repro.trace import TraceRecorder, pop_recorder, push_recorder, span_of
 
 __all__ = ["CapturedRun", "OutputRecorder", "capture_run", "say"]
 
+PRINT = "io.print"
+
 
 class CapturedRun:
-    """Everything observable from one program run."""
+    """Everything observable from one program run.
+
+    The underlying store is ``trace`` — the run's full event stream; the
+    output-shaped attributes are views over its ``io.print`` events.
+    """
 
     def __init__(self) -> None:
-        #: ``(task_label, line)`` pairs in global arrival order.
-        self.records: list[tuple[str, str]] = []
+        #: The run's full event stream (prints and substrate events).
+        self.trace = TraceRecorder()
         #: Return value of the program's ``main``.
         self.result: Any = None
         #: Wall-clock seconds for the run.
@@ -46,6 +58,24 @@ class CapturedRun:
         self.meta: dict[str, Any] = {}
 
     # -- views ---------------------------------------------------------------
+
+    @property
+    def records(self) -> list[tuple[str, str]]:
+        """``(task_label, line)`` pairs in global arrival order."""
+        return [
+            (ev.task, ev.payload.get("line", ""))
+            for ev in self.trace.events(PRINT)
+        ]
+
+    @records.setter
+    def records(self, pairs: list[tuple[str, str]]) -> None:
+        # Tests fabricate runs by assigning records wholesale; keep the
+        # trace as the single source of truth by rebuilding it from the
+        # given lines.
+        rec = TraceRecorder()
+        for label, line in pairs:
+            rec.emit(PRINT, task=label, line=line)
+        self.trace = rec
 
     @property
     def lines(self) -> list[str]:
@@ -101,7 +131,9 @@ class _RouterStream(io.TextIOBase):
             buf = self._partials.get(label, "") + s
             while "\n" in buf:
                 line, buf = buf.split("\n", 1)
-                self._run.records.append((label, line))
+                # Directly into the run's trace (not the ambient stack):
+                # output must be captured even inside trace.muted() blocks.
+                self._run.trace.emit(PRINT, task=label, line=line)
             self._partials[label] = buf
         if self._echo is not None:
             self._echo.write(s)
@@ -116,12 +148,17 @@ class _RouterStream(io.TextIOBase):
         with self._lock:
             for label, buf in self._partials.items():
                 if buf:
-                    self._run.records.append((label, buf))
+                    self._run.trace.emit(PRINT, task=label, line=buf)
             self._partials.clear()
 
 
 class OutputRecorder:
-    """Context manager that records task-attributed stdout into a run."""
+    """Context manager that records one run: stdout lines and trace events.
+
+    Replaces ``sys.stdout`` with the attributing router *and* installs the
+    run's trace as the ambient recorder, so the runtimes' substrate events
+    interleave with the prints in a single sequenced stream.
+    """
 
     def __init__(self, *, echo: bool = False):
         self.run = CapturedRun()
@@ -133,10 +170,12 @@ class OutputRecorder:
         self._saved = sys.stdout
         self._stream = _RouterStream(self.run, self._saved if self._echo else None)
         sys.stdout = self._stream
+        push_recorder(self.run.trace)
         return self
 
     def __exit__(self, *exc: object) -> None:
         assert self._stream is not None
+        pop_recorder(self.run.trace)
         self._stream.finish()
         sys.stdout = self._saved
 
@@ -149,10 +188,10 @@ def capture_run(
 ) -> CapturedRun:
     """Run ``fn(*args, **kwargs)`` under an :class:`OutputRecorder`.
 
-    The callable's return value lands in ``run.result``; if it returns an
-    object with a ``span`` attribute (e.g. a
-    :class:`~repro.smp.runtime.TeamResult` or an MP world result), the span
-    is copied onto the run for the figure harnesses.
+    The callable's return value lands in ``run.result``; the span is taken
+    from the result's ``span`` attribute when it has one (e.g. a
+    :class:`~repro.smp.runtime.TeamResult` or an MP world result), falling
+    back to the trace's own ``task.end`` virtual times.
     """
     rec = OutputRecorder(echo=echo)
     t0 = time.perf_counter()
@@ -163,6 +202,10 @@ def capture_run(
     span = getattr(result, "span", None)
     if isinstance(span, (int, float)):
         rec.run.span = float(span)
+    else:
+        derived = span_of(rec.run.trace)
+        if derived > 0.0:
+            rec.run.span = derived
     return rec.run
 
 

@@ -5,26 +5,32 @@ output is the paper's medium, but a lane-per-task timeline makes the same
 behaviour visible at a glance — who printed when, where the barrier
 aligned everyone, how a race window interleaved two updates.
 
-Two renderers:
+Three renderers:
 
 - :func:`render_run` — lanes from a :class:`~repro.core.capture.CapturedRun`:
   one column per global output event, one row per task, event numbers in
   the producing task's lane.
+- :func:`render_events` — the same lane layout over the run's full trace
+  (any :class:`~repro.trace.Event` stream), so barrier arrivals, lock
+  hand-offs and message edges appear between the prints.
 - :func:`render_trace` — lanes from a lockstep executor's scheduling
   trace: ``#`` for running, ``.`` for blocked, so students can see the
   token move between tasks and where everyone piled up at a barrier.
 
-Both are pure functions returning strings (printable anywhere, assertable
+All are pure functions returning strings (printable anywhere, assertable
 in tests).  The CLI exposes them as ``patternlet trace``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.core.capture import CapturedRun
 
-__all__ = ["render_run", "render_trace", "lane_order"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace import Event, TraceRecorder
+
+__all__ = ["render_run", "render_events", "render_trace", "lane_order"]
 
 
 def lane_order(run: CapturedRun) -> list[str]:
@@ -74,6 +80,55 @@ def render_run(
         out += "\n" + "-" * (label_w + 3)
         for k, (label, line) in enumerate(records, start=1):
             out += f"\n{k:>3}. [{label}] {line}"
+    return out
+
+
+def _event_detail(ev: "Event") -> str:
+    parts = [f"{k}={v}" for k, v in ev.payload.items() if k != "scope"]
+    if ev.vtime is not None:
+        parts.append(f"vtime={ev.vtime:g}")
+    return f" ({', '.join(parts)})" if parts else ""
+
+
+def render_events(
+    source: "Iterable[Event] | TraceRecorder",
+    *,
+    max_events: int = 60,
+    legend: bool = True,
+) -> str:
+    """Lanes over a full trace: event k marks the task that emitted it.
+
+    Same layout as :func:`render_run`, but every spine event gets a
+    column — a barrier patternlet shows the ``barrier.arrive`` cluster
+    between the two print phases, a mutual-exclusion one shows the lock
+    hand-off order.  The legend lists each event's kind and payload.
+    """
+    from repro.trace import as_events
+
+    events = as_events(source)
+    shown = events[:max_events]
+    elided = len(events) - len(shown)
+    tasks: list[str] = []
+    for ev in shown:
+        if ev.task not in tasks:
+            tasks.append(ev.task)
+    if not tasks:
+        return "(no events)"
+    label_w = max(len(t) for t in tasks)
+    cells: dict[str, list[str]] = {t: [] for t in tasks}
+    for k, ev in enumerate(shown, start=1):
+        mark = str(k)
+        for t in tasks:
+            cells[t].append(mark if t == ev.task else "." * len(mark))
+    out = "\n".join(
+        f"{t:<{label_w}} | " + " ".join(cells[t]) for t in tasks
+    )
+    if elided > 0:
+        out += f"\n({elided} later events elided)"
+    if legend:
+        out += "\n" + "-" * (label_w + 3)
+        for k, ev in enumerate(shown, start=1):
+            out += f"\n{k:>3}. [{ev.task}] {ev.kind}{_event_detail(ev)}"
     return out
 
 

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Any, Callable, Hashable, Sequence
 
 from repro.errors import CommError, MpError
 from repro.mp import collectives as _coll
+from repro.trace.events import emit as _trace_emit
 from repro.mp.mailbox import ANY_SOURCE, ANY_TAG, Mailbox, Message, Status, validate_tag
 from repro.mp.serialize import pack, unpack
 from repro.ops import Op
@@ -248,6 +249,13 @@ class Comm:
         # Rendezvous completes when the receiver matched; causality flows
         # back to the sender.
         self._clock().merge(msg.arrival)
+        _trace_emit(
+            "msg.ssend_done",
+            scope=self._world.scope,
+            uid=msg.uid,
+            vtime=self._clock().now,
+            hb_acq=("msg-ack", self._world.scope, msg.uid),
+        )
 
     def _post(self, obj: Any, dest: int, tag: int, *, sync: bool) -> Message:
         validate_tag(tag)
@@ -264,6 +272,18 @@ class Comm:
             size=len(data),
             arrival=depart + self._world.costs.transit(len(data)),
             sync=sync,
+        )
+        # Emit before depositing: the receiver's ``msg.recv`` must follow
+        # this event in stream order for the HB edge to point forward.
+        _trace_emit(
+            "msg.send",
+            scope=self._world.scope,
+            uid=msg.uid,
+            dest=dest,
+            tag=tag,
+            size=msg.size,
+            vtime=clock.now,
+            hb_rel=("msg", self._world.scope, msg.uid),
         )
         self._world.mailboxes[gdest].deposit(msg)
         self._world.executor.notify()
@@ -294,12 +314,33 @@ class Comm:
     def _complete_recv(
         self, source: int, tag: int, *, with_status: bool = False
     ) -> Any:
+        matched = self._mailbox.peek(self._ctx, source, tag)
+        if matched is not None and matched.sync:
+            # The rendezvous ack must be on the stream before ``take``
+            # flips ``consumed`` and unblocks the sender, whose
+            # ``msg.ssend_done`` acquires this edge.
+            _trace_emit(
+                "msg.ack",
+                scope=self._world.scope,
+                uid=matched.uid,
+                hb_rel=("msg-ack", self._world.scope, matched.uid),
+            )
         msg = self._mailbox.take(self._ctx, source, tag)
         if msg is None:  # pragma: no cover - single consumer per mailbox
             raise CommError("matched message vanished (mailbox misuse)")
         clock = self._clock()
         clock.merge(msg.arrival)
         clock.advance(self._world.costs.overhead)
+        _trace_emit(
+            "msg.recv",
+            scope=self._world.scope,
+            uid=msg.uid,
+            source=msg.source,
+            tag=msg.tag,
+            size=msg.size,
+            vtime=clock.now,
+            hb_acq=("msg", self._world.scope, msg.uid),
+        )
         if msg.sync:
             self._world.executor.notify()  # release the rendezvous sender
         payload = unpack(msg.data)

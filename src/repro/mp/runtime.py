@@ -31,6 +31,7 @@ import threading
 import time
 from typing import Any, Callable
 
+from repro import trace as _trace
 from repro.mp.cluster import Cluster
 from repro.mp.comm import Comm
 from repro.mp.mailbox import Mailbox
@@ -55,6 +56,8 @@ class World:
         self.costs = runtime.costs
         self.cluster = runtime.cluster
         self.group: TaskGroup | None = None
+        #: Trace scope naming this world's events (set by the launcher).
+        self.scope = label
 
     @property
     def executor(self) -> Executor:
@@ -129,6 +132,8 @@ class MpRuntime:
         )
         self.costs = costs or LogPCosts()
         self.cluster = cluster or Cluster()
+        #: Event spine of the most recent run (or the ambient recorder).
+        self.trace = _trace.TraceRecorder()
         self._world_counter = 0
         self._counter_lock = threading.Lock()
 
@@ -146,13 +151,24 @@ class MpRuntime:
             wid = self._world_counter
         world_label = label or f"world{wid}"
         world = World(self, size, world_label)
+        scope = f"{world_label}#{wid}"
+        world.scope = scope
         parent = current_task_label()
         prefix = f"{parent}/" if parent else ""
 
         def make_thunk(rank: int) -> Callable[[], Any]:
             def thunk() -> Any:
+                _trace.emit("task.start", scope=scope, hb_acq=("fork", scope))
                 comm = Comm(world, rank, list(range(size)), ctx=("world", wid))
-                return main(comm, *args, **kwargs)
+                try:
+                    return main(comm, *args, **kwargs)
+                finally:
+                    _trace.emit(
+                        "task.end",
+                        scope=scope,
+                        vtime=world.clocks[rank].now,
+                        hb_rel=("join", scope),
+                    )
 
             return thunk
 
@@ -161,17 +177,39 @@ class MpRuntime:
         def publish(group: TaskGroup) -> None:
             world.group = group
 
-        group = self.executor.run_tasks(
-            [make_thunk(r) for r in range(size)],
-            labels,
-            group_label=world_label,
-            on_group=publish,
-        )
+        # Emission goes to the ambient recorder; install this runtime's
+        # own spine only when no harness (capture_run, ...) put one up.
+        recorder = _trace.current_recorder()
+        pushed = recorder is None
+        if pushed:
+            recorder = _trace.TraceRecorder()
+            _trace.push_recorder(recorder)
+        self.trace = recorder
+        try:
+            _trace.emit(
+                "world.fork",
+                scope=scope,
+                label=world_label,
+                tasks=size,
+                hb_rel=("fork", scope),
+            )
+            group = self.executor.run_tasks(
+                [make_thunk(r) for r in range(size)],
+                labels,
+                group_label=world_label,
+                on_group=publish,
+            )
+            _trace.emit(
+                "world.join", scope=scope, label=world_label, hb_acq=("join", scope)
+            )
+        finally:
+            if pushed:
+                _trace.pop_recorder(recorder)
         wall = time.perf_counter() - t0
         return WorldResult(
             world=world,
             results=group.results(),
-            span=world.span,
+            span=_trace.span_of(recorder, scope=scope),
             wall=wall,
         )
 

@@ -26,6 +26,7 @@ import itertools
 import time
 from typing import Any, Callable
 
+from repro import trace as _trace
 from repro.pthreads.sync import CondVar, Mutex, PthreadBarrier, RWLock, Semaphore
 from repro.sched import Executor, make_executor
 from repro.sched.base import TaskHandle, current_task_label
@@ -46,12 +47,30 @@ class PthreadContext:
         self, fn: Callable[..., Any], *args: Any, name: str | None = None
     ) -> TaskHandle:
         """``pthread_create``: start ``fn(*args)`` on a new thread."""
-        label = name or f"pthread:{next(self._counter)}"
-        return self._runtime.executor.spawn(lambda: fn(*args), label)
+        uid = next(self._counter)
+        label = name or f"pthread:{uid}"
+        _trace.emit("task.spawn", child=label, hb_rel=("spawn", label, uid))
+
+        def body() -> Any:
+            _trace.emit("task.start", hb_acq=("spawn", label, uid))
+            try:
+                return fn(*args)
+            finally:
+                _trace.emit("task.end", hb_rel=("end", label, uid))
+
+        handle = self._runtime.executor.spawn(body, label)
+        handle.trace_key = ("end", label, uid)
+        return handle
 
     def join(self, handle: TaskHandle) -> Any:
         """``pthread_join``: wait for a thread; return its result."""
-        return handle.join()
+        result = handle.join()
+        _trace.emit(
+            "task.join",
+            child=getattr(handle, "label", None),
+            hb_acq=getattr(handle, "trace_key", None),
+        )
+        return result
 
     def self_id(self) -> str:
         """``pthread_self``: the current task's label."""
@@ -111,6 +130,9 @@ class PthreadsRuntime:
             mode, seed=seed, policy=policy, deadlock_timeout=deadlock_timeout
         )
         self.race_jitter = race_jitter
+        #: Event spine of the most recent run (or the ambient recorder).
+        self.trace = _trace.TraceRecorder()
+        self._run_counter = itertools.count(1)
 
     def run(self, program: Callable[[PthreadContext], Any]) -> Any:
         """Run ``program(pt)`` as the managed initial thread; return its result.
@@ -121,7 +143,28 @@ class PthreadsRuntime:
         :class:`~repro.errors.ParallelError` from the underlying executor.
         """
         ctx = PthreadContext(self)
-        group = self.executor.run_tasks(
-            [lambda: program(ctx)], ["pthread:main"], group_label="pthreads"
-        )
+        scope = f"pthreads#{next(self._run_counter)}"
+
+        def main_thread() -> Any:
+            _trace.emit("task.start", scope=scope)
+            try:
+                return program(ctx)
+            finally:
+                _trace.emit("task.end", scope=scope)
+
+        # Emission goes to the ambient recorder; install this runtime's
+        # own spine only when no harness (capture_run, ...) put one up.
+        recorder = _trace.current_recorder()
+        pushed = recorder is None
+        if pushed:
+            recorder = _trace.TraceRecorder()
+            _trace.push_recorder(recorder)
+        self.trace = recorder
+        try:
+            group = self.executor.run_tasks(
+                [main_thread], ["pthread:main"], group_label="pthreads"
+            )
+        finally:
+            if pushed:
+                _trace.pop_recorder(recorder)
         return group.results()[0]

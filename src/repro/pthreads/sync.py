@@ -10,13 +10,18 @@ diagnostics.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from typing import TYPE_CHECKING
 
 from repro.errors import SmpError
 from repro.sched import Executor
+from repro.trace.events import emit as _trace_emit
 
 __all__ = ["Mutex", "CondVar", "Semaphore", "PthreadBarrier", "RWLock"]
+
+# Distinguishes same-named objects in trace happens-before keys.
+_uids = itertools.count()
 
 
 class Mutex:
@@ -25,6 +30,7 @@ class Mutex:
     def __init__(self, executor: Executor, name: str = "mutex"):
         self._executor = executor
         self.name = name
+        self._uid = next(_uids)
         self._lock = threading.Lock()
         self._next_ticket = 0
         self._now_serving = 0
@@ -38,12 +44,20 @@ class Mutex:
             lambda: self._now_serving == ticket,
             describe=f"mutex {self.name!r} (ticket {ticket})",
         )
+        _trace_emit(
+            "mutex.acquire", name=self.name, hb_acq=("mutex", self._uid)
+        )
 
     def unlock(self) -> None:
         """``pthread_mutex_unlock``: serve the next ticket."""
         with self._lock:
             if self._now_serving >= self._next_ticket:
                 raise SmpError(f"mutex {self.name!r} unlocked while not held")
+            # Emit before serving the next ticket so the successor's
+            # acquire event follows this one in stream order.
+            _trace_emit(
+                "mutex.release", name=self.name, hb_rel=("mutex", self._uid)
+            )
             self._now_serving += 1
         self._executor.notify()
 
@@ -74,6 +88,7 @@ class CondVar:
         self._executor = executor
         self._mutex = mutex
         self.name = name
+        self._uid = next(_uids)
         self._lock = threading.Lock()
         self._arrivals = 0
         self._releases = 0
@@ -90,18 +105,27 @@ class CondVar:
             lambda: self._releases > my_slot,
             describe=f"condition variable {self.name!r}",
         )
+        _trace_emit("cond.wake", name=self.name, hb_acq=("cond", self._uid))
         self._mutex.lock()
 
     def signal(self) -> None:
         """Release one waiter (if any)."""
         with self._lock:
             if self._releases < self._arrivals:
+                # Emit before bumping releases: the wake event it orders
+                # must come later in the stream.
+                _trace_emit(
+                    "cond.signal", name=self.name, hb_rel=("cond", self._uid)
+                )
                 self._releases += 1
         self._executor.notify()
 
     def broadcast(self) -> None:
         """Release every current waiter."""
         with self._lock:
+            _trace_emit(
+                "cond.broadcast", name=self.name, hb_rel=("cond", self._uid)
+            )
             self._releases = self._arrivals
         self._executor.notify()
 
@@ -119,12 +143,16 @@ class Semaphore:
             raise ValueError("semaphore value must be non-negative")
         self._executor = executor
         self.name = name
+        self._uid = next(_uids)
         self._lock = threading.Lock()
         self._value = value
 
     def post(self) -> None:
         """``sem_post``: increment and wake a waiter."""
         with self._lock:
+            # Emit before the count becomes visible: any waiter's acquire
+            # event must follow this one in stream order.
+            _trace_emit("sem.post", name=self.name, hb_rel=("sem", self._uid))
             self._value += 1
         self._executor.notify()
 
@@ -133,6 +161,9 @@ class Semaphore:
         with self._lock:
             if self._value > 0:
                 self._value -= 1
+                _trace_emit(
+                    "sem.wait", name=self.name, hb_acq=("sem", self._uid)
+                )
                 return True
             return False
 
@@ -170,6 +201,7 @@ class PthreadBarrier:
         self._executor = executor
         self.parties = parties
         self.name = name
+        self._uid = next(_uids)
         self._lock = threading.Lock()
         self._count = 0
         self._generation = 0
@@ -178,6 +210,14 @@ class PthreadBarrier:
         """Arrive; True on exactly the serial thread once all are in."""
         with self._lock:
             gen = self._generation
+            # Arrivals are recorded before the generation can flip, so
+            # every departure of this generation follows every arrival.
+            _trace_emit(
+                "pbar.arrive",
+                name=self.name,
+                generation=gen,
+                hb_rel=("pbar", self._uid, gen),
+            )
             self._count += 1
             serial = self._count == self.parties
             if serial:
@@ -185,12 +225,18 @@ class PthreadBarrier:
                 self._generation += 1
         if serial:
             self._executor.notify()
-            return True
-        self._executor.wait_until(
-            lambda: self._generation != gen,
-            describe=f"pthread barrier {self.name!r} (generation {gen})",
+        else:
+            self._executor.wait_until(
+                lambda: self._generation != gen,
+                describe=f"pthread barrier {self.name!r} (generation {gen})",
+            )
+        _trace_emit(
+            "pbar.depart",
+            name=self.name,
+            generation=gen,
+            hb_acq=("pbar", self._uid, gen),
         )
-        return False
+        return serial
 
 
 class RWLock:
@@ -204,6 +250,7 @@ class RWLock:
     def __init__(self, executor: Executor, name: str = "rwlock"):
         self._executor = executor
         self.name = name
+        self._uid = next(_uids)
         self._lock = threading.Lock()
         self._readers = 0
         self._writer = False
@@ -213,6 +260,9 @@ class RWLock:
         with self._lock:
             if not self._writer and self._writers_waiting == 0:
                 self._readers += 1
+                _trace_emit(
+                    "rwlock.rdlock", name=self.name, hb_acq=("rwlock", self._uid)
+                )
                 return True
             return False
 
@@ -229,6 +279,9 @@ class RWLock:
         with self._lock:
             if self._readers <= 0:
                 raise SmpError(f"rwlock {self.name!r}: read_unlock without lock")
+            _trace_emit(
+                "rwlock.rdunlock", name=self.name, hb_rel=("rwlock", self._uid)
+            )
             self._readers -= 1
         self._executor.notify()
 
@@ -237,6 +290,9 @@ class RWLock:
             if not self._writer and self._readers == 0:
                 self._writer = True
                 self._writers_waiting -= 1
+                _trace_emit(
+                    "rwlock.wrlock", name=self.name, hb_acq=("rwlock", self._uid)
+                )
                 return True
             return False
 
@@ -255,6 +311,9 @@ class RWLock:
         with self._lock:
             if not self._writer:
                 raise SmpError(f"rwlock {self.name!r}: write_unlock without lock")
+            _trace_emit(
+                "rwlock.wrunlock", name=self.name, hb_rel=("rwlock", self._uid)
+            )
             self._writer = False
         self._executor.notify()
 

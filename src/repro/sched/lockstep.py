@@ -43,6 +43,7 @@ from repro.sched.base import (
     set_task_label,
 )
 from repro.sched.policy import Policy, RandomPolicy
+from repro.trace.events import emit as _trace_emit
 
 __all__ = ["LockstepExecutor"]
 
@@ -294,6 +295,10 @@ class LockstepExecutor(Executor):
     def _trace_add(self, entry: tuple[str, str]) -> None:
         if len(self._trace) < self.TRACE_LIMIT:
             self._trace.append(entry)
+        # Mirror every scheduling decision onto the run's event spine (a
+        # no-op when no recorder is ambient).  The event is *about*
+        # entry[1]'s task, not necessarily emitted by its thread.
+        _trace_emit(f"sched.{entry[0]}", task=entry[1])
 
     def _current_state(self) -> _TaskState | None:
         tid = getattr(self._tls, "tid", None)

@@ -25,21 +25,32 @@ the team's :class:`~repro.smp.sync.AtomicGuard` / named
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from typing import TYPE_CHECKING, Any
+
+from repro.trace.events import active as _trace_active, emit as _trace_emit
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.smp.runtime import ExecutionContext
 
 __all__ = ["SharedCell"]
 
+_cell_ids = itertools.count()
+
 
 class SharedCell:
-    """A shared variable whose update discipline is chosen per call."""
+    """A shared variable whose update discipline is chosen per call.
 
-    def __init__(self, value: Any = 0):
+    Every access is mirrored onto the run's trace as a ``mem.read`` /
+    ``mem.write`` event tagged with the cell's ``name``, which is what the
+    happens-before race detector (:mod:`repro.trace.hb`) analyses.
+    """
+
+    def __init__(self, value: Any = 0, *, name: str | None = None):
         self.value = value
+        self.name = name if name is not None else f"cell{next(_cell_ids)}"
         self._fallback_lock = threading.Lock()
         #: How many times a race window was actually crossed by another
         #: writer (detected post hoc: the value moved while we held tmp).
@@ -47,10 +58,14 @@ class SharedCell:
 
     def read(self) -> Any:
         """Plain read (itself unsynchronised, like the demos)."""
+        if _trace_active():
+            _trace_emit("mem.read", cell=self.name)
         return self.value
 
     def unsafe_add(self, delta: Any, ctx: "ExecutionContext | None" = None) -> None:
         """The bug the patternlets demonstrate: unprotected read-modify-write."""
+        if _trace_active():
+            _trace_emit("mem.read", cell=self.name)
         tmp = self.value
         if ctx is not None:
             ctx.race_window()
@@ -60,12 +75,17 @@ class SharedCell:
             # assert the race actually happened rather than inferring it
             # from the final total alone.
             self.torn_updates += 1
+        if _trace_active():
+            _trace_emit("mem.write", cell=self.name)
         self.value = tmp + delta
 
     def atomic_add(self, delta: Any, ctx: "ExecutionContext | None" = None) -> None:
         """The ``#pragma omp atomic`` fix: cheapest correct update."""
         if ctx is not None:
             with ctx.atomic():
+                if _trace_active():
+                    _trace_emit("mem.read", cell=self.name)
+                    _trace_emit("mem.write", cell=self.name)
                 self.value = self.value + delta
         else:
             with self._fallback_lock:
@@ -79,6 +99,9 @@ class SharedCell:
     ) -> None:
         """The ``#pragma omp critical`` fix: named-lock protected update."""
         with ctx.critical(name):
+            if _trace_active():
+                _trace_emit("mem.read", cell=self.name)
+                _trace_emit("mem.write", cell=self.name)
             self.value = self.value + delta
 
 

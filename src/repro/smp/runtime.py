@@ -34,6 +34,7 @@ scaling figures are reproduced deterministically on a single-core host.
 
 from __future__ import annotations
 
+import itertools
 import math
 import threading
 import time
@@ -41,6 +42,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
+from repro import trace as _trace
 from repro.errors import ReductionError, ScheduleError
 from repro.ops import Op, resolve_op
 from repro.sched import Executor, make_executor
@@ -59,6 +61,9 @@ __all__ = [
 ]
 
 _NO_VALUE = object()
+
+#: Globally unique fork-join scope ids; see repro.trace.span.
+_scope_ids = itertools.count()
 
 
 def get_wtime() -> float:
@@ -121,6 +126,8 @@ class Team:
         self.runtime = runtime
         self.size = size
         self.label = label
+        #: Trace scope id for this region's events (unique per region).
+        self.scope = f"{label}#{next(_scope_ids)}"
         self.barrier = TeamBarrier(self)
         self.atomic_guard = AtomicGuard(self)
         self.group: TaskGroup | None = None  # set once tasks launch
@@ -129,7 +136,6 @@ class Team:
         self._reduce_slots: dict[int, list[Any]] = {}
         self._single_states: dict[int, dict[str, Any]] = {}
         self._loop_states: dict[int, dict[str, int]] = {}
-        self._final_vclocks: list[float] = [0.0] * size
 
     @property
     def executor(self) -> Executor:
@@ -305,7 +311,18 @@ class ExecutionContext:
         seq = self._loop_seq
         self._loop_seq += 1
         if sched.is_static:
-            return iter(static_iterations(sched, n, self.num_threads, self.thread_num))
+            mine = static_iterations(sched, n, self.num_threads, self.thread_num)
+            if mine:
+                _trace.emit(
+                    "loop.assign",
+                    scope=self._team.scope,
+                    loop=seq,
+                    schedule=sched.kind,
+                    first=mine[0],
+                    last=mine[-1],
+                    count=len(mine),
+                )
+            return iter(mine)
         return self._dynamic_iter(n, sched, seq)
 
     def _resolve_schedule(self, schedule: Schedule | str | None) -> Schedule:
@@ -335,6 +352,15 @@ class ExecutionContext:
                     grab = sched.chunk or 1
                 stop = min(n, start + grab)
                 state["next"] = stop
+            _trace.emit(
+                "loop.chunk",
+                scope=team.scope,
+                loop=seq,
+                schedule=sched.kind,
+                first=start,
+                last=stop - 1,
+                count=stop - start,
+            )
             for i in range(start, stop):
                 yield i
             team.executor.checkpoint()
@@ -401,6 +427,14 @@ class ExecutionContext:
                     raise ReductionError("reduction slot missing a contribution")
                 slots[tid] = rop(left, right)
                 self.work(team.runtime.costs.combine)
+                _trace.emit(
+                    "reduce.combine",
+                    scope=team.scope,
+                    left=tid,
+                    right=tid + step,
+                    step=step,
+                    vtime=self.vtime,
+                )
             step *= 2
             self.barrier()
         result = slots[0]
@@ -449,6 +483,9 @@ class SmpRuntime:
         self.default_num_threads = num_threads
         self.race_jitter = race_jitter
         self.costs = costs or SmpCosts()
+        #: The event spine of the most recent run: the ambient recorder if
+        #: one was installed (e.g. by capture_run), else this private one.
+        self.trace = _trace.TraceRecorder()
         self._region_counter = 0
         self._counter_lock = threading.Lock()
 
@@ -487,16 +524,23 @@ class SmpRuntime:
             region_id = self._region_counter
         team_label = label or f"region{region_id}"
         team = Team(self, size, team_label)
+        scope = team.scope
         parent = current_task_label()
         prefix = f"{parent}/" if parent else ""
 
         def make_thunk(tid: int) -> Callable[[], Any]:
             def thunk() -> Any:
+                _trace.emit("task.start", scope=scope, hb_acq=("fork", scope))
                 ctx = ExecutionContext(team, tid)
                 try:
                     return body(ctx)
                 finally:
-                    team._final_vclocks[tid] = ctx.vtime
+                    _trace.emit(
+                        "task.end",
+                        scope=scope,
+                        vtime=ctx.vtime,
+                        hb_rel=("join", scope),
+                    )
 
             return thunk
 
@@ -505,18 +549,41 @@ class SmpRuntime:
         def publish(group: TaskGroup) -> None:
             team.group = group
 
-        group = self.executor.run_tasks(
-            [make_thunk(tid) for tid in range(size)],
-            labels,
-            group_label=team_label,
-            on_group=publish,
-        )
+        # Emission goes to the ambient recorder; install this runtime's
+        # private one only when no harness (capture_run, an enclosing MP
+        # world, ...) has already installed a spine for this run.
+        recorder = _trace.current_recorder()
+        pushed = recorder is None
+        if pushed:
+            recorder = _trace.TraceRecorder()
+            _trace.push_recorder(recorder)
+        self.trace = recorder
+        try:
+            _trace.emit(
+                "region.fork",
+                scope=scope,
+                label=team_label,
+                tasks=size,
+                hb_rel=("fork", scope),
+            )
+            group = self.executor.run_tasks(
+                [make_thunk(tid) for tid in range(size)],
+                labels,
+                group_label=team_label,
+                on_group=publish,
+            )
+            _trace.emit(
+                "region.join", scope=scope, label=team_label, hb_acq=("join", scope)
+            )
+        finally:
+            if pushed:
+                _trace.pop_recorder(recorder)
         wall = get_wtime() - t0
         return TeamResult(
             label=team_label,
             size=size,
             results=group.results(),
-            span=max(team._final_vclocks),
+            span=_trace.span_of(recorder, scope=scope),
             wall=wall,
         )
 

@@ -27,6 +27,7 @@ import threading
 from typing import TYPE_CHECKING
 
 from repro.errors import TeamBrokenError
+from repro.trace.events import active as _trace_active, emit as _trace_emit
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.smp.runtime import ExecutionContext, Team
@@ -57,6 +58,15 @@ class TeamBarrier:
             gen = self._generation
             prev = self._gen_vmax.get(gen, 0.0)
             self._gen_vmax[gen] = max(prev, ctx.vtime)
+            # Publish this arrival before the count flips: the departing
+            # edge below must see every arrival of its generation.
+            _trace_emit(
+                "barrier.arrive",
+                scope=team.scope,
+                generation=gen,
+                vtime=ctx.vtime,
+                hb_rel=("barrier", team.scope, gen),
+            )
             self._count += 1
             last = self._count == team.size
             if last:
@@ -76,6 +86,13 @@ class TeamBarrier:
             )
         release = self._gen_vmax.get(gen, ctx.vtime)
         ctx._advance_to(release + team.runtime.costs.barrier)
+        _trace_emit(
+            "barrier.depart",
+            scope=team.scope,
+            generation=gen,
+            vtime=ctx.vtime,
+            hb_acq=("barrier", team.scope, gen),
+        )
 
 
 class TicketLock:
@@ -110,9 +127,27 @@ class TicketLock:
                 f"critical section {self.name!r} aborted: a teammate failed"
             )
         ctx._advance_by(team.runtime.costs.critical)
+        if _trace_active():
+            _trace_emit(
+                "critical.acquire",
+                scope=team.scope,
+                name=self.name,
+                vtime=ctx.vtime,
+                hb_acq=("critical", team.scope, self.name),
+            )
 
     def release(self, ctx: "ExecutionContext") -> None:
         """Serve the next ticket and wake its holder."""
+        # Emit before advancing now_serving: the next holder's acquire
+        # event must come after this release in stream order.
+        if _trace_active():
+            _trace_emit(
+                "critical.release",
+                scope=self._team.scope,
+                name=self.name,
+                vtime=ctx.vtime,
+                hb_rel=("critical", self._team.scope, self.name),
+            )
         with self._lock:
             self._now_serving += 1
             self.acquisitions += 1
@@ -159,10 +194,26 @@ class AtomicGuard:
         else:
             self._lock.acquire()
         ctx._advance_by(team.runtime.costs.atomic)
+        if _trace_active():
+            _trace_emit(
+                "atomic.acquire",
+                scope=team.scope,
+                vtime=ctx.vtime,
+                hb_acq=("atomic", team.scope),
+            )
 
     def release(self, ctx: "ExecutionContext") -> None:
         """Release the guard, counting the completed update."""
         self.updates += 1
+        # Emit while still holding the guard so the next acquire event
+        # cannot precede this release in stream order.
+        if _trace_active():
+            _trace_emit(
+                "atomic.release",
+                scope=self._team.scope,
+                vtime=ctx.vtime,
+                hb_rel=("atomic", self._team.scope),
+            )
         if self._team.executor.mode == "lockstep":
             self._held = False
             self._team.executor.notify()
@@ -204,8 +255,20 @@ class OrderedCursor:
         )
         if team.broken:
             raise TeamBrokenError("ordered section aborted: a teammate failed")
+        _trace_emit(
+            "ordered.enter",
+            scope=team.scope,
+            iteration=iteration,
+            hb_acq=("ordered", team.scope, id(self)),
+        )
 
     def _exit(self) -> None:
+        _trace_emit(
+            "ordered.exit",
+            scope=self._team.scope,
+            iteration=self._next,
+            hb_rel=("ordered", self._team.scope, id(self)),
+        )
         with self._lock:
             self._next += self._step
         self._team.executor.notify()

@@ -1,0 +1,85 @@
+"""Critical-path (span) computation over the unified event stream.
+
+Both runtimes carry per-task virtual clocks — SMP work units advanced by
+``ctx.work``/barriers, MP LogP units advanced by sends/receives — and both
+used to total them privately.  Now each task's final clock reaches the
+trace as the ``vtime`` of its ``task.end`` event, and the span of a region,
+a world, or a whole run is one shared computation: the maximum final clock
+over the tasks involved.  This is the quantity the paper's Figure 19 time
+axis measures (``O(lg t)`` for a tree reduction vs ``O(t)`` sequentially),
+computed identically for every substrate.
+
+Scopes keep nested runs separable: every ``task.start``/``task.end`` event
+carries a ``scope`` payload naming its fork-join group (an SMP region, an
+MP world, a pthreads program), so ``span_of(events, scope=...)`` measures
+one group while ``span_of(events)`` measures the whole stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.trace.events import Event, TraceRecorder, as_events
+
+__all__ = ["final_vtimes", "span_of", "critical_task", "span_profile"]
+
+TASK_END = "task.end"
+
+
+def final_vtimes(
+    source: "Iterable[Event] | TraceRecorder", *, scope: str | None = None
+) -> dict[str, float]:
+    """Each task's final virtual clock, from its ``task.end`` events.
+
+    With ``scope``, only tasks of that fork-join group count.  A task that
+    ends several times in one stream (label reuse across sequential
+    regions without a scope filter) reports its latest final clock.
+    """
+    finals: dict[str, float] = {}
+    for ev in as_events(source):
+        if ev.kind != TASK_END or ev.vtime is None:
+            continue
+        if scope is not None and ev.payload.get("scope") != scope:
+            continue
+        finals[ev.task] = ev.vtime
+    return finals
+
+
+def span_of(
+    source: "Iterable[Event] | TraceRecorder", *, scope: str | None = None
+) -> float:
+    """Critical-path length: the maximum final virtual clock over tasks.
+
+    Returns ``0.0`` for a stream with no timed task ends (nothing ran, or
+    the substrate tracks no virtual time).
+    """
+    finals = final_vtimes(source, scope=scope)
+    return max(finals.values()) if finals else 0.0
+
+
+def critical_task(
+    source: "Iterable[Event] | TraceRecorder", *, scope: str | None = None
+) -> str | None:
+    """The task on the critical path (max final clock), or ``None``."""
+    finals = final_vtimes(source, scope=scope)
+    if not finals:
+        return None
+    return max(finals, key=lambda t: finals[t])
+
+
+def span_profile(
+    source: "Iterable[Event] | TraceRecorder", *, scope: str | None = None
+) -> dict[str, list[tuple[int, float]]]:
+    """Per-task ``(seq, vtime)`` checkpoints — the clock's trajectory.
+
+    Every timed event contributes, not just task ends; useful for plotting
+    how far behind the critical path each task ran.
+    """
+    out: dict[str, list[tuple[int, float]]] = {}
+    for ev in as_events(source):
+        if ev.vtime is None:
+            continue
+        if scope is not None and ev.payload.get("scope") != scope:
+            continue
+        out.setdefault(ev.task, []).append((ev.seq, ev.vtime))
+    return out

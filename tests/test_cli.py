@@ -89,6 +89,54 @@ class TestNewCommands:
         assert main(["selfcheck", "--figure", "Fig. 99"]) == 1
 
 
+class TestTraceExport:
+    def test_trace_json_is_chrome_schema(self, capsys):
+        import json
+
+        assert main(["trace", "openmp.spmd", "--tasks", "2", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "traceEvents" in doc
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "B", "E"} <= phases
+
+    def test_trace_out_writes_file(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "spmd.trace.json"
+        assert main(
+            ["trace", "openmp.spmd", "--tasks", "2", "--out", str(path)]
+        ) == 0
+        assert f"wrote" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        names = {e["args"].get("name") for e in doc["traceEvents"]
+                 if e["ph"] == "M"}
+        assert any(n and n.startswith("omp:") for n in names)
+
+    def test_trace_events_lanes(self, capsys):
+        assert main(
+            ["trace", "openmp.barrier", "--tasks", "2", "--on", "barrier",
+             "--events"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "barrier.arrive" in out and "task.start" in out
+
+
+class TestDetectRaces:
+    def test_racy_run_reports_and_exits_2(self, capsys):
+        code = main(["run", "openmp.reduction", "--on", "parallel_for",
+                     "--detect-races", "--seed", "1"])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "RACE DETECTED" in out
+
+    def test_fixed_run_is_clean(self, capsys):
+        code = main(["run", "openmp.reduction", "--on", "parallel_for",
+                     "--on", "reduction", "--detect-races", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ordered by happens-before" in out
+
+
 class TestQuizCommand:
     def test_quiz_prints_four_questions(self, capsys):
         assert main(["quiz"]) == 0

@@ -1,0 +1,140 @@
+"""The event spine: recorder, ambient stack, muting."""
+
+import threading
+
+import pytest
+
+from repro.trace import (
+    TraceRecorder,
+    active,
+    as_events,
+    current_recorder,
+    emit,
+    muted,
+    pop_recorder,
+    push_recorder,
+    using_recorder,
+)
+
+
+class TestRecorder:
+    def test_emit_assigns_monotonic_seq(self):
+        rec = TraceRecorder()
+        events = [rec.emit(f"k{i}", task="t") for i in range(5)]
+        assert [e.seq for e in events] == [0, 1, 2, 3, 4]
+
+    def test_payload_and_accessors(self):
+        rec = TraceRecorder()
+        ev = rec.emit("io.print", task="omp:0", line="hi", scope="r#1")
+        assert ev.payload["line"] == "hi"
+        assert ev.scope == "r#1"
+        assert len(rec) == 1
+        assert rec.events("io.print") == [ev]
+        assert rec.events("other") == []
+
+    def test_scope_filter(self):
+        rec = TraceRecorder()
+        rec.emit("task.end", task="a", scope="s1")
+        rec.emit("task.end", task="b", scope="s2")
+        assert [e.task for e in rec.events(scope="s1")] == ["a"]
+
+    def test_kinds_counts(self):
+        rec = TraceRecorder()
+        rec.emit("a", task="t")
+        rec.emit("a", task="t")
+        rec.emit("b", task="t")
+        assert rec.kinds() == {"a": 2, "b": 1}
+
+    def test_limit_drops_and_counts(self):
+        rec = TraceRecorder(limit=2)
+        assert rec.emit("a", task="t") is not None
+        assert rec.emit("b", task="t") is not None
+        assert rec.emit("c", task="t") is None
+        assert len(rec) == 2 and rec.dropped == 1
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(limit=0)
+
+    def test_thread_safe_append(self):
+        rec = TraceRecorder()
+
+        def spam():
+            for _ in range(200):
+                rec.emit("k", task="t")
+
+        threads = [threading.Thread(target=spam) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        events = rec.events()
+        assert len(events) == 800
+        assert [e.seq for e in events] == list(range(800))
+
+    def test_as_events_accepts_recorder_or_list(self):
+        rec = TraceRecorder()
+        ev = rec.emit("k", task="t")
+        assert as_events(rec) == [ev]
+        assert as_events([ev]) == [ev]
+
+
+class TestAmbientStack:
+    def test_module_emit_is_noop_without_recorder(self):
+        assert current_recorder() is None
+        assert emit("k") is None
+        assert not active()
+
+    def test_push_pop(self):
+        rec = TraceRecorder()
+        push_recorder(rec)
+        try:
+            assert current_recorder() is rec
+            assert active()
+            emit("k", detail=1)
+        finally:
+            pop_recorder(rec)
+        assert current_recorder() is None
+        assert rec.events("k")[0].payload["detail"] == 1
+
+    def test_using_recorder_context(self):
+        with using_recorder() as rec:
+            emit("inside")
+        assert len(rec.events("inside")) == 1
+        assert current_recorder() is None
+
+    def test_pop_removes_by_identity_out_of_order(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        push_recorder(a)
+        push_recorder(b)
+        pop_recorder(a)  # out of LIFO order
+        assert current_recorder() is b
+        pop_recorder(b)
+        assert current_recorder() is None
+
+    def test_emit_defaults_task_to_main(self):
+        with using_recorder() as rec:
+            emit("k")
+        assert rec.events("k")[0].task == "main"
+
+
+class TestMuted:
+    def test_muted_drops_emissions(self):
+        with using_recorder() as rec:
+            emit("before")
+            with muted():
+                assert not active()
+                emit("during")
+            emit("after")
+        assert sorted(rec.kinds()) == ["after", "before"]
+
+    def test_muted_without_recorder_is_harmless(self):
+        with muted():
+            assert emit("k") is None
+
+    def test_direct_recorder_emit_bypasses_mute(self):
+        # Output capture must keep working inside muted blocks.
+        rec = TraceRecorder()
+        with muted():
+            rec.emit("io.print", task="main", line="still captured")
+        assert len(rec) == 1

@@ -1,0 +1,77 @@
+"""Chrome trace-event JSON export."""
+
+import json
+
+from repro.trace import TraceRecorder, dumps, to_chrome_trace, write_chrome_trace
+
+
+def _sample_recorder():
+    rec = TraceRecorder()
+    rec.emit("task.start", task="omp:0", scope="r#1")
+    rec.emit("io.print", task="omp:0", line="hello")
+    rec.emit("task.end", task="omp:0", vtime=2.0, scope="r#1")
+    return rec
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = to_chrome_trace(_sample_recorder())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        phases = [e["ph"] for e in doc["traceEvents"]]
+        # process metadata, thread metadata, then B / i / E
+        assert phases == ["M", "M", "B", "i", "E"]
+
+    def test_duration_pair_uses_scope_name(self):
+        doc = to_chrome_trace(_sample_recorder())
+        begin = next(e for e in doc["traceEvents"] if e["ph"] == "B")
+        end = next(e for e in doc["traceEvents"] if e["ph"] == "E")
+        assert begin["name"] == end["name"] == "r#1"
+        assert begin["tid"] == end["tid"]
+
+    def test_timestamps_are_seq(self):
+        doc = to_chrome_trace(_sample_recorder())
+        ts = [e["ts"] for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert ts == [0, 1, 2]
+
+    def test_instant_carries_payload_and_vtime(self):
+        doc = to_chrome_trace(_sample_recorder())
+        instant = next(e for e in doc["traceEvents"] if e["ph"] == "i")
+        assert instant["s"] == "t"
+        assert instant["args"]["line"] == "hello"
+        end = next(e for e in doc["traceEvents"] if e["ph"] == "E")
+        assert end["args"]["vtime"] == 2.0
+
+    def test_thread_metadata_names_tasks(self):
+        doc = to_chrome_trace(_sample_recorder())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert "omp:0" in names
+
+    def test_non_jsonable_payload_is_stringified(self):
+        rec = TraceRecorder()
+        rec.emit("k", task="t", key=("tuple", 1))
+        text = dumps(rec)
+        json.loads(text)  # must not raise
+
+    def test_dumps_round_trips(self):
+        text = dumps(_sample_recorder(), indent=2)
+        doc = json.loads(text)
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_write_file(self, tmp_path):
+        path = tmp_path / "run.trace.json"
+        count = write_chrome_trace(str(path), _sample_recorder())
+        assert count == 3
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == 5
+
+
+class TestRealRunExport:
+    def test_patternlet_trace_exports(self):
+        from repro.core.registry import run_patternlet
+
+        run = run_patternlet("openmp.barrier", tasks=3, seed=0)
+        doc = to_chrome_trace(run.trace)
+        kinds = {e["name"] for e in doc["traceEvents"] if e["ph"] == "i"}
+        assert "io.print" in kinds
+        json.dumps(doc)  # fully serialisable, hb keys included

@@ -1,0 +1,201 @@
+"""Happens-before analysis: vector clocks and the race detector."""
+
+from repro.trace import (
+    TraceRecorder,
+    clock_leq,
+    clocks_concurrent,
+    detect_races,
+    hb_edges,
+    race_summary,
+    vector_clocks,
+)
+
+
+def _clock_of(annotated, pred):
+    for ev, clock in annotated:
+        if pred(ev):
+            return clock
+    raise AssertionError("event not found")
+
+
+class TestClockOrder:
+    def test_leq_and_concurrent(self):
+        assert clock_leq({"a": 1}, {"a": 2, "b": 5})
+        assert not clock_leq({"a": 3}, {"a": 2})
+        assert clocks_concurrent({"a": 1}, {"b": 1})
+        assert not clocks_concurrent({"a": 1}, {"a": 2})
+
+    def test_missing_component_means_zero(self):
+        assert clock_leq({}, {"a": 1})
+        assert not clock_leq({"a": 1}, {})
+
+
+class TestVectorClocks:
+    def test_program_order_advances_own_component(self):
+        rec = TraceRecorder()
+        rec.emit("a", task="t")
+        rec.emit("b", task="t")
+        annotated = vector_clocks(rec)
+        assert [c["t"] for _, c in annotated] == [1, 2]
+
+    def test_release_acquire_transfers_knowledge(self):
+        rec = TraceRecorder()
+        rec.emit("w", task="p")
+        rec.emit("rel", task="p", hb_rel="k")
+        rec.emit("acq", task="q", hb_acq="k")
+        annotated = vector_clocks(rec)
+        acq_clock = _clock_of(annotated, lambda e: e.kind == "acq")
+        rel_clock = _clock_of(annotated, lambda e: e.kind == "rel")
+        assert clock_leq(rel_clock, acq_clock)
+
+    def test_unrelated_tasks_stay_concurrent(self):
+        rec = TraceRecorder()
+        rec.emit("a", task="p")
+        rec.emit("b", task="q")
+        annotated = vector_clocks(rec)
+        assert clocks_concurrent(annotated[0][1], annotated[1][1])
+
+    def test_fork_join_diamond(self):
+        rec = TraceRecorder()
+        rec.emit("region.fork", task="main", hb_rel=("fork", "s"))
+        rec.emit("task.start", task="w0", hb_acq=("fork", "s"))
+        rec.emit("task.start", task="w1", hb_acq=("fork", "s"))
+        rec.emit("task.end", task="w0", hb_rel=("join", "s"))
+        rec.emit("task.end", task="w1", hb_rel=("join", "s"))
+        rec.emit("region.join", task="main", hb_acq=("join", "s"))
+        annotated = vector_clocks(rec)
+        join_clock = annotated[-1][1]
+        for _, clock in annotated[:-1]:
+            assert clock_leq(clock, join_clock)
+        w0_start = _clock_of(annotated, lambda e: e.task == "w0")
+        w1_start = _clock_of(annotated, lambda e: e.task == "w1")
+        assert clocks_concurrent(w0_start, w1_start)
+
+
+class TestHbEdges:
+    def test_edges_cover_program_order_and_sync(self):
+        rec = TraceRecorder()
+        rec.emit("a", task="p")               # seq 0
+        rec.emit("rel", task="p", hb_rel="k")  # seq 1
+        rec.emit("acq", task="q", hb_acq="k")  # seq 2
+        edges = hb_edges(rec)
+        assert (0, 1) in edges   # program order on p
+        assert (1, 2) in edges   # sync edge k
+
+    def test_every_prior_release_feeds_an_acquire(self):
+        rec = TraceRecorder()
+        rec.emit("rel1", task="p", hb_rel="k")
+        rec.emit("rel2", task="q", hb_rel="k")
+        rec.emit("acq", task="r", hb_acq="k")
+        edges = hb_edges(rec)
+        assert (0, 2) in edges and (1, 2) in edges
+
+
+class TestDetectRaces:
+    def test_unordered_writes_race(self):
+        rec = TraceRecorder()
+        rec.emit("mem.write", task="p", cell="c")
+        rec.emit("mem.write", task="q", cell="c")
+        races = detect_races(rec)
+        assert len(races) == 1
+        assert races[0].cell == "c"
+        assert set(races[0].tasks) == {"p", "q"}
+
+    def test_ordered_writes_do_not_race(self):
+        rec = TraceRecorder()
+        rec.emit("mem.write", task="p", cell="c")
+        rec.emit("rel", task="p", hb_rel="lock")
+        rec.emit("acq", task="q", hb_acq="lock")
+        rec.emit("mem.write", task="q", cell="c")
+        assert detect_races(rec) == []
+
+    def test_concurrent_reads_do_not_race(self):
+        rec = TraceRecorder()
+        rec.emit("mem.read", task="p", cell="c")
+        rec.emit("mem.read", task="q", cell="c")
+        assert detect_races(rec) == []
+
+    def test_read_write_conflict_races(self):
+        rec = TraceRecorder()
+        rec.emit("mem.read", task="p", cell="c")
+        rec.emit("mem.write", task="q", cell="c")
+        assert len(detect_races(rec)) == 1
+
+    def test_same_task_accesses_never_race(self):
+        rec = TraceRecorder()
+        rec.emit("mem.write", task="p", cell="c")
+        rec.emit("mem.write", task="p", cell="c")
+        assert detect_races(rec) == []
+
+    def test_distinct_cells_do_not_interact(self):
+        rec = TraceRecorder()
+        rec.emit("mem.write", task="p", cell="c1")
+        rec.emit("mem.write", task="q", cell="c2")
+        assert detect_races(rec) == []
+
+    def test_max_races_caps_output(self):
+        rec = TraceRecorder()
+        for i in range(10):
+            rec.emit("mem.write", task=f"t{i}", cell="c")
+        assert len(detect_races(rec, max_races=3)) == 3
+
+    def test_summary_strings(self):
+        rec = TraceRecorder()
+        rec.emit("mem.write", task="p", cell="c")
+        rec.emit("mem.write", task="q", cell="c")
+        races = detect_races(rec)
+        assert "RACE DETECTED" in race_summary(races)
+        assert "ordered by happens-before" in race_summary([])
+
+
+class TestFig22RaceProof:
+    """The tentpole acceptance: prove the Figure 22 race, under both
+    schedulers, and certify the reduction clause fixes it."""
+
+    def _run(self, mode, *, reduction):
+        from repro.core.registry import run_patternlet
+
+        toggles = {"parallel_for": True}
+        if reduction:
+            toggles["reduction"] = True
+        return run_patternlet(
+            "openmp.reduction", toggles=toggles, mode=mode, seed=1
+        )
+
+    def test_race_detected_with_reduction_off(self, any_mode):
+        run = self._run(any_mode, reduction=False)
+        races = detect_races(run.trace)
+        assert races, "unprotected shared-sum updates must be flagged"
+        assert all(r.cell == races[0].cell for r in races)
+        tasks = {t for r in races for t in r.tasks}
+        assert len(tasks) >= 2
+
+    def test_no_race_with_reduction_on(self, any_mode):
+        run = self._run(any_mode, reduction=True)
+        assert detect_races(run.trace) == []
+
+    def test_mutex_protected_updates_are_clean(self, any_mode):
+        # The mutual-exclusion fix (atomic adds) is HB-ordered too.
+        from repro.smp import SharedCell, SmpRuntime
+        from repro.trace import using_recorder
+
+        rt = SmpRuntime(num_threads=4, mode=any_mode, seed=2)
+        cell = SharedCell(0, name="balance")
+        with using_recorder() as rec:
+            rt.parallel_for(40, lambda i, ctx: cell.atomic_add(1, ctx),
+                            work_per_iteration=0.0)
+        assert cell.value == 40
+        assert detect_races(rec) == []
+
+    def test_unprotected_updates_race_even_when_sum_is_right(self):
+        # The pedagogical point: a lucky schedule can produce the right
+        # total, but the HB proof still flags the race.
+        from repro.smp import SharedCell, SmpRuntime
+        from repro.trace import using_recorder
+
+        rt = SmpRuntime(num_threads=2, mode="lockstep", seed=0, policy="roundrobin")
+        cell = SharedCell(0, name="lucky")
+        with using_recorder() as rec:
+            rt.parallel_for(2, lambda i, ctx: cell.unsafe_add(1),
+                            work_per_iteration=0.0)
+        assert detect_races(rec), "races exist regardless of the printed sum"

@@ -1,0 +1,90 @@
+"""Span (critical-path) computation over the event stream."""
+
+from repro.trace import (
+    TraceRecorder,
+    critical_task,
+    final_vtimes,
+    span_of,
+    span_profile,
+)
+
+
+def _run(rec, task, vtime, scope="s"):
+    rec.emit("task.start", task=task, scope=scope)
+    rec.emit("task.end", task=task, vtime=vtime, scope=scope)
+
+
+class TestSpan:
+    def test_span_is_max_final_vtime(self):
+        rec = TraceRecorder()
+        _run(rec, "omp:0", 3.0)
+        _run(rec, "omp:1", 7.0)
+        _run(rec, "omp:2", 5.0)
+        assert span_of(rec) == 7.0
+        assert critical_task(rec) == "omp:1"
+        assert final_vtimes(rec) == {"omp:0": 3.0, "omp:1": 7.0, "omp:2": 5.0}
+
+    def test_empty_stream(self):
+        rec = TraceRecorder()
+        assert span_of(rec) == 0.0
+        assert critical_task(rec) is None
+
+    def test_untimed_ends_ignored(self):
+        rec = TraceRecorder()
+        rec.emit("task.end", task="a", scope="s")  # no vtime
+        assert span_of(rec) == 0.0
+
+    def test_scope_filter_separates_sequential_regions(self):
+        rec = TraceRecorder()
+        _run(rec, "omp:0", 10.0, scope="region1#1")
+        _run(rec, "omp:0", 2.0, scope="region2#2")
+        assert span_of(rec, scope="region1#1") == 10.0
+        assert span_of(rec, scope="region2#2") == 2.0
+        # Unscoped: label reuse keeps the latest end per task.
+        assert span_of(rec) == 2.0
+
+    def test_span_profile_collects_timed_checkpoints(self):
+        rec = TraceRecorder()
+        rec.emit("barrier.depart", task="a", vtime=1.0, scope="s")
+        rec.emit("task.end", task="a", vtime=4.0, scope="s")
+        rec.emit("task.end", task="b", scope="s")  # untimed: excluded
+        prof = span_profile(rec)
+        assert list(prof) == ["a"]
+        assert [v for _, v in prof["a"]] == [1.0, 4.0]
+
+
+class TestRuntimeSpansAreTraceDerived:
+    def test_smp_span_matches_old_accounting(self):
+        # lg(8) barrier-stepped reduction: span must stay O(lg t), and the
+        # TeamResult span must equal the trace-computed one.
+        from repro.smp import SmpRuntime
+
+        rt = SmpRuntime(num_threads=8, mode="lockstep", seed=0)
+        res = rt.parallel_for(8, lambda i, ctx: i, reduction="+",
+                              work_per_iteration=1.0)
+        assert res.reduction == 28
+        assert res.span == span_of(rt.trace, scope=rt.trace.events("region.fork")[0].scope)
+        assert res.span > 0
+
+    def test_mp_span_matches_rank_clocks(self):
+        from repro.mp import mpirun
+        from repro.trace import span_of as trace_span
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("x", 1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+
+        res = mpirun(2, main, mode="lockstep")
+        assert res.span == max(c.now for c in res.world.clocks)
+        assert res.span > 0
+
+    def test_sequential_regions_keep_separate_spans(self):
+        from repro.smp import SmpRuntime
+
+        rt = SmpRuntime(num_threads=2, mode="lockstep", seed=0)
+        heavy = rt.parallel(lambda ctx: ctx.work(5.0))
+        light = rt.parallel(lambda ctx: ctx.work(1.0))
+        assert heavy.span == 5.0
+        assert light.span == 1.0
