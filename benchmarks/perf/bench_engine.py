@@ -1,0 +1,74 @@
+"""Execution-engine microbenchmarks (the ``patternlet bench`` metric set).
+
+Unlike the figure benches, these measure the *runtime itself*: message
+throughput through the lockstep transport, the raw token-handoff rate,
+collective latency against rank count, and the wall clock of one full
+figure self-check.  ``patternlet bench`` runs the same metric functions
+from the command line and writes/checks ``BENCH_runtime.json``; running
+them under pytest-benchmark here gives the timing distribution view.
+"""
+
+from __future__ import annotations
+
+from repro.perf.bench import (
+    bench_bcast_latency,
+    bench_figure_suite,
+    bench_msg_throughput,
+    bench_switch_rate,
+)
+
+
+def test_msg_throughput_immutable(benchmark, report_table):
+    rate = benchmark.pedantic(
+        lambda: bench_msg_throughput(12345, n=3000), rounds=3, iterations=1
+    )
+    report_table(
+        "Engine: immutable message throughput (by-reference fast path)",
+        [f"{rate:,.0f} msgs/s (rank0->rank1 ints, lockstep, muted)"],
+    )
+    assert rate > 0
+
+
+def test_msg_throughput_mutable(benchmark, report_table):
+    rate = benchmark.pedantic(
+        lambda: bench_msg_throughput([1, 2, 3], n=3000), rounds=3, iterations=1
+    )
+    report_table(
+        "Engine: mutable message throughput (pickle isolation path)",
+        [f"{rate:,.0f} msgs/s (rank0->rank1 lists, lockstep, muted)"],
+    )
+    assert rate > 0
+
+
+def test_switch_rate(benchmark, report_table):
+    rate = benchmark.pedantic(
+        lambda: bench_switch_rate(k=20000), rounds=3, iterations=1
+    )
+    report_table(
+        "Engine: lockstep switch rate (token handoff)",
+        [f"{rate:,.0f} switches/s (4 tasks x 20k checkpoints)"],
+    )
+    assert rate > 0
+
+
+def test_bcast_latency_curve(benchmark, report_table):
+    def curve():
+        return {p: bench_bcast_latency(p, iters=50) for p in (2, 4, 8)}
+
+    ms = benchmark.pedantic(curve, rounds=1, iterations=1)
+    report_table(
+        "Engine: 64-element bcast latency vs rank count",
+        [f"p={p}: {ms[p]:.3f} ms/bcast" for p in (2, 4, 8)],
+    )
+    # The binomial tree does O(p) total sends over log2(p) rounds; wall
+    # time must grow with p but stay within a generous linearity envelope.
+    assert ms[2] < ms[4] < ms[8]
+
+
+def test_figure_suite_wall(benchmark, report_table):
+    secs = benchmark.pedantic(bench_figure_suite, rounds=1, iterations=1)
+    report_table(
+        "Engine: full figure self-check wall clock",
+        [f"{secs:.3f} s for one pass (Figs. 2-30)"],
+    )
+    assert secs > 0

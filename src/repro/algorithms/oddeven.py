@@ -13,6 +13,12 @@ the classic block odd-even transposition sort:
 The p-phase bound is the textbook guarantee, checked by a property test;
 each phase is a single neighbour ``sendrecv``, so the communication
 pattern is exactly the halo-exchange shape students have already seen.
+
+The p-phase theorem assumes *equal* block sizes (with uneven blocks a
+compare-split can strand an element that still needs to travel), so
+uneven inputs are padded up to a multiple of p with a sentinel that
+compares greater than every real item; the pads settle at the top ranks
+and are stripped after the final gather.
 """
 
 from __future__ import annotations
@@ -24,6 +30,31 @@ from repro.errors import MpError
 from repro.mp.runtime import MpRuntime
 
 __all__ = ["odd_even_sort"]
+
+
+class _Greatest:
+    """Padding sentinel that sorts after every real item.
+
+    Only ``__lt__``/``__gt__`` matter: ``sorted`` compares with ``<``, and
+    for ``item < pad`` the item's ``__lt__`` returns ``NotImplemented`` so
+    Python falls back to ``pad.__gt__(item)``.  Instances survive pickling
+    through the transport, so identity checks don't work — strip pads by
+    type instead.
+    """
+
+    __slots__ = ()
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __gt__(self, other: Any) -> bool:
+        return not isinstance(other, _Greatest)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<pad>"
+
+
+_PAD = _Greatest()
 
 
 def _compare_split(mine: list[Any], theirs: list[Any], keep_low: bool) -> list[Any]:
@@ -52,8 +83,9 @@ def odd_even_sort(
         raise MpError("need at least one rank")
     if n < num_ranks:
         raise MpError(f"{num_ranks} ranks need at least {num_ranks} items")
-    base, extra = divmod(n, num_ranks)
-    counts = [base + (1 if r < extra else 0) for r in range(num_ranks)]
+    # Equal blocks are required for the p-phase guarantee; pad and strip.
+    items += [_PAD] * ((-n) % num_ranks)
+    counts = [len(items) // num_ranks] * num_ranks
 
     def rank_main(comm):
         mine = sorted(comm.scatterv(items if comm.rank == 0 else None, counts))
@@ -73,7 +105,10 @@ def odd_even_sort(
                 )
                 mine = _compare_split(mine, theirs, keep_low=me < partner)
                 comm.work(float(len(mine) + len(theirs)))
-        return comm.gatherv(mine)
+        everything = comm.gatherv(mine)
+        if everything is None:  # non-root ranks
+            return None
+        return [x for x in everything if not isinstance(x, _Greatest)]
 
     result = runtime.run(num_ranks, rank_main)
     return result.results[0], result.span

@@ -11,6 +11,7 @@ exactly the workflow of the paper's live-coding demos:
     patternlet run openmp.barrier --tasks 4
     patternlet run openmp.barrier --tasks 4 --on barrier
     patternlet run mpi.deadlock --tasks 4 --mode lockstep --seed 7
+    patternlet bench --quick --check BENCH_runtime.json
     patternlet catalog
 """
 
@@ -93,6 +94,20 @@ def build_parser() -> argparse.ArgumentParser:
         "selfcheck", help="verify the collection reproduces the paper's figures"
     )
     p_check.add_argument("--figure", default=None, help='e.g. "Fig. 9"')
+
+    p_bench = sub.add_parser(
+        "bench", help="measure engine throughput (msgs/s, switches/s, "
+                      "collective latency, figure-suite wall clock)"
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="~5x fewer iterations (CI smoke runs)")
+    p_bench.add_argument("--out", metavar="FILE", default=None,
+                         help="write results as JSON (e.g. BENCH_runtime.json)")
+    p_bench.add_argument("--check", metavar="BASELINE", default=None,
+                         help="compare against a baseline JSON; exit 1 if any "
+                              "throughput metric drops more than --tolerance")
+    p_bench.add_argument("--tolerance", type=float, default=0.30,
+                         help="allowed throughput drop vs baseline (default 0.30)")
 
     p_quiz = sub.add_parser(
         "quiz", help="print the four-question parallel-week exam (and, with --key, its computed answers)"
@@ -219,6 +234,54 @@ def _cmd_selfcheck(figure: str | None) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import (
+        compare,
+        format_table,
+        load_report,
+        make_report,
+        run_benchmarks,
+        save_report,
+    )
+
+    def note(msg: str) -> None:
+        print(f"  ... {msg}", file=sys.stderr)
+
+    print(f"running engine benchmarks ({'quick' if args.quick else 'full'})",
+          file=sys.stderr)
+    metrics = run_benchmarks(quick=args.quick, progress=note)
+
+    baseline = None
+    if args.check:
+        try:
+            baseline = load_report(args.check)["metrics"]
+        except OSError as exc:
+            print(f"error: cannot read baseline {args.check}: {exc}",
+                  file=sys.stderr)
+            return 1
+    for line in format_table(metrics, baseline):
+        print(line)
+
+    if args.out:
+        try:
+            save_report(args.out, make_report(metrics, quick=args.quick))
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    if baseline is not None:
+        failures = compare(metrics, baseline, tolerance=args.tolerance)
+        if failures:
+            print("\nPERF REGRESSION:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print(f"\nperf check passed (tolerance {args.tolerance:.0%})",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_quiz(show_key: bool) -> int:
     from repro.education.quiz import EXAM, correct_answers
 
@@ -274,6 +337,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_source(args.name)
         if args.command == "selfcheck":
             return _cmd_selfcheck(args.figure)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "quiz":
             return _cmd_quiz(args.key)
         if args.command == "catalog":

@@ -155,39 +155,44 @@ def bcast(comm: "Comm", obj: Any, root: int = 0) -> Any:
     """Binomial-tree broadcast: Θ(lg p) span.
 
     Larger subtrees are forwarded first so the critical path stays
-    logarithmic.
+    logarithmic.  The payload is *packed once* at the root; intermediate
+    hops forward the same transport packet without unpacking it, and each
+    rank materialises its private copy exactly once at the end (the root's
+    return value unpacks the same packet, so it is a private copy too).
     """
     _validate_root(comm, root)
     ch = _channel(comm, "bcast")
     size, rank = comm.size, comm.rank
+    from repro.mp.serialize import pack_packet
+
     if size == 1:
-        from repro.mp.serialize import deep_copy_by_value
-
-        return deep_copy_by_value(obj) if rank == root else obj
+        return pack_packet(obj).unpack() if rank == root else obj
     rel = (rank - root) % size
-    if rel != 0:
-        parent = (binomial_parent(rel) + root) % size
-        obj = ch.recv(source=parent, tag=0)
-    for child in reversed(binomial_children(rel, size)):  # biggest subtree first
-        ch.send(obj, (child + root) % size, tag=0)
     if rel == 0:
-        from repro.mp.serialize import deep_copy_by_value
-
-        obj = deep_copy_by_value(obj)  # root's return is a private copy too
-    return obj
+        packet = pack_packet(obj)
+    else:
+        parent = (binomial_parent(rel) + root) % size
+        packet = ch._recv_packet(source=parent, tag=0)
+    for child in reversed(binomial_children(rel, size)):  # biggest subtree first
+        ch._post_packet(packet, (child + root) % size, 0)
+    return packet.unpack()
 
 
 def bcast_linear(comm: "Comm", obj: Any, root: int = 0) -> Any:
-    """Flat broadcast (root sends p-1 messages): Θ(p) span (ablation)."""
+    """Flat broadcast (root sends p-1 messages): Θ(p) span (ablation).
+
+    Packs once at the root even though it posts p-1 messages.
+    """
     _validate_root(comm, root)
     ch = _channel(comm, "bcast0")
     if comm.rank == root:
+        from repro.mp.serialize import pack_packet
+
+        packet = pack_packet(obj)
         for dst in range(comm.size):
             if dst != root:
-                ch.send(obj, dst, tag=0)
-        from repro.mp.serialize import deep_copy_by_value
-
-        return deep_copy_by_value(obj)
+                ch._post_packet(packet, dst, 0)
+        return packet.unpack()
     return ch.recv(source=root, tag=0)
 
 

@@ -33,15 +33,31 @@ from typing import TYPE_CHECKING, Any, Callable, Hashable, Sequence
 
 from repro.errors import CommError, MpError
 from repro.mp import collectives as _coll
-from repro.trace.events import emit as _trace_emit
-from repro.mp.mailbox import ANY_SOURCE, ANY_TAG, Mailbox, Message, Status, validate_tag
-from repro.mp.serialize import pack, unpack
+from repro.trace import events as _trace_events
+from repro.trace.events import active as _trace_active, emit as _trace_emit
+from repro.mp.mailbox import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Mailbox,
+    Message,
+    Status,
+    _msg_ids,
+    validate_tag,
+)
+from repro.mp.serialize import Packet, pack_packet
 from repro.ops import Op
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mp.runtime import World
 
 __all__ = ["Comm", "Request", "ANY_SOURCE", "ANY_TAG", "Status", "waitall", "waitany", "testall"]
+
+#: Unique sentinel for the per-communicator packet memo ("no entry yet");
+#: distinct from any user payload, including None.
+_NO_MEMO = object()
+
+#: Allocator for the unrolled Message construction in :meth:`Comm.send`.
+_new_message = object.__new__
 
 
 class Request:
@@ -142,6 +158,27 @@ class Comm:
         self._name = name
         self._coll_seq = 0
         self._split_seq = 0
+        # Hot-path caches: every send/recv needs this rank's clock and
+        # mailbox; resolving them through the world per operation is pure
+        # overhead, and a communicator's rank mapping never changes.
+        gid = self._ranks[local_rank]
+        self._my_clock = world.clocks[gid]
+        self._my_mailbox = world.mailboxes[gid]
+        # LogP constants are frozen for the world's lifetime; fold the
+        # per-message arithmetic down to one add when bandwidth is off.
+        costs = world.costs
+        self._ovh = costs.overhead
+        self._hop0 = costs.transit(0)
+        self._pb = costs.per_byte
+        self._executor = world.executor
+        self._lockstep = self._executor.mode == "lockstep"
+        self._mailboxes = world.mailboxes
+        # Packet memo for repeated sends of the *same* immutable object
+        # (loop counters, sentinel tokens, broadcast constants): identity
+        # plus immutability make reusing the packed form safe, and the memo
+        # keeps the object alive so its id cannot be recycled.
+        self._pk_obj: Any = _NO_MEMO
+        self._pk: Packet | None = None
 
     # -- identity -------------------------------------------------------------
 
@@ -182,11 +219,11 @@ class Comm:
     @property
     def vtime(self) -> float:
         """This rank's logical clock (LogP work units)."""
-        return self._world.clocks[self._global(self._rank)].now
+        return self._my_clock.now
 
     def work(self, cost: float = 1.0) -> None:
         """Charge local compute to this rank's clock."""
-        self._world.clocks[self._global(self._rank)].advance(cost)
+        self._my_clock.advance(cost)
 
     def wtime(self) -> float:
         """Wall-clock seconds (``MPI_Wtime`` analogue)."""
@@ -217,7 +254,7 @@ class Comm:
 
     @property
     def _mailbox(self) -> Mailbox:
-        return self._world.mailboxes[self._global(self._rank)]
+        return self._my_mailbox
 
     def _check_world(self) -> None:
         if self._world.broken:
@@ -227,20 +264,85 @@ class Comm:
             )
 
     def _clock(self):
-        return self._world.clocks[self._global(self._rank)]
+        return self._my_clock
 
     # -- point-to-point -------------------------------------------------------------
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Eager (buffered) send: deposits the message and returns."""
-        self._post(obj, dest, tag, sync=False)
+        """Eager (buffered) send: deposits the message and returns.
+
+        This duplicates :meth:`_post_packet` (which remains the shared
+        path for ``ssend``/``isend`` and the collectives): ``send`` is the
+        single hottest entry point of the transport, and the extra frames
+        were measurable against the message-throughput benchmark.
+        """
+        if obj is self._pk_obj:
+            packet = self._pk
+        else:
+            packet = pack_packet(obj)
+            if packet.data is None:
+                self._pk_obj = obj
+                self._pk = packet
+        if tag.__class__ is not int or tag < 0:
+            validate_tag(tag)
+        ranks = self._ranks
+        if not 0 <= dest < len(ranks):
+            self._global(dest)  # raises with the full diagnostic
+        clock = self._my_clock
+        depart = clock.now
+        clock.now = depart + self._ovh
+        pb = self._pb
+        if pb:
+            arrival = depart + (self._hop0 + packet.size * pb)
+        else:
+            arrival = depart + self._hop0
+        # Message.__init__ unrolled: eight slot stores beat the ctor frame
+        # on the hottest send path (every other site uses the ctor).
+        msg = _new_message(Message)
+        msg.context = self._ctx
+        msg.source = self._rank
+        msg.tag = tag
+        msg.packet = packet
+        msg.arrival = arrival
+        msg.sync = False
+        msg.consumed = False
+        msg.uid = next(_msg_ids)
+        rec = _trace_events._top
+        if rec is not None and rec.recording:
+            rec.emit(
+                "msg.send",
+                scope=self._world.scope,
+                uid=msg.uid,
+                dest=dest,
+                tag=tag,
+                size=msg.size,
+                vtime=clock.now,
+                hb_rel=("msg", self._world.scope, msg.uid),
+            )
+        # Lock-free deposit: list.append is atomic under the GIL, and a
+        # mailbox has exactly one consumer (its owner rank), so the only
+        # concurrent access pattern is append-while-scan, which Python
+        # lists tolerate (the scan sees or misses the fresh tail — either
+        # orders the deposit before or after, both valid).
+        self._mailboxes[ranks[dest]]._messages.append(msg)
+        ex = self._executor
+        if self._lockstep:
+            # LockstepExecutor.notify inlined (dirty flag + external-waiter
+            # wakeup + preemption point): one frame fewer per send.
+            ex._dirty = True
+            if ex._ext_waiters:
+                with ex._cond:
+                    ex._cond.notify_all()
+            ex.checkpoint()
+        else:
+            ex.notify()
 
     def ssend(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Synchronous send: blocks until the matching receive matches it."""
         msg = self._post(obj, dest, tag, sync=True)
         self._world.executor.wait_until(
             lambda: msg.consumed or self._world.broken,
-            describe=(
+            describe=lambda: (
                 f"{self._who()} ssend to rank {dest} tag {tag}: waiting for "
                 "matching recv"
             ),
@@ -248,45 +350,55 @@ class Comm:
         self._check_world()
         # Rendezvous completes when the receiver matched; causality flows
         # back to the sender.
-        self._clock().merge(msg.arrival)
+        self._my_clock.merge(msg.arrival)
         _trace_emit(
             "msg.ssend_done",
             scope=self._world.scope,
             uid=msg.uid,
-            vtime=self._clock().now,
+            vtime=self._my_clock.now,
             hb_acq=("msg-ack", self._world.scope, msg.uid),
         )
 
     def _post(self, obj: Any, dest: int, tag: int, *, sync: bool) -> Message:
-        validate_tag(tag)
-        gdest = self._global(dest)
-        data = pack(obj)
-        clock = self._clock()
+        return self._post_packet(pack_packet(obj), dest, tag, sync=sync)
+
+    def _post_packet(
+        self, packet: Packet, dest: int, tag: int, *, sync: bool = False
+    ) -> Message:
+        """Deposit an already-packed payload (the pack-once transport core)."""
+        if tag.__class__ is not int or tag < 0:
+            validate_tag(tag)
+        ranks = self._ranks
+        if not 0 <= dest < len(ranks):
+            self._global(dest)  # raises with the full diagnostic
+        gdest = ranks[dest]
+        clock = self._my_clock
         depart = clock.now
-        clock.advance(self._world.costs.overhead)
-        msg = Message(
-            context=self._ctx,
-            source=self._rank,
-            tag=tag,
-            data=data,
-            size=len(data),
-            arrival=depart + self._world.costs.transit(len(data)),
-            sync=sync,
-        )
+        clock.now = depart + self._ovh
+        # The LogP transit term only needs the pickle size when bandwidth
+        # is being modelled; with per_byte == 0 the by-ref fast path never
+        # has to serialise at all.
+        pb = self._pb
+        if pb:
+            arrival = depart + (self._hop0 + packet.size * pb)
+        else:
+            arrival = depart + self._hop0
+        msg = Message(self._ctx, self._rank, tag, packet, arrival, sync)
         # Emit before depositing: the receiver's ``msg.recv`` must follow
         # this event in stream order for the HB edge to point forward.
-        _trace_emit(
-            "msg.send",
-            scope=self._world.scope,
-            uid=msg.uid,
-            dest=dest,
-            tag=tag,
-            size=msg.size,
-            vtime=clock.now,
-            hb_rel=("msg", self._world.scope, msg.uid),
-        )
+        if _trace_active():
+            _trace_emit(
+                "msg.send",
+                scope=self._world.scope,
+                uid=msg.uid,
+                dest=dest,
+                tag=tag,
+                size=msg.size,
+                vtime=clock.now,
+                hb_rel=("msg", self._world.scope, msg.uid),
+            )
         self._world.mailboxes[gdest].deposit(msg)
-        self._world.executor.notify()
+        self._executor.notify()
         return msg
 
     def recv(
@@ -300,53 +412,181 @@ class Comm:
 
         ``source``/``tag`` accept the wildcards ``ANY_SOURCE``/``ANY_TAG``.
         """
-        if source != ANY_SOURCE:
-            self._global(source)  # validate
-        mbox = self._mailbox
-        self._world.executor.wait_until(
-            lambda: mbox.peek(self._ctx, source, tag) is not None
-            or self._world.broken,
-            describe=self._recv_describe(source, tag),
+        if source != ANY_SOURCE and not 0 <= source < len(self._ranks):
+            self._global(source)  # raises with the full diagnostic
+        # Fast path: a matching message is already queued and no recorder
+        # wants the peek/ack/recv events — take it without building the
+        # wait predicate.  Scheduler-neutral: the slow path would not have
+        # blocked (its predicate is true on entry), so no switch is skipped.
+        grp = self._world.group
+        rec = _trace_events._top
+        untraced = rec is None or not rec.recording
+        if untraced and (grp is None or not grp.failed):
+            # Mailbox.take inlined (same match test): one frame fewer on
+            # the hottest receive path.
+            # Lock-free: this rank is the mailbox's only consumer, so the
+            # del races with nothing; concurrent producer appends are
+            # GIL-atomic (see the deposit in :meth:`send`).
+            ctx = self._ctx
+            msg = None
+            messages = self._my_mailbox._messages
+            for i, m in enumerate(messages):
+                if (
+                    m.context == ctx
+                    and not m.consumed
+                    and (source == ANY_SOURCE or m.source == source)
+                    and (tag == ANY_TAG or m.tag == tag)
+                ):
+                    del messages[i]
+                    m.consumed = True
+                    msg = m
+                    break
+            if msg is not None:
+                clock = self._my_clock
+                now = clock.now
+                arrival = msg.arrival
+                clock.now = (arrival if arrival > now else now) + self._ovh
+                if msg.sync:
+                    self._executor.notify()
+                packet = msg.packet
+                payload = packet.obj if packet.data is None else packet.unpack()
+                if status:
+                    return payload, Status(
+                        source=msg.source, tag=msg.tag, size=msg.size
+                    )
+                return payload
+        self._wait_for_message(source, tag)
+        if untraced and not _trace_active():
+            # Light completion: no events to emit, so skip the peek/ack
+            # bookkeeping of _complete_recv_msg (lock-free scan as above).
+            ctx = self._ctx
+            msg = None
+            messages = self._my_mailbox._messages
+            for i, m in enumerate(messages):
+                if (
+                    m.context == ctx
+                    and not m.consumed
+                    and (source == ANY_SOURCE or m.source == source)
+                    and (tag == ANY_TAG or m.tag == tag)
+                ):
+                    del messages[i]
+                    m.consumed = True
+                    msg = m
+                    break
+            if msg is None:  # pragma: no cover - single consumer per mailbox
+                raise CommError("matched message vanished (mailbox misuse)")
+            clock = self._my_clock
+            now = clock.now
+            arrival = msg.arrival
+            clock.now = (arrival if arrival > now else now) + self._ovh
+            if msg.sync:
+                self._executor.notify()
+        else:
+            msg = self._complete_recv_msg(source, tag)
+        packet = msg.packet
+        payload = packet.obj if packet.data is None else packet.unpack()
+        if status:
+            return payload, Status(source=msg.source, tag=msg.tag, size=msg.size)
+        return payload
+
+    def _wait_for_message(self, source: int, tag: int) -> None:
+        """Block until a matching message is queued (or the world broke)."""
+        mbox = self._my_mailbox
+        world = self._world
+        grp = world.group
+        if grp is not None:
+            # The common case inside a launched world: the predicate is
+            # re-evaluated on every scheduler wakeup, so the mailbox scan
+            # is inlined (same match test as Mailbox.peek) and the group's
+            # failed flag is read directly instead of via the ``broken``
+            # property.
+            def pred(_msgs=mbox._messages, _ctx=self._ctx, _grp=grp):
+                # Read-only lock-free scan (see the deposit in ``send``).
+                for m in _msgs:
+                    if (
+                        m.context == _ctx
+                        and not m.consumed
+                        and (source == ANY_SOURCE or m.source == source)
+                        and (tag == ANY_TAG or m.tag == tag)
+                    ):
+                        return True
+                return _grp.failed
+
+        else:
+            ctx = self._ctx
+            pred = lambda: mbox.peek(ctx, source, tag) is not None or world.broken
+        world.executor.wait_until(
+            pred, describe=lambda: self._recv_describe(source, tag)
         )
-        self._check_world()
-        return self._complete_recv(source, tag, with_status=status)
+        if grp.failed if grp is not None else world.broken:
+            self._check_world()  # raises with the full diagnostic
+
+    def _complete_recv_msg(self, source: int, tag: int) -> Message:
+        """Consume a matching queued message, charging receive costs."""
+        traced = _trace_active()
+        if traced:
+            matched = self._my_mailbox.peek(self._ctx, source, tag)
+            if matched is not None and matched.sync:
+                # The rendezvous ack must be on the stream before ``take``
+                # flips ``consumed`` and unblocks the sender, whose
+                # ``msg.ssend_done`` acquires this edge.
+                _trace_emit(
+                    "msg.ack",
+                    scope=self._world.scope,
+                    uid=matched.uid,
+                    hb_rel=("msg-ack", self._world.scope, matched.uid),
+                )
+        msg = self._my_mailbox.take(self._ctx, source, tag)
+        if msg is None:  # pragma: no cover - single consumer per mailbox
+            raise CommError("matched message vanished (mailbox misuse)")
+        clock = self._my_clock
+        now = clock.now
+        arrival = msg.arrival
+        clock.now = (arrival if arrival > now else now) + self._ovh
+        if traced:
+            _trace_emit(
+                "msg.recv",
+                scope=self._world.scope,
+                uid=msg.uid,
+                source=msg.source,
+                tag=msg.tag,
+                size=msg.size,
+                vtime=clock.now,
+                hb_acq=("msg", self._world.scope, msg.uid),
+            )
+        if msg.sync:
+            self._world.executor.notify()  # release the rendezvous sender
+        return msg
 
     def _complete_recv(
         self, source: int, tag: int, *, with_status: bool = False
     ) -> Any:
-        matched = self._mailbox.peek(self._ctx, source, tag)
-        if matched is not None and matched.sync:
-            # The rendezvous ack must be on the stream before ``take``
-            # flips ``consumed`` and unblocks the sender, whose
-            # ``msg.ssend_done`` acquires this edge.
-            _trace_emit(
-                "msg.ack",
-                scope=self._world.scope,
-                uid=matched.uid,
-                hb_rel=("msg-ack", self._world.scope, matched.uid),
-            )
-        msg = self._mailbox.take(self._ctx, source, tag)
-        if msg is None:  # pragma: no cover - single consumer per mailbox
-            raise CommError("matched message vanished (mailbox misuse)")
-        clock = self._clock()
-        clock.merge(msg.arrival)
-        clock.advance(self._world.costs.overhead)
-        _trace_emit(
-            "msg.recv",
-            scope=self._world.scope,
-            uid=msg.uid,
-            source=msg.source,
-            tag=msg.tag,
-            size=msg.size,
-            vtime=clock.now,
-            hb_acq=("msg", self._world.scope, msg.uid),
-        )
-        if msg.sync:
-            self._world.executor.notify()  # release the rendezvous sender
-        payload = unpack(msg.data)
+        msg = self._complete_recv_msg(source, tag)
+        payload = msg.packet.unpack()
         if with_status:
             return payload, Status(source=msg.source, tag=msg.tag, size=msg.size)
         return payload
+
+    def _recv_packet(self, source: int, tag: int) -> Packet:
+        """Blocking receive of the raw :class:`Packet` (pack-once forwarding).
+
+        Collectives use this to relay a payload through intermediate tree
+        hops without ever unpacking it; isolation is preserved because
+        every final ``Packet.unpack`` still yields a private copy.
+        """
+        grp = self._world.group
+        if not _trace_active() and (grp is None or not grp.failed):
+            msg = self._my_mailbox.take(self._ctx, source, tag)
+            if msg is not None:
+                clock = self._my_clock
+                now = clock.now
+                arrival = msg.arrival
+                clock.now = (arrival if arrival > now else now) + self._ovh
+                if msg.sync:
+                    self._executor.notify()
+                return msg.packet
+        self._wait_for_message(source, tag)
+        return self._complete_recv_msg(source, tag).packet
 
     def sendrecv(
         self,
@@ -377,7 +617,7 @@ class Comm:
         self._world.executor.wait_until(
             lambda: mbox.peek(self._ctx, source, tag) is not None
             or self._world.broken,
-            describe=self._recv_describe(source, tag, verb="probe"),
+            describe=lambda: self._recv_describe(source, tag, verb="probe"),
         )
         self._check_world()
         msg = mbox.peek(self._ctx, source, tag)

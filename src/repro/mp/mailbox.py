@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import itertools
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Hashable
+from dataclasses import dataclass
+from typing import Hashable
 
 from repro.errors import CommError
+from repro.mp.serialize import Packet
 
 __all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "Mailbox", "Status"]
 
@@ -35,19 +36,53 @@ ANY_TAG = -1
 _msg_ids = itertools.count()
 
 
-@dataclass
 class Message:
-    """One in-flight message."""
+    """One in-flight message.
 
-    context: Hashable
-    source: int
-    tag: int
-    data: bytes
-    size: int
-    arrival: float  # virtual time at which it becomes receivable
-    sync: bool = False  # ssend rendezvous?
-    consumed: bool = False  # set when matched (releases a waiting ssend)
-    uid: int = field(default_factory=lambda: next(_msg_ids))
+    The payload lives in a :class:`~repro.mp.serialize.Packet` (pickled
+    bytes, or an immutable travelling by reference); ``data`` and ``size``
+    remain available as views for callers that think in pickle terms.
+    A slotted plain class rather than a dataclass: one of these is built
+    per send, on the transport hot path.
+    """
+
+    __slots__ = ("context", "source", "tag", "packet", "arrival", "sync", "consumed", "uid")
+
+    def __init__(
+        self,
+        context: Hashable,
+        source: int,
+        tag: int,
+        packet: Packet | None = None,
+        arrival: float = 0.0,  # virtual time at which it becomes receivable
+        sync: bool = False,  # ssend rendezvous?
+        data: bytes | None = None,
+        size: int | None = None,
+    ):
+        self.context = context
+        self.source = source
+        self.tag = tag
+        self.packet = packet if packet is not None else Packet(data=data, size=size)
+        self.arrival = arrival
+        self.sync = sync
+        self.consumed = False  # set when matched (releases a waiting ssend)
+        self.uid = next(_msg_ids)
+
+    @property
+    def data(self) -> bytes | None:
+        """The pickled payload (``None`` for by-reference packets)."""
+        return self.packet.data
+
+    @property
+    def size(self) -> int:
+        """Pickle length in bytes (lazily computed for by-ref packets)."""
+        return self.packet.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Message(src={self.source}, tag={self.tag}, uid={self.uid}, "
+            f"sync={self.sync})"
+        )
 
 
 @dataclass(frozen=True)
@@ -71,16 +106,6 @@ class Status:
         return self.size
 
 
-def _matches(msg: Message, context: Hashable, source: int, tag: int) -> bool:
-    if msg.context != context or msg.consumed:
-        return False
-    if source != ANY_SOURCE and msg.source != source:
-        return False
-    if tag != ANY_TAG and msg.tag != tag:
-        return False
-    return True
-
-
 class Mailbox:
     """One rank's incoming-message store."""
 
@@ -95,10 +120,20 @@ class Mailbox:
             self._messages.append(msg)
 
     def peek(self, context: Hashable, source: int, tag: int) -> Message | None:
-        """First matching message in arrival order, not removed (probe)."""
+        """First matching message in arrival order, not removed (probe).
+
+        The match test is inlined (rather than calling :func:`_matches`)
+        in both scans: ``peek`` is every blocked receive's wait predicate,
+        re-run by the scheduler at each wakeup.
+        """
         with self._lock:
             for msg in self._messages:
-                if _matches(msg, context, source, tag):
+                if (
+                    msg.context == context
+                    and not msg.consumed
+                    and (source == ANY_SOURCE or msg.source == source)
+                    and (tag == ANY_TAG or msg.tag == tag)
+                ):
                     return msg
             return None
 
@@ -109,9 +144,15 @@ class Mailbox:
         released.
         """
         with self._lock:
-            for i, msg in enumerate(self._messages):
-                if _matches(msg, context, source, tag):
-                    del self._messages[i]
+            messages = self._messages
+            for i, msg in enumerate(messages):
+                if (
+                    msg.context == context
+                    and not msg.consumed
+                    and (source == ANY_SOURCE or msg.source == source)
+                    and (tag == ANY_TAG or msg.tag == tag)
+                ):
+                    del messages[i]
                     msg.consumed = True
                     return msg
             return None

@@ -13,6 +13,22 @@ rejected eagerly with :class:`~repro.errors.IsolationError`.
 
 The byte size of the pickle doubles as the message size for the LogP cost
 model, so "bigger payloads cost more virtual time" falls out for free.
+
+Two fast paths keep the enforcement from swamping the modeled costs
+(mpi4py's buffer-protocol shortcut is the precedent):
+
+- **Immutable payloads travel by reference.**  For ``int``/``float``/
+  ``str``/``bytes``/``bool``/``None`` — and tuples composed only of those —
+  isolation is vacuously preserved: the receiver cannot mutate the object,
+  so handing over the reference is observationally identical to a copy at
+  zero pickling cost.  :func:`pack_packet` detects these (exact-type
+  checks: a *subclass* of ``int`` may carry mutable attributes and still
+  pays the pickle) and the pickle size needed by the LogP model is
+  computed lazily, only when something actually asks for it.
+- **Pack-once forwarding.**  A :class:`Packet` carries one payload in
+  packed form; collectives serialise at the root once and forward the same
+  bytes hop to hop, unpacking only at each final receiver (see
+  :mod:`repro.mp.collectives`).
 """
 
 from __future__ import annotations
@@ -22,7 +38,32 @@ from typing import Any
 
 from repro.errors import IsolationError
 
-__all__ = ["pack", "unpack", "deep_copy_by_value"]
+__all__ = [
+    "pack",
+    "unpack",
+    "deep_copy_by_value",
+    "is_immutable",
+    "Packet",
+    "pack_packet",
+]
+
+#: Exact types that are safely shareable across the rank boundary.
+#: Subclasses are deliberately excluded (a ``class Evil(int)`` can carry a
+#: mutable ``__dict__``), which is why membership tests use ``type(obj)``.
+_IMMUTABLE_SCALARS = frozenset((int, float, str, bytes, bool, complex, type(None)))
+
+
+def is_immutable(payload: Any) -> bool:
+    """True when sharing ``payload`` by reference cannot violate isolation.
+
+    Covers the immutable scalars and tuples (arbitrarily nested) whose
+    elements are all themselves immutable by this definition.
+    """
+    if type(payload) in _IMMUTABLE_SCALARS:
+        return True
+    if type(payload) is tuple:
+        return all(is_immutable(item) for item in payload)
+    return False
 
 
 def pack(payload: Any) -> bytes:
@@ -41,6 +82,75 @@ def unpack(data: bytes) -> Any:
     return pickle.loads(data)
 
 
+class Packet:
+    """One payload in transport form, packed at most once.
+
+    Either ``data`` holds the pickle (the isolating copy path) or it is
+    ``None`` and ``obj`` is an immutable payload travelling by reference.
+    ``size`` is the pickle length either way — computed lazily for by-ref
+    packets, since the LogP model only needs it when ``per_byte`` costs are
+    nonzero or a receive asks for its :class:`~repro.mp.mailbox.Status`.
+
+    A packet may be forwarded through any number of hops (each ``unpack``
+    of a pickled packet yields a fresh private copy), which is what the
+    tree collectives exploit.
+    """
+
+    __slots__ = ("obj", "data", "_size")
+
+    def __init__(self, obj: Any = None, data: bytes | None = None, size: int | None = None):
+        self.obj = obj
+        self.data = data
+        self._size = size if size is not None else (len(data) if data is not None else None)
+
+    @property
+    def by_ref(self) -> bool:
+        """True when the payload travels by reference (immutable fast path)."""
+        return self.data is None
+
+    @property
+    def size(self) -> int:
+        """Pickle length in bytes (computed lazily for by-ref packets)."""
+        size = self._size
+        if size is None:
+            size = len(pack(self.obj))
+            self._size = size
+        return size
+
+    def unpack(self) -> Any:
+        """The received payload: a fresh copy, or the shared immutable."""
+        data = self.data
+        if data is None:
+            return self.obj
+        return unpack(data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.by_ref:
+            return f"Packet(by_ref, {type(self.obj).__name__})"
+        return f"Packet({self._size} bytes)"
+
+
+def pack_packet(payload: Any) -> Packet:
+    """Pack a payload for transport, taking the by-reference fast path.
+
+    Mutable payloads are pickled eagerly, so unpicklable ones still raise
+    :class:`~repro.errors.IsolationError` at the send site (never later at
+    some receive deep inside a collective).
+    """
+    if type(payload) in _IMMUTABLE_SCALARS:  # inline scalar case: every send
+        return Packet(obj=payload)
+    if is_immutable(payload):
+        return Packet(obj=payload)
+    return Packet(data=pack(payload))
+
+
 def deep_copy_by_value(payload: Any) -> Any:
-    """One-shot pack+unpack (used by self-sends and testing)."""
+    """Isolating copy (used by self-sends, collective root copies, tests).
+
+    Immutable payloads come back as themselves — a rank sending itself an
+    ``int`` no longer pays two pickles for a copy that cannot be told
+    apart from the original.
+    """
+    if is_immutable(payload):
+        return payload
     return unpack(pack(payload))

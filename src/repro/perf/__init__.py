@@ -1,0 +1,34 @@
+"""Performance-regression harness for the execution engine.
+
+The engine's value is pedagogical *and* quantitative: spans, speedup
+curves, and the figure suite all assume the runtime itself is cheap
+enough not to drown the effects being taught.  This package measures the
+engine's hot paths — message transport, lockstep task switching,
+collective latency, and the end-to-end figure suite — and compares runs
+against a committed baseline so a refactor that quietly halves
+throughput fails CI instead of shipping.
+
+Use from the command line::
+
+    patternlet bench --quick --check BENCH_runtime.json
+
+or programmatically via :func:`repro.perf.bench.run_benchmarks`.
+"""
+
+from repro.perf.bench import (
+    HIGHER_IS_BETTER,
+    compare,
+    load_report,
+    make_report,
+    run_benchmarks,
+    save_report,
+)
+
+__all__ = [
+    "HIGHER_IS_BETTER",
+    "compare",
+    "load_report",
+    "make_report",
+    "run_benchmarks",
+    "save_report",
+]

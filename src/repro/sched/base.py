@@ -18,6 +18,15 @@ synchronisation construct in this library is written in terms of:
     Signal that shared runtime state changed, so blocked predicates should
     be re-evaluated.  Under lockstep this is also a preemption opportunity.
 
+    This is a *contract*, not a courtesy: any state change that can turn a
+    blocked predicate true MUST be followed by ``notify()`` before the
+    changing task next blocks or finishes.  The lockstep executor relies on
+    it to skip predicate re-evaluation on switches where nothing changed
+    (its dirty-flag fast path), and the threaded executor's watchdog only
+    resets on notified progress.  Every synchronisation primitive in this
+    library honours it (release/deposit/arrive are each followed by a
+    ``notify()``).
+
 Everything else — barriers, critical sections, mailboxes, collectives — is
 plain data plus these three calls, which is what lets a single
 implementation behave identically (modulo interleavings) under both
@@ -39,9 +48,20 @@ __all__ = [
     "TaskRecord",
     "TaskHandle",
     "current_task_label",
+    "resolve_describe",
     "set_task_label",
     "task_label_scope",
 ]
+
+
+def resolve_describe(describe: "str | Callable[[], str]") -> str:
+    """Materialise a wait description.
+
+    Hot blocking paths (every message receive) pass ``describe`` as a
+    zero-argument callable so the diagnostic string is only formatted on
+    the rare path that actually reports it (deadlock, watchdog timeout).
+    """
+    return describe() if callable(describe) else describe
 
 # Thread-local identity used for output attribution (see repro.core.capture)
 # and for the lockstep executor to recognise its own managed tasks.
@@ -202,12 +222,17 @@ class Executor(ABC):
 
     @abstractmethod
     def wait_until(
-        self, pred: Callable[[], bool], *, describe: str = "condition"
+        self,
+        pred: Callable[[], bool],
+        *,
+        describe: str | Callable[[], str] = "condition",
     ) -> None:
         """Block the calling task until ``pred()`` is true.
 
         ``describe`` appears in deadlock diagnostics ("rank 2 waiting for:
-        message from rank 1").
+        message from rank 1").  It may be a zero-argument callable, which
+        is only invoked if the description is actually reported — blocking
+        sites on hot paths use this to avoid formatting a string per wait.
         """
 
     @abstractmethod

@@ -8,14 +8,33 @@ control transfers only at explicit switch points:
 - ``wait_until(pred)`` — the task blocks; the token moves on;
 - task completion.
 
-At each switch the executor first re-evaluates the predicates of blocked
-tasks (promoting the satisfied ones to runnable), then asks its
-:class:`~repro.sched.policy.Policy` which runnable task runs next.  With a
-seeded :class:`~repro.sched.policy.RandomPolicy` the complete interleaving —
-and therefore the output order, the outcome of a data race, whether a
-deadlock manifests — is a pure function of the seed.  This gives the
-patternlets a *replay* capability the paper's C versions lack: "run it again
-with seed 7" shows the same lost update every time.
+At each switch the executor asks its :class:`~repro.sched.policy.Policy`
+which runnable task runs next.  With a seeded
+:class:`~repro.sched.policy.RandomPolicy` the complete interleaving — and
+therefore the output order, the outcome of a data race, whether a deadlock
+manifests — is a pure function of the seed.  This gives the patternlets a
+*replay* capability the paper's C versions lack: "run it again with seed 7"
+shows the same lost update every time.
+
+Switch-point machinery (the hot path of every lockstep run):
+
+- The token is handed over a per-task **binary semaphore** (a raw
+  ``threading.Lock`` held-by-default): one release wakes exactly the chosen
+  task, one acquire parks the yielding one.  This replaced a per-task
+  ``threading.Event`` ping-pong, whose set/clear/wait cycle cost three
+  extra lock round-trips per switch.
+- Blocked predicates are re-evaluated only when the **dirty flag** says
+  shared state actually changed — set by :meth:`notify`, task completion,
+  and aborts — rather than on every switch.  This is sound because of the
+  executor contract (see :mod:`repro.sched.base`): any state change that
+  can turn a predicate true must be followed by ``notify()``.  A safety
+  net re-evaluates everything once before declaring deadlock.
+- Unmanaged threads (e.g. the pytest main thread polling runtime state)
+  wait on one shared :class:`threading.Condition` and are woken by the
+  next ``notify()`` — previously they spun on a 1 ms timed sleep.  The
+  ``timed_waits`` counter records any fallback timed poll (only ever taken
+  when *no* managed task exists to deliver a wakeup); tests assert it
+  stays zero in deadlock-free runs.
 
 If the runnable set empties while blocked tasks remain, every task is woken
 with a :class:`~repro.errors.DeadlockError` naming each blocked task and
@@ -40,10 +59,12 @@ from repro.sched.base import (
     TaskGroup,
     TaskHandle,
     TaskRecord,
+    resolve_describe,
     set_task_label,
 )
 from repro.sched.policy import Policy, RandomPolicy
-from repro.trace.events import emit as _trace_emit
+from repro.trace import events as _trace_events
+from repro.trace.events import active as _trace_active, emit as _trace_emit
 
 __all__ = ["LockstepExecutor"]
 
@@ -59,7 +80,7 @@ class _TaskState:
         "tid",
         "label",
         "status",
-        "event",
+        "sem",
         "pred",
         "describe",
         "group",
@@ -70,9 +91,12 @@ class _TaskState:
         self.tid = tid
         self.label = label
         self.status = _NEW
-        self.event = threading.Event()
+        # Binary semaphore carrying the token: held (locked) by default,
+        # released exactly when this task is handed the token.
+        self.sem = threading.Lock()
+        self.sem.acquire()
         self.pred: Callable[[], bool] | None = None
-        self.describe = ""
+        self.describe: str | Callable[[], str] = ""
         self.group = group
         self.record = record
 
@@ -97,10 +121,31 @@ class LockstepExecutor(Executor):
 
     def __init__(self, *, policy: Policy | None = None, max_steps: int = 5_000_000):
         self.policy = policy if policy is not None else RandomPolicy(0)
+        # Bound once: the policy is fixed for the executor's lifetime and
+        # choose() runs on every switch.  For the default RandomPolicy the
+        # draw is additionally inlined at the switch sites as
+        # ``runnable[randbelow(len(runnable))]`` — exactly the bits
+        # RandomPolicy.choose draws, skipping its call frame.
+        self._choose = self.policy.choose
+        self._randbelow = (
+            self.policy._randbelow if type(self.policy) is RandomPolicy else None
+        )
         #: Hard cap on scheduler switches; a runaway loop aborts instead of
         #: hanging the session.
         self.max_steps = max_steps
         self._lock = threading.Lock()
+        #: Wakeup channel for unmanaged threads parked in wait_until.
+        self._cond = threading.Condition(self._lock)
+        #: Count of unmanaged threads currently waiting on _cond; notify()
+        #: only takes the condition lock when someone is actually parked.
+        self._ext_waiters = 0
+        #: True when shared state changed since blocked predicates were
+        #: last re-evaluated (set by notify/finish/abort).
+        self._dirty = False
+        #: Timed fallback polls taken by unmanaged waiters.  Stays 0 in any
+        #: run where managed tasks exist to deliver real wakeups; tests
+        #: assert on this to keep the busy-wait from creeping back.
+        self.timed_waits = 0
         self._tasks: dict[int, _TaskState] = {}
         self._current: int | None = None
         self._next_tid = 0
@@ -169,6 +214,7 @@ class LockstepExecutor(Executor):
         with self._lock:
             for st, _ in states:
                 st.status = _RUNNABLE
+            self._dirty = True
 
         if caller is not None:
             # Nested fork-join from inside a managed task: the parent simply
@@ -231,6 +277,7 @@ class LockstepExecutor(Executor):
         thread.start()
         with self._lock:
             st.status = _RUNNABLE
+            self._dirty = True
 
         def waiter() -> None:
             self.wait_until(
@@ -242,52 +289,210 @@ class LockstepExecutor(Executor):
         return TaskHandle(record, waiter)
 
     def checkpoint(self) -> None:
-        me = self._current_state()
+        # The single hottest function in a lockstep run: called after every
+        # observable action by every managed task.  The pick/hand/park
+        # sequence is inlined here (same logic as _pick_next_locked +
+        # _hand_token_locked, which remain the shared path for wait_until
+        # and _finish) to keep the per-switch cost to a handful of
+        # attribute reads.  Marking *me* runnable before building the list
+        # yields exactly the list _pick_next_locked(current_ok=me) builds:
+        # same members, same (tid-ascending) order, so seeded policies draw
+        # identical choices.
+        me = getattr(self._tls, "state", None)
         if me is None:
             return
-        self._check_abort()
+        if self._aborted is not None:
+            raise _AbortUnwind()
         with self._lock:
-            nxt = self._pick_next_locked(current_ok=me)
-            if nxt is None or nxt is me:
-                return
+            tasks = self._tasks
             me.status = _RUNNABLE
-            self._hand_token_locked(nxt)
-        self._await_token(me)
+            if self._dirty:
+                # _promote_locked fused with the runnable-list build: one
+                # pass over the task table does both.  Dict order is
+                # ascending tid, so appending promoted and already-runnable
+                # tasks in encounter order yields exactly the sorted list
+                # the two-pass version built.
+                self._dirty = False
+                runnable = []
+                for tid, st in tasks.items():
+                    stat = st.status
+                    if stat == _RUNNABLE:
+                        runnable.append(tid)
+                    elif stat == _BLOCKED and st.pred is not None and st.pred():
+                        st.status = _RUNNABLE
+                        runnable.append(tid)
+                        trace = self._trace
+                        if len(trace) < self.TRACE_LIMIT:
+                            trace.append(("wake", st.label))
+                        rec = _trace_events._top
+                        if rec is not None and rec.recording:
+                            rec.emit("sched.wake", task=st.label)
+            else:
+                runnable = [
+                    tid for tid, st in tasks.items() if st.status == _RUNNABLE
+                ]
+            rb = self._randbelow
+            if rb is not None:
+                chosen = runnable[rb(len(runnable))]
+            else:
+                chosen = self._choose(runnable, me.tid)
+            if chosen == me.tid:
+                me.status = _RUNNING
+                return
+            nxt = tasks.get(chosen)
+            if nxt is None:
+                raise SchedulerError(f"policy chose unknown task id {chosen}")
+            self._steps += 1
+            if self._steps > self.max_steps:
+                self._abort_locked(
+                    SchedulerError(
+                        f"lockstep step limit exceeded ({self.max_steps}); "
+                        "probable livelock"
+                    )
+                )
+            else:
+                nxt.status = _RUNNING
+                self._current = nxt.tid
+                trace = self._trace
+                if len(trace) < self.TRACE_LIMIT:
+                    trace.append(("run", nxt.label))
+                rec = _trace_events._top
+                if rec is not None and rec.recording:
+                    rec.emit("sched.run", task=nxt.label)
+                nxt.sem.release()
+        me.sem.acquire()
+        if self._aborted is not None:
+            raise _AbortUnwind()
 
     def wait_until(
-        self, pred: Callable[[], bool], *, describe: str = "condition"
+        self, pred: Callable[[], bool], *, describe: str | Callable[[], str] = "condition"
     ) -> None:
-        me = self._current_state()
+        me = getattr(self._tls, "state", None)
         if me is None:
-            # Unmanaged thread (e.g. the pytest main thread polling some
-            # state): poll politely.  Rare, but keeps the API total.
-            while not pred():
-                if self._aborted is not None:
-                    raise self._aborted
-                threading.Event().wait(0.001)
+            self._wait_unmanaged(pred)
             return
+        blocked = False
         while not pred():
-            self._check_abort()
+            if self._aborted is not None:
+                raise _AbortUnwind()
+            blocked = True
             with self._lock:
                 me.status = _BLOCKED
                 me.pred = pred
                 me.describe = describe
-                self._trace_add(("block", me.label))
-                nxt = self._pick_next_locked(current_ok=None)
-                if nxt is None:
+                trace = self._trace
+                if len(trace) < self.TRACE_LIMIT:
+                    trace.append(("block", me.label))
+                rec = _trace_events._top
+                if rec is not None and rec.recording:
+                    rec.emit("sched.block", task=me.label)
+                # _pick_next_locked + _hand_token_locked inlined, as in
+                # checkpoint(): this block runs once per blocked receive.
+                # *me* is skipped in the promote pass — its predicate was
+                # evaluated false at the top of this loop iteration, and
+                # predicates are pure, so re-evaluating it cannot promote
+                # it (the empty-runnable safety net still re-checks all).
+                tasks = self._tasks
+                if self._dirty:
+                    self._dirty = False
+                    runnable = []
+                    for tid, st in tasks.items():
+                        stat = st.status
+                        if stat == _RUNNABLE:
+                            runnable.append(tid)
+                        elif (
+                            stat == _BLOCKED
+                            and st is not me
+                            and st.pred is not None
+                            and st.pred()
+                        ):
+                            st.status = _RUNNABLE
+                            runnable.append(tid)
+                            if len(trace) < self.TRACE_LIMIT:
+                                trace.append(("wake", st.label))
+                            rec = _trace_events._top
+                            if rec is not None and rec.recording:
+                                rec.emit("sched.wake", task=st.label)
+                else:
+                    runnable = [
+                        tid for tid, st in tasks.items() if st.status == _RUNNABLE
+                    ]
+                if not runnable:
+                    # Safety net: one forced re-evaluation (see
+                    # _pick_next_locked) before declaring deadlock.
+                    self._promote_locked()
+                    runnable = [
+                        tid for tid, st in tasks.items() if st.status == _RUNNABLE
+                    ]
+                if not runnable:
                     self._abort_locked(self._deadlock_locked())
                     break
-                self._hand_token_locked(nxt)
-            self._await_token(me)
-        self._check_abort()
-        with self._lock:
+                rb = self._randbelow
+                if rb is not None:
+                    chosen = runnable[rb(len(runnable))]
+                else:
+                    chosen = self._choose(runnable, None)
+                nxt = tasks.get(chosen)
+                if nxt is None:
+                    raise SchedulerError(f"policy chose unknown task id {chosen}")
+                self._steps += 1
+                if self._steps > self.max_steps:
+                    self._abort_locked(
+                        SchedulerError(
+                            f"lockstep step limit exceeded ({self.max_steps}); "
+                            "probable livelock"
+                        )
+                    )
+                else:
+                    nxt.status = _RUNNING
+                    self._current = nxt.tid
+                    if len(trace) < self.TRACE_LIMIT:
+                        trace.append(("run", nxt.label))
+                    rec = _trace_events._top
+                    if rec is not None and rec.recording:
+                        rec.emit("sched.run", task=nxt.label)
+                    nxt.sem.release()
+            me.sem.acquire()
+            if self._aborted is not None:
+                raise _AbortUnwind()
+        if self._aborted is not None:
+            raise _AbortUnwind()
+        if blocked:
+            # Safe without the executor lock: *me* is RUNNING now, and the
+            # promote scans only read preds of BLOCKED tasks.
             me.pred = None
             me.describe = ""
+
+    def _wait_unmanaged(self, pred: Callable[[], bool]) -> None:
+        # Unmanaged thread (e.g. the pytest main thread polling some
+        # state): park on the shared condition; notify() delivers a real
+        # wakeup.  Rare, but keeps the API total.
+        with self._cond:
+            while not pred():
+                if self._aborted is not None:
+                    raise self._aborted
+                self._ext_waiters += 1
+                try:
+                    if self._tasks:
+                        self._cond.wait()
+                    else:
+                        # No managed task exists, so nothing will ever call
+                        # notify(); a timed poll is the only option left.
+                        self.timed_waits += 1
+                        self._cond.wait(0.01)
+                finally:
+                    self._ext_waiters -= 1
 
     def notify(self) -> None:
         # State changes only propagate at switch points, so every notify is
         # also a preemption opportunity; this is what lets a seeded run
         # interleave sends with receives, prints with prints, and so on.
+        # The dirty flag is what permits _pick_next_locked to skip predicate
+        # re-evaluation on switches where nothing changed.
+        self._dirty = True
+        if self._ext_waiters:
+            with self._cond:
+                self._cond.notify_all()
         self.checkpoint()
 
     # -- internals -----------------------------------------------------------
@@ -298,16 +503,16 @@ class LockstepExecutor(Executor):
         # Mirror every scheduling decision onto the run's event spine (a
         # no-op when no recorder is ambient).  The event is *about*
         # entry[1]'s task, not necessarily emitted by its thread.
-        _trace_emit(f"sched.{entry[0]}", task=entry[1])
+        if _trace_active():
+            _trace_emit(f"sched.{entry[0]}", task=entry[1])
 
     def _current_state(self) -> _TaskState | None:
-        tid = getattr(self._tls, "tid", None)
-        if tid is None:
-            return None
-        return self._tasks.get(tid)
+        # TLS holds the state object itself (not a tid needing a dict
+        # lookup): this runs on every checkpoint and wait.
+        return getattr(self._tls, "state", None)
 
     def _task_main(self, st: _TaskState, thunk: Callable[[], Any]) -> None:
-        self._tls.tid = st.tid
+        self._tls.state = st
         set_task_label(st.label)
         self._await_token(st, first=True)
         try:
@@ -321,12 +526,11 @@ class LockstepExecutor(Executor):
             st.group.group.failed = True
         finally:
             set_task_label(None)
-            self._tls.tid = None
+            self._tls.state = None
             self._finish(st)
 
     def _await_token(self, st: _TaskState, *, first: bool = False) -> None:
-        st.event.wait()
-        st.event.clear()
+        st.sem.acquire()
         if self._aborted is not None and first:
             # Woken only to unwind; _task_main handles it.
             return
@@ -338,6 +542,10 @@ class LockstepExecutor(Executor):
             raise _AbortUnwind()
 
     def _hand_token_locked(self, nxt: _TaskState) -> None:
+        if self._aborted is not None:
+            # _abort_locked already released every live semaphore; a second
+            # release would raise (binary semaphore).  Everyone is unwinding.
+            return
         self._steps += 1
         if self._steps > self.max_steps:
             self._abort_locked(
@@ -349,24 +557,51 @@ class LockstepExecutor(Executor):
             return
         nxt.status = _RUNNING
         self._current = nxt.tid
-        self._trace_add(("run", nxt.label))
-        nxt.event.set()
+        # _trace_add inlined: this runs once per switch.
+        trace = self._trace
+        if len(trace) < self.TRACE_LIMIT:
+            trace.append(("run", nxt.label))
+        rec = _trace_events._top
+        if rec is not None and rec.recording:
+            rec.emit("sched.run", task=nxt.label)
+        nxt.sem.release()
 
-    def _pick_next_locked(self, current_ok: _TaskState | None) -> _TaskState | None:
-        # Promote blocked tasks whose predicates came true.
+    def _promote_locked(self) -> None:
+        """Move blocked tasks whose predicates came true to runnable."""
         for st in self._tasks.values():
             if st.status == _BLOCKED and st.pred is not None and st.pred():
                 st.status = _RUNNABLE
-                self._trace_add(("wake", st.label))
-        runnable = sorted(
+                trace = self._trace
+                if len(trace) < self.TRACE_LIMIT:
+                    trace.append(("wake", st.label))
+                rec = _trace_events._top
+                if rec is not None and rec.recording:
+                    rec.emit("sched.wake", task=st.label)
+
+    def _pick_next_locked(self, current_ok: _TaskState | None) -> _TaskState | None:
+        if self._dirty:
+            self._dirty = False
+            self._promote_locked()
+        # _tasks is keyed by monotonically increasing tid and never loses
+        # individual entries, so insertion order IS ascending id order —
+        # the sorted runnable list the policy contract requires, without a
+        # sort per switch.
+        runnable = [
             tid
             for tid, st in self._tasks.items()
             if st.status == _RUNNABLE or (current_ok is not None and st is current_ok)
-        )
+        ]
         if not runnable:
-            return None
+            # Safety net: one forced re-evaluation before concluding that
+            # nothing can run, in case state changed without a notify().
+            self._promote_locked()
+            runnable = [
+                tid for tid, st in self._tasks.items() if st.status == _RUNNABLE
+            ]
+            if not runnable:
+                return None
         cur = current_ok.tid if current_ok is not None else None
-        chosen = self.policy.choose(runnable, cur)
+        chosen = self._choose(runnable, cur)
         if chosen not in self._tasks:
             raise SchedulerError(f"policy chose unknown task id {chosen}")
         return self._tasks[chosen]
@@ -378,17 +613,23 @@ class LockstepExecutor(Executor):
             st.group.remaining -= 1
             group_done = st.group.remaining == 0
             self._current = None
-            nxt = self._pick_next_locked(current_ok=None)
-            if nxt is not None:
-                self._hand_token_locked(nxt)
-            else:
-                live = [
-                    t for t in self._tasks.values() if t.status in (_BLOCKED, _RUNNING)
-                ]
-                if live and self._aborted is None:
-                    self._abort_locked(self._deadlock_locked())
+            self._dirty = True  # remaining/failed changed: joiners may wake
+            if self._aborted is None:
+                nxt = self._pick_next_locked(current_ok=None)
+                if nxt is not None:
+                    self._hand_token_locked(nxt)
+                else:
+                    live = [
+                        t
+                        for t in self._tasks.values()
+                        if t.status in (_BLOCKED, _RUNNING)
+                    ]
+                    if live:
+                        self._abort_locked(self._deadlock_locked())
             if group_done:
                 st.group.done_event.set()
+            if self._ext_waiters:
+                self._cond.notify_all()
             # Garbage-collect finished tasks so long sessions stay small.
             if all(t.status == _DONE for t in self._tasks.values()):
                 self._tasks.clear()
@@ -396,7 +637,7 @@ class LockstepExecutor(Executor):
 
     def _deadlock_locked(self) -> DeadlockError:
         blocked = {
-            st.label: st.describe or "unspecified condition"
+            st.label: resolve_describe(st.describe) or "unspecified condition"
             for st in self._tasks.values()
             if st.status == _BLOCKED
         }
@@ -408,15 +649,20 @@ class LockstepExecutor(Executor):
     def _abort_locked(self, exc: BaseException) -> None:
         if self._aborted is None:
             self._aborted = exc
-        # Wake everything; each task unwinds via _AbortUnwind, and every
-        # group waiter is released.
+        # Wake everything; each task unwinds via _AbortUnwind, every group
+        # waiter is released, and parked unmanaged waiters re-check.
         for st in self._tasks.values():
             if st.status in (_BLOCKED, _RUNNABLE, _RUNNING):
                 st.group.group.failed = True
-                st.event.set()
+                if st.sem.locked():
+                    try:
+                        st.sem.release()
+                    except RuntimeError:  # pragma: no cover - lost race: already released
+                        pass
         groups = {id(st.group): st.group for st in self._tasks.values()}
         for g in groups.values():
             g.done_event.set()
+        self._cond.notify_all()
 
 
 class _AbortUnwind(BaseException):

@@ -50,9 +50,13 @@ class RandomPolicy(Policy):
     def __init__(self, seed: int = 0):
         self.seed = seed
         self._rng = random.Random(seed)
+        # Bound once: choose() runs on every task switch.  Indexing with
+        # _randbelow draws exactly the bits random.choice would, so seeded
+        # interleavings are unchanged.
+        self._randbelow = self._rng._randbelow
 
     def choose(self, runnable: Sequence[int], current: int | None) -> int:
-        return self._rng.choice(list(runnable))
+        return runnable[self._randbelow(len(runnable))]
 
 
 class RoundRobinPolicy(Policy):

@@ -26,6 +26,7 @@ from repro.sched.base import (
     TaskGroup,
     TaskHandle,
     TaskRecord,
+    resolve_describe,
     set_task_label,
 )
 
@@ -112,7 +113,10 @@ class ThreadExecutor(Executor):
         pass
 
     def wait_until(
-        self, pred: Callable[[], bool], *, describe: str = "condition"
+        self,
+        pred: Callable[[], bool],
+        *,
+        describe: str | Callable[[], str] = "condition",
     ) -> None:
         deadline_window = self.deadlock_timeout
         with self._cond:
@@ -124,10 +128,11 @@ class ThreadExecutor(Executor):
                 while not pred() and self._progress == seen:
                     slice_ = min(0.5, deadline_window - waited)
                     if slice_ <= 0:
+                        what = resolve_describe(describe)
                         raise DeadlockError(
                             f"no progress for {self.deadlock_timeout:.1f}s "
-                            f"while waiting for: {describe}",
-                            blocked={describe: "timed out"},
+                            f"while waiting for: {what}",
+                            blocked={what: "timed out"},
                         )
                     self._cond.wait(slice_)
                     waited += slice_

@@ -94,22 +94,41 @@ class Event:
 
 
 class TraceRecorder:
-    """Thread-safe, append-only sink for one run's events.
+    """Thread-safe sink for one run's events (slotted-ring storage).
 
     ``limit`` bounds memory for pathological runs (a trace is an analysis
-    artifact, not an unbounded log); events past the limit are counted in
-    ``dropped`` rather than stored, and analyses should treat a trace with
-    drops as incomplete.
+    artifact, not an unbounded log).  Two bounding policies:
+
+    - ``ring=False`` (default): events past the limit are counted in
+      ``dropped`` rather than stored — the stream keeps its *head*, and
+      analyses should treat a trace with drops as incomplete.
+    - ``ring=True``: storage is a fixed ring of ``limit`` slots; new events
+      overwrite the oldest and ``evicted`` counts the overwritten head —
+      the stream keeps its *tail*, which is what long-lived benchmark and
+      service runs want.  ``seq`` numbers keep counting the true stream
+      position either way.
+
+    The class attribute ``recording`` is the muting flip: :func:`emit`'s
+    module-level fast path reads exactly one attribute off the ambient
+    recorder to decide whether to build an event at all, so a muted run
+    pays a pointer read plus an attribute read per would-be emission.
     """
 
-    def __init__(self, *, limit: int = 1_000_000):
+    #: Read by the :func:`emit` fast path; ``_MutedRecorder`` overrides.
+    recording = True
+
+    def __init__(self, *, limit: int = 1_000_000, ring: bool = False):
         if limit <= 0:
             raise ValueError("limit must be positive")
         self.limit = limit
-        #: Events rejected once the limit was reached.
+        self.ring = ring
+        #: Events rejected once the limit was reached (head-keeping mode).
         self.dropped = 0
+        #: Events overwritten by newer ones (ring mode).
+        self.evicted = 0
         self._lock = threading.Lock()
         self._events: list[Event] = []
+        self._n = 0  # total events ever emitted (stream position / seq)
 
     def emit(
         self,
@@ -121,7 +140,7 @@ class TraceRecorder:
         hb_rel: Hashable | None = None,
         **payload: Any,
     ) -> Event | None:
-        """Append one event; returns it (or ``None`` once over the limit).
+        """Record one event; returns it (or ``None`` when head-mode drops it).
 
         ``task`` defaults to the calling thread's task label, so emission
         sites inside the runtimes rarely need to name themselves; scheduler
@@ -130,11 +149,27 @@ class TraceRecorder:
         if task is None:
             task = _current_task()
         with self._lock:
+            n = self._n
             if len(self._events) >= self.limit:
-                self.dropped += 1
-                return None
+                if not self.ring:
+                    self.dropped += 1
+                    return None
+                ev = Event(
+                    seq=n,
+                    task=task,
+                    kind=kind,
+                    vtime=vtime,
+                    hb_acq=hb_acq,
+                    hb_rel=hb_rel,
+                    payload=payload,
+                )
+                # Reuse the ring slot of the oldest event.
+                self._events[n % self.limit] = ev
+                self.evicted += 1
+                self._n = n + 1
+                return ev
             ev = Event(
-                seq=len(self._events),
+                seq=n,
                 task=task,
                 kind=kind,
                 vtime=vtime,
@@ -143,14 +178,21 @@ class TraceRecorder:
                 payload=payload,
             )
             self._events.append(ev)
+            self._n = n + 1
         return ev
 
     def events(
         self, kind: str | None = None, *, scope: str | None = None
     ) -> list[Event]:
-        """Snapshot of the stream, optionally filtered by kind and/or scope."""
+        """Snapshot of the stream, optionally filtered by kind and/or scope.
+
+        In ring mode the snapshot is the retained tail, oldest first.
+        """
         with self._lock:
             evs = list(self._events)
+            if self.ring and self._n > self.limit:
+                pivot = self._n % self.limit
+                evs = evs[pivot:] + evs[:pivot]
         if kind is not None:
             evs = [e for e in evs if e.kind == kind]
         if scope is not None:
@@ -180,26 +222,29 @@ class TraceRecorder:
 _stack: list[TraceRecorder] = []
 _stack_lock = threading.Lock()
 
+#: Cache of ``_stack[-1]`` (or ``None``), maintained under ``_stack_lock``
+#: by push/pop.  The emission fast paths read this single module global
+#: instead of indexing the list and catching IndexError — on a muted or
+#: untraced run that makes every would-be emission one pointer read plus
+#: one attribute read.  Reads are lock-free on purpose: a shared lock here
+#: would serialise (and so distort) exactly the code whose costs the
+#: library exists to demonstrate.  Torn reads are impossible under the
+#: GIL; a push/pop racing a read just means the event lands on (or misses)
+#: the recorder by one action, same as any unsynchronised observer.
+_top: TraceRecorder | None = None
+
 
 def current_recorder() -> TraceRecorder | None:
-    """The recorder currently collecting events, or ``None``.
-
-    Lock-free on purpose: this runs on every :func:`emit`, including ones
-    inside hot uncontended paths like ``atomic`` updates, and a shared
-    lock here would serialise (and so distort) exactly the code whose
-    costs the library exists to demonstrate.  Reading the list tail is
-    atomic under the GIL; a pop racing the read is caught below.
-    """
-    try:
-        return _stack[-1]
-    except IndexError:
-        return None
+    """The recorder currently collecting events, or ``None``."""
+    return _top
 
 
 def push_recorder(rec: TraceRecorder) -> TraceRecorder:
     """Install ``rec`` as the ambient recorder (stacked; see module doc)."""
+    global _top
     with _stack_lock:
         _stack.append(rec)
+        _top = rec
     return rec
 
 
@@ -210,11 +255,13 @@ def pop_recorder(rec: TraceRecorder) -> None:
     nested runs may uninstall out of order when tasks of different
     runtimes finish interleaved.
     """
+    global _top
     with _stack_lock:
         for i in range(len(_stack) - 1, -1, -1):
             if _stack[i] is rec:
                 del _stack[i]
-                return
+                break
+        _top = _stack[-1] if _stack else None
 
 
 class using_recorder:
@@ -242,6 +289,8 @@ class using_recorder:
 class _MutedRecorder(TraceRecorder):
     """A recorder that drops everything — the top of the stack under
     :func:`muted`, shadowing whatever run harness installed below it."""
+
+    recording = False
 
     def emit(self, kind: str, **kwargs: Any) -> Event | None:  # noqa: ARG002
         return None
@@ -271,17 +320,15 @@ class muted:
 def active() -> bool:
     """True when an unmuted recorder is collecting events.
 
-    Hot emission sites (per-iteration cell accesses, atomic guards) check
-    this before building an :func:`emit` call, so a muted or untraced run
-    pays one attribute read per would-be event instead of argument
+    Hot emission sites (per-iteration cell accesses, atomic guards, the
+    message-transport and scheduler inner loops) check this before building
+    an :func:`emit` call, so a muted or untraced run pays one global read
+    plus one attribute read per would-be event instead of argument
     packing — the difference matters inside held locks, where emission
     overhead multiplies into contention.
     """
-    try:
-        rec = _stack[-1]
-    except IndexError:
-        return False
-    return rec is not _MUTED
+    rec = _top
+    return rec is not None and rec.recording
 
 
 def emit(
@@ -294,8 +341,8 @@ def emit(
     **payload: Any,
 ) -> Event | None:
     """Emit to the ambient recorder; a cheap no-op when none is installed."""
-    rec = current_recorder()
-    if rec is None or rec is _MUTED:
+    rec = _top
+    if rec is None or not rec.recording:
         return None
     return rec.emit(
         kind, task=task, vtime=vtime, hb_acq=hb_acq, hb_rel=hb_rel, **payload

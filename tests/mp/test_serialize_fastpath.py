@@ -1,0 +1,206 @@
+"""Isolation invariants of the immutable by-reference fast path.
+
+The transport fast path hands immutable payloads across the rank boundary
+by reference instead of round-tripping them through pickle.  That is only
+sound if three invariants hold for *every* payload:
+
+1. mutable payloads are always copied (the receiver's mutation can never
+   reach the sender);
+2. immutable payloads never leak aliased mutability (nothing reachable
+   from a by-reference payload is mutable);
+3. unpicklable payloads still fail *eagerly* at the send site with
+   :class:`~repro.errors.IsolationError` — the fast path must not defer
+   the error to some receive deep inside a collective.
+
+Property-based tests pin each invariant at the serialize layer, then
+end-to-end tests confirm the same behaviour through a real lockstep run
+(including self-sends, which route through :func:`deep_copy_by_value`).
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IsolationError, ParallelError
+from repro.mp import mpirun
+from repro.mp.serialize import (
+    deep_copy_by_value,
+    is_immutable,
+    pack_packet,
+)
+
+# Arbitrarily nested tuples of the immutable scalars: everything here is
+# eligible for by-reference transport.
+immutable_payloads = st.recursive(
+    st.one_of(
+        st.integers(),
+        st.floats(allow_nan=False),
+        st.text(max_size=20),
+        st.binary(max_size=20),
+        st.booleans(),
+        st.none(),
+        st.complex_numbers(allow_nan=False),
+    ),
+    lambda children: st.lists(children, max_size=3).map(tuple),
+    max_leaves=6,
+)
+
+# Payloads that must round-trip through pickle for isolation.
+mutable_payloads = st.one_of(
+    st.lists(st.integers(), max_size=5),
+    st.dictionaries(st.text(max_size=5), st.integers(), max_size=4),
+    st.sets(st.integers(), max_size=5),
+    st.binary(max_size=10).map(bytearray),
+    # A tuple is only immutable if everything inside it is: one mutable
+    # element poisons the whole container.
+    st.tuples(st.integers(), st.lists(st.integers(), max_size=3)),
+)
+
+
+class _EvilInt(int):
+    """Module-level (so picklable) int subclass carrying mutable state."""
+
+
+class TestByReferenceInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(payload=immutable_payloads)
+    def test_immutable_travels_by_reference(self, payload):
+        packet = pack_packet(payload)
+        assert packet.by_ref
+        assert packet.unpack() is payload
+        assert deep_copy_by_value(payload) is payload
+        # The lazy size must agree with what the LogP model would have
+        # charged on the pickling path.
+        assert packet.size == len(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(payload=mutable_payloads)
+    def test_mutable_is_always_copied(self, payload):
+        assert not is_immutable(payload)
+        packet = pack_packet(payload)
+        assert not packet.by_ref
+        copy = packet.unpack()
+        assert copy == payload
+        assert copy is not payload
+        # Each unpack is a fresh private copy — two receivers of the same
+        # forwarded packet must not share state either.
+        assert packet.unpack() is not copy
+        assert deep_copy_by_value(payload) is not payload
+
+    @settings(max_examples=60, deadline=None)
+    @given(payload=immutable_payloads)
+    def test_no_aliased_mutability_reachable(self, payload):
+        # Everything reachable from a by-reference payload is itself
+        # immutable by the fast path's definition.
+        def all_immutable(obj):
+            if type(obj) is tuple:
+                return all(all_immutable(item) for item in obj)
+            return type(obj) in (int, float, str, bytes, bool, complex, type(None))
+
+        if pack_packet(payload).by_ref:
+            assert all_immutable(payload)
+
+    def test_scalar_subclass_pays_the_pickle(self):
+        evil = _EvilInt(7)
+        evil.mutable_attr = []  # a subclass can smuggle mutable state
+        packet = pack_packet(evil)
+        assert not packet.by_ref
+        assert packet.unpack() is not evil
+
+    def test_unpicklable_raises_eagerly(self):
+        with pytest.raises(IsolationError, match="cannot cross"):
+            pack_packet(threading.Lock())
+
+
+class TestEndToEndAliasing:
+    def test_immutable_send_is_zero_copy(self):
+        token = ("shared", 42, b"bytes")
+        out = {}
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(token, 1)
+            else:
+                out["got"] = comm.recv(source=0)
+
+        mpirun(2, main, mode="lockstep", seed=0)
+        assert out["got"] is token
+
+    def test_mutable_send_isolates_the_sender(self):
+        payload = [1, 2, 3]
+        out = {}
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(payload, 1)
+            else:
+                got = comm.recv(source=0)
+                got.append(99)
+                out["got"] = got
+
+        mpirun(2, main, mode="lockstep", seed=0)
+        assert out["got"] == [1, 2, 3, 99]
+        assert payload == [1, 2, 3]
+
+    def test_self_send_takes_the_fast_path(self):
+        token = (1, "two", 3.0)
+        out = {}
+
+        def main(comm):
+            comm.send(token, comm.rank)
+            out["got"] = comm.recv(source=comm.rank)
+
+        mpirun(1, main, mode="lockstep", seed=0)
+        assert out["got"] is token
+
+    def test_unpicklable_send_fails_at_the_send_site(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(threading.Lock(), 1)
+            else:
+                comm.recv(source=0)
+
+        with pytest.raises(ParallelError) as ei:
+            mpirun(2, main, mode="lockstep", seed=0)
+        assert any(isinstance(c, IsolationError) for c in ei.value.causes)
+
+
+class TestPackOnceForwarding:
+    def test_bcast_pickles_exactly_once(self, monkeypatch):
+        """An 8-rank bcast of a mutable payload serialises at the root only.
+
+        The binomial tree does 7 sends over 3 rounds; each hop forwards the
+        root's :class:`Packet` rather than re-pickling, so the total count
+        of :func:`repro.mp.serialize.pack` calls is exactly one.
+        """
+        import repro.mp.serialize as serialize
+
+        calls = []
+        real_pack = serialize.pack
+
+        def counting_pack(payload):
+            calls.append(type(payload).__name__)
+            return real_pack(payload)
+
+        monkeypatch.setattr(serialize, "pack", counting_pack)
+
+        out = {}
+
+        def main(comm):
+            got = comm.bcast(list(range(64)), root=0)
+            out[comm.rank] = got
+
+        mpirun(8, main, mode="lockstep", seed=0)
+        # Other traffic may lazily size by-ref packets (which pickles small
+        # scalars); the payload list itself is serialised exactly once.
+        assert calls.count("list") == 1
+        assert all(out[r] == list(range(64)) for r in range(8))
+        # Receivers each got a private copy, not the root's object.
+        assert len({id(v) for v in out.values()}) == 8

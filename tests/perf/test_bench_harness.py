@@ -1,0 +1,138 @@
+"""The perf-regression harness: reports, comparison policy, CLI wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import bench
+from repro.perf.bench import (
+    HIGHER_IS_BETTER,
+    bench_msg_throughput,
+    bench_switch_rate,
+    compare,
+    format_table,
+    load_report,
+    make_report,
+    save_report,
+)
+
+METRICS = {
+    "msg_throughput_immutable": 100000.0,
+    "msg_throughput_mutable": 50000.0,
+    "switch_rate": 200000.0,
+    "bcast_ms_p2": 0.05,
+    "figure_suite_wall_s": 0.07,
+}
+
+
+class TestComparePolicy:
+    def test_identical_metrics_pass(self):
+        assert compare(METRICS, METRICS) == []
+
+    def test_small_dip_within_tolerance_passes(self):
+        current = dict(METRICS, switch_rate=METRICS["switch_rate"] * 0.75)
+        assert compare(current, METRICS, tolerance=0.30) == []
+
+    def test_throughput_collapse_fails(self):
+        current = dict(METRICS, switch_rate=METRICS["switch_rate"] * 0.5)
+        failures = compare(current, METRICS, tolerance=0.30)
+        assert len(failures) == 1
+        assert "switch_rate" in failures[0]
+
+    def test_latency_regression_never_fails(self):
+        # Wall/latency metrics are reported, not gated (too noisy in CI).
+        current = dict(METRICS, bcast_ms_p2=METRICS["bcast_ms_p2"] * 100)
+        assert compare(current, METRICS) == []
+
+    def test_missing_metric_is_skipped(self):
+        current = {k: v for k, v in METRICS.items() if k != "switch_rate"}
+        assert compare(current, METRICS) == []
+        assert compare(METRICS, current) == []
+
+    def test_tolerance_is_configurable(self):
+        current = dict(METRICS, switch_rate=METRICS["switch_rate"] * 0.75)
+        assert compare(current, METRICS, tolerance=0.10) != []
+
+    def test_only_throughput_metrics_can_gate(self):
+        assert set(HIGHER_IS_BETTER) == {
+            "msg_throughput_immutable",
+            "msg_throughput_mutable",
+            "switch_rate",
+        }
+
+
+class TestReports:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "bench.json"
+        save_report(str(path), make_report(METRICS, quick=True))
+        report = load_report(str(path))
+        assert report["schema"] == bench.SCHEMA
+        assert report["quick"] is True
+        assert report["metrics"] == METRICS
+
+    def test_bare_metric_dict_is_accepted(self, tmp_path):
+        # A hand-written baseline {metric: value} works as a --check target.
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(METRICS))
+        report = load_report(str(path))
+        assert report["metrics"] == METRICS
+        assert report["schema"] == 0
+
+    def test_saved_json_is_diff_stable(self, tmp_path):
+        path = tmp_path / "bench.json"
+        save_report(str(path), make_report(METRICS))
+        text = path.read_text()
+        assert text.endswith("\n")
+        keys = list(json.loads(text)["metrics"])
+        assert keys == sorted(keys)
+
+    def test_format_table_shows_baseline_ratios(self):
+        current = dict(METRICS, switch_rate=METRICS["switch_rate"] * 2)
+        lines = format_table(current, METRICS)
+        assert any("2.00x baseline" in line for line in lines)
+        assert len(lines) == len(current)
+
+
+class TestMetricFunctions:
+    def test_msg_throughput_is_positive(self):
+        assert bench_msg_throughput(1, n=50) > 0
+
+    def test_switch_rate_is_positive(self):
+        assert bench_switch_rate(tasks=2, k=50) > 0
+
+
+class TestCli:
+    @pytest.fixture
+    def fake_metrics(self, monkeypatch):
+        # The CLI imports run_benchmarks at call time, so patching the
+        # bench module swaps in instant fake numbers.
+        monkeypatch.setattr(
+            bench, "run_benchmarks", lambda *, quick, progress=None: dict(METRICS)
+        )
+        return METRICS
+
+    def test_bench_writes_report(self, fake_metrics, tmp_path, capsys):
+        out = tmp_path / "BENCH_runtime.json"
+        assert main(["bench", "--quick", "--out", str(out)]) == 0
+        assert load_report(str(out))["metrics"] == METRICS
+        assert "msg_throughput_immutable" in capsys.readouterr().out
+
+    def test_bench_check_passes_against_self(self, fake_metrics, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        save_report(str(baseline), make_report(METRICS))
+        assert main(["bench", "--quick", "--check", str(baseline)]) == 0
+
+    def test_bench_check_fails_on_regression(self, fake_metrics, tmp_path):
+        inflated = {
+            k: v * 2 if k in HIGHER_IS_BETTER else v for k, v in METRICS.items()
+        }
+        baseline = tmp_path / "baseline.json"
+        save_report(str(baseline), make_report(inflated))
+        assert main(["bench", "--quick", "--check", str(baseline)]) == 1
+
+    def test_bench_check_missing_baseline_errors(self, fake_metrics, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert main(["bench", "--quick", "--check", str(missing)]) == 1

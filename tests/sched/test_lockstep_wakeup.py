@@ -1,0 +1,104 @@
+"""No busy-waiting: every lockstep wait is a real wakeup, never a timed poll.
+
+The executor used to park unmanaged threads on a 1 ms timed sleep-poll;
+now they wait on a shared condition that :meth:`notify` signals.  The
+``timed_waits`` counter records any fallback timed poll, which is only
+legitimate when *no* managed task exists to deliver a wakeup.  These
+tests assert deadlock-free runs never take that fallback — both by the
+counter and by intercepting ``Condition.wait`` to see the actual timeout
+arguments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.mp import mpirun
+from repro.mp.runtime import MpRuntime
+from repro.sched.lockstep import LockstepExecutor
+
+
+def _wrap_cond_wait(ex, log):
+    """Record the timeout argument of every ``ex._cond.wait`` call."""
+    real_wait = ex._cond.wait
+
+    def spying_wait(timeout=None):
+        log.append(timeout)
+        return real_wait(timeout)
+
+    ex._cond.wait = spying_wait
+
+
+class TestNoTimedWaits:
+    def test_message_run_never_polls(self):
+        rt = MpRuntime(mode="lockstep", seed=0)
+        timeouts = []
+        _wrap_cond_wait(rt.executor, timeouts)
+
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(50):
+                    comm.send(i, 1)
+            else:
+                assert [comm.recv(source=0) for _ in range(50)] == list(range(50))
+
+        rt.run(2, main)
+        assert rt.executor.timed_waits == 0
+        assert all(t is None for t in timeouts)
+
+    def test_blocked_receives_wake_without_polling(self):
+        # Receivers block before their messages exist; the wakeup must
+        # come from the sender's notify, not from a timeout expiring.
+        rt = MpRuntime(mode="lockstep", seed=3)
+        timeouts = []
+        _wrap_cond_wait(rt.executor, timeouts)
+
+        def main(comm):
+            if comm.rank == 0:
+                total = sum(comm.recv() for _ in range(comm.size - 1))
+                assert total == sum(range(1, comm.size))
+            else:
+                comm.send(comm.rank, 0)
+
+        rt.run(4, main)
+        assert rt.executor.timed_waits == 0
+        assert all(t is None for t in timeouts)
+
+    def test_barrier_heavy_run_never_polls(self):
+        ex_holder = {}
+
+        def main(comm):
+            ex_holder["ex"] = comm._world.executor
+            for _ in range(10):
+                comm.barrier()
+
+        mpirun(4, main, mode="lockstep", seed=1)
+        assert ex_holder["ex"].timed_waits == 0
+
+    def test_deadlock_still_detected_without_polling(self):
+        # The deadlock detector fires from the scheduler's own switch
+        # logic (the runnable set empties), not from a watchdog timer —
+        # so it must work with zero timed waits too.
+        rt = MpRuntime(mode="lockstep", seed=0)
+
+        def main(comm):
+            comm.recv(source=(comm.rank + 1) % comm.size)
+
+        with pytest.raises(DeadlockError):
+            rt.run(2, main)
+        assert rt.executor.timed_waits == 0
+
+    def test_timed_fallback_only_without_managed_tasks(self):
+        # The one legitimate timed poll: an unmanaged thread waiting on a
+        # predicate when no managed task exists to call notify().  The
+        # counter exists precisely to make this case visible.
+        ex = LockstepExecutor()
+        hits = []
+
+        def pred():
+            hits.append(True)
+            return len(hits) >= 3
+
+        ex.wait_until(pred)
+        assert ex.timed_waits > 0

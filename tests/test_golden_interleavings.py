@@ -1,0 +1,49 @@
+"""Golden-file pin of the Fig. 21/22 patternlet under seeds 0-7.
+
+The engine optimisations (inlined switch points, fused predicate
+promotion, the policy's ``_randbelow`` fast lane, lock-free mailbox
+scans) are all argued to be *observationally identical* to the code they
+replaced: same runnable sets at every switch point, same RNG draw
+sequence, same virtual-time arithmetic.  This test makes that argument
+mechanically checkable forever: the plain and racy variants of the
+Fig. 21/22 reduction patternlet must reproduce byte-identical output and
+identical span for each of the first eight seeds, as captured in
+``tests/golden_fig21_22.json`` before the optimisation work.
+
+If this test fails after an engine change, the change altered scheduling
+semantics — not just performance — and either has a bug or needs the
+goldens regenerated *with justification in the commit message*.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core import run_patternlet
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_fig21_22.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+CASES = sorted(GOLDEN)  # "plain/seed0" ... "race/seed7"
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_interleaving_matches_golden(case):
+    variant, seed_key = case.split("/")
+    seed = int(seed_key.removeprefix("seed"))
+    toggles = {"parallel_for": True} if variant == "race" else {}
+    res = run_patternlet(
+        "openmp.reduction", toggles=toggles, mode="lockstep", seed=seed
+    )
+    want = GOLDEN[case]
+    assert res.text == want["text"], f"{case}: printed output drifted"
+    assert res.span == want["span"], f"{case}: virtual-time span drifted"
+
+
+def test_golden_file_covers_both_variants_for_eight_seeds():
+    assert len(CASES) == 16
+    assert {c.split("/")[0] for c in CASES} == {"plain", "race"}
+    assert {int(c.split("seed")[1]) for c in CASES} == set(range(8))
