@@ -11,8 +11,14 @@ exactly the workflow of the paper's live-coding demos:
     patternlet run openmp.barrier --tasks 4
     patternlet run openmp.barrier --tasks 4 --on barrier
     patternlet run mpi.deadlock --tasks 4 --mode lockstep --seed 7
+    patternlet sweep openmp.reduction --on parallel_for --seeds 0-15
     patternlet bench --quick --check BENCH_runtime.json
     patternlet catalog
+
+``sweep`` and ``selfcheck`` go through :mod:`repro.batch`: runs fan
+across a persistent worker pool (``--jobs``) and deterministic runs are
+served from the content-addressed run cache (``--no-cache`` or
+``REPRO_CACHE=0`` to opt out).
 """
 
 from __future__ import annotations
@@ -94,6 +100,44 @@ def build_parser() -> argparse.ArgumentParser:
         "selfcheck", help="verify the collection reproduces the paper's figures"
     )
     p_check.add_argument("--figure", default=None, help='e.g. "Fig. 9"')
+    p_check.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for the check batch "
+                              "(default 1 = in-process)")
+    p_check.add_argument("--no-cache", action="store_true",
+                         help="recompute every run; skip the run cache")
+    p_check.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="run-cache location (default ~/.cache/repro-runs)")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a seeds x tasks grid through the batch runner "
+                      "(race scan / exam study / lab grading)"
+    )
+    p_sweep.add_argument("names", nargs="*", metavar="NAME",
+                         help="patternlet ids (default: the deterministic "
+                              "figure-suite grid)")
+    p_sweep.add_argument("--seeds", default="0-7", metavar="SPEC",
+                         help='seed set, e.g. "0-7" or "0,3,11" (default 0-7)')
+    p_sweep.add_argument("--tasks", default=None, metavar="LIST",
+                         help='comma-separated task counts, e.g. "2,4,8" '
+                              "(default: each patternlet's own)")
+    p_sweep.add_argument("--on", action="append", default=[], metavar="TOGGLE",
+                         help="uncomment a toggle for every run (repeatable)")
+    p_sweep.add_argument("--off", action="append", default=[], metavar="TOGGLE",
+                         help="comment a toggle out for every run (repeatable)")
+    p_sweep.add_argument("--policy", default="random",
+                         choices=("random", "roundrobin", "fifo", "lifo"))
+    p_sweep.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes (default: auto)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="recompute every run; skip the run cache")
+    p_sweep.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="run-cache location (default ~/.cache/repro-runs)")
+    p_sweep.add_argument("--per-run", action="store_true",
+                         help="print one line per run, not per group")
+    p_sweep.add_argument("--quick", action="store_true",
+                         help="small canned grid (CI smoke: seeds 0-3)")
+    p_sweep.add_argument("--stats-out", metavar="FILE", default=None,
+                         help="write batch/cache statistics as JSON")
 
     p_bench = sub.add_parser(
         "bench", help="measure engine throughput (msgs/s, switches/s, "
@@ -217,12 +261,17 @@ def _cmd_source(name: str) -> int:
     return 0
 
 
-def _cmd_selfcheck(figure: str | None) -> int:
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
     from repro.core.selfcheck import run_selfcheck
 
-    results = run_selfcheck(only=figure)
+    results = run_selfcheck(
+        only=args.figure,
+        jobs=args.jobs,
+        use_cache=False if args.no_cache else None,
+        cache_dir=args.cache_dir,
+    )
     if not results:
-        print(f"error: unknown figure {figure!r}", file=sys.stderr)
+        print(f"error: unknown figure {args.figure!r}", file=sys.stderr)
         return 1
     width = max(len(r.figure) for r in results)
     failures = 0
@@ -232,6 +281,109 @@ def _cmd_selfcheck(figure: str | None) -> int:
         print(f"{r.figure:<{width}}  {mark}  {r.description}  [{r.detail}]")
     print(f"\n{len(results) - failures}/{len(results)} figure checks passed")
     return 0 if failures == 0 else 1
+
+
+def _parse_seed_spec(spec: str) -> list[int]:
+    seeds: list[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if "-" in part[1:]:  # "0-7" (but allow a lone negative number)
+            lo, hi = part.split("-", 1) if not part.startswith("-") else (part, part)
+            seeds.extend(range(int(lo), int(hi) + 1))
+        else:
+            seeds.append(int(part))
+    return seeds
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.batch import RunSpec, figure_suite_specs, run_specs
+
+    try:
+        seeds = _parse_seed_spec(args.seeds)
+    except ValueError:
+        print(f"error: bad --seeds spec {args.seeds!r}", file=sys.stderr)
+        return 1
+    if args.quick:
+        seeds = [s for s in seeds if s < 4] or [0, 1, 2, 3]
+
+    toggles = {name: True for name in args.on}
+    toggles.update({name: False for name in args.off})
+    if args.names:
+        task_counts: list[int | None]
+        if args.tasks:
+            try:
+                task_counts = [int(t) for t in args.tasks.split(",")]
+            except ValueError:
+                print(f"error: bad --tasks list {args.tasks!r}", file=sys.stderr)
+                return 1
+        else:
+            task_counts = [None]
+        specs = [
+            RunSpec.make(name, tasks=tasks, toggles=toggles or None,
+                         seed=seed, policy=args.policy)
+            for name in args.names
+            for tasks in task_counts
+            for seed in seeds
+        ]
+    else:
+        specs = figure_suite_specs(seeds=seeds)
+
+    report = run_specs(
+        specs,
+        max_workers=args.jobs,
+        use_cache=False if args.no_cache else None,
+        cache_dir=args.cache_dir,
+    )
+
+    if args.per_run:
+        for o in report.outcomes:
+            status = "ERROR" if o.error else ("hit " if o.cached else "run ")
+            races = f"races={o.races}" if not o.error else o.error
+            span = f"span={o.span:g}" if o.span is not None else "span=-"
+            print(f"{status} {o.spec.label():48s} {races:12s} {span}")
+    else:
+        # One line per (patternlet, tasks, toggles) group: the seed scan's
+        # verdict — how many seeds raced, how many distinct outputs.
+        groups: dict[tuple, list] = {}
+        for o in report.outcomes:
+            g = (o.spec.patternlet, o.spec.tasks, o.spec.toggles)
+            groups.setdefault(g, []).append(o)
+        for (name, tasks, tgl), outs in groups.items():
+            label = name + (f" np={tasks}" if tasks is not None else "")
+            for t, on in tgl:
+                label += f" {t}={'on' if on else 'off'}"
+            racy = sum(1 for o in outs if o.races > 0)
+            distinct = len({o.text for o in outs})
+            hits = sum(1 for o in outs if o.cached)
+            errors = sum(1 for o in outs if o.error)
+            line = (f"{label:56s} seeds={len(outs):<3d} "
+                    f"distinct-outputs={distinct:<3d} racy-seeds={racy}/{len(outs)} "
+                    f"cached={hits}/{len(outs)}")
+            if errors:
+                line += f" ERRORS={errors}"
+            print(line)
+
+    stats = report.stats()
+    print(
+        f"\n{stats['runs']} runs in {stats['wall_s']:.3f}s "
+        f"({stats['throughput_runs_s']:.0f} runs/s) — "
+        f"cache hits {stats['hits']}/{stats['runs']} "
+        f"(hit rate {stats['hit_rate']:.0%})"
+        + (f", {stats['workers']} workers" if stats["pooled"] else ", in-process"),
+        file=sys.stderr,
+    )
+    if args.stats_out:
+        try:
+            with open(args.stats_out, "w") as fh:
+                json.dump(stats, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.stats_out}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.stats_out}", file=sys.stderr)
+    return 1 if report.errors else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -271,7 +423,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}", file=sys.stderr)
 
     if baseline is not None:
-        failures = compare(metrics, baseline, tolerance=args.tolerance)
+        failures = compare(
+            metrics,
+            baseline,
+            tolerance=args.tolerance,
+            on_skip=lambda msg: print(f"warning: {msg}", file=sys.stderr),
+        )
         if failures:
             print("\nPERF REGRESSION:", file=sys.stderr)
             for f in failures:
@@ -336,7 +493,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "source":
             return _cmd_source(args.name)
         if args.command == "selfcheck":
-            return _cmd_selfcheck(args.figure)
+            return _cmd_selfcheck(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "bench":
             return _cmd_bench(args)
         if args.command == "quiz":

@@ -39,6 +39,7 @@ __all__ = [
     "all_patternlets",
     "inventory",
     "run_patternlet",
+    "set_run_interceptor",
 ]
 
 #: The paper's four backend families.
@@ -165,6 +166,29 @@ def inventory() -> dict[str, int]:
     return counts
 
 
+#: When set, every non-echo :func:`run_patternlet` call is routed through
+#: this callable as ``interceptor(patternlet, cfg, execute)`` where
+#: ``execute()`` performs (and returns) the real captured run.  The batch
+#: layer's content-addressed run cache installs itself here: it can serve a
+#: stored :class:`CapturedRun` without calling ``execute`` at all, or call
+#: it and persist the outcome.  Process-wide, like the registry itself.
+RunInterceptor = Callable[[Patternlet, RunConfig, Callable[[], CapturedRun]], CapturedRun]
+
+_RUN_INTERCEPTOR: RunInterceptor | None = None
+
+
+def set_run_interceptor(fn: RunInterceptor | None) -> RunInterceptor | None:
+    """Install ``fn`` as the run interceptor (``None`` clears it).
+
+    Returns the previously installed interceptor so callers can nest:
+    save the return value, restore it on exit.
+    """
+    global _RUN_INTERCEPTOR
+    prev = _RUN_INTERCEPTOR
+    _RUN_INTERCEPTOR = fn
+    return prev
+
+
 def run_patternlet(
     name: str,
     *,
@@ -193,13 +217,22 @@ def run_patternlet(
         policy=policy,
         extra=dict(extra),
     )
-    run = capture_run(p.main, cfg, echo=echo)
-    run.meta.update(
-        patternlet=name,
-        backend=p.backend,
-        tasks=cfg.tasks,
-        toggles=cfg.toggles.as_dict(),
-        mode=mode,
-        seed=seed,
-    )
-    return run
+
+    def _execute() -> CapturedRun:
+        run = capture_run(p.main, cfg, echo=echo)
+        run.meta.update(
+            patternlet=name,
+            backend=p.backend,
+            tasks=cfg.tasks,
+            toggles=cfg.toggles.as_dict(),
+            mode=mode,
+            seed=seed,
+        )
+        return run
+
+    interceptor = _RUN_INTERCEPTOR
+    if interceptor is not None and not echo:
+        # echo streams to the real stdout as the run happens; a served
+        # cache record has no live stream, so echoing runs stay direct.
+        return interceptor(p, cfg, _execute)
+    return _execute()

@@ -35,6 +35,8 @@ __all__ = [
     "CollectiveError",
     "RegistryError",
     "ToggleError",
+    "BatchError",
+    "CacheUnserializable",
 ]
 
 
@@ -173,3 +175,22 @@ class RegistryError(ReproError):
 
 class ToggleError(ReproError):
     """Unknown toggle name passed to a patternlet run."""
+
+
+# ---------------------------------------------------------------------------
+# Batch execution layer (repro.batch)
+# ---------------------------------------------------------------------------
+
+
+class BatchError(ReproError):
+    """A failure in the batch runner (bad spec grid, broken worker pool)."""
+
+
+class CacheUnserializable(BatchError):
+    """A run (or spec) cannot be expressed as a cache record.
+
+    Raised when a trace carries values outside the cache's canonical JSON
+    vocabulary, when the trace is incomplete (dropped/evicted events), or
+    when a spec's extras defeat key derivation.  Callers treat it as
+    "execute live, don't cache" — never as a run failure.
+    """

@@ -49,6 +49,7 @@ from repro.trace.events import (
     muted,
     pop_recorder,
     push_recorder,
+    reset_ambient,
     using_recorder,
 )
 from repro.trace.export import dumps, to_chrome_trace, write_chrome_trace
@@ -70,6 +71,7 @@ __all__ = [
     "current_recorder",
     "push_recorder",
     "pop_recorder",
+    "reset_ambient",
     "using_recorder",
     "muted",
     "active",

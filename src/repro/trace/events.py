@@ -35,6 +35,7 @@ teeth.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterable, Iterator
@@ -45,6 +46,7 @@ __all__ = [
     "current_recorder",
     "push_recorder",
     "pop_recorder",
+    "reset_ambient",
     "using_recorder",
     "muted",
     "active",
@@ -199,6 +201,33 @@ class TraceRecorder:
             evs = [e for e in evs if e.payload.get("scope") == scope]
         return evs
 
+    def preload(self, events: "Iterable[Event]") -> None:
+        """Replace the stream with ``events`` (the deserialisation path).
+
+        Used when a recorded run is rebuilt from a cache record or a wire
+        transfer: the events arrive fully formed (``seq`` already
+        assigned), so they are installed verbatim rather than re-emitted.
+        """
+        evs = list(events)
+        if len(evs) > self.limit:
+            self.limit = len(evs)
+        with self._lock:
+            self._events = evs
+            self._n = evs[-1].seq + 1 if evs else 0
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Locks cannot cross process boundaries; a recorder travels as its
+        # plain state and grows a fresh (necessarily uncontended) lock on
+        # arrival.  Worker processes therefore never inherit a lock that a
+        # parent thread might have held at fork/pickle time.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def kinds(self) -> dict[str, int]:
         """Event counts per kind (diagnostics)."""
         out: dict[str, int] = {}
@@ -286,6 +315,27 @@ class using_recorder:
         pop_recorder(self.recorder)
 
 
+def reset_ambient() -> None:
+    """Forget every installed recorder: a process-fresh ambient state.
+
+    Batch worker processes call this (and a fork hook calls it for them,
+    see below) so a child never emits into — or blocks on — a recorder
+    stack inherited from its parent: the parent's run harness may have a
+    recorder installed at fork time, and its events belong to the parent's
+    run, not the worker's.  The stack *lock* is also replaced, because the
+    inherited copy may have been held by a parent thread at fork time and
+    would then never be released in the child.
+    """
+    global _top, _stack_lock
+    _stack_lock = threading.Lock()
+    _stack.clear()
+    _top = None
+
+
+if hasattr(os, "register_at_fork"):  # POSIX; a no-op concern elsewhere
+    os.register_at_fork(after_in_child=reset_ambient)
+
+
 class _MutedRecorder(TraceRecorder):
     """A recorder that drops everything — the top of the stack under
     :func:`muted`, shadowing whatever run harness installed below it."""
@@ -294,9 +344,6 @@ class _MutedRecorder(TraceRecorder):
 
     def emit(self, kind: str, **kwargs: Any) -> Event | None:  # noqa: ARG002
         return None
-
-
-_MUTED = _MutedRecorder()
 
 
 class muted:
@@ -308,13 +355,28 @@ class muted:
     observer would dominate the observation.  Code under ``muted()``
     runs the untraced fast path; spans and captures derived from the
     trace will not see the muted region.
+
+    Each entry pushes its own fresh muted recorder, so one ``muted``
+    instance is re-entrant (nested ``with`` blocks, reuse across threads
+    or across forked worker processes) and never shares lock state with
+    any other entry.
     """
 
+    def __init__(self) -> None:
+        self._local = threading.local()
+
     def __enter__(self) -> None:
-        push_recorder(_MUTED)
+        rec = _MutedRecorder()
+        pushed = getattr(self._local, "pushed", None)
+        if pushed is None:
+            pushed = self._local.pushed = []
+        pushed.append(rec)
+        push_recorder(rec)
 
     def __exit__(self, *exc: object) -> None:
-        pop_recorder(_MUTED)
+        pushed = getattr(self._local, "pushed", None)
+        if pushed:
+            pop_recorder(pushed.pop())
 
 
 def active() -> bool:

@@ -1,0 +1,171 @@
+"""The run cache: hit semantics, escape hatches, LRU bounds, degradation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.core.registry as registry
+from repro.batch.cache import RunCache, cache_enabled, caching_runs, default_cache_dir
+from repro.batch.results import _memo_clear, run_to_record
+from repro.batch.specs import RunSpec, spec_key
+from repro.core.registry import run_patternlet
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    """Isolate each test from the process-wide decoded-record memo."""
+    _memo_clear()
+    yield
+    _memo_clear()
+
+
+def _cache(tmp_path, **kw):
+    return RunCache(tmp_path / "runs", **kw)
+
+
+class TestHitNeverExecutes:
+    def test_hit_is_served_without_running_the_patternlet(self, tmp_path, monkeypatch):
+        cache = _cache(tmp_path)
+        with caching_runs(cache, enabled=True):
+            first = run_patternlet("openmp.spmd", tasks=3, seed=2)
+        assert cache.stores == 1 and not first.meta.get("cached")
+
+        def sentinel(*a, **k):
+            raise AssertionError("cache hit executed the patternlet")
+
+        monkeypatch.setattr(registry, "capture_run", sentinel)
+        _memo_clear()  # force the disk tier, not just the memo
+        with caching_runs(cache, enabled=True):
+            served = run_patternlet("openmp.spmd", tasks=3, seed=2)
+        assert served.meta["cached"] is True
+        assert served.text == first.text
+
+    def test_memory_tier_also_never_executes(self, tmp_path, monkeypatch):
+        cache = _cache(tmp_path)
+        with caching_runs(cache, enabled=True):
+            run_patternlet("openmp.spmd", tasks=3, seed=2)
+
+        def sentinel(*a, **k):
+            raise AssertionError("memo hit executed the patternlet")
+
+        monkeypatch.setattr(registry, "capture_run", sentinel)
+        with caching_runs(cache, enabled=True):  # memo still primed
+            served = run_patternlet("openmp.spmd", tasks=3, seed=2)
+        assert served.meta["cached"] is True
+
+    def test_thread_mode_always_executes(self, tmp_path):
+        cache = _cache(tmp_path)
+        with caching_runs(cache, enabled=True):
+            a = run_patternlet("openmp.critical2", mode="thread", tasks=2, reps=50)
+            b = run_patternlet("openmp.critical2", mode="thread", tasks=2, reps=50)
+        assert cache.stores == 0
+        assert not a.meta.get("cached") and not b.meta.get("cached")
+
+
+class TestServedRunsAreWhole:
+    def test_served_run_preserves_trace_and_race_verdict(self, tmp_path):
+        from repro.trace import detect_races
+
+        cache = _cache(tmp_path)
+        with caching_runs(cache, enabled=True):
+            live = run_patternlet(
+                "openmp.reduction", toggles={"parallel_for": True}, seed=1
+            )
+        _memo_clear()
+        with caching_runs(cache, enabled=True):
+            served = run_patternlet(
+                "openmp.reduction", toggles={"parallel_for": True}, seed=1
+            )
+        assert served.text == live.text
+        assert served.span == live.span
+        assert len(detect_races(served.trace)) == len(detect_races(live.trace))
+        assert [e.seq for e in served.trace.events()] == [
+            e.seq for e in live.trace.events()
+        ]
+
+
+class TestEscapeHatches:
+    def test_repro_cache_0_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert not cache_enabled()
+        with caching_runs(None):  # enabled=None defers to the env gate
+            run = run_patternlet("openmp.spmd", seed=0)
+        assert not run.meta.get("cached")
+
+    def test_cache_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "relocated"))
+        assert default_cache_dir() == tmp_path / "relocated"
+
+    def test_disabled_context_is_a_noop(self, tmp_path):
+        cache = _cache(tmp_path)
+        with caching_runs(cache, enabled=False):
+            run_patternlet("openmp.spmd", seed=0)
+        assert cache.stores == 0 and len(cache) == 0
+
+
+class TestStore:
+    def test_corrupt_record_is_a_miss_and_removed(self, tmp_path):
+        cache = _cache(tmp_path)
+        with caching_runs(cache, enabled=True):
+            run_patternlet("openmp.spmd", tasks=2, seed=0)
+        key = spec_key(RunSpec.make("openmp.spmd", tasks=2, seed=0))
+        path = cache._path(key)
+        path.write_text("{ not json")
+        _memo_clear()
+        assert cache.get(key) is None
+        assert not path.exists()
+        with caching_runs(cache, enabled=True):  # recomputes and re-stores
+            run = run_patternlet("openmp.spmd", tasks=2, seed=0)
+        assert not run.meta.get("cached") and path.exists()
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = _cache(tmp_path)
+        with caching_runs(cache, enabled=True):
+            run_patternlet("openmp.spmd", tasks=2, seed=0)
+        key = spec_key(RunSpec.make("openmp.spmd", tasks=2, seed=0))
+        record = json.loads(cache._path(key).read_text())
+        record["schema"] = 999
+        cache._path(key).write_text(json.dumps(record))
+        assert cache.get(key) is None
+
+    def test_lru_prune_keeps_most_recent(self, tmp_path):
+        cache = _cache(tmp_path, max_bytes=1)  # everything is over the cap
+        with caching_runs(cache, enabled=True):
+            run = run_patternlet("openmp.spmd", tasks=2, seed=0)
+        record = run_to_record(run, key="k")
+        blob_size = len(json.dumps(record, separators=(",", ":")))
+        cache.max_bytes = int(blob_size * 2.5)  # room for two records
+        for i in range(4):
+            assert cache.put(f"{i:02d}aaa", record)
+        assert cache.prune() >= 1
+        assert cache.size_bytes() <= cache.max_bytes
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = _cache(tmp_path)
+        with caching_runs(cache, enabled=True):
+            run_patternlet("openmp.spmd", tasks=2, seed=0)
+            run_patternlet("openmp.spmd", tasks=3, seed=0)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_unwritable_root_degrades_to_live_runs(self, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file where the cache dir should be")
+        cache = RunCache(blocked / "nested")
+        with caching_runs(cache, enabled=True):
+            run = run_patternlet("openmp.spmd", seed=0)
+        assert run.text  # ran fine; nothing persisted
+        assert len(cache) == 0
+
+    def test_counters(self, tmp_path):
+        cache = _cache(tmp_path)
+        with caching_runs(cache, enabled=True):
+            run_patternlet("openmp.spmd", tasks=2, seed=0)
+        _memo_clear()
+        with caching_runs(cache, enabled=True):
+            run_patternlet("openmp.spmd", tasks=2, seed=0)
+        stats = cache.stats()
+        assert stats["stores"] == 1 and stats["hits"] == 1

@@ -61,7 +61,31 @@ class TestComparePolicy:
             "msg_throughput_immutable",
             "msg_throughput_mutable",
             "switch_rate",
+            "batch_throughput_runs_s",
         }
+
+    def test_gated_metric_absent_from_baseline_warns_but_passes(self):
+        # An older baseline file predating a gated metric must not fail
+        # the check — but the un-armed gate is reported, not silent.
+        current = dict(METRICS, batch_throughput_runs_s=1000.0)
+        skips: list[str] = []
+        assert compare(current, METRICS, on_skip=skips.append) == []
+        assert len(skips) == 1
+        assert "batch_throughput_runs_s" in skips[0]
+        assert "regenerate the baseline" in skips[0]
+
+    def test_no_skip_warning_when_baseline_has_the_metric(self):
+        current = dict(METRICS, batch_throughput_runs_s=1000.0)
+        baseline = dict(METRICS, batch_throughput_runs_s=900.0)
+        skips: list[str] = []
+        assert compare(current, baseline, on_skip=skips.append) == []
+        assert skips == []
+
+    def test_ungated_metrics_never_trigger_skip_warnings(self):
+        current = dict(METRICS, brand_new_latency_ms=1.0)
+        skips: list[str] = []
+        assert compare(current, METRICS, on_skip=skips.append) == []
+        assert skips == []
 
 
 class TestReports:
@@ -136,3 +160,17 @@ class TestCli:
     def test_bench_check_missing_baseline_errors(self, fake_metrics, tmp_path):
         missing = tmp_path / "nope.json"
         assert main(["bench", "--quick", "--check", str(missing)]) == 1
+
+    def test_bench_check_warns_on_unarmed_gate(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setattr(
+            bench,
+            "run_benchmarks",
+            lambda *, quick, progress=None: dict(
+                METRICS, batch_throughput_runs_s=1000.0
+            ),
+        )
+        baseline = tmp_path / "baseline.json"
+        save_report(str(baseline), make_report(METRICS))  # predates the metric
+        assert main(["bench", "--quick", "--check", str(baseline)]) == 0
+        err = capsys.readouterr().err
+        assert "warning:" in err and "batch_throughput_runs_s" in err

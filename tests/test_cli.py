@@ -152,3 +152,56 @@ class TestQuizCommand:
         assert main(["source", "mpi.gather"]) == 0
         out = capsys.readouterr().out
         assert "MPI_Gather" in out or "gather" in out
+
+
+class TestSweepCommand:
+    def test_quick_sweep_cold_then_warm(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "runs")
+        assert main(["sweep", "--quick", "--cache-dir", cache_dir]) == 0
+        cold = capsys.readouterr()
+        assert "hit rate 0%" in cold.err
+        assert main(["sweep", "--quick", "--cache-dir", cache_dir]) == 0
+        warm = capsys.readouterr()
+        assert "hit rate 100%" in warm.err
+
+    def test_sweep_stats_out(self, tmp_path, capsys):
+        import json
+
+        cache_dir = str(tmp_path / "runs")
+        stats = tmp_path / "stats.json"
+        assert main(
+            ["sweep", "openmp.spmd", "--seeds", "0-2", "--cache-dir", cache_dir,
+             "--stats-out", str(stats)]
+        ) == 0
+        data = json.loads(stats.read_text())
+        assert data["runs"] == 3 and data["errors"] == 0
+        assert {"hit_rate", "throughput_runs_s", "workers"} <= set(data)
+
+    def test_sweep_no_cache_never_hits(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "runs")
+        args = ["sweep", "openmp.spmd", "--seeds", "0,1", "--cache-dir", cache_dir]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--no-cache"]) == 0
+        assert "hit rate 0%" in capsys.readouterr().err
+
+    def test_sweep_grid_and_toggles(self, tmp_path, capsys):
+        assert main(
+            ["sweep", "openmp.barrier", "--seeds", "0-3", "--on", "barrier",
+             "--tasks", "2,4", "--cache-dir", str(tmp_path / "runs"),
+             "--per-run"]
+        ) == 0
+        out = capsys.readouterr().out
+        # 2 task counts x 4 seeds, one line each, plus the summary.
+        assert out.count("openmp.barrier") >= 8
+
+    def test_sweep_unknown_patternlet_fails(self, tmp_path, capsys):
+        assert main(
+            ["sweep", "openmp.zzz", "--cache-dir", str(tmp_path / "runs")]
+        ) == 1
+
+    def test_selfcheck_with_jobs_and_cache_flags(self, tmp_path, capsys):
+        assert main(
+            ["selfcheck", "--jobs", "1", "--cache-dir", str(tmp_path / "runs")]
+        ) == 0
+        assert main(["selfcheck", "--no-cache"]) == 0
