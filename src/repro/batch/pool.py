@@ -92,12 +92,29 @@ def shutdown_pool() -> None:
         _POOL_WORKERS = 0
 
 
-def _entry(payload: tuple[Callable[[Any], Any], Any, str | None, bool]) -> Any:
-    # Runs on a worker: apply fn to one item under the run cache.
+_ZERO_STATS = {"hits": 0, "misses": 0, "stores": 0}
+
+
+def _merge_stats(into: "dict[str, int] | None", stats: dict[str, int]) -> None:
+    if into is None:
+        return
+    for key in _ZERO_STATS:
+        into[key] = into.get(key, 0) + int(stats.get(key, 0))
+
+
+def _entry(
+    payload: tuple[Callable[[Any], Any], Any, str | None, bool]
+) -> tuple[Any, dict[str, int]]:
+    # Runs on a worker: apply fn to one item under the run cache.  The
+    # cache's own hit/miss/store counters ride back with the result so
+    # the parent can aggregate telemetry across the fleet.
     fn, item, cache_dir, use_cache = payload
     cache = RunCache(cache_dir) if (use_cache and cache_dir is not None) else None
-    with caching_runs(cache, enabled=use_cache):
-        return fn(item)
+    cm = caching_runs(cache, enabled=use_cache)
+    with cm:
+        result = fn(item)
+    stats = cm.cache.stats() if cm.cache is not None else dict(_ZERO_STATS)
+    return result, stats
 
 
 def _run_serial(
@@ -105,10 +122,15 @@ def _run_serial(
     items: Sequence[Any],
     cache_dir: str | None,
     use_cache: bool,
+    stats_out: "dict[str, int] | None" = None,
 ) -> list[Any]:
     cache = RunCache(cache_dir) if (use_cache and cache_dir is not None) else None
-    with caching_runs(cache, enabled=use_cache):
-        return [fn(item) for item in items]
+    cm = caching_runs(cache, enabled=use_cache)
+    with cm:
+        results = [fn(item) for item in items]
+    if cm.cache is not None:
+        _merge_stats(stats_out, cm.cache.stats())
+    return results
 
 
 def map_calls(
@@ -118,33 +140,40 @@ def map_calls(
     max_workers: int | None = None,
     use_cache: bool | None = None,
     cache_dir: str | None = None,
+    stats_out: "dict[str, int] | None" = None,
 ) -> tuple[list[Any], int, bool]:
     """Apply ``fn`` to every item through the batch layer, order preserved.
 
     ``fn`` must be a module-level callable (pickled by reference) that
     catches its own per-item failures — the pool treats an escaped
     exception as infrastructure failure and re-runs the batch serially.
-    Returns ``(results, workers, pooled)``.
+    Returns ``(results, workers, pooled)``.  When ``stats_out`` is given,
+    run-cache hit/miss/store counts (summed across every process that
+    served the batch) are merged into it.
     """
     items = list(items)
     use = cache_enabled() if use_cache is None else use_cache
     workers = default_workers(len(items)) if max_workers is None else max(1, max_workers)
     if workers <= 1 or len(items) <= 1:
-        return _run_serial(fn, items, cache_dir, use), 1, False
+        return _run_serial(fn, items, cache_dir, use, stats_out), 1, False
     pool = _get_pool(workers)
     if pool is None:
-        return _run_serial(fn, items, cache_dir, use), 1, False
+        return _run_serial(fn, items, cache_dir, use, stats_out), 1, False
     payloads = [(fn, item, cache_dir, use) for item in items]
     try:
-        return list(pool.map(_entry, payloads)), workers, True
+        pairs = list(pool.map(_entry, payloads))
     except Exception:  # noqa: BLE001 - a broken pool degrades, never fails
         shutdown_pool()
-        return _run_serial(fn, items, cache_dir, use), 1, False
+        return _run_serial(fn, items, cache_dir, use, stats_out), 1, False
+    for _, stats in pairs:
+        _merge_stats(stats_out, stats)
+    return [result for result, _ in pairs], workers, True
 
 
 def _exec_spec(spec: RunSpec) -> RunOutcome:
     """Run one spec (on whichever process) and summarise it."""
     from repro.core.registry import run_patternlet
+    from repro.obs.derive import run_summary
     from repro.trace import detect_races
 
     try:
@@ -180,6 +209,7 @@ def _exec_spec(spec: RunSpec) -> RunOutcome:
         span=run.span,
         wall=run.wall,
         races=len(detect_races(run.trace)),
+        metrics=run_summary(run.trace, tasks_hint=run.meta.get("tasks")),
     )
 
 
@@ -198,16 +228,19 @@ def run_specs(
     """
     specs = list(specs)
     t0 = time.perf_counter()
+    cache_stats: dict[str, int] = {}
     outcomes, workers, pooled = map_calls(
         _exec_spec,
         specs,
         max_workers=max_workers,
         use_cache=use_cache,
         cache_dir=cache_dir,
+        stats_out=cache_stats,
     )
     return BatchReport(
         outcomes=outcomes,
         wall_s=time.perf_counter() - t0,
         workers=workers,
         pooled=pooled,
+        cache_stats=cache_stats,
     )

@@ -64,6 +64,13 @@ __all__ = [
 #: treated as cache misses, never as errors.
 RECORD_SCHEMA = 1
 
+
+def _pct(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic; no interpolation)."""
+    ordered = sorted(values)
+    rank = max(1, -(-int(q * 100) * len(ordered) // 100))  # ceil(q*n)
+    return ordered[min(rank, len(ordered)) - 1]
+
 _TAGS = ("t", "l", "d")
 
 
@@ -286,6 +293,9 @@ class RunOutcome:
     wall: float
     races: int
     error: str | None = None
+    #: The run's :func:`repro.obs.derive.run_summary` dict (pure function
+    #: of the trace — identical whether the run executed or was served).
+    metrics: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -301,6 +311,9 @@ class BatchReport:
     wall_s: float = 0.0
     workers: int = 1
     pooled: bool = False
+    #: Aggregated run-cache counters (hits/misses/stores) across every
+    #: process that served this batch, when the runner collected them.
+    cache_stats: dict[str, int] | None = None
 
     @property
     def runs(self) -> int:
@@ -332,9 +345,50 @@ class BatchReport:
         """Completed runs per wall second."""
         return self.runs / self.wall_s if self.wall_s > 0 else 0.0
 
+    def cell_stats(self) -> dict[str, dict[str, Any]]:
+        """Per-grid-cell metric percentiles across seeds.
+
+        A *cell* is one (patternlet, tasks, toggles) combination; the
+        seeds inside it form the sample.  For each derived metric the
+        cell reports nearest-rank p50/p90 and the max — the numbers a
+        grader scans to spot the one seed whose schedule collapsed.
+        """
+        cells: dict[str, list[RunOutcome]] = {}
+        for o in self.outcomes:
+            if o.metrics is None:
+                continue
+            label = o.spec.patternlet
+            if o.spec.tasks is not None:
+                label += f" np={o.spec.tasks}"
+            for t, on in o.spec.toggles:
+                label += f" {t}={'on' if on else 'off'}"
+            cells.setdefault(label, []).append(o)
+        out: dict[str, dict[str, Any]] = {}
+        for label in sorted(cells):
+            outs = cells[label]
+            series = {
+                "span": [o.metrics["span"] for o in outs],
+                "speedup": [o.metrics["speedup"] for o in outs],
+                "efficiency": [o.metrics["efficiency"] for o in outs],
+                "blocked_steps": [
+                    sum(sum(per.values()) for per in o.metrics["blocked"].values())
+                    for o in outs
+                ],
+                "messages": [o.metrics["messages"]["total"] for o in outs],
+            }
+            cell: dict[str, Any] = {"seeds": len(outs)}
+            for name, values in series.items():
+                cell[name] = {
+                    "p50": _pct(values, 0.50),
+                    "p90": _pct(values, 0.90),
+                    "max": max(values),
+                }
+            out[label] = cell
+        return out
+
     def stats(self) -> dict[str, Any]:
         """The report as one flat JSON-able dict (CI artifacts, bench)."""
-        return {
+        out: dict[str, Any] = {
             "runs": self.runs,
             "executed": self.executed,
             "hits": self.hits,
@@ -345,3 +399,11 @@ class BatchReport:
             "workers": self.workers,
             "pooled": self.pooled,
         }
+        if self.cache_stats is not None:
+            out["cache_hits"] = self.cache_stats.get("hits", 0)
+            out["cache_misses"] = self.cache_stats.get("misses", 0)
+            out["cache_stores"] = self.cache_stats.get("stores", 0)
+        cells = self.cell_stats()
+        if cells:
+            out["cells"] = cells
+        return out

@@ -35,13 +35,34 @@ from repro.errors import ReproError
 __all__ = ["main", "build_parser"]
 
 
+class _VersionAction(argparse.Action):
+    """``--version`` with the engine fingerprint.
+
+    The fingerprint (a hash over the engine sources, the same one the
+    run-cache keys embed) is resolved lazily so plain parses never pay
+    for it; it makes every version string attributable to an exact
+    engine build, matching the header of metrics and report artifacts.
+    """
+
+    def __init__(self, option_strings, dest, **kwargs):
+        kwargs.setdefault("nargs", 0)
+        kwargs.setdefault("help", "show version and engine fingerprint, then exit")
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from repro.batch.specs import engine_fingerprint
+
+        print(f"{parser.prog} {__version__} (engine {engine_fingerprint()})")
+        parser.exit(0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for the ``patternlet`` tool (see module docstring)."""
     parser = argparse.ArgumentParser(
         prog="patternlet",
         description="Run and explore the patternlet collection.",
     )
-    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    parser.add_argument("--version", action=_VersionAction, dest="version")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="list patternlets (optionally by backend)")
@@ -52,7 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run a patternlet")
     p_run.add_argument("name")
-    p_run.add_argument("--tasks", "-n", type=int, default=None,
+    p_run.add_argument("--tasks", "-n", "--np", type=int, default=None,
                        help="thread/process count (default: the patternlet's own)")
     p_run.add_argument("--on", action="append", default=[], metavar="TOGGLE",
                        help="uncomment a toggle (repeatable)")
@@ -68,12 +89,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--detect-races", action="store_true",
                        help="prove (or refute) data races on shared cells "
                             "via happens-before analysis of the run's trace")
+    p_run.add_argument("--metrics", action="store_true",
+                       help="print the run's metrics as OpenMetrics text")
+    p_run.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write run metrics to FILE (.json for the JSON "
+                            "document, anything else for OpenMetrics text)")
 
     p_trace = sub.add_parser(
         "trace", help="run a patternlet and draw its interleaving timeline"
     )
     p_trace.add_argument("name")
-    p_trace.add_argument("--tasks", "-n", type=int, default=None)
+    p_trace.add_argument("--tasks", "-n", "--np", type=int, default=None)
     p_trace.add_argument("--on", action="append", default=[], metavar="TOGGLE")
     p_trace.add_argument("--off", action="append", default=[], metavar="TOGGLE")
     p_trace.add_argument("--seed", type=int, default=0)
@@ -90,6 +116,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--out", metavar="FILE", default=None,
                          help="write the Chrome trace-event JSON to FILE "
                               "(open in a trace viewer)")
+
+    p_report = sub.add_parser(
+        "report", help="run a patternlet and write a self-contained HTML "
+                       "run report (Gantt, message heatmap, blocked time, "
+                       "load balance, race verdict)"
+    )
+    p_report.add_argument("name")
+    p_report.add_argument("--tasks", "-n", "--np", type=int, default=None,
+                          help="thread/process count (default: the patternlet's own)")
+    p_report.add_argument("--on", action="append", default=[], metavar="TOGGLE")
+    p_report.add_argument("--off", action="append", default=[], metavar="TOGGLE")
+    p_report.add_argument("--seed", type=int, default=0)
+    p_report.add_argument("--policy", default="random",
+                          choices=("random", "roundrobin", "fifo", "lifo"))
+    p_report.add_argument("--out", metavar="FILE", default=None,
+                          help="output path (default <name>_report.html)")
 
     p_source = sub.add_parser(
         "source", help="print a patternlet's source (its module, like cat-ing the .c file)"
@@ -208,6 +250,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if run.span is not None:
         print(f"(virtual span: {run.span:g} work units; wall: {run.wall:.4f}s)",
               file=sys.stderr)
+    if args.metrics or args.metrics_out:
+        from repro.obs import metrics_dict, run_metrics
+
+        if args.metrics:
+            print(run_metrics(run).to_openmetrics(), end="")
+        if args.metrics_out:
+            import json
+
+            try:
+                with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                    if args.metrics_out.endswith(".json"):
+                        json.dump(metrics_dict(run), fh, indent=1, sort_keys=True)
+                        fh.write("\n")
+                    else:
+                        fh.write(run_metrics(run).to_openmetrics())
+            except OSError as exc:
+                print(f"error: cannot write {args.metrics_out}: {exc}",
+                      file=sys.stderr)
+                return 1
+            print(f"wrote {args.metrics_out}", file=sys.stderr)
     if args.detect_races:
         from repro.trace import detect_races, race_summary
 
@@ -251,6 +313,32 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import write_report
+
+    toggles = {name: True for name in args.on}
+    toggles.update({name: False for name in args.off})
+    run = run_patternlet(
+        args.name,
+        tasks=args.tasks,
+        toggles=toggles or None,
+        mode="lockstep",
+        seed=args.seed,
+        policy=args.policy,
+    )
+    out = args.out
+    if out is None:
+        slug = args.name.replace("/", ".").replace(".", "_")
+        out = f"{slug}_report.html"
+    try:
+        write_report(run, out)
+    except OSError as exc:
+        print(f"error: cannot write {out}: {exc}", file=sys.stderr)
+        return 1
+    print(f"wrote {out}")
+    return 0
+
+
 def _cmd_source(name: str) -> int:
     import importlib
     import inspect
@@ -264,11 +352,13 @@ def _cmd_source(name: str) -> int:
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
     from repro.core.selfcheck import run_selfcheck
 
+    cache_stats: dict = {}
     results = run_selfcheck(
         only=args.figure,
         jobs=args.jobs,
         use_cache=False if args.no_cache else None,
         cache_dir=args.cache_dir,
+        stats_out=cache_stats,
     )
     if not results:
         print(f"error: unknown figure {args.figure!r}", file=sys.stderr)
@@ -279,7 +369,20 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
         mark = "PASS" if r.passed else "FAIL"
         failures += 0 if r.passed else 1
         print(f"{r.figure:<{width}}  {mark}  {r.description}  [{r.detail}]")
-    print(f"\n{len(results) - failures}/{len(results)} figure checks passed")
+    # The cache verdict comes through the metrics registry (the same
+    # counters every other consumer reads), not raw dict plumbing.
+    from repro.obs.live import cache_counters
+    from repro.obs.registry import MetricsRegistry
+
+    reg = MetricsRegistry()
+    cache_counters(reg, cache_stats)
+    hits = int(reg.get("cache_hits").total())
+    misses = int(reg.get("cache_misses").total())
+    stores = int(reg.get("cache_stores").total())
+    print(
+        f"\n{len(results) - failures}/{len(results)} figure checks passed — "
+        f"cache: {hits} hits / {misses} misses / {stores} stored"
+    )
     return 0 if failures == 0 else 1
 
 
@@ -490,6 +593,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "report":
+            return _cmd_report(args)
         if args.command == "source":
             return _cmd_source(args.name)
         if args.command == "selfcheck":

@@ -136,10 +136,14 @@ def _ensure_loaded() -> None:
 
 
 def get_patternlet(name: str) -> Patternlet:
-    """Look up a patternlet by its ``backend.name`` id."""
+    """Look up a patternlet by its ``backend.name`` id.
+
+    ``backend/name`` (the paper's directory-style spelling, e.g.
+    ``openmp/parallelLoopDynamic``) is accepted as an alias.
+    """
     _ensure_loaded()
     try:
-        return _REGISTRY[name]
+        return _REGISTRY[name.replace("/", ".")]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY)) or "<none>"
         raise RegistryError(f"unknown patternlet {name!r}; known: {known}") from None
@@ -221,7 +225,7 @@ def run_patternlet(
     def _execute() -> CapturedRun:
         run = capture_run(p.main, cfg, echo=echo)
         run.meta.update(
-            patternlet=name,
+            patternlet=p.name,
             backend=p.backend,
             tasks=cfg.tasks,
             toggles=cfg.toggles.as_dict(),

@@ -210,6 +210,7 @@ def run_selfcheck(
     jobs: int | None = None,
     use_cache: bool | None = None,
     cache_dir: str | None = None,
+    stats_out: dict | None = None,
 ) -> list[CheckResult]:
     """Run all (or one) figure checks; never raises, always reports.
 
@@ -217,7 +218,9 @@ def run_selfcheck(
     sets the worker-process count (default 1 — in-process, which a cold
     cache keeps exactly as fast as the pre-batch serial loop),
     ``use_cache`` overrides the ``REPRO_CACHE`` environment gate, and
-    ``cache_dir`` relocates the run-cache store.
+    ``cache_dir`` relocates the run-cache store.  ``stats_out`` receives
+    the batch's aggregated run-cache hit/miss/store counters (the CLI
+    summary line reports them through the metrics registry).
     """
     from repro.batch.pool import map_calls
 
@@ -230,5 +233,6 @@ def run_selfcheck(
         max_workers=jobs if jobs is not None else 1,
         use_cache=use_cache,
         cache_dir=cache_dir,
+        stats_out=stats_out,
     )
     return results

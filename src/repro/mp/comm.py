@@ -33,6 +33,8 @@ from typing import TYPE_CHECKING, Any, Callable, Hashable, Sequence
 
 from repro.errors import CommError, MpError
 from repro.mp import collectives as _coll
+from repro.obs import live as _live
+from repro.sched.base import current_task_label as _task_label
 from repro.trace import events as _trace_events
 from repro.trace.events import active as _trace_active, emit as _trace_emit
 from repro.mp.mailbox import (
@@ -319,6 +321,9 @@ class Comm:
                 vtime=clock.now,
                 hb_rel=("msg", self._world.scope, msg.uid),
             )
+        p = _live.probe
+        if p is not None:
+            p.sent(_task_label() or "main", msg.size)
         # Lock-free deposit: list.append is atomic under the GIL, and a
         # mailbox has exactly one consumer (its owner rank), so the only
         # concurrent access pattern is append-while-scan, which Python
@@ -397,6 +402,9 @@ class Comm:
                 vtime=clock.now,
                 hb_rel=("msg", self._world.scope, msg.uid),
             )
+        p = _live.probe
+        if p is not None:
+            p.sent(_task_label() or "main", msg.size)
         self._world.mailboxes[gdest].deposit(msg)
         self._executor.notify()
         return msg
@@ -446,6 +454,9 @@ class Comm:
                 now = clock.now
                 arrival = msg.arrival
                 clock.now = (arrival if arrival > now else now) + self._ovh
+                p = _live.probe
+                if p is not None:
+                    p.received(_task_label() or "main", msg.size)
                 if msg.sync:
                     self._executor.notify()
                 packet = msg.packet
@@ -479,6 +490,9 @@ class Comm:
             now = clock.now
             arrival = msg.arrival
             clock.now = (arrival if arrival > now else now) + self._ovh
+            p = _live.probe
+            if p is not None:
+                p.received(_task_label() or "main", msg.size)
             if msg.sync:
                 self._executor.notify()
         else:
@@ -554,6 +568,9 @@ class Comm:
                 vtime=clock.now,
                 hb_acq=("msg", self._world.scope, msg.uid),
             )
+        p = _live.probe
+        if p is not None:
+            p.received(_task_label() or "main", msg.size)
         if msg.sync:
             self._world.executor.notify()  # release the rendezvous sender
         return msg
@@ -582,6 +599,9 @@ class Comm:
                 now = clock.now
                 arrival = msg.arrival
                 clock.now = (arrival if arrival > now else now) + self._ovh
+                p = _live.probe
+                if p is not None:
+                    p.received(_task_label() or "main", msg.size)
                 if msg.sync:
                     self._executor.notify()
                 return msg.packet

@@ -1,0 +1,172 @@
+"""Live instrumentation probes for the scheduler and transport hot paths.
+
+The engine's hot paths (lockstep switch points, `Comm.send`/`recv`) each
+carry one probe hook shaped like the trace fast path::
+
+    p = _live.probe
+    if p is not None:
+        p.sent(label, size)
+
+``probe`` is a module global read at call time (never bound at import,
+so installing a probe mid-process takes effect everywhere immediately,
+mirroring ``repro.trace.events._top``).  When no probe is installed the
+cost is one attribute read and a ``None`` test; the bench suite gates
+that overhead via the ``metrics_overhead_pct`` metric.
+
+This module imports nothing from the engine — it is pure stdlib — so
+scheduler/transport/sync modules can import it without cycles.
+
+Live counters and the post-hoc derivation pass (:mod:`repro.obs.derive`)
+intentionally share counter names; the hypothesis suite asserts they
+agree event-for-event on traced runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from contextlib import contextmanager
+
+__all__ = ["Probe", "probe", "probing"]
+
+#: The installed probe, or None.  Hot paths read ``_live.probe`` through
+#: the module (not ``from repro.obs.live import probe``) so reinstalls
+#: are visible without rebinding.
+probe: "Probe | None" = None
+
+
+class Probe:
+    """Per-task counters fed directly by engine hook sites.
+
+    Keys are task labels (``"main"``, ``"omp:2"``, ``"mpi:1/omp:0"`` —
+    the same vocabulary the trace spine uses), so live snapshots line up
+    with trace-derived metrics label-for-label.
+    """
+
+    __slots__ = (
+        "switches",
+        "blocks",
+        "wakes",
+        "msgs_sent",
+        "bytes_sent",
+        "msgs_recvd",
+        "bytes_recvd",
+        "barrier_arrivals",
+        "critical_acquisitions",
+        "atomic_updates",
+    )
+
+    def __init__(self) -> None:
+        self.switches: dict[str, int] = {}
+        self.blocks: dict[str, int] = {}
+        self.wakes: dict[str, int] = {}
+        self.msgs_sent: dict[str, int] = {}
+        self.bytes_sent: dict[str, int] = {}
+        self.msgs_recvd: dict[str, int] = {}
+        self.bytes_recvd: dict[str, int] = {}
+        self.barrier_arrivals: dict[str, int] = {}
+        self.critical_acquisitions: dict[str, int] = {}
+        self.atomic_updates: dict[str, int] = {}
+
+    # -- hook entry points (one per engine site) ------------------------
+    def run(self, task: str) -> None:
+        """The scheduler switched into ``task`` (a ``sched.run``)."""
+        self.switches[task] = self.switches.get(task, 0) + 1
+
+    def block(self, task: str) -> None:
+        """``task`` blocked at a switch point (a ``sched.block``)."""
+        self.blocks[task] = self.blocks.get(task, 0) + 1
+
+    def wake(self, task: str) -> None:
+        """A blocked ``task`` was promoted to runnable (a ``sched.wake``)."""
+        self.wakes[task] = self.wakes.get(task, 0) + 1
+
+    def sent(self, task: str, size: int) -> None:
+        """``task`` sent one message of ``size`` LogP bytes."""
+        self.msgs_sent[task] = self.msgs_sent.get(task, 0) + 1
+        self.bytes_sent[task] = self.bytes_sent.get(task, 0) + size
+
+    def received(self, task: str, size: int) -> None:
+        """``task`` completed one receive of ``size`` LogP bytes."""
+        self.msgs_recvd[task] = self.msgs_recvd.get(task, 0) + 1
+        self.bytes_recvd[task] = self.bytes_recvd.get(task, 0) + size
+
+    def barrier(self, task: str) -> None:
+        """``task`` arrived at a barrier."""
+        self.barrier_arrivals[task] = self.barrier_arrivals.get(task, 0) + 1
+
+    def critical(self, task: str) -> None:
+        """``task`` acquired a critical section."""
+        self.critical_acquisitions[task] = (
+            self.critical_acquisitions.get(task, 0) + 1
+        )
+
+    def atomic(self, task: str) -> None:
+        """``task`` completed one atomic guarded update."""
+        self.atomic_updates[task] = self.atomic_updates.get(task, 0) + 1
+
+    # -- views ----------------------------------------------------------
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """All counters as one ordered plain dict (stable for asserts)."""
+        out: dict[str, dict[str, int]] = {}
+        for name in self.__slots__:
+            table: dict[str, int] = getattr(self, name)
+            out[name] = {k: table[k] for k in sorted(table)}
+        return out
+
+    def to_registry(self, registry: Any = None) -> Any:
+        """Export counters into a :class:`MetricsRegistry`.
+
+        Family names match :func:`repro.obs.derive.derive_metrics` so a
+        live snapshot and a trace derivation are directly comparable.
+        """
+        from repro.obs.registry import MetricsRegistry
+
+        reg = registry if registry is not None else MetricsRegistry()
+        spec = {
+            "switches": ("sched_switches", "Scheduler switches into each task (sched.run events).", None),
+            "blocks": ("sched_blocks", "Times each task blocked at a switch point.", None),
+            "wakes": ("sched_wakes", "Times each blocked task was woken.", None),
+            "msgs_sent": ("messages_sent", "Point-to-point messages sent per task.", None),
+            "bytes_sent": ("message_bytes_sent", "Message payload bytes sent per task (LogP sizes).", "bytes"),
+            "msgs_recvd": ("messages_received", "Point-to-point messages received per task.", None),
+            "bytes_recvd": ("message_bytes_received", "Message payload bytes received per task (LogP sizes).", "bytes"),
+            "barrier_arrivals": ("barrier_arrivals", "Barrier arrivals per task.", None),
+            "critical_acquisitions": ("critical_acquisitions", "Critical-section acquisitions per task.", None),
+            "atomic_updates": ("atomic_updates", "Atomic guarded updates per task.", None),
+        }
+        for attr, (name, help_text, unit) in spec.items():
+            counter = reg.counter(name, help_text, unit=unit)
+            table: dict[str, int] = getattr(self, attr)
+            for task in sorted(table):
+                counter.inc({"task": task}, table[task])
+        return reg
+
+
+@contextmanager
+def probing(p: Probe | None = None) -> Iterator[Probe]:
+    """Install ``p`` (or a fresh :class:`Probe`) for the dynamic extent.
+
+    Probes do not nest — the engine feeds exactly one — so installing
+    over an existing probe raises rather than silently splitting counts.
+    """
+    global probe
+    if probe is not None:
+        raise RuntimeError("a live metrics probe is already installed")
+    installed = p if p is not None else Probe()
+    probe = installed
+    try:
+        yield installed
+    finally:
+        probe = None
+
+
+def cache_counters(registry: Any, stats: dict[str, int]) -> None:
+    """Record run-cache hit/miss/store stats as registry counters."""
+    names = {
+        "hits": ("cache_hits", "Run-cache hits."),
+        "misses": ("cache_misses", "Run-cache misses."),
+        "stores": ("cache_stores", "Run records written to the cache."),
+    }
+    for key, (name, help_text) in names.items():
+        registry.counter(name, help_text).inc(None, int(stats.get(key, 0)))

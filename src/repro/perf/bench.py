@@ -40,6 +40,13 @@ optimises:
     both arms see the same machine state.  The speedup is the number the
     tentpole promises (≥ 2x warm).
 
+``metrics_overhead_pct``
+    How much of the un-instrumented message throughput the live metrics
+    probes (:mod:`repro.obs.live`) cost, interleaved A/B.  Gated
+    *absolutely*: it fails a ``--check`` when it exceeds the tolerance
+    (default 30%) regardless of the baseline file, so instrumentation
+    can never silently eat the hot path.
+
 All engine benchmarks run under ``muted()`` so they measure the engine,
 not the trace recorder; the trace fast path is itself covered because
 muting is exactly the one-attribute-read guard the emit sites take.
@@ -68,6 +75,7 @@ __all__ = [
     "bench_batch_suite",
     "bench_bcast_latency",
     "bench_figure_suite",
+    "bench_metrics_overhead",
     "bench_msg_throughput",
     "bench_selfcheck_ab",
     "bench_switch_rate",
@@ -226,6 +234,32 @@ def bench_selfcheck_ab(*, rounds: int = 3) -> dict[str, float]:
     }
 
 
+def bench_metrics_overhead(*, quick: bool = False, rounds: int = 3) -> float:
+    """Live-probe overhead on the hottest path, as a percentage.
+
+    Interleaved A/B over the immutable message stream: one arm with no
+    probe installed (the engine's ``_live.probe is None`` fast path), one
+    arm under :func:`repro.obs.live.probing`.  Best-of-each arm, so both
+    sample the same machine conditions.  The result is how much of the
+    un-instrumented throughput the live metrics hooks cost — gated
+    absolutely in :func:`compare` (it must stay inside the tolerance the
+    engine benchmarks already enforce for regressions).
+    """
+    from repro.obs.live import probing
+
+    n = 3000 // (5 if quick else 1)
+    base: list[float] = []
+    probed: list[float] = []
+    for _ in range(rounds):
+        base.append(bench_msg_throughput(12345, n=n))
+        with probing():
+            probed.append(bench_msg_throughput(12345, n=n))
+    best_base, best_probed = max(base), max(probed)
+    if best_base <= 0:
+        return 0.0
+    return round(max(0.0, (1.0 - best_probed / best_base) * 100), 2)
+
+
 def run_benchmarks(
     *, quick: bool = False, progress: Callable[[str], None] | None = None
 ) -> dict[str, float]:
@@ -265,6 +299,10 @@ def run_benchmarks(
     out.update(bench_batch_suite(quick=quick))
     note("selfcheck cold/warm interleaved A/B")
     out.update(bench_selfcheck_ab(rounds=1 if quick else 3))
+    note("live metrics probe overhead A/B")
+    out["metrics_overhead_pct"] = bench_metrics_overhead(
+        quick=quick, rounds=1 if quick else 3
+    )
     return out
 
 
@@ -314,6 +352,15 @@ def compare(
     visible rather than mistaken for a passing check.
     """
     failures: list[str] = []
+    # The probe-overhead gate is absolute (no baseline needed): the live
+    # metrics hooks must never eat more of the hot path than the check's
+    # throughput tolerance allows, whatever machine measured it.
+    overhead = current.get("metrics_overhead_pct")
+    if overhead is not None and overhead > tolerance * 100:
+        failures.append(
+            f"metrics_overhead_pct: live-probe overhead {overhead:.1f}% "
+            f"exceeds the {tolerance:.0%} hot-path budget"
+        )
     for name in HIGHER_IS_BETTER:
         if name not in current:
             continue

@@ -62,6 +62,7 @@ from repro.sched.base import (
     resolve_describe,
     set_task_label,
 )
+from repro.obs import live as _live
 from repro.sched.policy import Policy, RandomPolicy
 from repro.trace import events as _trace_events
 from repro.trace.events import active as _trace_active, emit as _trace_emit
@@ -327,6 +328,9 @@ class LockstepExecutor(Executor):
                         rec = _trace_events._top
                         if rec is not None and rec.recording:
                             rec.emit("sched.wake", task=st.label)
+                        p = _live.probe
+                        if p is not None:
+                            p.wake(st.label)
             else:
                 runnable = [
                     tid for tid, st in tasks.items() if st.status == _RUNNABLE
@@ -359,6 +363,9 @@ class LockstepExecutor(Executor):
                 rec = _trace_events._top
                 if rec is not None and rec.recording:
                     rec.emit("sched.run", task=nxt.label)
+                p = _live.probe
+                if p is not None:
+                    p.run(nxt.label)
                 nxt.sem.release()
         me.sem.acquire()
         if self._aborted is not None:
@@ -386,6 +393,9 @@ class LockstepExecutor(Executor):
                 rec = _trace_events._top
                 if rec is not None and rec.recording:
                     rec.emit("sched.block", task=me.label)
+                p = _live.probe
+                if p is not None:
+                    p.block(me.label)
                 # _pick_next_locked + _hand_token_locked inlined, as in
                 # checkpoint(): this block runs once per blocked receive.
                 # *me* is skipped in the promote pass — its predicate was
@@ -413,6 +423,9 @@ class LockstepExecutor(Executor):
                             rec = _trace_events._top
                             if rec is not None and rec.recording:
                                 rec.emit("sched.wake", task=st.label)
+                            p = _live.probe
+                            if p is not None:
+                                p.wake(st.label)
                 else:
                     runnable = [
                         tid for tid, st in tasks.items() if st.status == _RUNNABLE
@@ -451,6 +464,9 @@ class LockstepExecutor(Executor):
                     rec = _trace_events._top
                     if rec is not None and rec.recording:
                         rec.emit("sched.run", task=nxt.label)
+                    p = _live.probe
+                    if p is not None:
+                        p.run(nxt.label)
                     nxt.sem.release()
             me.sem.acquire()
             if self._aborted is not None:
@@ -564,6 +580,9 @@ class LockstepExecutor(Executor):
         rec = _trace_events._top
         if rec is not None and rec.recording:
             rec.emit("sched.run", task=nxt.label)
+        p = _live.probe
+        if p is not None:
+            p.run(nxt.label)
         nxt.sem.release()
 
     def _promote_locked(self) -> None:
@@ -577,6 +596,9 @@ class LockstepExecutor(Executor):
                 rec = _trace_events._top
                 if rec is not None and rec.recording:
                     rec.emit("sched.wake", task=st.label)
+                p = _live.probe
+                if p is not None:
+                    p.wake(st.label)
 
     def _pick_next_locked(self, current_ok: _TaskState | None) -> _TaskState | None:
         if self._dirty:

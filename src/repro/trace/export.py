@@ -20,10 +20,44 @@ from typing import Any, Iterable
 
 from repro.trace.events import Event, TraceRecorder, as_events
 
-__all__ = ["to_chrome_trace", "dumps", "write_chrome_trace"]
+__all__ = ["display_task_name", "to_chrome_trace", "dumps", "write_chrome_trace"]
 
 TASK_START = "task.start"
 TASK_END = "task.end"
+
+
+def display_task_name(label: str) -> str:
+    """Human-friendly name for a task label.
+
+    ``mpi:N`` reads as ``rank N`` and ``omp:N`` as ``thread N``, so
+    Perfetto lanes (and report Gantt lanes, which share this helper)
+    show ``rank 0..N-1`` instead of bare internal labels.  Nested labels
+    keep their nesting: ``mpi:1/omp:0`` → ``rank 1 / thread 0``.
+    """
+    parts = []
+    for part in label.split("/"):
+        prefix, _, num = part.partition(":")
+        if num.isdigit() and prefix == "mpi":
+            parts.append(f"rank {num}")
+        elif num.isdigit() and prefix == "omp":
+            parts.append(f"thread {num}")
+        else:
+            parts.append(part)
+    return " / ".join(parts)
+
+
+def _sort_index(label: str) -> int:
+    """Stable lane order: main first, then ranks/threads numerically."""
+    if label == "main":
+        return 0
+    index = 0
+    for part in label.split("/"):
+        _, _, num = part.partition(":")
+        if num.isdigit():
+            index = index * 1000 + int(num) + 1
+        else:
+            index = index * 1000 + 999
+    return index + 1
 
 
 def _jsonable(value: Any) -> Any:
@@ -56,7 +90,16 @@ def to_chrome_trace(
                     "name": "thread_name",
                     "pid": 0,
                     "tid": tids[ev.task],
-                    "args": {"name": ev.task},
+                    "args": {"name": display_task_name(ev.task)},
+                }
+            )
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "thread_sort_index",
+                    "pid": 0,
+                    "tid": tids[ev.task],
+                    "args": {"sort_index": _sort_index(ev.task)},
                 }
             )
         args: dict[str, Any] = {k: _jsonable(v) for k, v in ev.payload.items()}

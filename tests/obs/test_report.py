@@ -1,0 +1,89 @@
+"""The self-contained HTML run report."""
+
+from repro.core.registry import run_patternlet
+from repro.obs import render_report, write_report
+
+
+def _report(name="openmp.parallelLoopDynamic", tasks=4, seed=1, **kw):
+    return render_report(run_patternlet(name, tasks=tasks, seed=seed, **kw))
+
+
+class TestRenderReport:
+    def test_contains_all_sections(self):
+        html = _report()
+        for heading in (
+            "Per-rank timeline (Gantt)",
+            "Worksharing load balance",
+            "Blocked-time breakdown",
+            "Message matrix",
+            "Metrics",
+        ):
+            assert heading in html
+
+    def test_is_self_contained(self):
+        html = _report()
+        # One file, no network: nothing fetched from anywhere.
+        assert "http://" not in html and "https://" not in html
+        assert "<script src" not in html and "<link" not in html
+        assert "<style>" in html and "<svg" in html
+
+    def test_gantt_lanes_use_friendly_names(self):
+        html = _report()
+        assert "thread 0" in html and "omp:0" not in html.split("Metrics")[0]
+
+    def test_mpi_report_says_rank(self):
+        html = _report("mpi.messagePassing", tasks=4, seed=0)
+        assert "rank 0" in html
+
+    def test_heatmap_present_for_message_runs(self):
+        html = _report("mpi.messagePassing", tasks=4, seed=0)
+        assert "class='heatmap'" in html and "0&#8594;" not in html
+
+    def test_engine_identity_in_header(self):
+        from repro._version import __version__
+        from repro.batch.specs import engine_fingerprint
+
+        html = _report()
+        assert __version__ in html and engine_fingerprint() in html
+
+    def test_race_banner_good_and_critical(self):
+        clean = _report(
+            "openmp.reduction",
+            seed=1,
+            toggles={"parallel_for": True, "reduction": True},
+        )
+        assert "status good" in clean
+        racy = _report(
+            "openmp.reduction", seed=1, toggles={"parallel_for": True}
+        )
+        assert "status critical" in racy
+
+    def test_dark_mode_is_designed_not_flipped(self):
+        html = _report()
+        assert "prefers-color-scheme: dark" in html
+
+    def test_table_views_accompany_charts(self):
+        html = _report()
+        assert "table view" in html
+
+    def test_wall_clock_marked_informational(self):
+        html = _report()
+        assert "informational" in html
+
+    def test_render_is_deterministic_modulo_wall(self):
+        import re
+
+        strip = lambda html: re.sub(  # noqa: E731
+            r"wall <code>[0-9.]+ ms</code>", "wall X", html
+        )
+        assert strip(_report()) == strip(_report())
+
+
+class TestWriteReport:
+    def test_writes_utf8_file(self, tmp_path):
+        run = run_patternlet("openmp.parallelLoopDynamic", tasks=4, seed=1)
+        out = tmp_path / "report.html"
+        write_report(run, out)
+        text = out.read_text(encoding="utf-8")
+        assert text.startswith("<!DOCTYPE html>")
+        assert "</html>" in text

@@ -110,7 +110,8 @@ class TestTraceExport:
         doc = json.loads(path.read_text())
         names = {e["args"].get("name") for e in doc["traceEvents"]
                  if e["ph"] == "M"}
-        assert any(n and n.startswith("omp:") for n in names)
+        # Perfetto lanes carry friendly rank/thread names, not raw labels.
+        assert any(n and n.startswith("thread ") for n in names)
 
     def test_trace_events_lanes(self, capsys):
         assert main(
@@ -205,3 +206,90 @@ class TestSweepCommand:
             ["selfcheck", "--jobs", "1", "--cache-dir", str(tmp_path / "runs")]
         ) == 0
         assert main(["selfcheck", "--no-cache"]) == 0
+
+
+class TestVersionFlag:
+    def test_version_shows_engine_fingerprint(self, capsys):
+        from repro._version import __version__
+        from repro.batch.specs import engine_fingerprint
+
+        with pytest.raises(SystemExit) as err:
+            main(["--version"])
+        assert err.value.code == 0
+        out = capsys.readouterr().out
+        assert __version__ in out and engine_fingerprint() in out
+
+
+class TestMetricsFlag:
+    def test_metrics_round_trips_through_the_parser(self, capsys):
+        from repro.obs import parse_openmetrics
+
+        assert main(
+            ["run", "openmp.parallelLoopDynamic", "--np", "4", "--seed", "1",
+             "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        text = out[out.index("# TYPE"):]
+        doc = parse_openmetrics(text)
+        assert "patternlet_loop_iterations" in doc
+        assert "patternlet_engine" in doc
+
+    def test_metrics_out_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(
+            ["run", "openmp.spmd", "--tasks", "2", "--metrics-out", str(path)]
+        ) == 0
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == 1 and "summary" in doc
+        assert doc["engine"]["patternlet"] == "openmp.spmd"
+
+    def test_metrics_out_openmetrics_text(self, tmp_path, capsys):
+        from repro.obs import parse_openmetrics
+
+        path = tmp_path / "metrics.om"
+        assert main(
+            ["run", "openmp.spmd", "--tasks", "2", "--metrics-out", str(path)]
+        ) == 0
+        parse_openmetrics(path.read_text())  # strict; must not raise
+
+
+class TestReportCommand:
+    def test_report_writes_self_contained_html(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["report", "openmp/parallelLoopDynamic", "--np", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        files = list(tmp_path.glob("*.html"))
+        assert len(files) == 1
+        html = files[0].read_text(encoding="utf-8")
+        assert "Per-rank timeline (Gantt)" in html
+        assert "<script src" not in html and "https://" not in html
+
+    def test_report_out_flag(self, tmp_path, capsys):
+        path = tmp_path / "run.html"
+        assert main(
+            ["report", "mpi.messagePassing", "--np", "4", "--out", str(path)]
+        ) == 0
+        html = path.read_text(encoding="utf-8")
+        assert "rank 0" in html and "Message matrix" in html
+
+    def test_report_unknown_patternlet_fails(self, tmp_path, capsys):
+        assert main(
+            ["report", "openmp.zzz", "--out", str(tmp_path / "x.html")]
+        ) == 1
+
+
+class TestSelfcheckCacheLine:
+    def test_summary_line_reports_cache_traffic(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "runs")
+        assert main(["selfcheck", "--cache-dir", cache_dir]) == 0
+        cold = capsys.readouterr().out
+        assert "cache:" in cold and "stored" in cold
+        assert main(["selfcheck", "--cache-dir", cache_dir]) == 0
+        warm = capsys.readouterr().out
+        import re
+
+        hits = int(re.search(r"(\d+) hits", warm).group(1))
+        assert hits > 0

@@ -18,8 +18,8 @@ class TestChromeTrace:
         doc = to_chrome_trace(_sample_recorder())
         assert set(doc) == {"traceEvents", "displayTimeUnit"}
         phases = [e["ph"] for e in doc["traceEvents"]]
-        # process metadata, thread metadata, then B / i / E
-        assert phases == ["M", "M", "B", "i", "E"]
+        # process metadata, thread name + sort index, then B / i / E
+        assert phases == ["M", "M", "M", "B", "i", "E"]
 
     def test_duration_pair_uses_scope_name(self):
         doc = to_chrome_trace(_sample_recorder())
@@ -44,8 +44,17 @@ class TestChromeTrace:
     def test_thread_metadata_names_tasks(self):
         doc = to_chrome_trace(_sample_recorder())
         meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
-        names = {e["args"]["name"] for e in meta}
-        assert "omp:0" in names
+        names = {e["args"].get("name") for e in meta}
+        # Lanes get friendly names: omp:0 surfaces as "thread 0".
+        assert "thread 0" in names
+
+    def test_thread_metadata_orders_lanes(self):
+        doc = to_chrome_trace(_sample_recorder())
+        order = [e for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_sort_index"]
+        assert order and all(
+            isinstance(e["args"]["sort_index"], int) for e in order
+        )
 
     def test_non_jsonable_payload_is_stringified(self):
         rec = TraceRecorder()
@@ -63,7 +72,7 @@ class TestChromeTrace:
         count = write_chrome_trace(str(path), _sample_recorder())
         assert count == 3
         doc = json.loads(path.read_text())
-        assert len(doc["traceEvents"]) == 5
+        assert len(doc["traceEvents"]) == 6
 
 
 class TestRealRunExport:
