@@ -52,12 +52,16 @@ def default_workers(n_items: int) -> int:
 
 
 def _worker_init() -> None:
-    # Fresh ambient trace state (forked children also get this via the
-    # at-fork hook, but spawn-based platforms need it here), then one
-    # warm registry import that every spec on this worker reuses.
+    # Fresh ambient trace state and a fresh rank-thread pool (forked
+    # children also get both via their at-fork hooks, but spawn-based
+    # platforms need them here: the parent's parked pool threads do not
+    # exist in the child), then one warm registry import that every spec
+    # on this worker reuses.
+    from repro.sched.pool import reset_pool
     from repro.trace import reset_ambient
 
     reset_ambient()
+    reset_pool()
     import repro.patternlets  # noqa: F401
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro._version import __version__
@@ -82,6 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--mode", choices=("thread", "lockstep"), default="lockstep",
                        help="executor: real threads or deterministic lockstep")
     p_run.add_argument("--seed", type=int, default=0, help="lockstep interleaving seed")
+    p_run.add_argument("--repeat", type=int, default=1, metavar="N",
+                       help="run N times back-to-back (reusing the rank-thread "
+                            "pool) and report per-run timing; output shown once")
     p_run.add_argument("--policy", default="random",
                        choices=("random", "roundrobin", "fifo", "lifo"))
     p_run.add_argument("--attribute", action="store_true",
@@ -234,14 +238,24 @@ def _cmd_show(name: str) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     toggles = {name: True for name in args.on}
     toggles.update({name: False for name in args.off})
-    run = run_patternlet(
-        args.name,
-        tasks=args.tasks,
-        toggles=toggles or None,
-        mode=args.mode,
-        seed=args.seed,
-        policy=args.policy,
-    )
+    repeat = max(1, args.repeat)
+    t0 = time.perf_counter()
+    for _ in range(repeat):
+        run = run_patternlet(
+            args.name,
+            tasks=args.tasks,
+            toggles=toggles or None,
+            mode=args.mode,
+            seed=args.seed,
+            policy=args.policy,
+        )
+    elapsed = time.perf_counter() - t0
+    if repeat > 1:
+        print(
+            f"(repeat: {repeat} runs in {elapsed:.3f}s, "
+            f"{elapsed / repeat * 1000:.2f} ms/run)",
+            file=sys.stderr,
+        )
     if args.attribute:
         for label, line in run.records:
             print(f"[{label:12s}] {line}")

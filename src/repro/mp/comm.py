@@ -175,6 +175,19 @@ class Comm:
         self._executor = world.executor
         self._lockstep = self._executor.mode == "lockstep"
         self._mailboxes = world.mailboxes
+        # Communicators are constructed on (and used from) their owning
+        # rank task — MPI_THREAD_FUNNELED semantics — so the live-probe
+        # hooks can be bound to this task's label once, here.  Resolving
+        # the thread-local label (and building a (label, size) tuple) per
+        # event cost ~2x the probe append itself on the send/recv path.
+        p = _live.probe
+        if p is not None:
+            label = _task_label() or "main"
+            self._p_sent = p.sent_for(label)
+            self._p_recv = p.received_for(label)
+        else:
+            self._p_sent = None
+            self._p_recv = None
         # Packet memo for repeated sends of the *same* immutable object
         # (loop counters, sentinel tokens, broadcast constants): identity
         # plus immutability make reusing the packed form safe, and the memo
@@ -321,15 +334,14 @@ class Comm:
                 vtime=clock.now,
                 hb_rel=("msg", self._world.scope, msg.uid),
             )
-        p = _live.probe
-        if p is not None:
-            p.sent(_task_label() or "main", msg.size)
-        # Lock-free deposit: list.append is atomic under the GIL, and a
-        # mailbox has exactly one consumer (its owner rank), so the only
-        # concurrent access pattern is append-while-scan, which Python
-        # lists tolerate (the scan sees or misses the fresh tail — either
-        # orders the deposit before or after, both valid).
-        self._mailboxes[ranks[dest]]._messages.append(msg)
+        ps = self._p_sent
+        if ps is not None:
+            ps(msg.packet.size)
+        # Indexed deposit: files the message under its (context, source,
+        # tag) bucket so the receiver matches it O(1).  Lockstep mailboxes
+        # carry no lock at all (one task runs at a time); thread-mode
+        # mailboxes take theirs inside deposit().
+        self._mailboxes[ranks[dest]].deposit(msg)
         ex = self._executor
         if self._lockstep:
             # LockstepExecutor.notify inlined (dirty flag + external-waiter
@@ -402,9 +414,9 @@ class Comm:
                 vtime=clock.now,
                 hb_rel=("msg", self._world.scope, msg.uid),
             )
-        p = _live.probe
-        if p is not None:
-            p.sent(_task_label() or "main", msg.size)
+        ps = self._p_sent
+        if ps is not None:
+            ps(msg.packet.size)
         self._world.mailboxes[gdest].deposit(msg)
         self._executor.notify()
         return msg
@@ -430,33 +442,18 @@ class Comm:
         rec = _trace_events._top
         untraced = rec is None or not rec.recording
         if untraced and (grp is None or not grp.failed):
-            # Mailbox.take inlined (same match test): one frame fewer on
-            # the hottest receive path.
-            # Lock-free: this rank is the mailbox's only consumer, so the
-            # del races with nothing; concurrent producer appends are
-            # GIL-atomic (see the deposit in :meth:`send`).
-            ctx = self._ctx
-            msg = None
-            messages = self._my_mailbox._messages
-            for i, m in enumerate(messages):
-                if (
-                    m.context == ctx
-                    and not m.consumed
-                    and (source == ANY_SOURCE or m.source == source)
-                    and (tag == ANY_TAG or m.tag == tag)
-                ):
-                    del messages[i]
-                    m.consumed = True
-                    msg = m
-                    break
+            # Indexed take: a dict probe plus popleft on the bucket —
+            # O(1) regardless of how many messages are in flight (the
+            # old inlined flat scan was O(messages) per receive).
+            msg = self._my_mailbox.take(self._ctx, source, tag)
             if msg is not None:
                 clock = self._my_clock
                 now = clock.now
                 arrival = msg.arrival
                 clock.now = (arrival if arrival > now else now) + self._ovh
-                p = _live.probe
-                if p is not None:
-                    p.received(_task_label() or "main", msg.size)
+                pr = self._p_recv
+                if pr is not None:
+                    pr(msg.packet.size)
                 if msg.sync:
                     self._executor.notify()
                 packet = msg.packet
@@ -469,30 +466,17 @@ class Comm:
         self._wait_for_message(source, tag)
         if untraced and not _trace_active():
             # Light completion: no events to emit, so skip the peek/ack
-            # bookkeeping of _complete_recv_msg (lock-free scan as above).
-            ctx = self._ctx
-            msg = None
-            messages = self._my_mailbox._messages
-            for i, m in enumerate(messages):
-                if (
-                    m.context == ctx
-                    and not m.consumed
-                    and (source == ANY_SOURCE or m.source == source)
-                    and (tag == ANY_TAG or m.tag == tag)
-                ):
-                    del messages[i]
-                    m.consumed = True
-                    msg = m
-                    break
+            # bookkeeping of _complete_recv_msg (indexed take as above).
+            msg = self._my_mailbox.take(self._ctx, source, tag)
             if msg is None:  # pragma: no cover - single consumer per mailbox
                 raise CommError("matched message vanished (mailbox misuse)")
             clock = self._my_clock
             now = clock.now
             arrival = msg.arrival
             clock.now = (arrival if arrival > now else now) + self._ovh
-            p = _live.probe
-            if p is not None:
-                p.received(_task_label() or "main", msg.size)
+            pr = self._p_recv
+            if pr is not None:
+                pr(msg.packet.size)
             if msg.sync:
                 self._executor.notify()
         else:
@@ -508,23 +492,39 @@ class Comm:
         mbox = self._my_mailbox
         world = self._world
         grp = world.group
-        if grp is not None:
-            # The common case inside a launched world: the predicate is
-            # re-evaluated on every scheduler wakeup, so the mailbox scan
-            # is inlined (same match test as Mailbox.peek) and the group's
-            # failed flag is read directly instead of via the ``broken``
-            # property.
-            def pred(_msgs=mbox._messages, _ctx=self._ctx, _grp=grp):
-                # Read-only lock-free scan (see the deposit in ``send``).
-                for m in _msgs:
-                    if (
-                        m.context == _ctx
-                        and not m.consumed
-                        and (source == ANY_SOURCE or m.source == source)
-                        and (tag == ANY_TAG or m.tag == tag)
-                    ):
-                        return True
-                return _grp.failed
+        if grp is not None and self._lockstep:
+            # The common case inside a lockstep world: the predicate is
+            # re-evaluated on every scheduler wakeup, so it probes the
+            # mailbox index directly (no lock exists on a lockstep
+            # mailbox; only one task runs at a time) and reads the
+            # group's failed flag instead of the ``broken`` property.
+            if source != ANY_SOURCE and tag != ANY_TAG:
+                # Exact-key receive: the predicate is one dict probe.
+                def pred(
+                    _queues=mbox._queues,
+                    _key=(self._ctx, source, tag),
+                    _grp=grp,
+                ):
+                    q = _queues.get(_key)
+                    if q:
+                        for m in q:
+                            if not m.consumed:
+                                return True
+                    return _grp.failed
+
+            else:
+
+                def pred(_match=mbox._match, _ctx=self._ctx, _grp=grp):
+                    return (
+                        _match(_ctx, source, tag) is not None or _grp.failed
+                    )
+
+        elif grp is not None:
+            # Real threads: go through the locked peek.
+            ctx = self._ctx
+
+            def pred(_peek=mbox.peek, _ctx=ctx, _grp=grp):
+                return _peek(_ctx, source, tag) is not None or _grp.failed
 
         else:
             ctx = self._ctx
@@ -568,9 +568,9 @@ class Comm:
                 vtime=clock.now,
                 hb_acq=("msg", self._world.scope, msg.uid),
             )
-        p = _live.probe
-        if p is not None:
-            p.received(_task_label() or "main", msg.size)
+        pr = self._p_recv
+        if pr is not None:
+            pr(msg.packet.size)
         if msg.sync:
             self._world.executor.notify()  # release the rendezvous sender
         return msg
@@ -599,9 +599,9 @@ class Comm:
                 now = clock.now
                 arrival = msg.arrival
                 clock.now = (arrival if arrival > now else now) + self._ovh
-                p = _live.probe
-                if p is not None:
-                    p.received(_task_label() or "main", msg.size)
+                pr = self._p_recv
+                if pr is not None:
+                    pr(msg.packet.size)
                 if msg.sync:
                     self._executor.notify()
                 return msg.packet

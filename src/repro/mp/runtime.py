@@ -51,7 +51,10 @@ class World:
         self.runtime = runtime
         self.size = size
         self.label = label
-        self.mailboxes = [Mailbox(r) for r in range(size)]
+        # Lockstep worlds run one task at a time: their mailboxes can
+        # never see concurrent access, so they drop the per-op lock.
+        locked = runtime.executor.mode != "lockstep"
+        self.mailboxes = [Mailbox(r, locked=locked) for r in range(size)]
         self.clocks = [RankClock() for _ in range(size)]
         self.costs = runtime.costs
         self.cluster = runtime.cluster

@@ -5,13 +5,28 @@ carry one probe hook shaped like the trace fast path::
 
     p = _live.probe
     if p is not None:
-        p.sent(label, size)
+        p.run(label)
 
 ``probe`` is a module global read at call time (never bound at import,
 so installing a probe mid-process takes effect everywhere immediately,
 mirroring ``repro.trace.events._top``).  When no probe is installed the
 cost is one attribute read and a ``None`` test; the bench suite gates
 that overhead via the ``metrics_overhead_pct`` metric.
+
+When a probe *is* installed, each hook attribute is a bound
+``list.append`` — a C call with no Python frame, no dict hashing, no
+integer boxing on the hot path.  The messaging hooks go one step
+further: a :class:`~repro.mp.comm.Comm` asks for
+``sent_for(label)``/``received_for(label)`` *once at construction*
+(communicators run on their owning rank task, so the label is fixed)
+and the per-event call is then a bare ``append(size)`` — no tuple, no
+label resolution.  Consequence: a probe only counts traffic of
+communicators created while it was installed, which every consumer
+(``probing()`` wraps whole runs) already satisfies.  Aggregation into
+per-task counter tables is deferred to first read
+(``snapshot()``/``to_registry()``/any counter property), which is why
+probed runs stay within the documented ~3-5% overhead envelope instead
+of paying a Python-level dict update per event.
 
 This module imports nothing from the engine — it is pure stdlib — so
 scheduler/transport/sync modules can import it without cycles.
@@ -41,9 +56,29 @@ class Probe:
     Keys are task labels (``"main"``, ``"omp:2"``, ``"mpi:1/omp:0"`` —
     the same vocabulary the trace spine uses), so live snapshots line up
     with trace-derived metrics label-for-label.
+
+    The hook attributes (``run``, ``block``, ``wake``, ``barrier``,
+    ``critical``, ``atomic``) are bound ``list.append`` methods over
+    per-kind event buffers.  Message traffic goes through
+    :meth:`sent_for`/:meth:`received_for`: a communicator binds its
+    task's size-list append once at construction, so the per-event call
+    carries no label and allocates nothing.  Buffers are folded into the
+    counter tables lazily, on first read of any counter view — hot
+    paths never touch a Python-level dict update.
     """
 
-    __slots__ = (
+    #: (buffer attr, public counter view fed by it)
+    _TABLES = (
+        ("_run_buf", "switches"),
+        ("_block_buf", "blocks"),
+        ("_wake_buf", "wakes"),
+        ("_barrier_buf", "barrier_arrivals"),
+        ("_critical_buf", "critical_acquisitions"),
+        ("_atomic_buf", "atomic_updates"),
+    )
+
+    #: Counter-view names in export order (mirrors the old slot order).
+    _COUNTERS = (
         "switches",
         "blocks",
         "wakes",
@@ -56,61 +91,153 @@ class Probe:
         "atomic_updates",
     )
 
+    __slots__ = (
+        "_run_buf",
+        "_block_buf",
+        "_wake_buf",
+        "_sent_by",
+        "_recv_by",
+        "_barrier_buf",
+        "_critical_buf",
+        "_atomic_buf",
+        "_tables",
+        "run",
+        "block",
+        "wake",
+        "barrier",
+        "critical",
+        "atomic",
+    )
+
     def __init__(self) -> None:
-        self.switches: dict[str, int] = {}
-        self.blocks: dict[str, int] = {}
-        self.wakes: dict[str, int] = {}
-        self.msgs_sent: dict[str, int] = {}
-        self.bytes_sent: dict[str, int] = {}
-        self.msgs_recvd: dict[str, int] = {}
-        self.bytes_recvd: dict[str, int] = {}
-        self.barrier_arrivals: dict[str, int] = {}
-        self.critical_acquisitions: dict[str, int] = {}
-        self.atomic_updates: dict[str, int] = {}
+        self._run_buf: list[str] = []
+        self._block_buf: list[str] = []
+        self._wake_buf: list[str] = []
+        self._sent_by: dict[str, list[int]] = {}
+        self._recv_by: dict[str, list[int]] = {}
+        self._barrier_buf: list[str] = []
+        self._critical_buf: list[str] = []
+        self._atomic_buf: list[str] = []
+        self._tables: dict[str, dict[str, int]] = {
+            name: {} for name in self._COUNTERS
+        }
+        # Hook entry points: bound C appends, no Python frame per event.
+        self.run = self._run_buf.append
+        self.block = self._block_buf.append
+        self.wake = self._wake_buf.append
+        self.barrier = self._barrier_buf.append
+        self.critical = self._critical_buf.append
+        self.atomic = self._atomic_buf.append
 
-    # -- hook entry points (one per engine site) ------------------------
-    def run(self, task: str) -> None:
-        """The scheduler switched into ``task`` (a ``sched.run``)."""
-        self.switches[task] = self.switches.get(task, 0) + 1
+    # -- per-task messaging hooks ----------------------------------------
+    def sent_for(self, task: str):
+        """Bound per-event hook for one task's sends: ``hook(size)``.
 
-    def block(self, task: str) -> None:
-        """``task`` blocked at a switch point (a ``sched.block``)."""
-        self.blocks[task] = self.blocks.get(task, 0) + 1
+        A communicator calls this once at construction; every send then
+        costs one C-level ``list.append`` of an already-boxed int.
+        """
+        return self._sent_by.setdefault(task, []).append
 
-    def wake(self, task: str) -> None:
-        """A blocked ``task`` was promoted to runnable (a ``sched.wake``)."""
-        self.wakes[task] = self.wakes.get(task, 0) + 1
+    def received_for(self, task: str):
+        """Bound per-event hook for one task's receives: ``hook(size)``."""
+        return self._recv_by.setdefault(task, []).append
 
-    def sent(self, task: str, size: int) -> None:
-        """``task`` sent one message of ``size`` LogP bytes."""
-        self.msgs_sent[task] = self.msgs_sent.get(task, 0) + 1
-        self.bytes_sent[task] = self.bytes_sent.get(task, 0) + size
+    # -- aggregation -----------------------------------------------------
+    def _flush(self) -> None:
+        """Fold buffered events into the counter tables.
 
-    def received(self, task: str, size: int) -> None:
-        """``task`` completed one receive of ``size`` LogP bytes."""
-        self.msgs_recvd[task] = self.msgs_recvd.get(task, 0) + 1
-        self.bytes_recvd[task] = self.bytes_recvd.get(task, 0) + size
+        Safe against concurrent appends (thread-mode runs): the copied
+        prefix is deleted by exact length, so an event appended mid-fold
+        survives for the next flush.
+        """
+        tables = self._tables
+        for buf_name, view in self._TABLES:
+            buf: list = getattr(self, buf_name)
+            if not buf:
+                continue
+            items = buf[:]
+            del buf[: len(items)]
+            tab = tables[view]
+            for task in items:
+                tab[task] = tab.get(task, 0) + 1
+        for by, msgs_view, bytes_view in (
+            (self._sent_by, "msgs_sent", "bytes_sent"),
+            (self._recv_by, "msgs_recvd", "bytes_recvd"),
+        ):
+            msgs, size_tab = tables[msgs_view], tables[bytes_view]
+            # list() guards against a communicator binding a new task's
+            # hook (sent_for) concurrently with this fold.
+            for task in list(by):
+                sizes = by[task]
+                if not sizes:
+                    continue
+                items = sizes[:]
+                del sizes[: len(items)]
+                msgs[task] = msgs.get(task, 0) + len(items)
+                size_tab[task] = size_tab.get(task, 0) + sum(items)
 
-    def barrier(self, task: str) -> None:
-        """``task`` arrived at a barrier."""
-        self.barrier_arrivals[task] = self.barrier_arrivals.get(task, 0) + 1
+    def _table(self, name: str) -> dict[str, int]:
+        self._flush()
+        return self._tables[name]
 
-    def critical(self, task: str) -> None:
-        """``task`` acquired a critical section."""
-        self.critical_acquisitions[task] = (
-            self.critical_acquisitions.get(task, 0) + 1
-        )
+    # -- counter views (aggregate on read) -------------------------------
+    @property
+    def switches(self) -> dict[str, int]:
+        """Scheduler switches into each task (``sched.run`` events)."""
+        return self._table("switches")
 
-    def atomic(self, task: str) -> None:
-        """``task`` completed one atomic guarded update."""
-        self.atomic_updates[task] = self.atomic_updates.get(task, 0) + 1
+    @property
+    def blocks(self) -> dict[str, int]:
+        """Times each task blocked at a switch point."""
+        return self._table("blocks")
+
+    @property
+    def wakes(self) -> dict[str, int]:
+        """Times each blocked task was promoted to runnable."""
+        return self._table("wakes")
+
+    @property
+    def msgs_sent(self) -> dict[str, int]:
+        """Point-to-point messages sent per task."""
+        return self._table("msgs_sent")
+
+    @property
+    def bytes_sent(self) -> dict[str, int]:
+        """Message payload bytes sent per task (LogP sizes)."""
+        return self._table("bytes_sent")
+
+    @property
+    def msgs_recvd(self) -> dict[str, int]:
+        """Point-to-point messages received per task."""
+        return self._table("msgs_recvd")
+
+    @property
+    def bytes_recvd(self) -> dict[str, int]:
+        """Message payload bytes received per task (LogP sizes)."""
+        return self._table("bytes_recvd")
+
+    @property
+    def barrier_arrivals(self) -> dict[str, int]:
+        """Barrier arrivals per task."""
+        return self._table("barrier_arrivals")
+
+    @property
+    def critical_acquisitions(self) -> dict[str, int]:
+        """Critical-section acquisitions per task."""
+        return self._table("critical_acquisitions")
+
+    @property
+    def atomic_updates(self) -> dict[str, int]:
+        """Atomic guarded updates per task."""
+        return self._table("atomic_updates")
 
     # -- views ----------------------------------------------------------
     def snapshot(self) -> dict[str, dict[str, int]]:
         """All counters as one ordered plain dict (stable for asserts)."""
+        self._flush()
         out: dict[str, dict[str, int]] = {}
-        for name in self.__slots__:
-            table: dict[str, int] = getattr(self, name)
+        for name in self._COUNTERS:
+            table = self._tables[name]
             out[name] = {k: table[k] for k in sorted(table)}
         return out
 

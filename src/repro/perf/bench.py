@@ -10,16 +10,31 @@ optimises:
     mutable variant sends a small ``list`` (must round-trip through
     pickle for isolation).
 
-``switch_rate``
-    Lockstep task switches per second: four tasks spinning on bare
-    ``checkpoint()`` calls, measured over the executor's own step
-    counter.  This isolates the token-handoff primitive from transport
-    costs.
+``switch_rate`` / ``switch_rate_np64``
+    Lockstep task switches per second: spinners on bare ``checkpoint()``
+    calls, measured over the executor's own step counter.  This isolates
+    the token-handoff primitive from transport costs.  The ``np64``
+    variant runs 64 spinners and is gated separately: it is what proves
+    switch selection is O(log np) (the maintained ready index), not
+    O(np) — a per-switch table scan would crater exactly this metric.
 
-``bcast_ms_p{2,4,8}``
-    Wall milliseconds per 64-element broadcast at 2/4/8 ranks — the
+``run_setup_ms``
+    Fixed per-run overhead: wall milliseconds per empty 4-rank lockstep
+    world, warm rank pool.  This is the thread-spawn amortisation the
+    rank pool (:mod:`repro.sched.pool`) buys; it is what bounds batch
+    throughput on cache misses.
+
+``bcast_ms_p{2,4,8,32}``
+    Wall milliseconds per 64-element broadcast at 2/4/8/32 ranks — the
     collective-latency-vs-rank-count curve; exercises the binomial tree
-    and the pack-once forwarding path.
+    and the pack-once forwarding path (p32 adds the large-np point where
+    mailbox matching and switch selection costs would dominate if they
+    were O(np)).
+
+``figure_suite_np64_wall_s``
+    Wall seconds for the scaling demo: the three classroom-representative
+    patternlets (spmd, broadcast, reduction) each run once at np=64 —
+    the "crank the task count" mechanic the paper teaches with.
 
 ``figure_suite_wall_s``
     Wall seconds for one pass of the figure self-check
@@ -43,9 +58,11 @@ optimises:
 ``metrics_overhead_pct``
     How much of the un-instrumented message throughput the live metrics
     probes (:mod:`repro.obs.live`) cost, interleaved A/B.  Gated
-    *absolutely*: it fails a ``--check`` when it exceeds the tolerance
-    (default 30%) regardless of the baseline file, so instrumentation
-    can never silently eat the hot path.
+    *absolutely* against :data:`METRICS_OVERHEAD_BUDGET_PCT` (6%)
+    regardless of the baseline file, so instrumentation can never
+    silently eat the hot path.  The probe hooks are bound C appends
+    with deferred aggregation, which is what holds the measured cost in
+    the documented ~3-5% envelope.
 
 All engine benchmarks run under ``muted()`` so they measure the engine,
 not the trace recorder; the trace fast path is itself covered because
@@ -71,12 +88,15 @@ from repro.trace import muted
 
 __all__ = [
     "HIGHER_IS_BETTER",
+    "METRICS_OVERHEAD_BUDGET_PCT",
     "SCHEMA",
     "bench_batch_suite",
     "bench_bcast_latency",
     "bench_figure_suite",
+    "bench_large_np_suite",
     "bench_metrics_overhead",
     "bench_msg_throughput",
+    "bench_run_setup",
     "bench_selfcheck_ab",
     "bench_switch_rate",
     "compare",
@@ -94,8 +114,15 @@ HIGHER_IS_BETTER = (
     "msg_throughput_immutable",
     "msg_throughput_mutable",
     "switch_rate",
+    "switch_rate_np64",
     "batch_throughput_runs_s",
 )
+
+#: Absolute ceiling (percent) for live-probe hot-path overhead.  Fixed,
+#: not tolerance-derived: the documented probe cost is ~3-5%, so 6% is
+#: one honest notch of headroom, and a probe redesign that regresses past
+#: it fails every ``--check`` no matter what baseline file is used.
+METRICS_OVERHEAD_BUDGET_PCT = 6.0
 
 
 def bench_msg_throughput(payload: Any = 12345, *, n: int = 3000) -> float:
@@ -133,6 +160,45 @@ def bench_switch_rate(*, tasks: int = 4, k: int = 20000) -> float:
         ex.run_tasks([body] * tasks, [f"t{i}" for i in range(tasks)])
         dt = time.perf_counter() - t0
     return ex.step_count / dt
+
+
+def bench_run_setup(*, np: int = 4, runs: int = 100) -> float:
+    """Fixed per-run overhead: wall ms per empty ``np``-rank lockstep run.
+
+    Each iteration builds a fresh :class:`~repro.mp.runtime.MpRuntime`
+    and runs a no-op world — the setup/teardown a ``patternlet run`` or
+    a batch cache miss pays before any patternlet code executes.  One
+    warm-up run first, so the measurement sees the steady state a run
+    loop actually lives in (rank pool populated, imports warm).
+    """
+    from repro.mp.runtime import MpRuntime
+
+    def main(comm):
+        return None
+
+    with muted():
+        MpRuntime(mode="lockstep", seed=0).run(np, main)  # warm the pool
+        t0 = time.perf_counter()
+        for _ in range(runs):
+            MpRuntime(mode="lockstep", seed=0).run(np, main)
+        dt = time.perf_counter() - t0
+    return dt / runs * 1000
+
+
+def bench_large_np_suite(*, np: int = 64) -> float:
+    """Wall seconds to run the three classroom patternlets at ``np`` tasks.
+
+    spmd, broadcast and reduction (the "crank the task count" demos) run
+    once each at ``np`` under the seeded lockstep scheduler — the
+    end-to-end cost of the scaling mechanic the paper's patternlets are
+    built around.
+    """
+    from repro.core.registry import run_patternlet
+
+    t0 = time.perf_counter()
+    for name in ("mpi.spmd", "mpi.broadcast", "openmp.reduction"):
+        run_patternlet(name, tasks=np, mode="lockstep", seed=0)
+    return time.perf_counter() - t0
 
 
 def bench_bcast_latency(p: int, *, iters: int = 50) -> float:
@@ -239,25 +305,37 @@ def bench_metrics_overhead(*, quick: bool = False, rounds: int = 3) -> float:
 
     Interleaved A/B over the immutable message stream: one arm with no
     probe installed (the engine's ``_live.probe is None`` fast path), one
-    arm under :func:`repro.obs.live.probing`.  Best-of-each arm, so both
-    sample the same machine conditions.  The result is how much of the
-    un-instrumented throughput the live metrics hooks cost — gated
-    absolutely in :func:`compare` (it must stay inside the tolerance the
-    engine benchmarks already enforce for regressions).
+    arm under :func:`repro.obs.live.probing`.  Each round measures its
+    two arms back to back and yields one probed/base ratio — adjacent
+    measurements share machine conditions, so a per-round ratio is far
+    more stable than comparing bests across rounds.  The reported
+    overhead is the *minimum* across rounds: interference (GC, a noisy
+    neighbour) can only depress one arm and inflate the apparent
+    overhead, never hide real hook cost that is paid in every round.
+    The result is how much of the un-instrumented throughput the live
+    metrics hooks cost — gated absolutely in :func:`compare` against
+    :data:`METRICS_OVERHEAD_BUDGET_PCT` (6%), tighter than the
+    regression tolerance because the probe's cost is a design property
+    of the hooks, not a machine property.
     """
     from repro.obs.live import probing
 
     n = 3000 // (5 if quick else 1)
-    base: list[float] = []
-    probed: list[float] = []
-    for _ in range(rounds):
-        base.append(bench_msg_throughput(12345, n=n))
-        with probing():
-            probed.append(bench_msg_throughput(12345, n=n))
-    best_base, best_probed = max(base), max(probed)
-    if best_base <= 0:
-        return 0.0
-    return round(max(0.0, (1.0 - best_probed / best_base) * 100), 2)
+    best_ratio = 0.0
+    for i in range(rounds):
+        # Alternate arm order: a multi-round noise burst then lands on
+        # each arm equally instead of depressing one arm every round.
+        if i % 2:
+            with probing():
+                probed = bench_msg_throughput(12345, n=n)
+            base = bench_msg_throughput(12345, n=n)
+        else:
+            base = bench_msg_throughput(12345, n=n)
+            with probing():
+                probed = bench_msg_throughput(12345, n=n)
+        if base > 0:
+            best_ratio = max(best_ratio, probed / base)
+    return round(max(0.0, (1.0 - best_ratio) * 100), 2)
 
 
 def run_benchmarks(
@@ -290,19 +368,28 @@ def run_benchmarks(
     out["switch_rate"] = round(
         max(bench_switch_rate(k=20000 // scale) for _ in range(3)), 1
     )
-    for p in (2, 4, 8):
+    note("lockstep switch rate at np=64")
+    out["switch_rate_np64"] = round(
+        max(bench_switch_rate(tasks=64, k=20000 // scale) for _ in range(3)), 1
+    )
+    note("per-run setup cost (pool-amortised)")
+    out["run_setup_ms"] = round(bench_run_setup(runs=100 // scale), 3)
+    for p in (2, 4, 8, 32):
         note(f"bcast latency at {p} ranks")
         out[f"bcast_ms_p{p}"] = round(bench_bcast_latency(p, iters=50 // scale), 3)
     note("figure suite wall clock")
     out["figure_suite_wall_s"] = round(bench_figure_suite(), 3)
+    note("large-np patternlet suite at 64 tasks")
+    out["figure_suite_np64_wall_s"] = round(bench_large_np_suite(), 3)
     note("batch runner: cold + warm figure-suite grid")
     out.update(bench_batch_suite(quick=quick))
     note("selfcheck cold/warm interleaved A/B")
     out.update(bench_selfcheck_ab(rounds=1 if quick else 3))
     note("live metrics probe overhead A/B")
-    out["metrics_overhead_pct"] = bench_metrics_overhead(
-        quick=quick, rounds=1 if quick else 3
-    )
+    # Always 7 rounds: the min-across-rounds estimator needs several
+    # probed/base pairs to shed interference, and quick mode already
+    # shrinks the per-round message count 5x.
+    out["metrics_overhead_pct"] = bench_metrics_overhead(quick=quick, rounds=7)
     return out
 
 
@@ -353,13 +440,13 @@ def compare(
     """
     failures: list[str] = []
     # The probe-overhead gate is absolute (no baseline needed): the live
-    # metrics hooks must never eat more of the hot path than the check's
-    # throughput tolerance allows, whatever machine measured it.
+    # metrics hooks must stay inside METRICS_OVERHEAD_BUDGET_PCT of the
+    # hot path, whatever machine measured it.
     overhead = current.get("metrics_overhead_pct")
-    if overhead is not None and overhead > tolerance * 100:
+    if overhead is not None and overhead > METRICS_OVERHEAD_BUDGET_PCT:
         failures.append(
             f"metrics_overhead_pct: live-probe overhead {overhead:.1f}% "
-            f"exceeds the {tolerance:.0%} hot-path budget"
+            f"exceeds the {METRICS_OVERHEAD_BUDGET_PCT:.0f}% hot-path budget"
         )
     for name in HIGHER_IS_BETTER:
         if name not in current:

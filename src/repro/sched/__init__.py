@@ -17,6 +17,11 @@ interface defined here, and can therefore run in either of two modes:
   deadlocks *replayable* — the property the paper's live-coding pedagogy
   relies on the projector for.
 
+Both executors run task bodies on threads **leased** from the process-wide
+rank pool (:mod:`repro.sched.pool`), so back-to-back runs — the batch
+runner's bread and butter — reuse parked OS threads instead of paying
+thread creation/teardown per rank per run.
+
 Use :func:`make_executor` to construct one from a mode string.
 """
 
@@ -37,6 +42,12 @@ from repro.sched.policy import (
     RoundRobinPolicy,
     make_policy,
 )
+from repro.sched.pool import (
+    RankThreadPool,
+    pool_stats,
+    reset_pool,
+    shutdown_pool,
+)
 from repro.sched.threaded import ThreadExecutor
 
 __all__ = [
@@ -53,6 +64,10 @@ __all__ = [
     "make_executor",
     "current_task_label",
     "set_task_label",
+    "RankThreadPool",
+    "pool_stats",
+    "reset_pool",
+    "shutdown_pool",
 ]
 
 

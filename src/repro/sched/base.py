@@ -78,7 +78,12 @@ def current_task_label() -> str | None:
 
 
 def set_task_label(label: str | None) -> None:
-    """Set (or clear, with ``None``) the current thread's task label."""
+    """Set (or clear, with ``None``) the current thread's task label.
+
+    This is the one engine thread-local that could outlive a task body;
+    the rank pool (:mod:`repro.sched.pool`) clears it between leases so
+    a reused worker thread is indistinguishable from a fresh one.
+    """
     _tls.label = label
 
 

@@ -35,6 +35,15 @@ Switch-point machinery (the hot path of every lockstep run):
   ``timed_waits`` counter records any fallback timed poll (only ever taken
   when *no* managed task exists to deliver a wakeup); tests assert it
   stays zero in deadlock-free runs.
+- The runnable set is a **maintained sorted index** (``_ready``, ascending
+  tid — exactly the list the policy contract requires) plus a blocked-task
+  index for promotion passes, so a switch costs O(log np) instead of an
+  O(np) scan of the task table; this is what makes np=256 runs practical.
+- Task bodies run on threads **leased from the process-wide rank pool**
+  (:mod:`repro.sched.pool`) rather than freshly spawned per run: thread
+  setup/teardown no longer dominates per-run cost at batch rates, and an
+  aborted/deadlocked run reparks its workers instead of stranding OS
+  threads behind the old ``Thread.join(timeout=5.0)``.
 
 If the runnable set empties while blocked tasks remain, every task is woken
 with a :class:`~repro.errors.DeadlockError` naming each blocked task and
@@ -51,9 +60,11 @@ never do.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left, insort
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.errors import DeadlockError, ParallelError, SchedulerError
+from repro.sched.pool import lease as _pool_lease
 from repro.sched.base import (
     Executor,
     TaskGroup,
@@ -148,6 +159,13 @@ class LockstepExecutor(Executor):
         #: assert on this to keep the busy-wait from creeping back.
         self.timed_waits = 0
         self._tasks: dict[int, _TaskState] = {}
+        #: Maintained index of runnable tids, always sorted ascending —
+        #: exactly the list the policy contract requires.  Switch points
+        #: re-insert/remove in O(log np) instead of scanning the whole
+        #: task table per switch (O(np) — ruinous at np=256).
+        self._ready: list[int] = []
+        #: Blocked tasks by tid; promotion passes scan only this index.
+        self._blocked: dict[int, _TaskState] = {}
         self._current: int | None = None
         self._next_tid = 0
         self._steps = 0
@@ -202,19 +220,17 @@ class LockstepExecutor(Executor):
                 self._tasks[tid] = st
                 states.append((st, thunk))
 
-        threads = []
-        for st, thunk in states:
-            t = threading.Thread(
-                target=self._task_main,
-                args=(st, thunk),
-                name=f"{group_label}:{st.label}",
-                daemon=True,
+        leases = [
+            _pool_lease(
+                self._task_main, (st, thunk), name=f"{group_label}:{st.label}"
             )
-            threads.append(t)
-            t.start()
+            for st, thunk in states
+        ]
         with self._lock:
+            ready = self._ready
             for st, _ in states:
                 st.status = _RUNNABLE
+                insort(ready, st.tid)
             self._dirty = True
 
         if caller is not None:
@@ -229,14 +245,16 @@ class LockstepExecutor(Executor):
             # Outer call from an unmanaged thread: hand the token to the
             # first task, then sleep until the group completes (or aborts).
             with self._lock:
-                first = self._pick_next_locked(current_ok=None)
+                first = self._pick_next_locked()
                 if first is not None:
                     self._hand_token_locked(first)
             gstate.done_event.wait()
             if self._aborted is not None:
-                # Give every task thread a moment to unwind before raising.
-                for t in threads:
-                    t.join(timeout=5.0)
+                # Give every task body a moment to unwind before raising.
+                # Leases are reclaimed by the pool even when a body is
+                # still unwinding: no OS thread is stranded either way.
+                for l in leases:
+                    l.join(timeout=5.0)
                 # A real task failure often *causes* the subsequent
                 # deadlock (its orphaned peers block forever); report the
                 # root cause, with the deadlock among the failures.
@@ -250,8 +268,8 @@ class LockstepExecutor(Executor):
                     raise ParallelError(group.failures())
                 raise self._aborted
 
-        for t in threads:
-            t.join(timeout=5.0)
+        for l in leases:
+            l.join(timeout=5.0)
         self._raise_group_failures(group)
         return group
 
@@ -272,12 +290,10 @@ class LockstepExecutor(Executor):
             self._next_tid += 1
             st = _TaskState(tid, label, gstate, record)
             self._tasks[tid] = st
-        thread = threading.Thread(
-            target=self._task_main, args=(st, thunk), name=f"spawn:{label}", daemon=True
-        )
-        thread.start()
+        task_lease = _pool_lease(self._task_main, (st, thunk), name=f"spawn:{label}")
         with self._lock:
             st.status = _RUNNABLE
+            insort(self._ready, st.tid)
             self._dirty = True
 
         def waiter() -> None:
@@ -285,7 +301,7 @@ class LockstepExecutor(Executor):
                 lambda: gstate.remaining == 0,
                 describe=f"join of spawned task {label!r}",
             )
-            thread.join(timeout=5.0)
+            task_lease.join(timeout=5.0)
 
         return TaskHandle(record, waiter)
 
@@ -295,57 +311,40 @@ class LockstepExecutor(Executor):
         # sequence is inlined here (same logic as _pick_next_locked +
         # _hand_token_locked, which remain the shared path for wait_until
         # and _finish) to keep the per-switch cost to a handful of
-        # attribute reads.  Marking *me* runnable before building the list
-        # yields exactly the list _pick_next_locked(current_ok=me) builds:
-        # same members, same (tid-ascending) order, so seeded policies draw
-        # identical choices.
+        # attribute reads.  The runnable set is the maintained sorted
+        # _ready list — re-inserting *me* costs O(log np) and the policy
+        # draw indexes it directly, so a switch no longer scans the task
+        # table (O(np) per switch was ruinous at np=256).  The list holds
+        # exactly the RUNNABLE tids in ascending order — the same members
+        # in the same order the table scan produced — so seeded policies
+        # draw identical choices.
         me = getattr(self._tls, "state", None)
         if me is None:
             return
         if self._aborted is not None:
             raise _AbortUnwind()
         with self._lock:
-            tasks = self._tasks
             me.status = _RUNNABLE
+            ready = self._ready
+            insort(ready, me.tid)
             if self._dirty:
-                # _promote_locked fused with the runnable-list build: one
-                # pass over the task table does both.  Dict order is
-                # ascending tid, so appending promoted and already-runnable
-                # tasks in encounter order yields exactly the sorted list
-                # the two-pass version built.
                 self._dirty = False
-                runnable = []
-                for tid, st in tasks.items():
-                    stat = st.status
-                    if stat == _RUNNABLE:
-                        runnable.append(tid)
-                    elif stat == _BLOCKED and st.pred is not None and st.pred():
-                        st.status = _RUNNABLE
-                        runnable.append(tid)
-                        trace = self._trace
-                        if len(trace) < self.TRACE_LIMIT:
-                            trace.append(("wake", st.label))
-                        rec = _trace_events._top
-                        if rec is not None and rec.recording:
-                            rec.emit("sched.wake", task=st.label)
-                        p = _live.probe
-                        if p is not None:
-                            p.wake(st.label)
-            else:
-                runnable = [
-                    tid for tid, st in tasks.items() if st.status == _RUNNABLE
-                ]
+                if self._blocked:
+                    self._promote_locked()
             rb = self._randbelow
             if rb is not None:
-                chosen = runnable[rb(len(runnable))]
+                i = rb(len(ready))
+                chosen = ready[i]
             else:
-                chosen = self._choose(runnable, me.tid)
+                chosen = self._choose(ready, me.tid)
+                i = bisect_left(ready, chosen)
+                if i >= len(ready) or ready[i] != chosen:
+                    raise SchedulerError(f"policy chose unknown task id {chosen}")
             if chosen == me.tid:
+                del ready[i]
                 me.status = _RUNNING
                 return
-            nxt = tasks.get(chosen)
-            if nxt is None:
-                raise SchedulerError(f"policy chose unknown task id {chosen}")
+            nxt = self._tasks[chosen]
             self._steps += 1
             if self._steps > self.max_steps:
                 self._abort_locked(
@@ -355,6 +354,7 @@ class LockstepExecutor(Executor):
                     )
                 )
             else:
+                del ready[i]
                 nxt.status = _RUNNING
                 self._current = nxt.tid
                 trace = self._trace
@@ -387,6 +387,7 @@ class LockstepExecutor(Executor):
                 me.status = _BLOCKED
                 me.pred = pred
                 me.describe = describe
+                self._blocked[me.tid] = me
                 trace = self._trace
                 if len(trace) < self.TRACE_LIMIT:
                     trace.append(("block", me.label))
@@ -401,53 +402,30 @@ class LockstepExecutor(Executor):
                 # *me* is skipped in the promote pass — its predicate was
                 # evaluated false at the top of this loop iteration, and
                 # predicates are pure, so re-evaluating it cannot promote
-                # it (the empty-runnable safety net still re-checks all).
-                tasks = self._tasks
+                # it (the empty-ready safety net still re-checks all).
+                ready = self._ready
                 if self._dirty:
                     self._dirty = False
-                    runnable = []
-                    for tid, st in tasks.items():
-                        stat = st.status
-                        if stat == _RUNNABLE:
-                            runnable.append(tid)
-                        elif (
-                            stat == _BLOCKED
-                            and st is not me
-                            and st.pred is not None
-                            and st.pred()
-                        ):
-                            st.status = _RUNNABLE
-                            runnable.append(tid)
-                            if len(trace) < self.TRACE_LIMIT:
-                                trace.append(("wake", st.label))
-                            rec = _trace_events._top
-                            if rec is not None and rec.recording:
-                                rec.emit("sched.wake", task=st.label)
-                            p = _live.probe
-                            if p is not None:
-                                p.wake(st.label)
-                else:
-                    runnable = [
-                        tid for tid, st in tasks.items() if st.status == _RUNNABLE
-                    ]
-                if not runnable:
+                    self._promote_locked(skip=me)
+                if not ready:
                     # Safety net: one forced re-evaluation (see
                     # _pick_next_locked) before declaring deadlock.
                     self._promote_locked()
-                    runnable = [
-                        tid for tid, st in tasks.items() if st.status == _RUNNABLE
-                    ]
-                if not runnable:
+                if not ready:
                     self._abort_locked(self._deadlock_locked())
                     break
                 rb = self._randbelow
                 if rb is not None:
-                    chosen = runnable[rb(len(runnable))]
+                    i = rb(len(ready))
+                    chosen = ready[i]
                 else:
-                    chosen = self._choose(runnable, None)
-                nxt = tasks.get(chosen)
-                if nxt is None:
-                    raise SchedulerError(f"policy chose unknown task id {chosen}")
+                    chosen = self._choose(ready, None)
+                    i = bisect_left(ready, chosen)
+                    if i >= len(ready) or ready[i] != chosen:
+                        raise SchedulerError(
+                            f"policy chose unknown task id {chosen}"
+                        )
+                nxt = self._tasks[chosen]
                 self._steps += 1
                 if self._steps > self.max_steps:
                     self._abort_locked(
@@ -457,6 +435,7 @@ class LockstepExecutor(Executor):
                         )
                     )
                 else:
+                    del ready[i]
                     nxt.status = _RUNNING
                     self._current = nxt.tid
                     if len(trace) < self.TRACE_LIMIT:
@@ -474,8 +453,10 @@ class LockstepExecutor(Executor):
         if self._aborted is not None:
             raise _AbortUnwind()
         if blocked:
-            # Safe without the executor lock: *me* is RUNNING now, and the
-            # promote scans only read preds of BLOCKED tasks.
+            # Safe without the executor lock: *me* holds the token (is
+            # RUNNING), the promote pass already dropped me from the
+            # blocked index when it woke me, and promote scans only read
+            # preds of BLOCKED tasks.
             me.pred = None
             me.describe = ""
 
@@ -571,6 +552,10 @@ class LockstepExecutor(Executor):
                 )
             )
             return
+        ready = self._ready
+        i = bisect_left(ready, nxt.tid)
+        if i < len(ready) and ready[i] == nxt.tid:
+            del ready[i]
         nxt.status = _RUNNING
         self._current = nxt.tid
         # _trace_add inlined: this runs once per switch.
@@ -585,46 +570,54 @@ class LockstepExecutor(Executor):
             p.run(nxt.label)
         nxt.sem.release()
 
-    def _promote_locked(self) -> None:
-        """Move blocked tasks whose predicates came true to runnable."""
-        for st in self._tasks.values():
-            if st.status == _BLOCKED and st.pred is not None and st.pred():
-                st.status = _RUNNABLE
-                trace = self._trace
-                if len(trace) < self.TRACE_LIMIT:
-                    trace.append(("wake", st.label))
-                rec = _trace_events._top
-                if rec is not None and rec.recording:
-                    rec.emit("sched.wake", task=st.label)
-                p = _live.probe
-                if p is not None:
-                    p.wake(st.label)
+    def _promote_locked(self, skip: _TaskState | None = None) -> None:
+        """Move blocked tasks whose predicates came true to runnable.
 
-    def _pick_next_locked(self, current_ok: _TaskState | None) -> _TaskState | None:
+        Scans only the blocked-task index (not the whole table), in
+        ascending-tid order — the same wake order the old full-table scan
+        produced, so seeded interleavings are unchanged.
+        """
+        blocked = self._blocked
+        if not blocked:
+            return
+        promoted = None
+        for tid in sorted(blocked):
+            st = blocked[tid]
+            if st is skip or st.pred is None or not st.pred():
+                continue
+            st.status = _RUNNABLE
+            insort(self._ready, tid)
+            if promoted is None:
+                promoted = [tid]
+            else:
+                promoted.append(tid)
+            trace = self._trace
+            if len(trace) < self.TRACE_LIMIT:
+                trace.append(("wake", st.label))
+            rec = _trace_events._top
+            if rec is not None and rec.recording:
+                rec.emit("sched.wake", task=st.label)
+            p = _live.probe
+            if p is not None:
+                p.wake(st.label)
+        if promoted is not None:
+            for tid in promoted:
+                del blocked[tid]
+
+    def _pick_next_locked(self) -> _TaskState | None:
         if self._dirty:
             self._dirty = False
             self._promote_locked()
-        # _tasks is keyed by monotonically increasing tid and never loses
-        # individual entries, so insertion order IS ascending id order —
-        # the sorted runnable list the policy contract requires, without a
-        # sort per switch.
-        runnable = [
-            tid
-            for tid, st in self._tasks.items()
-            if st.status == _RUNNABLE or (current_ok is not None and st is current_ok)
-        ]
-        if not runnable:
+        ready = self._ready
+        if not ready:
             # Safety net: one forced re-evaluation before concluding that
             # nothing can run, in case state changed without a notify().
             self._promote_locked()
-            runnable = [
-                tid for tid, st in self._tasks.items() if st.status == _RUNNABLE
-            ]
-            if not runnable:
+            if not ready:
                 return None
-        cur = current_ok.tid if current_ok is not None else None
-        chosen = self._choose(runnable, cur)
-        if chosen not in self._tasks:
+        chosen = self._choose(ready, None)
+        i = bisect_left(ready, chosen)
+        if i >= len(ready) or ready[i] != chosen:
             raise SchedulerError(f"policy chose unknown task id {chosen}")
         return self._tasks[chosen]
 
@@ -637,7 +630,7 @@ class LockstepExecutor(Executor):
             self._current = None
             self._dirty = True  # remaining/failed changed: joiners may wake
             if self._aborted is None:
-                nxt = self._pick_next_locked(current_ok=None)
+                nxt = self._pick_next_locked()
                 if nxt is not None:
                     self._hand_token_locked(nxt)
                 else:
@@ -655,12 +648,16 @@ class LockstepExecutor(Executor):
             # Garbage-collect finished tasks so long sessions stay small.
             if all(t.status == _DONE for t in self._tasks.values()):
                 self._tasks.clear()
+                # Stale tids can linger in the indexes only on abort paths
+                # (the executor is dead then anyway); clear with the table.
+                self._ready.clear()
+                self._blocked.clear()
                 self._current = None
 
     def _deadlock_locked(self) -> DeadlockError:
         blocked = {
             st.label: resolve_describe(st.describe) or "unspecified condition"
-            for st in self._tasks.values()
+            for st in self._blocked.values()
             if st.status == _BLOCKED
         }
         detail = "; ".join(f"{k} waiting for: {v}" for k, v in sorted(blocked.items()))

@@ -1,8 +1,10 @@
 """Real-OS-thread executor.
 
-Each task of a fork-join group is a genuine ``threading.Thread``, so
-interleavings are decided by the operating system exactly as they are for
-the paper's C programs.  The only additions over raw threads are:
+Each task of a fork-join group runs on a genuine OS thread — leased from
+the process-wide rank pool (:mod:`repro.sched.pool`) so back-to-back runs
+skip thread setup/teardown — and interleavings are decided by the
+operating system exactly as they are for the paper's C programs.  The
+only additions over raw threads are:
 
 - a single global condition variable implementing ``wait_until``/``notify``
   (every state change wakes every waiter, which then re-check their
@@ -17,7 +19,6 @@ the paper's C programs.  The only additions over raw threads are:
 from __future__ import annotations
 
 import threading
-import time
 from typing import Any, Callable, Sequence
 
 from repro.errors import DeadlockError
@@ -29,6 +30,7 @@ from repro.sched.base import (
     resolve_describe,
     set_task_label,
 )
+from repro.sched.pool import lease as _pool_lease
 
 __all__ = ["ThreadExecutor"]
 
@@ -74,19 +76,12 @@ class ThreadExecutor(Executor):
             finally:
                 set_task_label(None)
 
-        threads = [
-            threading.Thread(
-                target=runner,
-                args=(rec, thunk),
-                name=f"{group_label}:{rec.label}",
-                daemon=True,
-            )
+        leases = [
+            _pool_lease(runner, (rec, thunk), name=f"{group_label}:{rec.label}")
             for rec, thunk in zip(group.records, thunks)
         ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+        for l in leases:
+            l.join()
         self._raise_group_failures(group)
         return group
 
@@ -103,9 +98,8 @@ class ThreadExecutor(Executor):
             finally:
                 set_task_label(None)
 
-        thread = threading.Thread(target=runner, name=f"spawn:{label}", daemon=True)
-        thread.start()
-        return TaskHandle(record, thread.join)
+        task_lease = _pool_lease(runner, name=f"spawn:{label}")
+        return TaskHandle(record, task_lease.join)
 
     def checkpoint(self) -> None:
         # The OS preempts wherever it likes; nothing to do.  (A sleep(0)

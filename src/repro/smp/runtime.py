@@ -30,6 +30,12 @@ Every context also carries a **virtual clock** advanced by ``work(cost)``
 and synchronised at barriers; a team's *span* (max final clock) is the
 critical-path length under the declared cost model, which is how the
 scaling figures are reproduced deterministically on a single-core host.
+
+Team threads are leased from the process-wide rank pool
+(:mod:`repro.sched.pool`) by whichever executor backs the runtime, so
+large teams (``num_threads=64`` and beyond, for classroom scaling demos)
+and back-to-back regions reuse parked OS threads rather than paying
+thread creation per fork-join.
 """
 
 from __future__ import annotations

@@ -37,6 +37,11 @@ Event-kind vocabulary (payload keys in parentheses):
 - ``sched.run / sched.block / sched.wake / sched.done`` — lockstep
   scheduling decisions
 - ``task.spawn`` / ``task.join`` — dynamic (pthread-style) lifecycles
+
+Ambient state is fork-safe: :func:`reset_ambient` is registered via
+``os.register_at_fork`` so forked batch workers never emit into their
+parent's recorder — the same pattern :mod:`repro.sched.pool` uses to
+replace the parent's parked rank threads with a fresh pool in children.
 """
 
 from repro.trace.events import (

@@ -1,0 +1,119 @@
+"""Large-np coverage: 64-task determinism, np=256 completion, pooled≡fresh.
+
+The paper's classroom mechanic is "run it again with more tasks"; the
+rank pool exists so that scaling np does not scale thread-creation cost.
+These tests pin that the engine's determinism guarantees hold unchanged
+at large np, and that pooled execution is observationally identical to
+fresh-thread execution (the ``REPRO_RANK_POOL=0`` hatch).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import run_patternlet
+from repro.obs import metrics_dict
+from repro.sched.pool import POOL_ENV
+from repro.trace import as_events
+
+SUITE_NP64 = ("mpi.spmd", "mpi.broadcast", "openmp.reduction")
+
+
+def _event_sig(run) -> list[tuple]:
+    """The deterministic shape of a run's trace.
+
+    Events carry no wall-clock fields, but a few identifiers come from
+    process-global counters that keep ticking across runs in the same
+    process (message ``uid``, the ``#N`` scope suffix, auto-numbered
+    ``cellN`` names).  Those are renumbered by order of first appearance
+    — deterministic, since event order is — so two runs compare equal
+    exactly when their observable behaviour is identical.
+    """
+    canon: dict[str, str] = {}
+
+    def _renumber(match: "re.Match[str]") -> str:
+        return canon.setdefault(match.group(0), f"<{len(canon)}>")
+
+    def _canon_val(v):
+        if isinstance(v, str):
+            return re.sub(r"#\d+|\bcell\d+\b", _renumber, v)
+        return v
+
+    return [
+        (
+            e.task,
+            e.kind,
+            e.vtime,
+            {k: _canon_val(v) for k, v in e.payload.items() if k != "uid"},
+        )
+        for e in as_events(run.trace)
+    ]
+
+
+class TestNp64:
+    def test_figure_suite_runs_at_np64(self):
+        for name in SUITE_NP64:
+            run = run_patternlet(name, tasks=64, mode="lockstep", seed=0)
+            assert run.text
+            assert run.meta.get("tasks") == 64
+
+    def test_spmd_np64_prints_every_rank(self):
+        run = run_patternlet("mpi.spmd", tasks=64, mode="lockstep", seed=0)
+        for rank in range(64):
+            assert f"process {rank} of 64" in run.text
+
+    def test_np64_rerun_byte_identity(self):
+        # Same spec, same seed: text, metrics, and trace shape agree
+        # byte-for-byte at 64 tasks, exactly as they do at 4.
+        for seed in range(4):
+            a = run_patternlet("mpi.broadcast", tasks=64, mode="lockstep", seed=seed)
+            b = run_patternlet("mpi.broadcast", tasks=64, mode="lockstep", seed=seed)
+            assert a.text == b.text
+            assert json.dumps(metrics_dict(a), sort_keys=True) == json.dumps(
+                metrics_dict(b), sort_keys=True
+            )
+            assert _event_sig(a) == _event_sig(b)
+
+
+class TestNp256:
+    def test_openmp_spmd_completes_at_np256(self):
+        run = run_patternlet("openmp.spmd", tasks=256, mode="lockstep", seed=0)
+        assert run.text.count("of 256") == 256
+
+    def test_mpi_spmd_completes_at_np256(self):
+        run = run_patternlet("mpi.spmd", tasks=256, mode="lockstep", seed=0)
+        assert run.text.count("of 256") == 256
+
+
+class TestPooledEqualsFresh:
+    """Leased (pooled) threads are observationally identical to fresh ones."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        name=st.sampled_from(
+            ["mpi.spmd", "mpi.messagePassing", "openmp.reduction", "openmp.barrier"]
+        ),
+        seed=st.integers(0, 7),
+        tasks=st.sampled_from([2, 4, 8, 64]),
+    )
+    def test_pooled_and_fresh_thread_traces_identical(self, name, seed, tasks):
+        pooled = run_patternlet(name, tasks=tasks, mode="lockstep", seed=seed)
+        saved = os.environ.get(POOL_ENV)
+        os.environ[POOL_ENV] = "0"
+        try:
+            fresh = run_patternlet(name, tasks=tasks, mode="lockstep", seed=seed)
+        finally:
+            if saved is None:
+                del os.environ[POOL_ENV]
+            else:
+                os.environ[POOL_ENV] = saved
+        assert pooled.text == fresh.text
+        assert _event_sig(pooled) == _event_sig(fresh)
+        assert json.dumps(metrics_dict(pooled), sort_keys=True) == json.dumps(
+            metrics_dict(fresh), sort_keys=True
+        )

@@ -1,0 +1,218 @@
+"""The rank-thread pool: leasing, reuse, state hygiene, leak regression."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlockError, ParallelError
+from repro.sched import pool as pool_mod
+from repro.sched.base import current_task_label, set_task_label
+from repro.sched.pool import Lease, RankThreadPool, lease, pool_enabled, pool_stats
+
+
+@pytest.fixture
+def fresh_pool():
+    p = RankThreadPool()
+    yield p
+    p.shutdown()
+
+
+class TestRankThreadPool:
+    def test_lease_runs_body_and_join_waits(self, fresh_pool):
+        seen = []
+        out = fresh_pool.lease(seen.append, (42,))
+        assert out.join(timeout=5.0)
+        assert out.done
+        assert seen == [42]
+
+    def test_workers_are_reused_across_serial_leases(self, fresh_pool):
+        # Serial loop: join before the next lease, so repark happens first
+        # (the pool signals completion only after reparking) and a single
+        # OS thread serves every lease.
+        for i in range(20):
+            assert fresh_pool.lease(lambda: None).join(timeout=5.0)
+        stats = fresh_pool.stats()
+        assert stats["spawned"] == 1
+        assert stats["leases"] == 20
+        assert stats["active"] == 0
+        assert stats["idle"] == 1
+
+    def test_concurrent_leases_get_distinct_threads(self, fresh_pool):
+        gate = threading.Event()
+        ids = []
+        leases = [
+            fresh_pool.lease(lambda: (gate.wait(5.0), ids.append(threading.get_ident())))
+            for _ in range(4)
+        ]
+        gate.set()
+        assert all(l.join(timeout=5.0) for l in leases)
+        assert len(set(ids)) == 4
+        assert fresh_pool.stats()["spawned"] == 4
+
+    def test_lifo_reuse_prefers_most_recently_parked(self, fresh_pool):
+        ids = []
+
+        def record():
+            ids.append(threading.get_ident())
+
+        # Park a few workers, then lease serially: LIFO means the same
+        # (cache-warm) thread keeps winning.
+        gate = threading.Event()
+        warm = [fresh_pool.lease(gate.wait, (5.0,)) for _ in range(3)]
+        gate.set()
+        assert all(l.join(timeout=5.0) for l in warm)
+        for _ in range(5):
+            assert fresh_pool.lease(record).join(timeout=5.0)
+        assert len(set(ids)) == 1
+
+    def test_lease_survives_body_exception(self, fresh_pool):
+        def boom():
+            raise RuntimeError("kaboom")
+
+        assert fresh_pool.lease(boom).join(timeout=5.0)
+        # The worker reparked despite the exception and serves again.
+        seen = []
+        assert fresh_pool.lease(seen.append, ("again",)).join(timeout=5.0)
+        assert seen == ["again"]
+        assert fresh_pool.stats()["spawned"] == 1
+
+    def test_task_label_scrubbed_between_leases(self, fresh_pool):
+        labels = []
+
+        def dirty():
+            set_task_label("mpi:7")
+
+        def probe():
+            labels.append(current_task_label())
+
+        assert fresh_pool.lease(dirty).join(timeout=5.0)
+        assert fresh_pool.lease(probe).join(timeout=5.0)
+        assert labels == [None]
+
+    def test_max_idle_caps_parked_workers(self):
+        p = RankThreadPool(max_idle=2)
+        try:
+            gate = threading.Event()
+            leases = [p.lease(gate.wait, (5.0,)) for _ in range(5)]
+            gate.set()
+            assert all(l.join(timeout=5.0) for l in leases)
+            deadline = time.monotonic() + 5.0
+            while p.stats()["idle"] != 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert p.stats()["idle"] == 2
+        finally:
+            p.shutdown()
+
+    def test_shutdown_drains_idle_workers(self, fresh_pool):
+        assert fresh_pool.lease(lambda: None).join(timeout=5.0)
+        fresh_pool.shutdown()
+        assert fresh_pool.stats()["idle"] == 0
+
+
+class TestModuleApi:
+    def test_process_pool_lease_and_stats(self):
+        before = pool_stats()["leases"]
+        assert lease(lambda: None).join(timeout=5.0)
+        assert pool_stats()["leases"] == before + 1
+
+    def test_env_hatch_disables_pooling(self, monkeypatch):
+        monkeypatch.setenv(pool_mod.POOL_ENV, "0")
+        assert not pool_enabled()
+        before = pool_stats()["leases"]
+        seen = []
+        out = lease(seen.append, ("fresh",))
+        assert isinstance(out, Lease)
+        assert out.join(timeout=5.0)
+        assert seen == ["fresh"]
+        # The fresh-thread fallback never touched the pool.
+        assert pool_stats()["leases"] == before
+
+    def test_env_hatch_scrubs_label_and_survives_exception(self, monkeypatch):
+        monkeypatch.setenv(pool_mod.POOL_ENV, "false")
+
+        def boom():
+            set_task_label("omp:3")
+            raise RuntimeError("kaboom")
+
+        assert lease(boom).join(timeout=5.0)
+
+    def test_reset_pool_installs_fresh_empty_pool(self):
+        assert lease(lambda: None).join(timeout=5.0)
+        old = pool_mod.get_pool()
+        pool_mod.reset_pool()
+        try:
+            assert pool_mod.get_pool() is not old
+            assert pool_stats() == {"spawned": 0, "leases": 0, "active": 0, "idle": 0}
+        finally:
+            # Don't leak the abandoned pool's parked threads into other tests.
+            old.shutdown()
+            pool_mod.shutdown_pool()
+
+    def test_shutdown_pool_rebinds(self):
+        assert lease(lambda: None).join(timeout=5.0)
+        old = pool_mod.get_pool()
+        pool_mod.shutdown_pool()
+        assert pool_mod.get_pool() is not old
+
+
+def _thread_count_settles(target: int, *, slack: int = 0, timeout: float = 5.0) -> int:
+    """Wait for stragglers mid-repark/exit; return the settled count."""
+    deadline = time.monotonic() + timeout
+    n = threading.active_count()
+    while n > target + slack and time.monotonic() < deadline:
+        time.sleep(0.01)
+        n = threading.active_count()
+    return n
+
+
+class TestLeakRegression:
+    def test_100_aborted_runs_do_not_leak_threads(self):
+        # The old executors abandoned un-joinable rank threads on abort
+        # (Thread.join(timeout=5.0) then moved on) — 100 aborted runs
+        # leaked hundreds of OS threads.  Leases repark instead.
+        from repro.mp.runtime import MpRuntime
+        from repro.trace import muted
+
+        def crash(comm):
+            if comm.rank == 0:
+                raise RuntimeError("boom")
+            comm.recv(source=0)  # blocked until the group fails
+
+        def deadlock(comm):  # receive-before-send ring: circular wait
+            comm.recv(source=(comm.rank - 1) % comm.size)
+
+        with muted(), pytest.raises(ParallelError):
+            MpRuntime(mode="lockstep", seed=0).run(4, crash)  # warm the pool
+
+        baseline = threading.active_count()
+        with muted():
+            for i in range(50):
+                with pytest.raises(ParallelError):
+                    MpRuntime(mode="lockstep", seed=i % 8).run(4, crash)
+            for i in range(50):
+                with pytest.raises((ParallelError, DeadlockError)):
+                    MpRuntime(mode="lockstep", seed=i % 8).run(4, deadlock)
+        # Reparked workers may exceed the warm baseline only by the pool's
+        # brief mid-repark window; settled count must not grow.
+        assert _thread_count_settles(baseline) <= baseline
+
+    def test_1000_run_soak_zero_net_thread_growth(self):
+        from repro.mp.runtime import MpRuntime
+        from repro.trace import muted
+
+        def main(comm):
+            return comm.rank
+
+        with muted():
+            MpRuntime(mode="lockstep", seed=0).run(4, main)  # warm the pool
+            baseline = threading.active_count()
+            spawned0 = pool_stats()["spawned"]
+            for _ in range(1000):
+                MpRuntime(mode="lockstep", seed=0).run(4, main)
+        # Serial runs reuse the 4 warm workers: zero new OS threads, zero
+        # net growth in live threads.
+        assert pool_stats()["spawned"] == spawned0
+        assert _thread_count_settles(baseline) <= baseline
