@@ -192,6 +192,7 @@ def _exec_spec(spec: RunSpec) -> RunOutcome:
             mode=spec.mode,
             seed=spec.seed,
             policy=spec.policy,
+            topology=spec.topology,
             **spec.extra_dict,
         )
     except Exception as exc:  # noqa: BLE001 - reported per-outcome

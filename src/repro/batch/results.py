@@ -348,10 +348,12 @@ class BatchReport:
     def cell_stats(self) -> dict[str, dict[str, Any]]:
         """Per-grid-cell metric percentiles across seeds.
 
-        A *cell* is one (patternlet, tasks, toggles) combination; the
-        seeds inside it form the sample.  For each derived metric the
-        cell reports nearest-rank p50/p90 and the max — the numbers a
-        grader scans to spot the one seed whose schedule collapsed.
+        A *cell* is one (patternlet, tasks, toggles, topology, extras)
+        combination; the seeds inside it form the sample.  For each
+        derived metric the cell reports nearest-rank p50/p90 and the max
+        — the numbers a grader scans to spot the one seed whose schedule
+        collapsed, or (in a ``--topology a,b`` sweep) to compare span
+        across communicator topologies at one np.
         """
         cells: dict[str, list[RunOutcome]] = {}
         for o in self.outcomes:
@@ -362,6 +364,10 @@ class BatchReport:
                 label += f" np={o.spec.tasks}"
             for t, on in o.spec.toggles:
                 label += f" {t}={'on' if on else 'off'}"
+            if o.spec.topology is not None:
+                label += f" topo={o.spec.topology}"
+            for k, v in o.spec.extra:
+                label += f" {k}={v}"
             cells.setdefault(label, []).append(o)
         out: dict[str, dict[str, Any]] = {}
         for label in sorted(cells):

@@ -1,9 +1,9 @@
 """Run specifications and content-addressed cache keys.
 
 A :class:`RunSpec` names one patternlet execution — ``(patternlet,
-tasks, toggles, mode, seed, policy, extra)`` — in a hashable, picklable
-form, so grids of runs can be built, deduplicated, and shipped to worker
-processes.
+tasks, toggles, mode, seed, policy, extra, topology)`` — in a hashable,
+picklable form, so grids of runs can be built, deduplicated, and shipped
+to worker processes.
 
 :func:`spec_key` derives the spec's *content address*: a SHA-256 over
 everything that determines a deterministic run's output —
@@ -17,7 +17,10 @@ everything that determines a deterministic run's output —
   so ``{"b": 1, "a": 0}`` and ``{"a": 0, "b": 1}`` — and an override
   that merely restates a default — all address the same record);
 - the resolved **task count**, **scheduler identity** (mode + policy),
-  **seed**, and any **extra** knobs.
+  **seed**, the **communicator topology** (resolved to its concrete name,
+  so a spec that spells out the default and one that omits it address the
+  same record — and two topologies can never collide), and any **extra**
+  knobs (including a ``network`` profile).
 
 Only lockstep-mode runs are keyable: a ``mode="thread"`` run is genuine
 OS nondeterminism and must never be served from a cache.
@@ -62,6 +65,7 @@ class RunSpec:
     seed: int = 0
     policy: str = "random"
     extra: tuple[tuple[str, Any], ...] = ()
+    topology: str | None = None
 
     @classmethod
     def make(
@@ -73,6 +77,7 @@ class RunSpec:
         mode: str = "lockstep",
         seed: int = 0,
         policy: str = "random",
+        topology: str | None = None,
         **extra: Any,
     ) -> "RunSpec":
         """Build a spec from the same keyword shape as ``run_patternlet``."""
@@ -84,6 +89,7 @@ class RunSpec:
             seed=seed,
             policy=policy,
             extra=tuple(sorted(extra.items())),
+            topology=topology,
         )
 
     @property
@@ -108,6 +114,8 @@ class RunSpec:
             bits.append(f"np={self.tasks}")
         for name, on in self.toggles:
             bits.append(f"{name}={'on' if on else 'off'}")
+        if self.topology is not None:
+            bits.append(f"topo={self.topology}")
         bits.append(f"seed={self.seed}")
         if self.policy != "random":
             bits.append(self.policy)
@@ -173,6 +181,7 @@ def _key_digest(
     seed: int,
     policy: str,
     extra: Mapping[str, Any],
+    topology: str,
 ) -> str:
     payload = {
         "engine": engine,
@@ -184,6 +193,7 @@ def _key_digest(
         "seed": int(seed),
         "policy": policy,
         "extra": {str(k): extra[k] for k in sorted(extra)},
+        "topology": str(topology),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
@@ -197,6 +207,8 @@ def key_for_config(p: Patternlet, cfg: RunConfig) -> str | None:
     """
     if cfg.mode != "lockstep":
         return None
+    from repro.mp.communicators import default_topology
+
     try:
         return _key_digest(
             patternlet=p.name,
@@ -208,6 +220,7 @@ def key_for_config(p: Patternlet, cfg: RunConfig) -> str | None:
             seed=cfg.seed,
             policy=cfg.policy,
             extra=cfg.extra,
+            topology=cfg.topology or default_topology(),
         )
     except (TypeError, ValueError):
         return None
@@ -223,6 +236,8 @@ def spec_key(spec: RunSpec) -> str | None:
     if not spec.deterministic:
         return None
     p = get_patternlet(spec.patternlet)
+    from repro.mp.communicators import default_topology
+
     try:
         return _key_digest(
             patternlet=p.name,
@@ -234,6 +249,7 @@ def spec_key(spec: RunSpec) -> str | None:
             seed=spec.seed,
             policy=spec.policy,
             extra=spec.extra_dict,
+            topology=spec.topology or default_topology(),
         )
     except (TypeError, ValueError):
         return None

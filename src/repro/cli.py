@@ -11,7 +11,9 @@ exactly the workflow of the paper's live-coding demos:
     patternlet run openmp.barrier --tasks 4
     patternlet run openmp.barrier --tasks 4 --on barrier
     patternlet run mpi.deadlock --tasks 4 --mode lockstep --seed 7
+    patternlet run mpi.broadcast --np 8 --topology ring
     patternlet sweep openmp.reduction --on parallel_for --seeds 0-15
+    patternlet sweep mpi.broadcast --np 2,4,8,16,32 --topology flat,binomial
     patternlet bench --quick --check BENCH_runtime.json
     patternlet catalog
 
@@ -19,6 +21,11 @@ exactly the workflow of the paper's live-coding demos:
 across a persistent worker pool (``--jobs``) and deterministic runs are
 served from the content-addressed run cache (``--no-cache`` or
 ``REPRO_CACHE=0`` to opt out).
+
+MPI runs accept ``--topology`` (communicator algorithm set: ``flat``,
+``binomial``, ``ring``, ``hierarchical``; default from the
+``REPRO_TOPOLOGY`` env var, else binomial) and ``--network`` (link-cost
+profile: ``uniform``, ``hetero2``, ``hetero4``).
 """
 
 from __future__ import annotations
@@ -88,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "pool) and report per-run timing; output shown once")
     p_run.add_argument("--policy", default="random",
                        choices=("random", "roundrobin", "fifo", "lifo"))
+    p_run.add_argument("--topology", default=None, metavar="NAME",
+                       help="communicator topology for MPI worlds (flat, "
+                            "binomial, ring, hierarchical; default: "
+                            "$REPRO_TOPOLOGY or binomial)")
+    p_run.add_argument("--network", default=None, metavar="PROFILE",
+                       help="network cost profile (uniform, hetero2, hetero4)")
     p_run.add_argument("--attribute", action="store_true",
                        help="prefix every line with the task that printed it")
     p_run.add_argument("--detect-races", action="store_true",
@@ -163,9 +176,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "figure-suite grid)")
     p_sweep.add_argument("--seeds", default="0-7", metavar="SPEC",
                          help='seed set, e.g. "0-7" or "0,3,11" (default 0-7)')
-    p_sweep.add_argument("--tasks", default=None, metavar="LIST",
+    p_sweep.add_argument("--tasks", "--np", default=None, metavar="LIST",
                          help='comma-separated task counts, e.g. "2,4,8" '
                               "(default: each patternlet's own)")
+    p_sweep.add_argument("--topology", default=None, metavar="LIST",
+                         help='comma-separated communicator topologies, e.g. '
+                              '"flat,binomial" — crossed with the grid '
+                              "(default: $REPRO_TOPOLOGY or binomial)")
+    p_sweep.add_argument("--network", default=None, metavar="PROFILE",
+                         help="network cost profile for every run "
+                              "(uniform, hetero2, hetero4)")
     p_sweep.add_argument("--on", action="append", default=[], metavar="TOGGLE",
                          help="uncomment a toggle for every run (repeatable)")
     p_sweep.add_argument("--off", action="append", default=[], metavar="TOGGLE",
@@ -198,6 +218,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "throughput metric drops more than --tolerance")
     p_bench.add_argument("--tolerance", type=float, default=0.30,
                          help="allowed throughput drop vs baseline (default 0.30)")
+    p_bench.add_argument("--topology", default=None, metavar="NAME",
+                         help="pin the collective-latency benches to one "
+                              "communicator topology (default: report the "
+                              "fastest per np)")
 
     p_quiz = sub.add_parser(
         "quiz", help="print the four-question parallel-week exam (and, with --key, its computed answers)"
@@ -239,6 +263,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     toggles = {name: True for name in args.on}
     toggles.update({name: False for name in args.off})
     repeat = max(1, args.repeat)
+    # ``network`` rides in extras only when explicitly requested, so runs
+    # that never name one keep their historical cache keys.
+    extra = {"network": args.network} if args.network else {}
     t0 = time.perf_counter()
     for _ in range(repeat):
         run = run_patternlet(
@@ -248,6 +275,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             mode=args.mode,
             seed=args.seed,
             policy=args.policy,
+            topology=args.topology,
+            **extra,
         )
     elapsed = time.perf_counter() - t0
     if repeat > 1:
@@ -427,6 +456,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     toggles = {name: True for name in args.on}
     toggles.update({name: False for name in args.off})
+    topologies: list[str | None]
+    if args.topology:
+        topologies = [t.strip() for t in args.topology.split(",") if t.strip()]
+        from repro.mp.communicators import available_topologies
+
+        known = available_topologies()
+        bad = [t for t in topologies if t not in known]
+        if bad:
+            print(f"error: unknown topology {', '.join(bad)} "
+                  f"(available: {', '.join(known)})", file=sys.stderr)
+            return 1
+    else:
+        topologies = [None]
+    extra = {"network": args.network} if args.network else {}
     if args.names:
         task_counts: list[int | None]
         if args.tasks:
@@ -439,13 +482,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             task_counts = [None]
         specs = [
             RunSpec.make(name, tasks=tasks, toggles=toggles or None,
-                         seed=seed, policy=args.policy)
+                         seed=seed, policy=args.policy, topology=topo, **extra)
             for name in args.names
             for tasks in task_counts
+            for topo in topologies
             for seed in seeds
         ]
     else:
         specs = figure_suite_specs(seeds=seeds)
+        if args.topology or args.network:
+            import dataclasses
+
+            specs = [
+                dataclasses.replace(
+                    s,
+                    topology=topo,
+                    extra=tuple(sorted({**s.extra_dict, **extra}.items())),
+                )
+                for s in specs
+                for topo in topologies
+            ]
 
     report = run_specs(
         specs,
@@ -461,16 +517,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             span = f"span={o.span:g}" if o.span is not None else "span=-"
             print(f"{status} {o.spec.label():48s} {races:12s} {span}")
     else:
-        # One line per (patternlet, tasks, toggles) group: the seed scan's
-        # verdict — how many seeds raced, how many distinct outputs.
+        # One line per (patternlet, tasks, toggles, topology) group: the
+        # seed scan's verdict — how many seeds raced, how many distinct
+        # outputs.
         groups: dict[tuple, list] = {}
         for o in report.outcomes:
-            g = (o.spec.patternlet, o.spec.tasks, o.spec.toggles)
+            g = (o.spec.patternlet, o.spec.tasks, o.spec.toggles, o.spec.topology)
             groups.setdefault(g, []).append(o)
-        for (name, tasks, tgl), outs in groups.items():
+        for (name, tasks, tgl, topo), outs in groups.items():
             label = name + (f" np={tasks}" if tasks is not None else "")
             for t, on in tgl:
                 label += f" {t}={'on' if on else 'off'}"
+            if topo is not None:
+                label += f" topo={topo}"
             racy = sum(1 for o in outs if o.races > 0)
             distinct = len({o.text for o in outs})
             hits = sum(1 for o in outs if o.cached)
@@ -518,7 +577,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     print(f"running engine benchmarks ({'quick' if args.quick else 'full'})",
           file=sys.stderr)
-    metrics = run_benchmarks(quick=args.quick, progress=note)
+    metrics = run_benchmarks(quick=args.quick, progress=note,
+                             topology=args.topology)
 
     baseline = None
     if args.check:

@@ -53,7 +53,10 @@ class RunConfig:
     ``tasks`` is the thread/process count (the ``./barrier 4`` or
     ``mpirun -np 4`` argument); ``toggles`` the comment/uncomment state;
     ``mode``/``seed``/``policy`` select and parameterise the executor;
-    ``extra`` carries patternlet-specific knobs (array sizes, chunk sizes).
+    ``topology`` the communicator algorithm set for MPI worlds
+    (``flat``/``binomial``/``ring``/``hierarchical``); ``extra`` carries
+    patternlet-specific knobs (array sizes, chunk sizes, a ``network``
+    profile name or model).
     """
 
     tasks: int
@@ -61,6 +64,7 @@ class RunConfig:
     mode: str = "lockstep"
     seed: int = 0
     policy: str = "random"
+    topology: str | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     def smp_runtime(self, **kw: Any):
@@ -80,12 +84,17 @@ class RunConfig:
         kw.setdefault("mode", self.mode)
         kw.setdefault("seed", self.seed)
         kw.setdefault("policy", self.policy)
+        kw.setdefault("topology", self.topology)
+        if "network" in self.extra:
+            kw.setdefault("network", self.extra["network"])
         return MpRuntime(**kw)
 
     def mpirun(self, main: Callable[..., Any], *args: Any, **kw: Any):
         """Launch ``main`` on ``self.tasks`` ranks with this config's runtime."""
         runtime_kw = {
-            k: kw.pop(k) for k in ("costs", "cluster", "deadlock_timeout") if k in kw
+            k: kw.pop(k)
+            for k in ("costs", "cluster", "network", "topology", "deadlock_timeout")
+            if k in kw
         }
         return self.mp_runtime(**runtime_kw).run(self.tasks, main, *args, **kw)
 
@@ -201,6 +210,7 @@ def run_patternlet(
     mode: str = "lockstep",
     seed: int = 0,
     policy: str = "random",
+    topology: str | None = None,
     echo: bool = False,
     **extra: Any,
 ) -> CapturedRun:
@@ -209,16 +219,26 @@ def run_patternlet(
     Defaults to the lockstep executor so classroom runs and tests are
     replayable; pass ``mode="thread"`` for genuine OS-thread
     nondeterminism (the paper's native behaviour).
+
+    ``topology`` picks the communicator algorithm set for MPI worlds;
+    ``None`` resolves the process default (``REPRO_TOPOLOGY`` env hatch,
+    else binomial) so the chosen topology is always recorded in the run's
+    metadata.
     """
     p = get_patternlet(name)
     if tasks is not None and tasks <= 0:
         raise RegistryError(f"tasks must be positive, got {tasks}")
+    if topology is None:
+        from repro.mp.communicators import default_topology
+
+        topology = default_topology()
     cfg = RunConfig(
         tasks=tasks if tasks is not None else p.default_tasks,
         toggles=p.toggle_set(toggles),
         mode=mode,
         seed=seed,
         policy=policy,
+        topology=topology,
         extra=dict(extra),
     )
 
@@ -231,6 +251,7 @@ def run_patternlet(
             toggles=cfg.toggles.as_dict(),
             mode=mode,
             seed=seed,
+            topology=cfg.topology,
         )
         return run
 

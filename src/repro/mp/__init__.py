@@ -16,7 +16,11 @@ Ranks are isolated by copy-on-send messaging (see
 :mod:`repro.mp.serialize`), placed on simulated cluster nodes (see
 :mod:`repro.mp.cluster`), and clocked by a LogP cost model (see
 :mod:`repro.mp.vtime`).  Collectives are real algorithms over
-point-to-point messages (see :mod:`repro.mp.collectives`).
+point-to-point messages (see :mod:`repro.mp.collectives`); *which*
+algorithm each one runs is the world's pluggable communicator topology
+(see :mod:`repro.mp.communicators` — ``flat``/``binomial``/``ring``/
+``hierarchical``, selectable per run and defaulted by the
+``REPRO_TOPOLOGY`` environment variable).
 """
 
 from repro.mp.cluster import Cluster
@@ -30,9 +34,20 @@ from repro.mp.comm import (
     waitall,
     waitany,
 )
+from repro.mp.communicators import (
+    available_topologies,
+    create_communicator,
+    default_topology,
+)
 from repro.mp.runtime import MpRuntime, World, WorldResult, mpirun
 from repro.mp.topology import CartComm, create_cart, dims_create
-from repro.mp.vtime import LogPCosts
+from repro.mp.vtime import (
+    LinkCosts,
+    LogPCosts,
+    NETWORK_PROFILES,
+    NetworkModel,
+    network_profile,
+)
 from repro.ops import (
     BAND,
     BOR,
@@ -65,6 +80,13 @@ __all__ = [
     "create_cart",
     "dims_create",
     "LogPCosts",
+    "LinkCosts",
+    "NetworkModel",
+    "NETWORK_PROFILES",
+    "network_profile",
+    "available_topologies",
+    "create_communicator",
+    "default_topology",
     "ANY_SOURCE",
     "ANY_TAG",
     "Op",

@@ -28,7 +28,15 @@ the deadlock patternlet demonstrates on purpose.
 
 The linear/flat alternatives (``reduce_linear``, ``barrier_central``) are
 kept public: they are the sequential baseline of Figure 19 and the ablation
-benches compare their Θ(p) spans against the trees' Θ(lg p).
+benches compare their Θ(p) spans against the trees' Θ(lg p).  The ring
+family (``bcast_ring``, ``reduce_ring``, ``allreduce_ring``,
+``barrier_ring``) only ever talks to neighbouring ranks — Θ(p) span, but
+each link carries the payload a constant number of times, the
+bandwidth-friendly shape real allreduce implementations use.
+
+These functions are the *algorithms*; which one a ``comm.bcast()`` call
+actually runs is chosen by the world's pluggable communicator topology
+(:mod:`repro.mp.communicators`).
 """
 
 from __future__ import annotations
@@ -44,8 +52,10 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "barrier",
     "barrier_central",
+    "barrier_ring",
     "bcast",
     "bcast_linear",
+    "bcast_ring",
     "scatter",
     "scatterv",
     "gather",
@@ -56,7 +66,9 @@ __all__ = [
     "reduce_scatter",
     "reduce",
     "reduce_linear",
+    "reduce_ring",
     "allreduce",
+    "allreduce_ring",
     "scan",
     "exscan",
     "binomial_parent",
@@ -512,3 +524,124 @@ def reduce_scatter(
     )
     combined = reduce(comm, items, vector_op, root=0)
     return scatter(comm, combined, root=0)
+
+
+# ---------------------------------------------------------------------------
+# ring algorithms (neighbour-only communication)
+# ---------------------------------------------------------------------------
+
+
+def bcast_ring(comm: "Comm", obj: Any, root: int = 0) -> Any:
+    """Ring (pipeline) broadcast: Θ(p) span, neighbour-only links.
+
+    The packet travels ``root → root+1 → ... → root-1`` and is forwarded
+    without unpacking (pack-once, like the tree broadcast).  Every link
+    carries the payload exactly once — the shape that wins when link
+    bandwidth, not hop latency, is the scarce resource.
+    """
+    _validate_root(comm, root)
+    ch = _channel(comm, "bcast-ring")
+    size, rank = comm.size, comm.rank
+    from repro.mp.serialize import pack_packet
+
+    if size == 1:
+        return pack_packet(obj).unpack() if rank == root else obj
+    rel = (rank - root) % size
+    if rel == 0:
+        packet = pack_packet(obj)
+    else:
+        packet = ch._recv_packet(source=(rank - 1) % size, tag=0)
+    if rel != size - 1:
+        ch._post_packet(packet, (rank + 1) % size, 0)
+    return packet.unpack()
+
+
+def reduce_ring(
+    comm: "Comm", sendobj: Any, op: Op | str = "SUM", root: int = 0
+) -> Any:
+    """Chain reduction around the ring: Θ(p) span, p-1 combines.
+
+    The accumulator flows ``0 → 1 → ... → p-1`` so operands combine in
+    absolute rank order (safe for non-commutative associative ops, like
+    the tree), then one closing hop delivers the total to ``root``.
+    Non-root ranks return ``None``.
+    """
+    _validate_root(comm, root)
+    rop = resolve_op(op)
+    ch = _channel(comm, "reduce-ring")
+    size, rank = comm.size, comm.rank
+    from repro.mp.serialize import deep_copy_by_value
+
+    if size == 1:
+        return deep_copy_by_value(sendobj)
+    acc = sendobj
+    if rank > 0:
+        prefix = ch.recv(source=rank - 1, tag=0)
+        acc = rop(prefix, acc)
+        comm.work(comm._world.costs.combine)
+    if rank < size - 1:
+        ch.send(acc, rank + 1, tag=0)
+        if rank == root:
+            return ch.recv(source=size - 1, tag=1)
+        return None
+    if root == size - 1:
+        return deep_copy_by_value(acc)
+    ch.send(acc, root, tag=1)
+    return None
+
+
+def allreduce_ring(comm: "Comm", sendobj: Any, op: Op | str = "SUM") -> Any:
+    """Ring allreduce: reduce chain up, pipeline broadcast back down.
+
+    2(p-1) messages total and every link carries the payload at most
+    twice — the bandwidth-optimal message pattern (the scalar analogue of
+    reduce-scatter + allgather on chunked vectors).  Operands combine in
+    absolute rank order, so all ranks return the identical total even for
+    order-sensitive ops.  Span Θ(p).
+    """
+    rop = resolve_op(op)
+    ch = _channel(comm, "allreduce-ring")
+    size, rank = comm.size, comm.rank
+    from repro.mp.serialize import deep_copy_by_value, pack_packet
+
+    if size == 1:
+        return deep_copy_by_value(sendobj)
+    acc = sendobj
+    if rank > 0:
+        prefix = ch.recv(source=rank - 1, tag=0)
+        acc = rop(prefix, acc)
+        comm.work(comm._world.costs.combine)
+    if rank < size - 1:
+        ch.send(acc, rank + 1, tag=0)
+        packet = ch._recv_packet(source=rank + 1, tag=1)
+    else:
+        packet = pack_packet(acc)
+    if rank > 0:
+        ch._post_packet(packet, rank - 1, 1)
+    return packet.unpack()
+
+
+def barrier_ring(comm: "Comm") -> None:
+    """Token-ring barrier: two laps of a token, Θ(p) span.
+
+    Lap one proves every rank has arrived (the token can only complete
+    the circle once each rank has forwarded it); lap two releases.  The
+    Θ(p)-vs-Θ(lg p) contrast with the dissemination barrier is the same
+    lesson as Figure 19's reduction comparison, told with a token.
+    """
+    ch = _channel(comm, "barrier-ring")
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    if rank == 0:
+        ch.send(None, right, tag=0)
+        ch.recv(source=left, tag=0)
+        ch.send(None, right, tag=1)
+        ch.recv(source=left, tag=1)
+    else:
+        ch.recv(source=left, tag=0)
+        ch.send(None, right, tag=0)
+        ch.recv(source=left, tag=1)
+        ch.send(None, right, tag=1)

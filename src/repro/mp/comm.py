@@ -172,6 +172,22 @@ class Comm:
         self._ovh = costs.overhead
         self._hop0 = costs.transit(0)
         self._pb = costs.per_byte
+        # Which algorithm set comm.bcast()/reduce()/... dispatch to.
+        self._topo = world.communicator
+        # Heterogeneous networks replace the scalar constants with
+        # per-destination arrays indexed by local rank: the sender pays
+        # the *link's* overhead, and transit varies by (src, dst) node
+        # pair.  ``_hop0s is None`` keeps the uniform fast path exact.
+        if world.hetero:
+            net = world.network
+            nodes = world.rank_nodes
+            my_node = nodes[gid]
+            links = [net.link(my_node, nodes[g]) for g in self._ranks]
+            self._sovhs = [l.overhead for l in links]
+            self._hop0s = [l.overhead + l.latency for l in links]
+            self._pbs = [l.per_byte for l in links]
+        else:
+            self._hop0s = None
         self._executor = world.executor
         self._lockstep = self._executor.mode == "lockstep"
         self._mailboxes = world.mailboxes
@@ -305,12 +321,20 @@ class Comm:
             self._global(dest)  # raises with the full diagnostic
         clock = self._my_clock
         depart = clock.now
-        clock.now = depart + self._ovh
-        pb = self._pb
-        if pb:
-            arrival = depart + (self._hop0 + packet.size * pb)
+        hops = self._hop0s
+        if hops is None:
+            clock.now = depart + self._ovh
+            pb = self._pb
+            if pb:
+                arrival = depart + (self._hop0 + packet.size * pb)
+            else:
+                arrival = depart + self._hop0
         else:
-            arrival = depart + self._hop0
+            # Heterogeneous: sender pays this link's overhead; transit is
+            # the (src, dst) link's.  Receive cost stays processor-level.
+            clock.now = depart + self._sovhs[dest]
+            pb = self._pbs[dest]
+            arrival = depart + hops[dest] + (packet.size * pb if pb else 0.0)
         # Message.__init__ unrolled: eight slot stores beat the ctor frame
         # on the hottest send path (every other site uses the ctor).
         msg = _new_message(Message)
@@ -391,15 +415,21 @@ class Comm:
         gdest = ranks[dest]
         clock = self._my_clock
         depart = clock.now
-        clock.now = depart + self._ovh
         # The LogP transit term only needs the pickle size when bandwidth
         # is being modelled; with per_byte == 0 the by-ref fast path never
         # has to serialise at all.
-        pb = self._pb
-        if pb:
-            arrival = depart + (self._hop0 + packet.size * pb)
+        hops = self._hop0s
+        if hops is None:
+            clock.now = depart + self._ovh
+            pb = self._pb
+            if pb:
+                arrival = depart + (self._hop0 + packet.size * pb)
+            else:
+                arrival = depart + self._hop0
         else:
-            arrival = depart + self._hop0
+            clock.now = depart + self._sovhs[dest]
+            pb = self._pbs[dest]
+            arrival = depart + hops[dest] + (packet.size * pb if pb else 0.0)
         msg = Message(self._ctx, self._rank, tag, packet, arrival, sync)
         # Emit before depositing: the receiver's ``msg.recv`` must follow
         # this event in stream order for the HB edge to point forward.
@@ -668,15 +698,15 @@ class Comm:
 
     def barrier(self) -> None:
         """Block until every rank of the communicator has entered (Fig. 10-12)."""
-        _coll.barrier(self)
+        self._topo.barrier(self)
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
-        """Broadcast root's object to all ranks (binomial tree)."""
-        return _coll.bcast(self, obj, root)
+        """Broadcast root's object to all ranks (topology-dependent tree)."""
+        return self._topo.bcast(self, obj, root)
 
     def scatter(self, sendobj: Sequence[Any] | None, root: int = 0) -> Any:
         """Deal one element of root's sequence to each rank."""
-        return _coll.scatter(self, sendobj, root)
+        return self._topo.scatter(self, sendobj, root)
 
     def scatterv(
         self,
@@ -689,7 +719,7 @@ class Comm:
 
     def gather(self, sendobj: Any, root: int = 0) -> list[Any] | None:
         """Collect one object per rank at root, in rank order (Fig. 25-28)."""
-        return _coll.gather(self, sendobj, root)
+        return self._topo.gather(self, sendobj, root)
 
     def gatherv(self, sendobj: Sequence[Any], root: int = 0) -> list[Any] | None:
         """Collect variable-length sequences at root, flattened rank-major."""
@@ -697,7 +727,7 @@ class Comm:
 
     def allgather(self, sendobj: Any) -> list[Any]:
         """Gather to all ranks."""
-        return _coll.allgather(self, sendobj)
+        return self._topo.allgather(self, sendobj)
 
     def alltoall(self, sendobjs: Sequence[Any]) -> list[Any]:
         """Personalised all-to-all exchange."""
@@ -708,14 +738,19 @@ class Comm:
         return _coll.reduce_scatter(self, sendobj, op)
 
     def reduce(self, sendobj: Any, op: Op | str = "SUM", root: int = 0) -> Any:
-        """Combine one value per rank at root (binomial tree; Fig. 23-24)."""
-        return _coll.reduce(self, sendobj, op, root)
+        """Combine one value per rank at root (topology-dependent; Fig. 23-24)."""
+        return self._topo.reduce(self, sendobj, op, root)
 
     def allreduce(
-        self, sendobj: Any, op: Op | str = "SUM", *, algorithm: str = "tree"
+        self, sendobj: Any, op: Op | str = "SUM", *, algorithm: str | None = None
     ) -> Any:
-        """Combine and distribute to all ranks."""
-        return _coll.allreduce(self, sendobj, op, algorithm=algorithm)
+        """Combine and distribute to all ranks.
+
+        ``algorithm`` (``"tree"``/``"doubling"``) forces a specific base
+        algorithm regardless of topology; ``None`` (the default) lets the
+        world's communicator topology choose.
+        """
+        return self._topo.allreduce(self, sendobj, op, algorithm=algorithm)
 
     def scan(self, sendobj: Any, op: Op | str = "SUM") -> Any:
         """Inclusive prefix reduction over ranks."""

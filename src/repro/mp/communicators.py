@@ -1,0 +1,512 @@
+"""Pluggable communicator topologies: which algorithm a collective runs.
+
+The paper's Figure 19 contrasts a root that talks to everyone (O(t))
+against a combining tree (O(lg t)).  This module makes that contrast a
+*runtime axis* instead of a code comment: a world is constructed with a
+named **topology**, and every ``comm.bcast()`` / ``comm.reduce()`` /
+``comm.barrier()`` dispatches to that topology's algorithm — so students
+can run the same patternlet under ``flat``, ``binomial``, ``ring`` and
+``hierarchical`` communicators and watch the virtual-time span and the
+message matrix change while the printed values stay identical.
+
+The registry follows chainermn's ``create_communicator`` convention::
+
+    from repro.mp.communicators import create_communicator
+
+    comm = create_communicator("hierarchical")
+
+Registered topologies:
+
+================  ==========================================================
+``flat``          root exchanges p-1 point-to-point messages (Fig. 19's
+                  sequential baseline); central-coordinator barrier.
+``binomial``      binomial trees + dissemination barrier — the library
+                  default, byte-identical to the historical behaviour.
+``ring``          neighbour-only pipelines; bandwidth-optimal allreduce
+                  (each link carries the payload a constant number of
+                  times); token-ring barrier.
+``hierarchical``  two-level: collectives run intra-node first (using the
+                  ``node-01..`` grouping of :mod:`repro.mp.cluster`), then
+                  once across node leaders — one message per inter-node
+                  link, the winning shape on heterogeneous networks
+                  (:class:`~repro.mp.vtime.NetworkModel`).
+================  ==========================================================
+
+Every topology produces the **same final values** for the same inputs
+(the cross-topology equivalence suite pins this); only the message
+pattern — and therefore the virtual-time span — differs.  Collectives not
+listed in a topology's table (``scan``, ``alltoall``, ...) fall back to
+the base algorithms.
+
+The default topology is ``binomial``; the ``REPRO_TOPOLOGY`` environment
+variable overrides it process-wide (the same hatch family as
+``REPRO_CACHE`` / ``REPRO_RANK_POOL``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.errors import CollectiveError, CommError
+from repro.mp import collectives as _coll
+from repro.ops import Op, resolve_op
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mp.comm import Comm
+
+__all__ = [
+    "DEFAULT_TOPOLOGY",
+    "TopologyCommunicator",
+    "BinomialCommunicator",
+    "FlatCommunicator",
+    "RingCommunicator",
+    "HierarchicalCommunicator",
+    "available_topologies",
+    "create_communicator",
+    "default_topology",
+    "register_communicator",
+]
+
+#: The library default; the historical binomial-tree behaviour.
+DEFAULT_TOPOLOGY = "binomial"
+
+
+def default_topology() -> str:
+    """The process-wide default topology (``REPRO_TOPOLOGY`` or binomial)."""
+    return os.environ.get("REPRO_TOPOLOGY") or DEFAULT_TOPOLOGY
+
+
+# ---------------------------------------------------------------------------
+# the registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, type["TopologyCommunicator"]] = {}
+
+
+def register_communicator(
+    cls: type["TopologyCommunicator"],
+) -> type["TopologyCommunicator"]:
+    """Register a topology class under its ``name`` (usable as a decorator)."""
+    if not cls.name:
+        raise CommError(f"{cls.__name__} must define a non-empty name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_topologies() -> list[str]:
+    """Registered topology names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def create_communicator(name: str | None = None, **kwargs: Any) -> "TopologyCommunicator":
+    """Instantiate a registered topology (chainermn-style factory).
+
+    ``name=None`` resolves :func:`default_topology`.  Unknown names raise
+    :class:`~repro.errors.CommError` listing what is available.
+    """
+    name = name or default_topology()
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise CommError(
+            f"unknown communicator topology {name!r}; available: "
+            + ", ".join(available_topologies())
+        )
+    return cls(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# topology classes
+# ---------------------------------------------------------------------------
+
+
+class TopologyCommunicator:
+    """Base topology: the binomial-tree algorithm set.
+
+    Subclasses override individual collectives; anything not overridden
+    inherits these defaults, which delegate to the exact functions in
+    :mod:`repro.mp.collectives` that the library has always run — so the
+    base class *is* the byte-identity guarantee for the default topology.
+    Instances are stateless and shared by every communicator of a world.
+    """
+
+    name = ""
+
+    def barrier(self, comm: "Comm") -> None:
+        """Dissemination barrier (Θ(lg p) rounds)."""
+        _coll.barrier(comm)
+
+    def bcast(self, comm: "Comm", obj: Any, root: int = 0) -> Any:
+        """Binomial-tree broadcast (Θ(lg p) span)."""
+        return _coll.bcast(comm, obj, root)
+
+    def scatter(
+        self, comm: "Comm", sendobj: Sequence[Any] | None, root: int = 0
+    ) -> Any:
+        """Linear scatter: root deals one item per rank."""
+        return _coll.scatter(comm, sendobj, root)
+
+    def gather(self, comm: "Comm", sendobj: Any, root: int = 0) -> list[Any] | None:
+        """Linear gather at root, rank order."""
+        return _coll.gather(comm, sendobj, root)
+
+    def allgather(self, comm: "Comm", sendobj: Any) -> list[Any]:
+        """Gather to rank 0, then binomial broadcast."""
+        return _coll.allgather(comm, sendobj)
+
+    def reduce(
+        self, comm: "Comm", sendobj: Any, op: Op | str = "SUM", root: int = 0
+    ) -> Any:
+        """Binomial-tree reduction (operand-order preserving)."""
+        return _coll.reduce(comm, sendobj, op, root)
+
+    def allreduce(
+        self,
+        comm: "Comm",
+        sendobj: Any,
+        op: Op | str = "SUM",
+        *,
+        algorithm: str | None = None,
+    ) -> Any:
+        """Tree reduce + broadcast (or a forced base ``algorithm``)."""
+        return _coll.allreduce(comm, sendobj, op, algorithm=algorithm or "tree")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+@register_communicator
+class BinomialCommunicator(TopologyCommunicator):
+    """Binomial trees everywhere — the default (pure base-class behaviour)."""
+
+    name = "binomial"
+
+
+@register_communicator
+class FlatCommunicator(TopologyCommunicator):
+    """Root exchanges p-1 messages: Figure 19's sequential baseline.
+
+    Span grows Θ(p·o) with the world size — run a ``--topology
+    flat,binomial`` sweep over np to watch it degrade.
+    """
+
+    name = "flat"
+
+    def barrier(self, comm: "Comm") -> None:
+        """Central-coordinator barrier: everyone checks in with rank 0."""
+        _coll.barrier_central(comm)
+
+    def bcast(self, comm: "Comm", obj: Any, root: int = 0) -> Any:
+        """Root sends p-1 point-to-point messages (Θ(p) span)."""
+        return _coll.bcast_linear(comm, obj, root)
+
+    def reduce(
+        self, comm: "Comm", sendobj: Any, op: Op | str = "SUM", root: int = 0
+    ) -> Any:
+        """Root receives and folds p-1 contributions in rank order."""
+        return _coll.reduce_linear(comm, sendobj, op, root)
+
+    def allgather(self, comm: "Comm", sendobj: Any) -> list[Any]:
+        """Linear gather to rank 0, then linear broadcast back out."""
+        gathered = _coll.gather(comm, sendobj, root=0)
+        return _coll.bcast_linear(comm, gathered, root=0)
+
+    def allreduce(
+        self,
+        comm: "Comm",
+        sendobj: Any,
+        op: Op | str = "SUM",
+        *,
+        algorithm: str | None = None,
+    ) -> Any:
+        """Linear reduce at rank 0, then linear broadcast of the total."""
+        if algorithm is not None:
+            return _coll.allreduce(comm, sendobj, op, algorithm=algorithm)
+        total = _coll.reduce_linear(comm, sendobj, op, root=0)
+        return _coll.bcast_linear(comm, total, root=0)
+
+
+@register_communicator
+class RingCommunicator(TopologyCommunicator):
+    """Neighbour-only pipelines; the bandwidth-optimal allreduce shape."""
+
+    name = "ring"
+
+    def barrier(self, comm: "Comm") -> None:
+        """Two token laps around the ring."""
+        _coll.barrier_ring(comm)
+
+    def bcast(self, comm: "Comm", obj: Any, root: int = 0) -> Any:
+        """Pipeline the packet neighbour-to-neighbour around the ring."""
+        return _coll.bcast_ring(comm, obj, root)
+
+    def reduce(
+        self, comm: "Comm", sendobj: Any, op: Op | str = "SUM", root: int = 0
+    ) -> Any:
+        """Chain partial sums around the ring onto the root."""
+        return _coll.reduce_ring(comm, sendobj, op, root)
+
+    def allgather(self, comm: "Comm", sendobj: Any) -> list[Any]:
+        """p-1 neighbour rotations; each link carries each item once."""
+        return _coll.allgather_ring(comm, sendobj)
+
+    def allreduce(
+        self,
+        comm: "Comm",
+        sendobj: Any,
+        op: Op | str = "SUM",
+        *,
+        algorithm: str | None = None,
+    ) -> Any:
+        """Bandwidth-optimal ring allreduce: reduce up, pipeline down."""
+        if algorithm is not None:
+            return _coll.allreduce(comm, sendobj, op, algorithm=algorithm)
+        return _coll.allreduce_ring(comm, sendobj, op)
+
+
+# ---------------------------------------------------------------------------
+# hierarchical (two-level) topology
+# ---------------------------------------------------------------------------
+
+
+def _node_groups(comm: "Comm") -> list[list[int]]:
+    """The communicator's local ranks grouped by hosting node.
+
+    Groups are ordered by node index; members ascend within each group.
+    Grouping uses the *global* rank's placement, so a split communicator
+    still groups by physical node.
+    """
+    nodes = comm._world.rank_nodes
+    groups: dict[int, list[int]] = {}
+    for local, g in enumerate(comm._ranks):
+        groups.setdefault(nodes[g], []).append(local)
+    return [groups[n] for n in sorted(groups)]
+
+
+def _tree_packet(ch: "Comm", members: list[int], me: int, packet, tag: int):
+    """Binomial packet broadcast over an ordered member list.
+
+    ``members[0]`` supplies ``packet``; everyone else receives from its
+    binomial parent (by list position) and forwards to its children,
+    biggest subtree first, without unpacking — the same pack-once
+    discipline as the rank-ordered tree broadcast.
+    """
+    n = len(members)
+    if n == 1:
+        return packet
+    pos = members.index(me)
+    if pos != 0:
+        parent = members[_coll.binomial_parent(pos)]
+        packet = ch._recv_packet(source=parent, tag=tag)
+    for child in reversed(_coll.binomial_children(pos, n)):
+        ch._post_packet(packet, members[child], tag)
+    return packet
+
+
+def _tree_reduce(ch: "Comm", comm: "Comm", members: list[int], me: int, value, rop, tag: int):
+    """Binomial reduction over an ordered member list onto ``members[0]``.
+
+    Each child's subtree covers a contiguous span of list positions, so
+    operands combine in member-list order (ascending local rank within a
+    node group).
+    """
+    if len(members) == 1:
+        return value
+    pos = members.index(me)
+    acc = value
+    combine = comm._world.costs.combine
+    for child in _coll.binomial_children(pos, len(members)):
+        contribution = ch.recv(source=members[child], tag=tag)
+        acc = rop(acc, contribution)
+        comm.work(combine)
+    if pos != 0:
+        ch.send(acc, members[_coll.binomial_parent(pos)], tag=tag)
+    return acc
+
+
+@register_communicator
+class HierarchicalCommunicator(TopologyCommunicator):
+    """Two-level collectives: intra-node trees, one hop per remote node.
+
+    Each node elects a leader (the root's node elects the root itself, so
+    no extra forwarding hop exists at the root); data moves across the
+    expensive inter-node links exactly once per node, then fans out or
+    combines over the cheap intra-node links.  On a uniform network this
+    is just a differently-shaped tree; under a heterogeneous
+    :class:`~repro.mp.vtime.NetworkModel` it is the span winner — which
+    is the whole teaching point.
+
+    Reduction operands combine in grouped order (within each node
+    ascending, then node by node).  Under block placement this *is*
+    absolute rank order, so non-commutative ops are safe there; under
+    cyclic placement use commutative ops.
+    """
+
+    name = "hierarchical"
+
+    def barrier(self, comm: "Comm") -> None:
+        """Members check in with their node leader; leaders disseminate."""
+        ch = _coll._channel(comm, "barrier-hier")
+        rank = comm.rank
+        if comm.size == 1:
+            return
+        groups = _node_groups(comm)
+        my_group = next(g for g in groups if rank in g)
+        lead = my_group[0]
+        if rank != lead:
+            ch.send(None, lead, tag=0)
+            ch.recv(source=lead, tag=99)
+            return
+        for m in my_group[1:]:
+            ch.recv(source=m, tag=0)
+        leaders = [g[0] for g in groups]
+        n = len(leaders)
+        if n > 1:
+            li = leaders.index(rank)
+            dist, rnd = 1, 1
+            while dist < n:
+                ch.send(None, leaders[(li + dist) % n], tag=rnd)
+                ch.recv(source=leaders[(li - dist) % n], tag=rnd)
+                dist <<= 1
+                rnd += 1
+        for m in my_group[1:]:
+            ch.send(None, m, tag=99)
+
+    def bcast(self, comm: "Comm", obj: Any, root: int = 0) -> Any:
+        """Leader-stage binomial tree, then an intra-node tree per group."""
+        _coll._validate_root(comm, root)
+        ch = _coll._channel(comm, "bcast-hier")
+        rank = comm.rank
+        from repro.mp.serialize import pack_packet
+
+        if comm.size == 1:
+            return pack_packet(obj).unpack() if rank == root else obj
+        groups = _node_groups(comm)
+        my_group = next(g for g in groups if rank in g)
+        leaders = [root if root in g else g[0] for g in groups]
+        my_lead = root if root in my_group else my_group[0]
+        packet = pack_packet(obj) if rank == root else None
+        if rank == my_lead:
+            ordered = [root] + [l for l in leaders if l != root]
+            packet = _tree_packet(ch, ordered, rank, packet, tag=0)
+        members = [my_lead] + [m for m in my_group if m != my_lead]
+        packet = _tree_packet(ch, members, rank, packet, tag=1)
+        return packet.unpack()
+
+    def reduce(
+        self, comm: "Comm", sendobj: Any, op: Op | str = "SUM", root: int = 0
+    ) -> Any:
+        """Intra-node trees, a leaders tree, then one hop to the root."""
+        _coll._validate_root(comm, root)
+        rop = resolve_op(op)
+        ch = _coll._channel(comm, "reduce-hier")
+        rank = comm.rank
+        from repro.mp.serialize import deep_copy_by_value
+
+        if comm.size == 1:
+            return deep_copy_by_value(sendobj)
+        groups = _node_groups(comm)
+        my_group = next(g for g in groups if rank in g)
+        acc = _tree_reduce(ch, comm, my_group, rank, sendobj, rop, tag=0)
+        leaders = [g[0] for g in groups]
+        if rank == my_group[0]:
+            acc = _tree_reduce(ch, comm, leaders, rank, acc, rop, tag=1)
+        head = leaders[0]
+        if head == root:
+            return deep_copy_by_value(acc) if rank == root else None
+        if rank == head:
+            ch.send(acc, root, tag=2)
+            return None
+        if rank == root:
+            return ch.recv(source=head, tag=2)
+        return None
+
+    def scatter(
+        self, comm: "Comm", sendobj: Sequence[Any] | None, root: int = 0
+    ) -> Any:
+        """Root ships each node's chunk to its leader; leaders deal it out."""
+        _coll._validate_root(comm, root)
+        ch = _coll._channel(comm, "scatter-hier")
+        size, rank = comm.size, comm.rank
+        from repro.mp.serialize import deep_copy_by_value
+
+        groups = _node_groups(comm)
+        my_group = next(g for g in groups if rank in g)
+        my_lead = root if root in my_group else my_group[0]
+        chunk: list | None = None
+        if rank == root:
+            if sendobj is None:
+                raise CollectiveError("scatter root must supply a sequence")
+            items = list(sendobj)
+            if len(items) != size:
+                raise CollectiveError(
+                    f"scatter needs exactly {size} items, got {len(items)}"
+                )
+            for g in groups:
+                lead = root if root in g else g[0]
+                piece = [(m, items[m]) for m in g]
+                if lead == root:
+                    chunk = piece
+                else:
+                    ch.send(piece, lead, tag=0)
+        elif rank == my_lead:
+            chunk = ch.recv(source=root, tag=0)
+        if rank == my_lead:
+            mine = None
+            for m, value in chunk:
+                if m == rank:
+                    mine = deep_copy_by_value(value)
+                else:
+                    ch.send(value, m, tag=1)
+            return mine
+        return ch.recv(source=my_lead, tag=1)
+
+    def gather(self, comm: "Comm", sendobj: Any, root: int = 0) -> list[Any] | None:
+        """Leaders collect their node's values, then forward one chunk each."""
+        _coll._validate_root(comm, root)
+        ch = _coll._channel(comm, "gather-hier")
+        size, rank = comm.size, comm.rank
+        from repro.mp.serialize import deep_copy_by_value
+
+        groups = _node_groups(comm)
+        my_group = next(g for g in groups if rank in g)
+        my_lead = root if root in my_group else my_group[0]
+        if rank != my_lead:
+            ch.send(sendobj, my_lead, tag=0)
+            return None
+        chunk = [
+            (m, deep_copy_by_value(sendobj) if m == rank else ch.recv(source=m, tag=0))
+            for m in my_group
+        ]
+        if rank != root:
+            ch.send(chunk, root, tag=1)
+            return None
+        out: list[Any] = [None] * size
+        for m, value in chunk:
+            out[m] = value
+        for g in groups:
+            lead = root if root in g else g[0]
+            if lead == root:
+                continue
+            for m, value in ch.recv(source=lead, tag=1):
+                out[m] = value
+        return out
+
+    def allgather(self, comm: "Comm", sendobj: Any) -> list[Any]:
+        """Hierarchical gather to rank 0, then hierarchical broadcast."""
+        gathered = self.gather(comm, sendobj, root=0)
+        return self.bcast(comm, gathered, root=0)
+
+    def allreduce(
+        self,
+        comm: "Comm",
+        sendobj: Any,
+        op: Op | str = "SUM",
+        *,
+        algorithm: str | None = None,
+    ) -> Any:
+        """Hierarchical reduce to rank 0, then hierarchical broadcast."""
+        if algorithm is not None:
+            return _coll.allreduce(comm, sendobj, op, algorithm=algorithm)
+        total = self.reduce(comm, sendobj, op, root=0)
+        return self.bcast(comm, total, root=0)

@@ -34,8 +34,9 @@ from typing import Any, Callable
 from repro import trace as _trace
 from repro.mp.cluster import Cluster
 from repro.mp.comm import Comm
+from repro.mp.communicators import create_communicator, default_topology
 from repro.mp.mailbox import Mailbox
-from repro.mp.vtime import LogPCosts, RankClock
+from repro.mp.vtime import LogPCosts, NetworkModel, RankClock, network_profile
 from repro.sched import Executor, make_executor
 from repro.sched.base import TaskGroup, current_task_label
 
@@ -58,6 +59,15 @@ class World:
         self.clocks = [RankClock() for _ in range(size)]
         self.costs = runtime.costs
         self.cluster = runtime.cluster
+        self.network = runtime.network
+        self.communicator = runtime.communicator
+        self.topology = runtime.topology
+        # Each rank's hosting node: the hierarchical communicator groups
+        # by it, and heterogeneous transports index per-destination link
+        # costs with it.  ``hetero`` gates the scalar fast path in Comm.
+        self.hetero = not runtime.network.uniform
+        cluster = self.cluster
+        self.rank_nodes = [cluster.node_of(r, size) for r in range(size)]
         self.group: TaskGroup | None = None
         #: Trace scope naming this world's events (set by the launcher).
         self.scope = label
@@ -117,6 +127,14 @@ class MpRuntime:
     ``"thread"`` (real threads, nondeterministic) or ``"lockstep"``
     (deterministic seeded interleavings); ``costs`` is the LogP model;
     ``cluster`` maps ranks onto named nodes.
+
+    ``network`` generalises ``costs``: a :class:`NetworkModel` instance,
+    or a profile name from :data:`~repro.mp.vtime.NETWORK_PROFILES`
+    (``"hetero2"``, ...) which may also imply a cluster shape.  When both
+    ``network`` and ``costs`` are given, ``network`` wins (its own
+    ``costs`` become the processor-level model).  ``topology`` names the
+    communicator algorithm set (:func:`repro.mp.communicators.create_communicator`);
+    ``None`` follows ``REPRO_TOPOLOGY``/binomial.
     """
 
     def __init__(
@@ -128,13 +146,23 @@ class MpRuntime:
         deadlock_timeout: float = 30.0,
         costs: LogPCosts | None = None,
         cluster: Cluster | None = None,
+        network: "NetworkModel | str | None" = None,
+        topology: str | None = None,
         executor: Executor | None = None,
     ):
         self.executor = executor or make_executor(
             mode, seed=seed, policy=policy, deadlock_timeout=deadlock_timeout
         )
-        self.costs = costs or LogPCosts()
+        if isinstance(network, str):
+            network, profile_cluster = network_profile(network)
+            cluster = cluster or profile_cluster
+        elif network is None:
+            network = NetworkModel.from_costs(costs)
+        self.network = network
+        self.costs = network.costs
         self.cluster = cluster or Cluster()
+        self.topology = topology or default_topology()
+        self.communicator = create_communicator(self.topology)
         #: Event spine of the most recent run (or the ambient recorder).
         self.trace = _trace.TraceRecorder()
         self._world_counter = 0
@@ -227,6 +255,8 @@ def mpirun(
     deadlock_timeout: float = 30.0,
     costs: LogPCosts | None = None,
     cluster: Cluster | None = None,
+    network: "NetworkModel | str | None" = None,
+    topology: str | None = None,
     **kwargs: Any,
 ) -> WorldResult:
     """One-shot launcher (the ``mpirun -np <size>`` analogue).
@@ -242,5 +272,7 @@ def mpirun(
         deadlock_timeout=deadlock_timeout,
         costs=costs,
         cluster=cluster,
+        network=network,
+        topology=topology,
     )
     return runtime.run(size, main, *args, **kwargs)

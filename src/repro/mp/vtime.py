@@ -24,7 +24,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["LogPCosts", "RankClock"]
+from repro.errors import CommError
+
+__all__ = [
+    "LinkCosts",
+    "LogPCosts",
+    "NETWORK_PROFILES",
+    "NetworkModel",
+    "RankClock",
+    "network_profile",
+]
 
 
 @dataclass(frozen=True)
@@ -50,6 +59,155 @@ class LogPCosts:
     def transit(self, size_bytes: int) -> float:
         """Clock delta from send-start to receivability."""
         return self.overhead + self.latency + size_bytes * self.per_byte
+
+
+@dataclass(frozen=True)
+class LinkCosts:
+    """Cost parameters of one network link class.
+
+    A link is a (source node, destination node) pair of the simulated
+    cluster.  ``latency`` and ``per_byte`` are the wire properties (LogP
+    *L* and *G*); ``overhead`` is the *sender's* CPU cost of pushing a
+    message onto this link — a shared-memory copy is much cheaper than a
+    NIC round through the network stack, which is exactly why real MPI
+    implementations special-case intra-node transport.  The receiver
+    always pays the processor-level ``LogPCosts.overhead`` (receive cost
+    is a property of the host, not of where the message came from).
+    """
+
+    latency: float = 1.0
+    overhead: float = 0.1
+    per_byte: float = 0.0
+
+    def transit(self, size_bytes: int) -> float:
+        """Clock delta from send-start to receivability over this link."""
+        return self.overhead + self.latency + size_bytes * self.per_byte
+
+
+class NetworkModel:
+    """Heterogeneous per-link generalisation of the uniform LogP tuple.
+
+    Resolution order for the link between two nodes:
+
+    1. an exact ``(src_node, dst_node)`` entry in ``links`` (arbitrary
+       link tables; asymmetric links are allowed),
+    2. the ``intra`` class when ``src_node == dst_node``, else ``inter``,
+    3. the default link derived from ``costs`` (uniform behaviour).
+
+    ``costs`` remains the processor-level model: its ``overhead`` is
+    charged per receive on the receiver's clock, its ``combine`` per
+    reduction-operator application, and its latency/overhead/per_byte
+    form the default link.  A model with no ``intra``/``inter``/``links``
+    overrides is *uniform* and the transport keeps its scalar fast path.
+    """
+
+    __slots__ = ("costs", "intra", "inter", "links", "_default_link", "_memo")
+
+    def __init__(
+        self,
+        costs: LogPCosts | None = None,
+        *,
+        intra: LinkCosts | None = None,
+        inter: LinkCosts | None = None,
+        links: "dict[tuple[int, int], LinkCosts] | None" = None,
+    ):
+        self.costs = costs or LogPCosts()
+        self.intra = intra
+        self.inter = inter
+        self.links = dict(links or {})
+        self._default_link = LinkCosts(
+            latency=self.costs.latency,
+            overhead=self.costs.overhead,
+            per_byte=self.costs.per_byte,
+        )
+        self._memo: dict[tuple[int, int], LinkCosts] = {}
+
+    @property
+    def uniform(self) -> bool:
+        """True when every link resolves to the default (scalar fast path)."""
+        return self.intra is None and self.inter is None and not self.links
+
+    def link(self, src_node: int, dst_node: int) -> LinkCosts:
+        """The cost class of the ``src_node -> dst_node`` link."""
+        key = (src_node, dst_node)
+        got = self._memo.get(key)
+        if got is None:
+            got = self.links.get(key)
+            if got is None:
+                got = self.intra if src_node == dst_node else self.inter
+            if got is None:
+                got = self._default_link
+            self._memo[key] = got
+        return got
+
+    def transit(self, src_node: int, dst_node: int, size_bytes: int = 0) -> float:
+        """Clock delta from send-start to receivability between two nodes."""
+        return self.link(src_node, dst_node).transit(size_bytes)
+
+    @classmethod
+    def from_costs(cls, costs: LogPCosts | None = None) -> "NetworkModel":
+        """A uniform model — every link is the LogP default."""
+        return cls(costs)
+
+    @classmethod
+    def two_level(
+        cls,
+        *,
+        intra: LinkCosts,
+        inter: LinkCosts,
+        combine: float = 1.0,
+    ) -> "NetworkModel":
+        """The minimum heterogeneous cluster: cheap intra-node, costly
+        inter-node.  Processor-level receive overhead follows ``intra``."""
+        costs = LogPCosts(
+            latency=intra.latency,
+            overhead=intra.overhead,
+            per_byte=intra.per_byte,
+            combine=combine,
+        )
+        return cls(costs, intra=intra, inter=inter)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.uniform:
+            return f"NetworkModel(uniform, {self.costs!r})"
+        return (
+            f"NetworkModel(intra={self.intra!r}, inter={self.inter!r}, "
+            f"links={len(self.links)})"
+        )
+
+
+#: Named network presets for the CLI / bench (``--network``).  Each maps
+#: to ``(NetworkModel factory, Cluster factory or None)``; ``None`` keeps
+#: whatever cluster the caller configured.
+NETWORK_PROFILES = ("uniform", "hetero2", "hetero4")
+
+
+def network_profile(name: str):
+    """Resolve a named network preset to ``(NetworkModel, Cluster | None)``.
+
+    - ``uniform``: the default LogP tuple on the caller's cluster.
+    - ``hetero2``: two 16-core nodes, block placement; inter-node links
+      are ~10x the latency, 20x the send overhead, and carry a bandwidth
+      term.  At np=32 the world spans both nodes, which is the setting
+      where the hierarchical communicator visibly beats ``flat``.
+    - ``hetero4``: four 8-core nodes with the same link classes.
+    """
+    from repro.mp.cluster import Cluster
+
+    if name == "uniform":
+        return NetworkModel.from_costs(LogPCosts()), None
+    if name in ("hetero2", "hetero4"):
+        net = NetworkModel.two_level(
+            intra=LinkCosts(latency=0.5, overhead=0.1, per_byte=0.0),
+            inter=LinkCosts(latency=5.0, overhead=2.0, per_byte=0.05),
+        )
+        if name == "hetero2":
+            return net, Cluster(cores_per_node=16, num_nodes=2)
+        return net, Cluster(cores_per_node=8, num_nodes=4)
+    raise CommError(
+        f"unknown network profile {name!r}; available: "
+        + ", ".join(NETWORK_PROFILES)
+    )
 
 
 class RankClock:

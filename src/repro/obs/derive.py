@@ -339,7 +339,7 @@ def run_summary(
 #: run.meta fields that may label metrics.  ``cached`` (and anything else
 #: that differs between a live and a served run) must never appear here —
 #: the serial / pooled / cache-served byte-identity depends on it.
-_IDENTITY_META = ("patternlet", "backend", "tasks", "mode", "seed")
+_IDENTITY_META = ("patternlet", "backend", "tasks", "mode", "seed", "topology")
 
 
 def run_metrics(run: Any) -> MetricsRegistry:

@@ -26,10 +26,18 @@ optimises:
 
 ``bcast_ms_p{2,4,8,32}``
     Wall milliseconds per 64-element broadcast at 2/4/8/32 ranks — the
-    collective-latency-vs-rank-count curve; exercises the binomial tree
-    and the pack-once forwarding path (p32 adds the large-np point where
-    mailbox matching and switch selection costs would dominate if they
-    were O(np)).
+    collective-latency-vs-rank-count curve; exercises the pack-once
+    forwarding path (p32 adds the large-np point where mailbox matching
+    and switch selection costs would dominate if they were O(np)).
+    Each point is the *fastest registered communicator topology* at that
+    rank count (pin one with ``bench --topology``), so the metric tracks
+    the engine's best collective path as topologies evolve.
+
+``allreduce_ms_p64``
+    Wall milliseconds per scalar allreduce at 64 ranks, again the
+    fastest topology — the many-rank combining path (reduction + fan-out
+    or ring pipeline) that the topology registry is supposed to keep
+    cheap.  Gated (see below).
 
 ``figure_suite_np64_wall_s``
     Wall seconds for the scaling demo: the three classroom-representative
@@ -70,8 +78,12 @@ muting is exactly the one-attribute-read guard the emit sites take.
 
 Comparison policy: throughput metrics (:data:`HIGHER_IS_BETTER`) fail a
 check when they drop more than ``tolerance`` (default 30%) below the
-baseline; a gated metric *absent from the baseline* is skipped with a
-warning (new metrics must not break older baselines).  Latency/wall
+baseline; the fastest-topology collective latencies
+(:data:`LOWER_IS_BETTER`: ``bcast_ms_p32``, ``allreduce_ms_p64``) fail
+when they *rise* more than ``tolerance`` above it — these are best-of
+minima over several topologies, which bounds their noise enough to gate.
+A gated metric *absent from the baseline* is skipped with a warning (new
+metrics must not break older baselines).  The remaining latency/wall
 metrics are *reported* but never fail a check — shared CI machines make
 absolute milliseconds too noisy to gate on, while a 30% throughput
 collapse on the same machine within one run is a real regression.
@@ -88,8 +100,10 @@ from repro.trace import muted
 
 __all__ = [
     "HIGHER_IS_BETTER",
+    "LOWER_IS_BETTER",
     "METRICS_OVERHEAD_BUDGET_PCT",
     "SCHEMA",
+    "bench_allreduce_latency",
     "bench_batch_suite",
     "bench_bcast_latency",
     "bench_figure_suite",
@@ -116,6 +130,16 @@ HIGHER_IS_BETTER = (
     "switch_rate",
     "switch_rate_np64",
     "batch_throughput_runs_s",
+)
+
+#: Latency metrics where smaller numbers are better; these fail a check
+#: when they rise more than ``tolerance`` above the baseline.  Only the
+#: fastest-topology collective latencies qualify: a min over several
+#: independently-run topologies is stable enough to gate, where a single
+#: raw latency is not.
+LOWER_IS_BETTER = (
+    "bcast_ms_p32",
+    "allreduce_ms_p64",
 )
 
 #: Absolute ceiling (percent) for live-probe hot-path overhead.  Fixed,
@@ -201,15 +225,40 @@ def bench_large_np_suite(*, np: int = 64) -> float:
     return time.perf_counter() - t0
 
 
-def bench_bcast_latency(p: int, *, iters: int = 50) -> float:
-    """Wall milliseconds per 64-element broadcast across ``p`` ranks."""
+def bench_bcast_latency(
+    p: int, *, iters: int = 50, topology: str | None = None
+) -> float:
+    """Wall milliseconds per 64-element broadcast across ``p`` ranks.
+
+    ``topology`` pins the communicator algorithm set (``None`` = the
+    process default); :func:`run_benchmarks` reports the fastest across
+    every registered topology.
+    """
     from repro.mp.runtime import MpRuntime
 
     def main(comm):
         for _ in range(iters):
             comm.bcast(list(range(64)), root=0)
 
-    rt = MpRuntime(mode="lockstep", seed=0)
+    rt = MpRuntime(mode="lockstep", seed=0, topology=topology)
+    with muted():
+        t0 = time.perf_counter()
+        rt.run(p, main)
+        dt = time.perf_counter() - t0
+    return dt / iters * 1000
+
+
+def bench_allreduce_latency(
+    p: int = 64, *, iters: int = 20, topology: str | None = None
+) -> float:
+    """Wall milliseconds per scalar allreduce across ``p`` ranks."""
+    from repro.mp.runtime import MpRuntime
+
+    def main(comm):
+        for _ in range(iters):
+            comm.allreduce(comm.rank)
+
+    rt = MpRuntime(mode="lockstep", seed=0, topology=topology)
     with muted():
         t0 = time.perf_counter()
         rt.run(p, main)
@@ -339,13 +388,20 @@ def bench_metrics_overhead(*, quick: bool = False, rounds: int = 3) -> float:
 
 
 def run_benchmarks(
-    *, quick: bool = False, progress: Callable[[str], None] | None = None
+    *,
+    quick: bool = False,
+    progress: Callable[[str], None] | None = None,
+    topology: str | None = None,
 ) -> dict[str, float]:
     """Run the full metric set; returns ``{metric: value}``.
 
     ``quick`` shrinks iteration counts ~5× for CI smoke runs — noisier,
     but each metric stays well above timer resolution, and the 30%
     check tolerance absorbs the jitter.
+
+    ``topology`` pins the collective-latency benches to one communicator
+    topology; by default each reports the fastest registered topology at
+    its rank count.
 
     The gated throughput metrics are each the best of three repetitions:
     a rate sample can only be depressed by interference (GC, a noisy
@@ -374,9 +430,26 @@ def run_benchmarks(
     )
     note("per-run setup cost (pool-amortised)")
     out["run_setup_ms"] = round(bench_run_setup(runs=100 // scale), 3)
+    from repro.mp.communicators import available_topologies
+
+    topos = [topology] if topology else available_topologies()
     for p in (2, 4, 8, 32):
-        note(f"bcast latency at {p} ranks")
-        out[f"bcast_ms_p{p}"] = round(bench_bcast_latency(p, iters=50 // scale), 3)
+        note(f"bcast latency at {p} ranks ({'/'.join(t or 'default' for t in topos)})")
+        out[f"bcast_ms_p{p}"] = round(
+            min(
+                bench_bcast_latency(p, iters=50 // scale, topology=t)
+                for t in topos
+            ),
+            3,
+        )
+    note(f"allreduce latency at 64 ranks ({'/'.join(t or 'default' for t in topos)})")
+    out["allreduce_ms_p64"] = round(
+        min(
+            bench_allreduce_latency(64, iters=20 // scale, topology=t)
+            for t in topos
+        ),
+        3,
+    )
     note("figure suite wall clock")
     out["figure_suite_wall_s"] = round(bench_figure_suite(), 3)
     note("large-np patternlet suite at 64 tasks")
@@ -466,6 +539,26 @@ def compare(
             failures.append(
                 f"{name}: {current[name]:.1f} is {1 - current[name] / base:.0%} "
                 f"below baseline {base:.1f} (tolerance {tolerance:.0%})"
+            )
+    for name in LOWER_IS_BETTER:
+        if name not in current:
+            continue
+        if name not in baseline:
+            if on_skip is not None:
+                on_skip(
+                    f"{name}: absent from baseline; gate skipped "
+                    f"(regenerate the baseline to arm it)"
+                )
+            continue
+        base = baseline[name]
+        if base <= 0:
+            continue
+        ceiling = base * (1.0 + tolerance)
+        if current[name] > ceiling:
+            failures.append(
+                f"{name}: {current[name]:.3f}ms is "
+                f"{current[name] / base - 1:.0%} above baseline "
+                f"{base:.3f}ms (tolerance {tolerance:.0%})"
             )
     return failures
 

@@ -36,6 +36,7 @@ def _digest(**overrides):
         seed=0,
         policy="random",
         extra={},
+        topology="binomial",
     )
     base.update(overrides)
     return specs._key_digest(**base)
@@ -66,6 +67,24 @@ class TestKeyInvariance:
         assert spec_key(RunSpec.make("openmp.spmd", seed=1)) == spec_key(
             RunSpec.make("openmp.spmd", tasks=default, seed=1)
         )
+
+    def test_explicit_default_topology_and_omitted_share_a_key(self):
+        # spec_key resolves None to the process default topology, so
+        # spelling out "binomial" addresses the same record.
+        bare = RunSpec.make("mpi.broadcast", seed=2)
+        spelled = RunSpec.make("mpi.broadcast", topology="binomial", seed=2)
+        assert spec_key(bare) == spec_key(spelled)
+
+    @given(
+        topo=st.sampled_from(["flat", "binomial", "ring", "hierarchical"]),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_identical_topology_specs_always_collide(self, topo, seed):
+        a = RunSpec.make("mpi.reduction", topology=topo, seed=seed)
+        b = RunSpec.make("mpi.reduction", topology=topo, seed=seed)
+        assert a == b
+        assert spec_key(a) == spec_key(b)
 
 
 class TestKeySensitivity:
@@ -113,6 +132,26 @@ class TestKeySensitivity:
         ka = _digest(seed=seed_a)
         kb = _digest(seed=seed_b)
         assert (ka == kb) == (seed_a == seed_b)
+
+    @given(
+        topo_a=st.sampled_from(["flat", "binomial", "ring", "hierarchical"]),
+        topo_b=st.sampled_from(["flat", "binomial", "ring", "hierarchical"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_topologies_collide_only_when_equal(self, topo_a, topo_b):
+        # Two specs differing *only* in topology must address different
+        # cache records — a stale cross-topology hit would silently serve
+        # one algorithm's span/messages as another's.
+        ka = _digest(topology=topo_a)
+        kb = _digest(topology=topo_b)
+        assert (ka == kb) == (topo_a == topo_b)
+
+    @given(topo=st.sampled_from(["flat", "ring", "hierarchical"]))
+    @settings(max_examples=10, deadline=None)
+    def test_topology_moves_spec_key(self, topo):
+        base = RunSpec.make("mpi.broadcast", seed=0)
+        other = RunSpec.make("mpi.broadcast", topology=topo, seed=0)
+        assert spec_key(base) != spec_key(other)
 
 
 class TestCacheability:

@@ -1,0 +1,115 @@
+"""Edge cases of the binomial tree helpers at awkward sizes and roots.
+
+``binomial_parent``/``binomial_children`` are the shared skeleton under
+the binomial communicator, the leader stage of the hierarchical one, and
+the tree allreduce.  Their exact shapes are pinned here so a topology
+refactor can never silently re-wire the tree — the golden interleavings
+depend on these byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CollectiveError
+from repro.mp import collectives as C
+from repro.mp import mpirun
+
+NON_POWER_OF_TWO = (3, 5, 6, 7, 12, 13)
+
+
+class TestPinnedShapes:
+    """Exact trees for the sizes the figure suite actually runs at."""
+
+    def test_parents_for_size_13(self):
+        # parent(r) clears r's lowest set bit — independent of size.
+        want = {1: 0, 2: 0, 3: 2, 4: 0, 5: 4, 6: 4, 7: 6, 8: 0, 9: 8,
+                10: 8, 11: 10, 12: 8}
+        assert {r: C.binomial_parent(r) for r in range(1, 13)} == want
+
+    @pytest.mark.parametrize(
+        "size,want",
+        [
+            (3, {0: [1, 2], 1: [], 2: []}),
+            (5, {0: [1, 2, 4], 1: [], 2: [3], 3: [], 4: []}),
+            (6, {0: [1, 2, 4], 1: [], 2: [3], 3: [], 4: [5], 5: []}),
+            (7, {0: [1, 2, 4], 1: [], 2: [3], 3: [], 4: [5, 6], 5: [],
+                 6: []}),
+            (12, {0: [1, 2, 4, 8], 1: [], 2: [3], 3: [], 4: [5, 6], 5: [],
+                  6: [7], 7: [], 8: [9, 10], 9: [], 10: [11], 11: []}),
+            (13, {0: [1, 2, 4, 8], 1: [], 2: [3], 3: [], 4: [5, 6], 5: [],
+                  6: [7], 7: [], 8: [9, 10, 12], 9: [], 10: [11], 11: [],
+                  12: []}),
+        ],
+    )
+    def test_children_tables(self, size, want):
+        assert {r: C.binomial_children(r, size) for r in range(size)} == want
+
+    def test_size_one_tree_is_empty(self):
+        assert C.binomial_children(0, 1) == []
+
+    def test_root_has_no_parent_even_at_odd_sizes(self):
+        with pytest.raises(CollectiveError):
+            C.binomial_parent(0)
+
+
+class TestStructuralInvariants:
+    @given(size=st.integers(2, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_children_lists_are_strictly_increasing(self, size):
+        for r in range(size):
+            kids = C.binomial_children(r, size)
+            assert kids == sorted(kids)
+            assert len(set(kids)) == len(kids)
+            assert all(r < c < size for c in kids)
+
+    @given(size=st.integers(2, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_parent_and_children_agree(self, size):
+        for r in range(size):
+            for c in C.binomial_children(r, size):
+                assert C.binomial_parent(c) == r
+
+    @given(size=st.integers(1, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_depth_is_logarithmic(self, size):
+        # Every rank reaches the root in at most ceil(log2(size)) hops —
+        # the property that makes the binomial broadcast O(log p).
+        bound = max(1, size - 1).bit_length()
+        for r in range(1, size):
+            hops, node = 0, r
+            while node != 0:
+                node = C.binomial_parent(node)
+                hops += 1
+            assert hops <= bound
+
+
+class TestNonZeroRootsAtAwkwardSizes:
+    """Non-zero roots rotate onto the rank-0 tree; values must survive."""
+
+    @pytest.mark.parametrize("np", NON_POWER_OF_TWO)
+    def test_bcast_from_last_rank(self, np):
+        root = np - 1
+
+        def main(comm):
+            return comm.bcast("x" * 3 if comm.rank == root else None, root=root)
+
+        res = mpirun(np, main, mode="lockstep", topology="binomial")
+        assert res.results == ["xxx"] * np
+
+    @pytest.mark.parametrize("np", NON_POWER_OF_TWO)
+    def test_reduce_to_middle_rank_folds_in_rotated_order(self, np):
+        # The historical tree reduce rotates ranks so the root sits at
+        # tree position 0; a non-commutative op therefore folds in
+        # root, root+1, ..., wrapping — pinned here so the communicator
+        # refactor cannot silently change the fold order.
+        root = np // 2
+
+        def main(comm):
+            return comm.reduce([comm.rank], op="SUM", root=root)
+
+        res = mpirun(np, main, mode="lockstep", topology="binomial")
+        want = list(range(root, np)) + list(range(root))
+        assert res.results[root] == want

@@ -1,0 +1,182 @@
+"""The communicator registry and per-topology collective algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CommError
+from repro.mp import available_topologies, create_communicator, mpirun
+from repro.mp import communicators as comms
+from repro.mp.cluster import Cluster
+
+TOPOLOGIES = ("flat", "binomial", "ring", "hierarchical")
+
+#: A two-node cluster small enough that every parametrized size spans it.
+TWO_NODES = Cluster(cores_per_node=4, num_nodes=2)
+
+
+def run(n, main, *, topology, **kw):
+    kw.setdefault("mode", "lockstep")
+    return mpirun(n, main, topology=topology, **kw)
+
+
+class TestRegistry:
+    def test_all_four_topologies_are_registered(self):
+        assert set(TOPOLOGIES) <= set(available_topologies())
+
+    def test_available_topologies_is_sorted(self):
+        assert list(available_topologies()) == sorted(available_topologies())
+
+    def test_create_returns_distinct_algorithm_objects(self):
+        made = {name: create_communicator(name) for name in TOPOLOGIES}
+        assert {c.name for c in made.values()} == set(TOPOLOGIES)
+        assert all(made[n].name == n for n in made)
+
+    def test_unknown_topology_raises_and_lists_available(self):
+        with pytest.raises(CommError) as e:
+            create_communicator("hypercube")
+        msg = str(e.value)
+        assert "hypercube" in msg
+        for name in TOPOLOGIES:
+            assert name in msg
+
+    def test_default_is_binomial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TOPOLOGY", raising=False)
+        assert comms.default_topology() == "binomial"
+        assert create_communicator(None).name == "binomial"
+        assert create_communicator().name == "binomial"
+
+    def test_env_hatch_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TOPOLOGY", "ring")
+        assert comms.default_topology() == "ring"
+        assert create_communicator(None).name == "ring"
+        # An explicit name still wins over the env hatch.
+        assert create_communicator("flat").name == "flat"
+
+    def test_registering_a_nameless_communicator_is_rejected(self):
+        class Bad(comms.TopologyCommunicator):
+            name = ""
+
+        with pytest.raises(CommError):
+            comms.register_communicator(Bad)
+
+    def test_registration_is_idempotent_for_existing_classes(self):
+        # Re-registering the same class must not corrupt the registry.
+        before = available_topologies()
+        comms.register_communicator(comms.RingCommunicator)
+        assert available_topologies() == before
+
+
+class TestValueCorrectness:
+    """Every topology must compute the same values as the specification."""
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    @pytest.mark.parametrize("np", [1, 2, 3, 5, 8])
+    def test_bcast_delivers_to_every_rank(self, topology, np):
+        root = np - 1
+
+        def main(comm):
+            payload = {"from": comm.rank} if comm.rank == root else None
+            return comm.bcast(payload, root=root)
+
+        res = run(np, main, topology=topology, cluster=TWO_NODES)
+        assert res.results == [{"from": root}] * np
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    @pytest.mark.parametrize("np", [1, 2, 3, 5, 8])
+    def test_reduce_sums_to_root_only(self, topology, np):
+        root = np // 2
+
+        def main(comm):
+            return comm.reduce(comm.rank + 1, op="SUM", root=root)
+
+        res = run(np, main, topology=topology, cluster=TWO_NODES)
+        want = np * (np + 1) // 2
+        assert res.results[root] == want
+        assert all(v is None for r, v in enumerate(res.results) if r != root)
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    @pytest.mark.parametrize("np", [1, 2, 3, 5, 8])
+    def test_allreduce_max_everywhere(self, topology, np):
+        def main(comm):
+            return comm.allreduce(comm.rank, op="MAX")
+
+        res = run(np, main, topology=topology, cluster=TWO_NODES)
+        assert res.results == [np - 1] * np
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    @pytest.mark.parametrize("np", [2, 3, 5, 8])
+    def test_reduce_preserves_rank_order(self, topology, np):
+        # List-SUM is concatenation — a non-commutative probe.  Chain,
+        # tree, and hierarchical folds must all respect rank order.
+        def main(comm):
+            return comm.reduce([comm.rank], op="SUM", root=0)
+
+        res = run(np, main, topology=topology, cluster=TWO_NODES)
+        assert res.results[0] == list(range(np))
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    @pytest.mark.parametrize("np", [1, 2, 3, 5, 8])
+    def test_scatter_then_gather_roundtrips(self, topology, np):
+        root = min(1, np - 1)
+
+        def main(comm):
+            items = [i * i for i in range(comm.size)] if comm.rank == root else None
+            mine = comm.scatter(items, root=root)
+            return comm.gather(mine + 1, root=root)
+
+        res = run(np, main, topology=topology, cluster=TWO_NODES)
+        assert res.results[root] == [i * i + 1 for i in range(np)]
+        assert all(v is None for r, v in enumerate(res.results) if r != root)
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    @pytest.mark.parametrize("np", [1, 2, 3, 5, 8])
+    def test_allgather_everywhere(self, topology, np):
+        def main(comm):
+            return comm.allgather(chr(ord("a") + comm.rank))
+
+        res = run(np, main, topology=topology, cluster=TWO_NODES)
+        want = [chr(ord("a") + r) for r in range(np)]
+        assert res.results == [want] * np
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    @pytest.mark.parametrize("np", [1, 2, 3, 5, 8])
+    def test_barrier_separates_phases(self, topology, np):
+        def main(comm):
+            before = comm._my_clock.now
+            comm.barrier()
+            return comm._my_clock.now >= before
+
+        res = run(np, main, topology=topology, cluster=TWO_NODES)
+        assert res.results == [True] * np
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_bcast_mutations_do_not_leak_between_ranks(self, topology):
+        def main(comm):
+            data = [0, 1, 2] if comm.rank == 0 else None
+            data = comm.bcast(data, root=0)
+            data[0] = comm.rank
+            return data[0]
+
+        res = run(4, main, topology=topology, cluster=TWO_NODES)
+        assert res.results == [0, 1, 2, 3]
+
+
+class TestHierarchicalPlacement:
+    @pytest.mark.parametrize("np", [5, 8, 13])
+    def test_values_survive_odd_cluster_shapes(self, np):
+        cluster = Cluster(cores_per_node=3, num_nodes=5)
+
+        def main(comm):
+            total = comm.allreduce([comm.rank], op="SUM")
+            return total
+
+        res = run(np, main, topology="hierarchical", cluster=cluster)
+        assert res.results == [list(range(np))] * np
+
+    def test_single_node_cluster_degenerates_cleanly(self):
+        def main(comm):
+            return comm.bcast(comm.rank if comm.rank == 2 else None, root=2)
+
+        res = run(4, main, topology="hierarchical")
+        assert res.results == [2] * 4

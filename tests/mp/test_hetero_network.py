@@ -1,0 +1,151 @@
+"""The heterogeneous network model and its effect on collective spans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CommError
+from repro.mp import (
+    LinkCosts,
+    LogPCosts,
+    NETWORK_PROFILES,
+    NetworkModel,
+    mpirun,
+    network_profile,
+)
+from repro.mp.cluster import Cluster
+
+FAST = LinkCosts(latency=0.5, overhead=0.1, per_byte=0.0)
+SLOW = LinkCosts(latency=5.0, overhead=2.0, per_byte=0.05)
+
+
+class TestLinkResolution:
+    def test_from_costs_is_uniform(self):
+        assert NetworkModel.from_costs(LogPCosts()).uniform
+        assert NetworkModel().uniform
+
+    def test_any_override_breaks_uniformity(self):
+        assert not NetworkModel(intra=FAST).uniform
+        assert not NetworkModel(inter=SLOW).uniform
+        assert not NetworkModel(links={(0, 1): SLOW}).uniform
+
+    def test_exact_pair_beats_class_beats_default(self):
+        net = NetworkModel(
+            LogPCosts(latency=9.0),
+            intra=FAST,
+            inter=SLOW,
+            links={(0, 1): LinkCosts(latency=0.25, overhead=0.0)},
+        )
+        assert net.link(0, 1).latency == 0.25  # exact pair wins
+        assert net.link(1, 0) is SLOW  # pairs are directional
+        assert net.link(2, 2) is FAST
+        assert net.link(2, 3) is SLOW
+
+    def test_falls_back_to_default_link_when_class_missing(self):
+        net = NetworkModel(LogPCosts(latency=7.0), links={(0, 1): SLOW})
+        assert net.link(3, 4).latency == 7.0
+        assert net.link(3, 3).latency == 7.0
+
+    def test_transit_includes_bandwidth_term(self):
+        net = NetworkModel(intra=FAST, inter=SLOW)
+        zero = net.transit(0, 1, 0)
+        assert net.transit(0, 1, 100) == pytest.approx(zero + 100 * SLOW.per_byte)
+        assert net.transit(0, 0, 100) == pytest.approx(FAST.latency + FAST.overhead)
+
+    def test_two_level_derives_processor_costs_from_intra(self):
+        net = NetworkModel.two_level(intra=FAST, inter=SLOW)
+        assert not net.uniform
+        assert net.costs.latency == FAST.latency
+        assert net.costs.overhead == FAST.overhead
+        assert net.link(0, 0) is FAST
+        assert net.link(0, 1) is SLOW
+
+
+class TestProfiles:
+    def test_uniform_profile_keeps_callers_cluster(self):
+        net, cluster = network_profile("uniform")
+        assert net.uniform
+        assert cluster is None
+
+    @pytest.mark.parametrize(
+        "name,nodes,cores", [("hetero2", 2, 16), ("hetero4", 4, 8)]
+    )
+    def test_hetero_profiles_ship_a_cluster(self, name, nodes, cores):
+        net, cluster = network_profile(name)
+        assert not net.uniform
+        assert cluster.num_nodes == nodes
+        assert cluster.cores_per_node == cores
+        assert net.link(0, 1).latency > net.link(0, 0).latency
+
+    def test_unknown_profile_raises_and_lists_available(self):
+        with pytest.raises(CommError) as e:
+            network_profile("infiniband")
+        for name in NETWORK_PROFILES:
+            assert name in str(e.value)
+
+
+class TestSpanSemantics:
+    def _bcast_span(self, np, *, topology, **kw):
+        def main(comm):
+            comm.bcast(list(range(8)) if comm.rank == 0 else None, root=0)
+
+        return mpirun(np, main, mode="lockstep", topology=topology, **kw).span
+
+    def test_uniform_network_model_matches_plain_costs(self):
+        # The scalar fast path and the per-link path must agree exactly
+        # when every link is the default — same arithmetic, same span.
+        costs = LogPCosts(latency=2.0, overhead=0.3)
+        plain = self._bcast_span(8, topology="binomial", costs=costs)
+        modeled = self._bcast_span(
+            8, topology="binomial", network=NetworkModel.from_costs(costs)
+        )
+        assert plain == modeled
+
+    def test_named_profile_accepted_as_network_string(self):
+        span = self._bcast_span(8, topology="binomial", network="hetero2")
+        assert span > 0
+
+    def test_inter_node_links_stretch_the_span(self):
+        one_node = self._bcast_span(
+            8,
+            topology="binomial",
+            network=NetworkModel.two_level(intra=FAST, inter=SLOW),
+            cluster=Cluster(cores_per_node=8, num_nodes=1),
+        )
+        two_nodes = self._bcast_span(
+            8,
+            topology="binomial",
+            network=NetworkModel.two_level(intra=FAST, inter=SLOW),
+            cluster=Cluster(cores_per_node=4, num_nodes=2),
+        )
+        assert two_nodes > one_node
+
+    def test_hierarchical_beats_flat_at_np32_on_hetero2(self):
+        # The ISSUE's acceptance demo: on the simulated two-node cluster
+        # a topology-aware broadcast crosses the slow link once, while
+        # flat's root pays (p-1) serialized sends, half over the wire.
+        flat = self._bcast_span(32, topology="flat", network="hetero2")
+        hier = self._bcast_span(32, topology="hierarchical", network="hetero2")
+        assert hier < flat
+
+    def test_hierarchical_beats_flat_for_allreduce_at_np64(self):
+        def main(comm):
+            comm.allreduce(comm.rank, op="SUM")
+
+        spans = {
+            topo: mpirun(
+                64, main, mode="lockstep", topology=topo, network="hetero4"
+            ).span
+            for topo in ("flat", "hierarchical")
+        }
+        assert spans["hierarchical"] < spans["flat"]
+
+    @pytest.mark.parametrize("topology", ["flat", "binomial", "ring", "hierarchical"])
+    def test_values_are_topology_invariant_even_on_hetero_links(self, topology):
+        # The network model moves clocks, never bytes: payloads must be
+        # identical on every link table.
+        def main(comm):
+            return comm.allreduce([comm.rank], op="SUM")
+
+        res = mpirun(13, main, mode="lockstep", topology=topology, network="hetero4")
+        assert res.results == [list(range(13))] * 13

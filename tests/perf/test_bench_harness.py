@@ -146,7 +146,9 @@ class TestCli:
         # The CLI imports run_benchmarks at call time, so patching the
         # bench module swaps in instant fake numbers.
         monkeypatch.setattr(
-            bench, "run_benchmarks", lambda *, quick, progress=None: dict(METRICS)
+            bench,
+            "run_benchmarks",
+            lambda *, quick, progress=None, topology=None: dict(METRICS),
         )
         return METRICS
 
@@ -177,7 +179,7 @@ class TestCli:
         monkeypatch.setattr(
             bench,
             "run_benchmarks",
-            lambda *, quick, progress=None: dict(
+            lambda *, quick, progress=None, topology=None: dict(
                 METRICS, batch_throughput_runs_s=1000.0
             ),
         )

@@ -208,6 +208,71 @@ class TestSweepCommand:
         assert main(["selfcheck", "--no-cache"]) == 0
 
 
+class TestTopologyFlags:
+    def test_run_accepts_topology(self, capsys):
+        assert main(["run", "mpi.broadcast", "--np", "4",
+                     "--topology", "ring"]) == 0
+        assert "AFTER  broadcast" in capsys.readouterr().out
+
+    def test_run_unknown_topology_is_an_error(self, capsys):
+        assert main(["run", "mpi.broadcast", "--topology", "hypercube"]) == 1
+        err = capsys.readouterr().err
+        assert "hypercube" in err and "binomial" in err
+
+    def test_run_accepts_network_profile(self, capsys):
+        assert main(["run", "mpi.broadcast", "--np", "8",
+                     "--network", "hetero2"]) == 0
+        assert "AFTER  broadcast" in capsys.readouterr().out
+
+    def test_sweep_crosses_topologies_and_labels_cells(self, tmp_path, capsys):
+        assert main(
+            ["sweep", "mpi.broadcast", "--np", "4",
+             "--topology", "flat,binomial", "--seeds", "0-1",
+             "--cache-dir", str(tmp_path / "runs")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "topo=flat" in out and "topo=binomial" in out
+
+    def test_sweep_rejects_unknown_topology_listing_available(
+        self, tmp_path, capsys
+    ):
+        assert main(
+            ["sweep", "mpi.broadcast", "--topology", "flat,hypercube",
+             "--cache-dir", str(tmp_path / "runs")]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "hypercube" in err
+        assert "hierarchical" in err
+
+    def test_np_is_an_alias_for_tasks_in_sweep(self, tmp_path, capsys):
+        assert main(
+            ["sweep", "mpi.spmd", "--np", "2,4", "--seeds", "0",
+             "--cache-dir", str(tmp_path / "runs")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "np=2" in out and "np=4" in out
+
+    def test_topology_sweep_on_hetero_network_orders_spans(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        stats = tmp_path / "stats.json"
+        assert main(
+            ["sweep", "mpi.broadcast", "--np", "32",
+             "--topology", "flat,hierarchical", "--network", "hetero2",
+             "--seeds", "0", "--cache-dir", str(tmp_path / "runs"),
+             "--stats-out", str(stats)]
+        ) == 0
+        cells = json.loads(stats.read_text())["cells"]
+        span = {
+            topo: cells[f"mpi.broadcast np=32 topo={topo} network=hetero2"][
+                "span"]["p50"]
+            for topo in ("flat", "hierarchical")
+        }
+        assert span["hierarchical"] < span["flat"]
+
+
 class TestVersionFlag:
     def test_version_shows_engine_fingerprint(self, capsys):
         from repro._version import __version__
