@@ -46,7 +46,13 @@ from repro.mp.mailbox import (
     _msg_ids,
     validate_tag,
 )
-from repro.mp.serialize import Packet, pack_packet
+from repro.mp.serialize import (
+    KIND_COW_FLAT,
+    KIND_COW_MOVE,
+    KIND_REF,
+    Packet,
+    pack_packet,
+)
 from repro.ops import Op
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -154,7 +160,12 @@ class Comm:
         name: str = "COMM_WORLD",
     ):
         self._world = world
-        self._ranks = list(global_ranks)
+        # A plain-list ``global_ranks`` is adopted without copying: rank
+        # maps are immutable by contract once a communicator exists, and
+        # the world-sized copy per rank made world construction O(np^2).
+        self._ranks = (
+            global_ranks if type(global_ranks) is list else list(global_ranks)
+        )
         self._rank = local_rank
         self._ctx = ctx
         self._name = name
@@ -311,9 +322,19 @@ class Comm:
             packet = self._pk
         else:
             packet = pack_packet(obj)
-            if packet.data is None:
+            # Only by-ref packets are memoisable: identity plus immutability
+            # make reuse safe.  A CoW packet must NOT be memoised — its
+            # snapshot captures send-time state, and the sender may mutate
+            # the (same-identity) container between two sends.
+            if packet.kind is KIND_REF:
                 self._pk_obj = obj
                 self._pk = packet
+            elif packet.kind is KIND_COW_FLAT:
+                # Born here, delivered to exactly one recv (collectives
+                # post through _post_packet, never this path): mark the
+                # snapshot movable so that recv can take it without the
+                # receiver-side copy.
+                packet.kind = KIND_COW_MOVE
         if tag.__class__ is not int or tag < 0:
             validate_tag(tag)
         ranks = self._ranks
@@ -487,7 +508,13 @@ class Comm:
                 if msg.sync:
                     self._executor.notify()
                 packet = msg.packet
-                payload = packet.obj if packet.data is None else packet.unpack()
+                k = packet.kind
+                if k is KIND_REF or k is KIND_COW_MOVE:
+                    # By-ref immutable, or a single-consumer flat snapshot
+                    # (cow-move): this recv owns it — no copy either way.
+                    payload = packet.obj
+                else:
+                    payload = packet.unpack()
                 if status:
                     return payload, Status(
                         source=msg.source, tag=msg.tag, size=msg.size
@@ -512,7 +539,11 @@ class Comm:
         else:
             msg = self._complete_recv_msg(source, tag)
         packet = msg.packet
-        payload = packet.obj if packet.data is None else packet.unpack()
+        k = packet.kind
+        if k is KIND_REF or k is KIND_COW_MOVE:
+            payload = packet.obj  # see the fast path above: recv owns a move
+        else:
+            payload = packet.unpack()
         if status:
             return payload, Status(source=msg.source, tag=msg.tag, size=msg.size)
         return payload

@@ -1,0 +1,351 @@
+"""Copy-on-write payload proxies: structural sharing with isolation intact.
+
+PR 2's transport pickled every mutable payload per receiver.  That is the
+*mechanism* of distributed memory, not its meaning: the observable contract
+is only that no rank can see another rank's mutations.  Most patternlet
+receivers never mutate what they receive (they read a broadcast toggle
+table, sum a scattered block, print a gathered row), so the copy is usually
+pure waste — O(receivers) serialisations of identical bytes in a tree
+broadcast.
+
+This module keeps the contract while deleting the copies:
+
+- :func:`freeze` takes a mutable container payload at *send* time and
+  returns a private structural **snapshot** — same shapes (``list`` stays
+  ``list``, ``dict`` stays ``dict``), immutable leaves shared by reference,
+  aliasing and cycles preserved via a memo, no pickle involved.  The
+  snapshot is owned by the packet and never mutated afterwards, so the
+  sender mutating its original after the send cannot leak into any
+  receiver (the classic MPI_Isend aliasing bug is impossible by
+  construction).
+- :func:`thaw` gives each receiver a **proxy** (:class:`CowList` /
+  :class:`CowDict`) over that shared snapshot.  The proxy is an *empty*
+  real container carrying a reference to its frozen source; every public
+  operation — reads included — first materialises one level
+  (shallow-copies the snapshot level into the proxy's own storage, wrapping
+  mutable children in fresh proxies).  After materialisation the proxy is
+  indistinguishable from a plain container and pays zero further overhead
+  at the C level.  Receivers that only read still share all *immutable*
+  leaves; receivers that mutate get private storage the moment they touch
+  the object; sibling receivers and the sender never observe either.
+- ``set`` payloads thaw to **plain private copies**, not proxies: their
+  elements are immutable under the vocabulary, so a shallow copy already
+  is a deep copy — and CPython's set-argument fast paths (``set(x)``,
+  ``frozenset(x)``, ``s.update(x)``, ``s.union(x)``) read the argument's
+  hash table directly, bypassing every Python-level method, which a lazy
+  set proxy could not survive.
+
+Materialisation-on-read (not merely on write) is what makes the proxies
+safe against CPython's C-level shortcuts: once any Python-visible method
+has run, the subclass's real storage is populated, so C code that indexes
+``ob_item`` directly sees the right data.  Shortcut paths that take the
+*proxy as an argument* without calling any of its methods are closed case
+by case: dicts are safe because every dict-merging fast path defers to an
+overridden ``keys()``; ``list + proxy`` is intercepted by
+``CowList.__radd__`` (subclass reflection runs before ``list.__add__``'s
+direct ``ob_item`` read); sets are never lazy at all (above).  The one
+documented residual hole is C code that bypasses *all* Python-level
+methods on a never-touched proxy (e.g. handing a freshly received,
+never-read proxy straight to the C ``json`` encoder); none of the
+runtime's own paths do this — the batch codec walks containers in
+Python — and ``repr``/``==``/iteration all materialise first.
+
+Why not true lazy-pickle sharing of the sender's live object?  Because the
+sender may mutate between send and receive; only an eager snapshot
+preserves send-time semantics.  The snapshot is still ~6× cheaper than a
+pickle round-trip for small payloads and is taken exactly once per send
+regardless of the number of receivers.
+"""
+
+from __future__ import annotations
+
+import threading
+import types
+from typing import Any
+
+__all__ = [
+    "CowList",
+    "CowDict",
+    "NotCowable",
+    "freeze",
+    "thaw",
+    "is_materialized",
+    "COW_PROXY_TYPES",
+]
+
+#: Exact leaf types shareable by reference (mirrors serialize._IMMUTABLE_SCALARS;
+#: duplicated here to keep this module import-light and cycle-free).
+_SCALARS = frozenset((int, float, str, bytes, bool, complex, type(None)))
+
+
+class NotCowable(Exception):
+    """Payload contains a node outside the CoW vocabulary; use the pickle lane."""
+
+
+# One process-wide reentrant lock guards first-touch materialisation.  It is
+# only ever taken while a proxy is still frozen — the common case (already
+# materialised) is a single attribute check with no locking.  Reentrant
+# because materialising ``self`` may materialise a proxy argument in turn.
+_THAW_LOCK = threading.RLock()
+
+
+def _thaw(node: Any, memo: dict) -> Any:
+    """Receiver-side value for one snapshot node (lazy: children stay frozen).
+
+    ``memo`` maps ``id(snapshot_node) -> (snapshot_node, thawed)`` so aliased
+    and cyclic structure on the sender side stays aliased on the receiver
+    side; the snapshot node is kept in the value to pin its id.
+    """
+    t = type(node)
+    if t is list:
+        cls: Any = CowList
+    elif t is dict:
+        cls = CowDict
+    elif t is set:
+        # Plain private copy (elements are immutable: shallow == deep);
+        # see the module docstring for why sets are never lazy.
+        got = memo.get(id(node))
+        if got is not None:
+            return got[1]
+        out = set(node)
+        memo[id(node)] = (node, out)
+        return out
+    elif t is tuple:
+        got = memo.get(id(node))
+        if got is not None:
+            return got[1]
+        out = tuple(_thaw(x, memo) for x in node)
+        if all(a is b for a, b in zip(out, node)):
+            out = node  # fully immutable tuple: share it
+        memo[id(node)] = (node, out)
+        return out
+    else:
+        # scalars, range, frozenset: immutable by freeze()'s construction.
+        return node
+    got = memo.get(id(node))
+    if got is not None:
+        return got[1]
+    proxy = cls(node, memo)
+    memo[id(node)] = (node, proxy)
+    return proxy
+
+
+def thaw(snapshot: Any) -> Any:
+    """Materialise a receiver's view of a frozen snapshot (fresh memo)."""
+    return _thaw(snapshot, {})
+
+
+def is_materialized(proxy: Any) -> bool:
+    """True once ``proxy`` has populated its own storage (test helper)."""
+    return proxy._frozen is None
+
+
+def _freeze(obj: Any, memo: dict) -> Any:
+    t = type(obj)
+    if t in _SCALARS or t is range:
+        return obj
+    oid = id(obj)
+    got = memo.get(oid)
+    if got is not None:
+        return got
+    if t in _PROXY_BASES:  # CowList/CowDict: re-send shares the snapshot
+        snap = obj._frozen
+        if snap is not None:
+            memo[oid] = snap
+            return snap
+        t = _PROXY_BASES[t]  # materialised: freeze its real storage
+    if t is list:
+        new_list: list = []
+        memo[oid] = new_list
+        for x in obj:
+            new_list.append(_freeze(x, memo))
+        return new_list
+    if t is dict:
+        new_dict: dict = {}
+        memo[oid] = new_dict
+        for k, v in obj.items():
+            # Keys are hashable; under the CoW vocabulary that means
+            # immutable, so _freeze returns them by reference (or raises).
+            new_dict[_freeze(k, memo)] = _freeze(v, memo)
+        return new_dict
+    if t is set:
+        for x in obj:
+            _freeze(x, memo)  # validate elements (hashable => immutable here)
+        new_set = set(obj)
+        memo[oid] = new_set
+        return new_set
+    if t is tuple:
+        frozen = tuple(_freeze(x, memo) for x in obj)
+        if all(a is b for a, b in zip(frozen, obj)):
+            frozen = obj  # all-immutable tuple: share by reference
+        memo[oid] = frozen
+        return frozen
+    if t is frozenset:
+        for x in obj:
+            _freeze(x, memo)  # elements must be in-vocabulary
+        memo[oid] = obj  # immutable container of immutables: share it
+        return obj
+    raise NotCowable(type(obj).__name__)
+
+
+def freeze(payload: Any) -> Any:
+    """Send-time snapshot of a container payload (no pickle).
+
+    Returns a private structure of plain containers and shared immutable
+    leaves, aliasing/cycles preserved.  Raises :class:`NotCowable` when the
+    payload contains any node outside the vocabulary (custom classes,
+    subclassed containers, ...) — callers fall back to the pickle lane.
+    ``RecursionError`` on a pathologically deep nest degrades the same
+    way; the freeze walk actually survives somewhat deeper nesting than
+    pickle does, so the fallback only ever converts "too deep for
+    freeze" into the pickle lane's own eager
+    :class:`~repro.errors.IsolationError` — exactly what the
+    pickle-only transport raised before this lane existed.
+    """
+    try:
+        return _freeze(payload, {})
+    except RecursionError as exc:
+        raise NotCowable("payload too deeply nested for structural freeze") from exc
+
+
+# -- proxies -----------------------------------------------------------------
+#
+# Each proxy is a real container subclass constructed EMPTY, holding the
+# frozen snapshot in a slot.  Every public method (generated below) checks
+# the slot and materialises on first touch.  __init__ deliberately does not
+# call the base initialiser: base storage stays empty until materialisation.
+
+
+class CowList(list):
+    """A received ``list``: shares the sender's snapshot until first touch."""
+
+    __slots__ = ("_frozen", "_memo")
+
+    def __init__(self, frozen: list, memo: dict | None = None):
+        self._frozen = frozen
+        self._memo = memo if memo is not None else {}
+
+    def _materialize(self) -> None:
+        with _THAW_LOCK:
+            fz = self._frozen
+            if fz is None:
+                return
+            memo = self._memo
+            if memo is None:
+                # Root proxies defer the memo to first touch; the root must
+                # register itself so a cycle (or alias) back to the
+                # snapshot root resolves to *this* proxy, not a twin.
+                memo = {id(fz): (fz, self)}
+            list.extend(self, [_thaw(x, memo) for x in fz])
+            self._frozen = None
+            self._memo = None
+
+    def __reduce__(self):
+        if self._frozen is not None:
+            self._materialize()
+        return (list, (list(self),))
+
+    def __radd__(self, other):
+        # ``plain_list + proxy`` would otherwise hit list_concat's direct
+        # ob_item read on a still-empty subclass; defining __radd__ on the
+        # subclass makes Python consult it *before* list.__add__.
+        if self._frozen is not None:
+            self._materialize()
+        return list.__add__(other, self)
+
+
+class CowDict(dict):
+    """A received ``dict``: shares the sender's snapshot until first touch."""
+
+    __slots__ = ("_frozen", "_memo")
+
+    def __init__(self, frozen: dict, memo: dict | None = None):
+        self._frozen = frozen
+        self._memo = memo if memo is not None else {}
+
+    def _materialize(self) -> None:
+        with _THAW_LOCK:
+            fz = self._frozen
+            if fz is None:
+                return
+            memo = self._memo
+            if memo is None:  # see CowList._materialize
+                memo = {id(fz): (fz, self)}
+            for k, v in fz.items():
+                dict.__setitem__(self, k, _thaw(v, memo))
+            self._frozen = None
+            self._memo = None
+
+    def __reduce__(self):
+        if self._frozen is not None:
+            self._materialize()
+        return (dict, (dict(self),))
+
+
+_PROXY_BASES = {CowList: list, CowDict: dict}
+COW_PROXY_TYPES = tuple(_PROXY_BASES)
+
+#: Methods never wrapped: identity/infrastructure, the explicit __reduce__
+#: above, and classmethods (fromkeys) that take no instance.
+_SKIP = {
+    "__class__",
+    "__class_getitem__",
+    "__delattr__",
+    "__dir__",
+    "__doc__",
+    "__getattribute__",
+    "__getstate__",
+    "__getnewargs__",
+    "__hash__",
+    "__init__",
+    "__init_subclass__",
+    "__new__",
+    "__reduce__",
+    "__reduce_ex__",
+    "__setattr__",
+    "__sizeof__",
+    "__subclasshook__",
+    "_materialize",
+}
+
+
+def _install_delegates(cls: type, base: type) -> None:
+    """Wrap every public method of ``base`` to materialise on first touch.
+
+    Proxy *arguments* are materialised too: ``a == b`` with a frozen ``b``
+    would otherwise let the C comparison read ``b``'s still-empty storage.
+    """
+    proxy_types = COW_PROXY_TYPES
+    for name in dir(base):
+        if name in _SKIP:
+            continue
+        raw = base.__dict__.get(name)
+        if isinstance(raw, (classmethod, staticmethod)) or type(raw) in (
+            types.ClassMethodDescriptorType,
+            staticmethod,
+        ):
+            continue
+        fn = getattr(base, name)
+        if not callable(fn):
+            continue
+        if getattr(object, name, None) is fn:
+            continue  # inherited straight from object: touches no storage
+
+        def _make(fn: Any):
+            def method(self, *args, **kwargs):
+                if self._frozen is not None:
+                    self._materialize()
+                for a in args:
+                    if type(a) in proxy_types and a._frozen is not None:
+                        a._materialize()
+                return fn(self, *args, **kwargs)
+
+            method.__name__ = fn.__name__
+            method.__qualname__ = f"{cls.__name__}.{fn.__name__}"
+            return method
+
+        setattr(cls, name, _make(fn))
+
+
+_install_delegates(CowList, list)
+_install_delegates(CowDict, dict)

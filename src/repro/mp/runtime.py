@@ -68,6 +68,10 @@ class World:
         self.hetero = not runtime.network.uniform
         cluster = self.cluster
         self.rank_nodes = [cluster.node_of(r, size) for r in range(size)]
+        #: One shared world-rank list handed to every rank's Comm (which
+        #: adopts plain lists without copying): building np copies of a
+        #: length-np list made world setup O(np^2) — ruinous at np=1024.
+        self.ranks = list(range(size))
         self.group: TaskGroup | None = None
         #: Trace scope naming this world's events (set by the launcher).
         self.scope = label
@@ -149,9 +153,14 @@ class MpRuntime:
         network: "NetworkModel | str | None" = None,
         topology: str | None = None,
         executor: Executor | None = None,
+        batch: int = 1,
     ):
         self.executor = executor or make_executor(
-            mode, seed=seed, policy=policy, deadlock_timeout=deadlock_timeout
+            mode,
+            seed=seed,
+            policy=policy,
+            deadlock_timeout=deadlock_timeout,
+            batch=batch,
         )
         if isinstance(network, str):
             network, profile_cluster = network_profile(network)
@@ -190,7 +199,7 @@ class MpRuntime:
         def make_thunk(rank: int) -> Callable[[], Any]:
             def thunk() -> Any:
                 _trace.emit("task.start", scope=scope, hb_acq=("fork", scope))
-                comm = Comm(world, rank, list(range(size)), ctx=("world", wid))
+                comm = Comm(world, rank, world.ranks, ctx=("world", wid))
                 try:
                     return main(comm, *args, **kwargs)
                 finally:
@@ -257,13 +266,16 @@ def mpirun(
     cluster: Cluster | None = None,
     network: "NetworkModel | str | None" = None,
     topology: str | None = None,
+    batch: int = 1,
     **kwargs: Any,
 ) -> WorldResult:
     """One-shot launcher (the ``mpirun -np <size>`` analogue).
 
     Builds a fresh :class:`MpRuntime` and runs ``main`` on ``size`` ranks.
     For repeated runs sharing an executor/cost model, construct an
-    :class:`MpRuntime` once and call :meth:`MpRuntime.run`.
+    :class:`MpRuntime` once and call :meth:`MpRuntime.run`.  ``batch``
+    selects the lockstep arbitration quantum (see
+    :class:`~repro.sched.lockstep.LockstepExecutor`).
     """
     runtime = MpRuntime(
         mode=mode,
@@ -274,5 +286,6 @@ def mpirun(
         cluster=cluster,
         network=network,
         topology=topology,
+        batch=batch,
     )
     return runtime.run(size, main, *args, **kwargs)

@@ -1,42 +1,66 @@
-"""Copy-on-send payload isolation.
+"""Copy-on-send payload isolation — now mostly without the copy.
 
 Distributed memory is an *isolation* property: ranks share no address
 space, so a message received is always a private copy.  Rank threads here
-share one interpreter, so the runtime enforces that property by pickling
-every payload at send time and unpickling at receive time — mutating a
-received object can never be observed by the sender, exactly as on the
-paper's Beowulf cluster.
+share one interpreter, so the runtime enforces that property at the
+transport layer — mutating a received object can never be observed by the
+sender, exactly as on the paper's Beowulf cluster.
 
 Unpicklable payloads (open files, locks, thread handles) would be the
 moral equivalent of sending a pointer across the network; they are
 rejected eagerly with :class:`~repro.errors.IsolationError`.
 
-The byte size of the pickle doubles as the message size for the LogP cost
-model, so "bigger payloads cost more virtual time" falls out for free.
+The byte size of the payload's pickle doubles as the message size for the
+LogP cost model, so "bigger payloads cost more virtual time" falls out for
+free (buffer payloads charge their exact byte count instead — no pickle
+framing).
 
-Two fast paths keep the enforcement from swamping the modeled costs
-(mpi4py's buffer-protocol shortcut is the precedent):
+:func:`pack_packet` picks one of four transport lanes, cheapest first
+(mpi4py's buffer-protocol shortcut and MPJ Express's buffer-based
+messaging are the precedents):
 
-- **Immutable payloads travel by reference.**  For ``int``/``float``/
-  ``str``/``bytes``/``bool``/``None`` — and tuples composed only of those —
-  isolation is vacuously preserved: the receiver cannot mutate the object,
-  so handing over the reference is observationally identical to a copy at
-  zero pickling cost.  :func:`pack_packet` detects these (exact-type
-  checks: a *subclass* of ``int`` may carry mutable attributes and still
-  pays the pickle) and the pickle size needed by the LogP model is
-  computed lazily, only when something actually asks for it.
-- **Pack-once forwarding.**  A :class:`Packet` carries one payload in
-  packed form; collectives serialise at the root once and forward the same
-  bytes hop to hop, unpacking only at each final receiver (see
-  :mod:`repro.mp.collectives`).
+1. **By reference** (zero cost) — immutable payloads: the scalars
+   ``int``/``float``/``str``/``bytes``/``bool``/``complex``/``None``,
+   ``range``, and ``tuple``/``frozenset`` trees composed only of those.
+   The receiver cannot mutate the object, so sharing the reference is
+   observationally identical to a copy.  Exact-type checks only: a
+   *subclass* of ``int`` may carry mutable attributes and pays the pickle.
+   The pickle size needed by the LogP model is computed lazily (and
+   race-free — forwarded packets are sized from concurrent receivers).
+2. **Buffer snapshot** (one ``memcpy``) — ``bytearray``, ``array.array``
+   and ``memoryview`` payloads are captured as raw bytes at send time and
+   rebuilt per receiver (``memoryview`` receivers get a read-only
+   zero-copy view over the snapshot).  The LogP size is the exact
+   ``nbytes``.
+3. **Copy-on-write snapshot** (structural copy, no pickle) — ``list``/
+   ``dict``/``set`` trees (and tuples containing them) are frozen into a
+   private snapshot shared by *all* receivers, each of which unwraps it
+   behind a :mod:`repro.mp.cow` proxy that materialises private storage
+   on first touch.  Most patternlet receivers only read, so the deep copy
+   usually never happens — and a tree broadcast of a mutable payload now
+   serialises *zero* times instead of O(receivers).
+4. **Pickle** (the original PR 2 path) — everything else: custom classes,
+   container subclasses, pathological nesting.  Still packed exactly once
+   per send and forwarded hop to hop (:class:`Packet`), unpacking only at
+   each final receiver.
 """
 
 from __future__ import annotations
 
 import pickle
+import threading
+from array import array
 from typing import Any
 
 from repro.errors import IsolationError
+from repro.mp.cow import (
+    COW_PROXY_TYPES,
+    CowDict,
+    CowList,
+    NotCowable,
+    freeze,
+    thaw,
+)
 
 __all__ = [
     "pack",
@@ -45,6 +69,12 @@ __all__ = [
     "is_immutable",
     "Packet",
     "pack_packet",
+    "KIND_REF",
+    "KIND_PICKLE",
+    "KIND_BUFFER",
+    "KIND_COW",
+    "KIND_COW_FLAT",
+    "KIND_COW_MOVE",
 ]
 
 #: Exact types that are safely shareable across the rank boundary.
@@ -52,18 +82,60 @@ __all__ = [
 #: mutable ``__dict__``), which is why membership tests use ``type(obj)``.
 _IMMUTABLE_SCALARS = frozenset((int, float, str, bytes, bool, complex, type(None)))
 
+#: Transport lanes (``Packet.kind``).  ``cow-flat`` is the degenerate CoW
+#: case — a flat list of immutable scalars, the single most common mutable
+#: payload shape — where one shallow copy per side *is* the deep copy and
+#: beats the proxy machinery outright.
+KIND_REF = "ref"
+KIND_PICKLE = "pickle"
+KIND_BUFFER = "buffer"
+KIND_COW = "cow"
+KIND_COW_FLAT = "cow-flat"
+#: A ``cow-flat`` packet that the point-to-point send path has marked as
+#: single-consumer (born in ``comm.send``, taken by exactly one ``recv``):
+#: the receiver may take the snapshot itself — ownership transfer — instead
+#: of copying it.  ``unpack`` still copies (any path that *might* unpack
+#: twice stays conservative); only the untraced recv fast lanes move.
+KIND_COW_MOVE = "cow-move"
+
+#: Buffer-lane reconstructor tags (``Packet.obj`` for KIND_BUFFER).
+_BUF_BYTEARRAY = "bytearray"
+_BUF_MEMORYVIEW = "memoryview"
+_BUF_ARRAY = "array:"  # + typecode
+
+#: Guards lazy ``Packet.size`` memoisation.  A forwarded by-ref/CoW packet
+#: is shared by several receiver ranks; under the threaded executor two of
+#: them can resolve ``_size`` concurrently.  One process-wide lock (sizing
+#: is rare and cheap) makes the pack run exactly once per packet.
+_SIZE_LOCK = threading.Lock()
+
 
 def is_immutable(payload: Any) -> bool:
     """True when sharing ``payload`` by reference cannot violate isolation.
 
-    Covers the immutable scalars and tuples (arbitrarily nested) whose
-    elements are all themselves immutable by this definition.
+    Covers the immutable scalars, ``range`` (its bounds are always plain
+    ints), and ``tuple``/``frozenset`` containers — arbitrarily nested —
+    whose elements are all themselves immutable by this definition.  The
+    walk is iterative: a 100k-deep tuple nest must not hit the interpreter
+    recursion limit just to be classified.
     """
-    if type(payload) in _IMMUTABLE_SCALARS:
+    t = type(payload)
+    if t in _IMMUTABLE_SCALARS or t is range:
         return True
-    if type(payload) is tuple:
-        return all(is_immutable(item) for item in payload)
-    return False
+    if t is not tuple and t is not frozenset:
+        return False
+    stack = [payload]
+    while stack:
+        node = stack.pop()
+        for item in node:
+            ti = type(item)
+            if ti in _IMMUTABLE_SCALARS or ti is range:
+                continue
+            if ti is tuple or ti is frozenset:
+                stack.append(item)
+            else:
+                return False
+    return True
 
 
 def pack(payload: Any) -> bytes:
@@ -85,20 +157,34 @@ def unpack(data: bytes) -> Any:
 class Packet:
     """One payload in transport form, packed at most once.
 
-    Either ``data`` holds the pickle (the isolating copy path) or it is
-    ``None`` and ``obj`` is an immutable payload travelling by reference.
-    ``size`` is the pickle length either way — computed lazily for by-ref
-    packets, since the LogP model only needs it when ``per_byte`` costs are
-    nonzero or a receive asks for its :class:`~repro.mp.mailbox.Status`.
+    ``kind`` names the lane: ``"ref"`` (``obj`` is the immutable payload
+    itself), ``"pickle"`` (``data`` holds the pickle), ``"buffer"``
+    (``data`` holds the raw byte snapshot, ``obj`` the reconstructor tag),
+    ``"cow"`` (``obj`` is the frozen structural snapshot shared by all
+    receivers) or ``"cow-flat"`` (``obj`` is a flat scalar-list snapshot;
+    each receiver takes a shallow — hence deep — copy).  ``size`` is the LogP message size: the exact byte count
+    for buffer packets, the pickle length otherwise — computed lazily for
+    by-ref and CoW packets, since the LogP model only needs it when
+    ``per_byte`` costs are nonzero or a receive asks for its
+    :class:`~repro.mp.mailbox.Status`.
 
     A packet may be forwarded through any number of hops (each ``unpack``
-    of a pickled packet yields a fresh private copy), which is what the
-    tree collectives exploit.
+    yields a fresh private view), which is what the tree collectives
+    exploit: one freeze or pickle at the root, zero per hop.
     """
 
-    __slots__ = ("obj", "data", "_size")
+    __slots__ = ("kind", "obj", "data", "_size")
 
-    def __init__(self, obj: Any = None, data: bytes | None = None, size: int | None = None):
+    def __init__(
+        self,
+        obj: Any = None,
+        data: bytes | None = None,
+        size: int | None = None,
+        kind: str | None = None,
+    ):
+        if kind is None:
+            kind = KIND_REF if data is None else KIND_PICKLE
+        self.kind = kind
         self.obj = obj
         self.data = data
         self._size = size if size is not None else (len(data) if data is not None else None)
@@ -106,41 +192,149 @@ class Packet:
     @property
     def by_ref(self) -> bool:
         """True when the payload travels by reference (immutable fast path)."""
-        return self.data is None
+        return self.kind == KIND_REF
 
     @property
     def size(self) -> int:
-        """Pickle length in bytes (computed lazily for by-ref packets)."""
+        """LogP message size in bytes (lazy for by-ref/CoW packets).
+
+        Memoised under a lock: two receiver ranks sizing the same forwarded
+        packet concurrently must not both pay the pickle (and must agree).
+        """
         size = self._size
         if size is None:
-            size = len(pack(self.obj))
-            self._size = size
+            with _SIZE_LOCK:
+                size = self._size
+                if size is None:
+                    size = len(pack(self.obj))
+                    self._size = size
         return size
 
     def unpack(self) -> Any:
-        """The received payload: a fresh copy, or the shared immutable."""
-        data = self.data
-        if data is None:
+        """The received payload: a private view, or the shared immutable."""
+        kind = self.kind
+        if kind == KIND_REF:
             return self.obj
-        return unpack(data)
+        if kind == KIND_COW_FLAT or kind == KIND_COW_MOVE:
+            # Flat scalar list: the shallow copy is the deep copy, and it
+            # is cheaper than building (then probably materialising) a
+            # CowList proxy over the snapshot.  (A cow-move packet copies
+            # here too: unpack's contract is a fresh view per call; the
+            # zero-copy take lives in the recv fast lanes, which know the
+            # message is single-consumer.)
+            return self.obj.copy()
+        if kind == KIND_COW:
+            # Root proxies are built storage-direct (list.__new__ + two
+            # slot stores) rather than through thaw(): this runs once per
+            # receiver per message and the constructor frames were ~40% of
+            # the CoW lane's unpack cost.  The memo is deferred to first
+            # materialisation (see Cow*._materialize).
+            obj = self.obj
+            t = obj.__class__
+            if t is list:
+                p = _new_list(CowList)
+                p._frozen = obj
+                p._memo = None
+                return p
+            if t is dict:
+                p = _new_dict(CowDict)
+                p._frozen = obj
+                p._memo = None
+                return p
+            if t is set:
+                # Sets are never lazy (C set-argument fast paths bypass
+                # Python methods; see repro.mp.cow): plain private copy.
+                return set(obj)
+            return thaw(obj)  # tuple roots carrying mutables
+        if kind == KIND_BUFFER:
+            tag = self.obj
+            data = self.data
+            if tag == _BUF_BYTEARRAY:
+                return bytearray(data)
+            if tag == _BUF_MEMORYVIEW:
+                return memoryview(data)  # read-only, zero-copy over the snapshot
+            a = array(tag[len(_BUF_ARRAY) :])
+            a.frombytes(data)
+            return a
+        return unpack(self.data)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        if self.by_ref:
+        if self.kind == KIND_REF:
             return f"Packet(by_ref, {type(self.obj).__name__})"
+        if self.kind == KIND_COW:
+            return f"Packet(cow, {type(self.obj).__name__})"
+        if self.kind == KIND_COW_FLAT:
+            return f"Packet(cow-flat, {len(self.obj)} items)"
+        if self.kind == KIND_BUFFER:
+            return f"Packet(buffer:{self.obj}, {len(self.data)} bytes)"
         return f"Packet({self._size} bytes)"
 
 
-def pack_packet(payload: Any) -> Packet:
-    """Pack a payload for transport, taking the by-reference fast path.
+_new_packet = object.__new__
+_new_list = list.__new__
+_new_dict = dict.__new__
+_all_scalars = _IMMUTABLE_SCALARS.issuperset
 
-    Mutable payloads are pickled eagerly, so unpicklable ones still raise
+
+def _cow_packet(snapshot: Any) -> Packet:
+    # Packet.__init__ unrolled (four slot stores beat the ctor frame on
+    # the hottest mutable-send path, as with Message in comm.send).
+    pkt = _new_packet(Packet)
+    pkt.kind = KIND_COW
+    pkt.obj = snapshot
+    pkt.data = None
+    pkt._size = None
+    return pkt
+
+
+def pack_packet(payload: Any) -> Packet:
+    """Pack a payload for transport down the cheapest sound lane.
+
+    Payloads outside the by-ref / buffer / CoW vocabularies are pickled
+    eagerly, so unpicklable ones still raise
     :class:`~repro.errors.IsolationError` at the send site (never later at
     some receive deep inside a collective).
     """
-    if type(payload) in _IMMUTABLE_SCALARS:  # inline scalar case: every send
+    t = type(payload)
+    if t in _IMMUTABLE_SCALARS or t is range:  # inline scalar case: every send
         return Packet(obj=payload)
-    if is_immutable(payload):
-        return Packet(obj=payload)
+    if t is list:
+        # Flat list of immutable scalars — the single most common mutable
+        # payload shape — snapshots as one shallow copy, skipping the
+        # recursive freeze walk entirely (the element scan runs at C
+        # speed; the Packet ctor is unrolled as in _cow_packet).
+        if _all_scalars(map(type, payload)):
+            pkt = _new_packet(Packet)
+            pkt.kind = KIND_COW_FLAT
+            pkt.obj = payload.copy()
+            pkt.data = None
+            pkt._size = None
+            return pkt
+        try:
+            return _cow_packet(freeze(payload))
+        except NotCowable:
+            return Packet(data=pack(payload))
+    if t is dict or t is set or t in COW_PROXY_TYPES:
+        try:
+            return _cow_packet(freeze(payload))
+        except NotCowable:
+            return Packet(data=pack(payload))
+    if t is bytearray:
+        return Packet(obj=_BUF_BYTEARRAY, data=bytes(payload), kind=KIND_BUFFER)
+    if t is memoryview:
+        return Packet(obj=_BUF_MEMORYVIEW, data=payload.tobytes(), kind=KIND_BUFFER)
+    if t is array:
+        return Packet(
+            obj=_BUF_ARRAY + payload.typecode, data=payload.tobytes(), kind=KIND_BUFFER
+        )
+    if t is tuple or t is frozenset:
+        if is_immutable(payload):
+            return Packet(obj=payload)
+        if t is tuple:  # a tuple is poisoned by one mutable element: CoW it
+            try:
+                return _cow_packet(freeze(payload))
+            except NotCowable:
+                pass
     return Packet(data=pack(payload))
 
 
@@ -149,8 +343,10 @@ def deep_copy_by_value(payload: Any) -> Any:
 
     Immutable payloads come back as themselves — a rank sending itself an
     ``int`` no longer pays two pickles for a copy that cannot be told
-    apart from the original.
+    apart from the original.  Container payloads come back as CoW proxies
+    over a private snapshot: isolated, but the deep copy is deferred until
+    (unless) the holder actually mutates.
     """
     if is_immutable(payload):
         return payload
-    return unpack(pack(payload))
+    return pack_packet(payload).unpack()

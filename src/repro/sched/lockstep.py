@@ -39,6 +39,13 @@ Switch-point machinery (the hot path of every lockstep run):
   tid — exactly the list the policy contract requires) plus a blocked-task
   index for promotion passes, so a switch costs O(log np) instead of an
   O(np) scan of the task table; this is what makes np=256 runs practical.
+- **Batched arbitration** (``batch=k``, default 1): one full policy
+  decision grants the chosen task a quantum of ``k-1`` further free passes
+  through plain checkpoints, amortising the ~2.6 us OS handoff floor
+  across k observable actions.  Blocking waits, completion and aborts
+  always cancel the quantum and re-arbitrate, so liveness is unchanged;
+  the interleaving is a pure function of ``(seed, batch)`` and the default
+  ``batch=1`` stream is byte-identical to the pinned goldens.
 - Task bodies run on threads **leased from the process-wide rank pool**
   (:mod:`repro.sched.pool`) rather than freshly spawned per run: thread
   setup/teardown no longer dominates per-run cost at batch rates, and an
@@ -64,7 +71,7 @@ from bisect import bisect_left, insort
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.errors import DeadlockError, ParallelError, SchedulerError
-from repro.sched.pool import lease as _pool_lease
+from repro.sched.pool import lease as _pool_lease, prepare_many as _pool_prepare_many
 from repro.sched.base import (
     Executor,
     TaskGroup,
@@ -97,6 +104,9 @@ class _TaskState:
         "describe",
         "group",
         "record",
+        "quantum",
+        "start",
+        "deferred",
     )
 
     def __init__(self, tid: int, label: str, group: "_GroupState", record: TaskRecord):
@@ -111,6 +121,15 @@ class _TaskState:
         self.describe: str | Callable[[], str] = ""
         self.group = group
         self.record = record
+        #: Remaining free fast passes through checkpoint() granted by the
+        #: last full arbitration (batched mode only; always 0 at batch=1).
+        self.quantum = 0
+        #: Deferred pool start (run_tasks bodies): the worker thread stays
+        #: parked in the pool until the first token grant calls this — one
+        #: OS wakeup per rank instead of two.  None once started (or for
+        #: spawn(), which leases immediately).
+        self.start: Callable[[], None] | None = None
+        self.deferred = False
 
 
 class _GroupState:
@@ -131,8 +150,31 @@ class LockstepExecutor(Executor):
     #: not a log; unbounded growth would bloat long benchmark runs).
     TRACE_LIMIT = 200_000
 
-    def __init__(self, *, policy: Policy | None = None, max_steps: int = 5_000_000):
+    def __init__(
+        self,
+        *,
+        policy: Policy | None = None,
+        max_steps: int = 5_000_000,
+        batch: int = 1,
+    ):
         self.policy = policy if policy is not None else RandomPolicy(0)
+        if not isinstance(batch, int) or batch < 1:
+            raise ValueError(f"batch must be a positive int, got {batch!r}")
+        #: Switch points serviced per full arbitration.  At the default
+        #: ``batch=1`` every checkpoint is a policy decision plus (usually)
+        #: an OS token handoff — the classroom mode, byte-identical to the
+        #: pinned golden interleavings.  At ``batch=k>1`` one arbitration
+        #: grants the chosen task a *quantum* of ``k-1`` further free
+        #: passes through plain checkpoints (~25x cheaper than a handoff:
+        #: no lock, no semaphore, no policy draw), amortising the ~2.6 us
+        #: OS handoff floor across k observable actions.  Blocking waits,
+        #: task completion and aborts always cancel the quantum and take
+        #: the full arbitration path, so no task can starve a peer whose
+        #: predicate its own actions made true for longer than k-1 steps.
+        #: The interleaving is still a pure function of (seed, batch) —
+        #: only the batch=1 stream matches the goldens.
+        self.batch = batch
+        self._quantum = batch - 1
         # Bound once: the policy is fixed for the executor's lifetime and
         # choose() runs on every switch.  For the default RandomPolicy the
         # draw is additionally inlined at the switch sites as
@@ -159,6 +201,10 @@ class LockstepExecutor(Executor):
         #: assert on this to keep the busy-wait from creeping back.
         self.timed_waits = 0
         self._tasks: dict[int, _TaskState] = {}
+        #: Live (not yet _DONE) entries in _tasks.  _finish used to decide
+        #: "everyone done?" with an O(np) scan of the table — O(np^2) per
+        #: world teardown, measurable at np=1024.
+        self._undone = 0
         #: Maintained index of runnable tids, always sorted ascending —
         #: exactly the list the policy contract requires.  Switch points
         #: re-insert/remove in O(log np) instead of scanning the whole
@@ -218,17 +264,25 @@ class LockstepExecutor(Executor):
                 self._next_tid += 1
                 st = _TaskState(tid, rec.label, gstate, rec)
                 self._tasks[tid] = st
+                self._undone += 1
                 states.append((st, thunk))
 
-        leases = [
-            _pool_lease(
-                self._task_main, (st, thunk), name=f"{group_label}:{st.label}"
-            )
-            for st, thunk in states
-        ]
+        # Deferred starts: stage every body on a pooled worker without
+        # waking it.  A plain lease wakes the worker just to park it again
+        # on the token semaphore — two OS wakeups per rank, which at
+        # np=1024 is the dominant setup cost.  The first token grant (or
+        # the abort wake) calls the starter instead of releasing the
+        # semaphore, fusing pool wake and token handoff into one.
+        leases, starters = _pool_prepare_many(
+            self._task_main,
+            [(st, thunk) for st, thunk in states],
+            [f"{group_label}:{st.label}" for st, _ in states],
+        )
         with self._lock:
             ready = self._ready
-            for st, _ in states:
+            for (st, _), start in zip(states, starters):
+                st.start = start
+                st.deferred = True
                 st.status = _RUNNABLE
                 insort(ready, st.tid)
             self._dirty = True
@@ -290,6 +344,7 @@ class LockstepExecutor(Executor):
             self._next_tid += 1
             st = _TaskState(tid, label, gstate, record)
             self._tasks[tid] = st
+            self._undone += 1
         task_lease = _pool_lease(self._task_main, (st, thunk), name=f"spawn:{label}")
         with self._lock:
             st.status = _RUNNABLE
@@ -323,6 +378,14 @@ class LockstepExecutor(Executor):
             return
         if self._aborted is not None:
             raise _AbortUnwind()
+        if me.quantum:
+            # Batched mode: this switch point is covered by the quantum the
+            # last full arbitration granted — service it for free (no lock,
+            # no policy draw, no handoff).  The dirty flag is deliberately
+            # left alone: promotions run at the next full arbitration.
+            me.quantum -= 1
+            self._steps += 1
+            return
         with self._lock:
             me.status = _RUNNABLE
             ready = self._ready
@@ -343,6 +406,7 @@ class LockstepExecutor(Executor):
             if chosen == me.tid:
                 del ready[i]
                 me.status = _RUNNING
+                me.quantum = self._quantum
                 return
             nxt = self._tasks[chosen]
             self._steps += 1
@@ -356,6 +420,7 @@ class LockstepExecutor(Executor):
             else:
                 del ready[i]
                 nxt.status = _RUNNING
+                nxt.quantum = self._quantum
                 self._current = nxt.tid
                 trace = self._trace
                 if len(trace) < self.TRACE_LIMIT:
@@ -366,7 +431,12 @@ class LockstepExecutor(Executor):
                 p = _live.probe
                 if p is not None:
                     p.run(nxt.label)
-                nxt.sem.release()
+                s = nxt.start
+                if s is None:
+                    nxt.sem.release()
+                else:
+                    nxt.start = None
+                    s()
         me.sem.acquire()
         if self._aborted is not None:
             raise _AbortUnwind()
@@ -383,6 +453,11 @@ class LockstepExecutor(Executor):
             if self._aborted is not None:
                 raise _AbortUnwind()
             blocked = True
+            # A blocking task surrenders whatever quantum it held: the
+            # full arbitration below re-evaluates predicates and draws a
+            # fresh policy decision, so batching can never convert a
+            # satisfiable wait into a starvation.
+            me.quantum = 0
             with self._lock:
                 me.status = _BLOCKED
                 me.pred = pred
@@ -437,6 +512,7 @@ class LockstepExecutor(Executor):
                 else:
                     del ready[i]
                     nxt.status = _RUNNING
+                    nxt.quantum = self._quantum
                     self._current = nxt.tid
                     if len(trace) < self.TRACE_LIMIT:
                         trace.append(("run", nxt.label))
@@ -446,7 +522,12 @@ class LockstepExecutor(Executor):
                     p = _live.probe
                     if p is not None:
                         p.run(nxt.label)
-                    nxt.sem.release()
+                    s = nxt.start
+                    if s is None:
+                        nxt.sem.release()
+                    else:
+                        nxt.start = None
+                        s()
             me.sem.acquire()
             if self._aborted is not None:
                 raise _AbortUnwind()
@@ -511,7 +592,11 @@ class LockstepExecutor(Executor):
     def _task_main(self, st: _TaskState, thunk: Callable[[], Any]) -> None:
         self._tls.state = st
         set_task_label(st.label)
-        self._await_token(st, first=True)
+        if not st.deferred:
+            # Deferred run_tasks bodies skip this: being started *is* the
+            # first token grant (or the abort wake) — their semaphore was
+            # never released, so there is nothing to await.
+            self._await_token(st, first=True)
         try:
             if self._aborted is None:
                 st.record.result = thunk()
@@ -557,6 +642,7 @@ class LockstepExecutor(Executor):
         if i < len(ready) and ready[i] == nxt.tid:
             del ready[i]
         nxt.status = _RUNNING
+        nxt.quantum = self._quantum
         self._current = nxt.tid
         # _trace_add inlined: this runs once per switch.
         trace = self._trace
@@ -568,7 +654,12 @@ class LockstepExecutor(Executor):
         p = _live.probe
         if p is not None:
             p.run(nxt.label)
-        nxt.sem.release()
+        s = nxt.start
+        if s is None:
+            nxt.sem.release()
+        else:
+            nxt.start = None
+            s()
 
     def _promote_locked(self, skip: _TaskState | None = None) -> None:
         """Move blocked tasks whose predicates came true to runnable.
@@ -624,6 +715,8 @@ class LockstepExecutor(Executor):
     def _finish(self, st: _TaskState) -> None:
         with self._lock:
             st.status = _DONE
+            st.quantum = 0
+            self._undone -= 1
             self._trace_add(("done", st.label))
             st.group.remaining -= 1
             group_done = st.group.remaining == 0
@@ -646,7 +739,9 @@ class LockstepExecutor(Executor):
             if self._ext_waiters:
                 self._cond.notify_all()
             # Garbage-collect finished tasks so long sessions stay small.
-            if all(t.status == _DONE for t in self._tasks.values()):
+            # The live counter replaces an all-done table scan that made
+            # world teardown O(np^2).
+            if self._undone == 0:
                 self._tasks.clear()
                 # Stale tids can linger in the indexes only on abort paths
                 # (the executor is dead then anyway); clear with the table.
@@ -673,7 +768,14 @@ class LockstepExecutor(Executor):
         for st in self._tasks.values():
             if st.status in (_BLOCKED, _RUNNABLE, _RUNNING):
                 st.group.group.failed = True
-                if st.sem.locked():
+                s = st.start
+                if s is not None:
+                    # Never-started deferred body: releasing its semaphore
+                    # cannot wake a worker still parked in the pool — start
+                    # it so it observes the abort and unwinds via _finish.
+                    st.start = None
+                    s()
+                elif st.sem.locked():
                     try:
                         st.sem.release()
                     except RuntimeError:  # pragma: no cover - lost race: already released

@@ -45,6 +45,7 @@ __all__ = [
     "RankThreadPool",
     "get_pool",
     "lease",
+    "prepare_many",
     "pool_enabled",
     "pool_stats",
     "reset_pool",
@@ -54,9 +55,11 @@ __all__ = [
 #: Environment hatch: set to ``0`` to run every lease on a fresh thread.
 POOL_ENV = "REPRO_RANK_POOL"
 
-#: Parked workers beyond this are let die instead of reparked.  256 ranks
-#: plus headroom: one np=256 run parks its whole team for the next run.
-MAX_IDLE = 320
+#: Parked workers beyond this are let die instead of reparked.  1024 ranks
+#: plus headroom: one np=1024 run parks its whole team for the next run
+#: (at 320 a warm np=1024 world still respawned ~700 OS threads per run,
+#: which alone cost more than the np=1024 wall-time target).
+MAX_IDLE = 1088
 
 
 def pool_enabled() -> bool:
@@ -138,6 +141,78 @@ class RankThreadPool:
             w.thread.name = name
             w.wake.release()
         return out
+
+    def prepare(
+        self, fn: Callable[..., Any], args: Sequence[Any] = (), *, name: str = "rank"
+    ) -> tuple[Lease, Callable[[], None]]:
+        """Stage ``fn(*args)`` on a pooled worker without waking it.
+
+        Returns ``(lease, start)``; the body runs only once ``start()`` is
+        called.  This lets the lockstep executor fuse the pool wake with
+        the first token grant: a plain lease wakes the worker just to park
+        it again on the token semaphore — two OS wakeups per rank, which
+        at np=1024 is the dominant setup cost.
+        """
+        out = Lease(name)
+        with self._lock:
+            self._leases += 1
+            self._active += 1
+            w = self._idle.pop() if self._idle else None
+            if w is None:
+                w = _Worker()
+                self._spawned += 1
+        w.job = (fn, args, out)
+        return out, self._starter(w, name)
+
+    def prepare_many(
+        self,
+        fn: Callable[..., Any],
+        argss: Sequence[Sequence[Any]],
+        names: Sequence[str],
+    ) -> tuple[list[Lease], list[Callable[[], None]]]:
+        """Batch :meth:`prepare`: one pool-lock acquisition for n workers.
+
+        Per-lease locking was O(n) contended acquisitions against workers
+        reparking from the previous run — measurably quadratic-feeling at
+        np=1024 world setup.
+        """
+        n = len(argss)
+        outs = [Lease(nm) for nm in names]
+        with self._lock:
+            self._leases += n
+            self._active += n
+            idle = self._idle
+            k = min(len(idle), n)
+            if k:
+                # Reversed slice preserves the LIFO pop() order: hottest
+                # (most recently parked) workers are leased first.
+                workers = idle[-k:][::-1]
+                del idle[-k:]
+            else:
+                workers = []
+            for _ in range(n - k):
+                workers.append(_Worker())
+                self._spawned += 1
+        starters = []
+        for w, args, out, nm in zip(workers, argss, outs, names):
+            w.job = (fn, args, out)
+            starters.append(self._starter(w, nm))
+        return outs, starters
+
+    def _starter(self, w: _Worker, name: str) -> Callable[[], None]:
+        def start() -> None:
+            if w.thread is None:
+                # First lease for this worker: the job is staged before
+                # the thread starts, so _worker_main runs it straight away.
+                w.thread = threading.Thread(
+                    target=self._worker_main, args=(w,), name=name, daemon=True
+                )
+                w.thread.start()
+            else:
+                w.thread.name = name
+                w.wake.release()
+
+        return start
 
     def _worker_main(self, w: _Worker) -> None:
         while True:
@@ -230,6 +305,41 @@ def lease(
         threading.Thread(target=runner, name=name, daemon=True).start()
         return out
     return _POOL.lease(fn, args, name=name)
+
+
+def prepare_many(
+    fn: Callable[..., Any],
+    argss: Sequence[Sequence[Any]],
+    names: Sequence[str],
+) -> tuple[list[Lease], list[Callable[[], None]]]:
+    """Stage n bodies without waking anyone; see :meth:`RankThreadPool.prepare_many`.
+
+    With the pool disabled (``REPRO_RANK_POOL=0``) each ``start()`` spawns
+    a fresh thread instead, so pooled and fresh execution stay
+    observationally identical — including the deferred-start protocol.
+    """
+    if not pool_enabled():
+        outs = []
+        starters = []
+        for args, nm in zip(argss, names):
+            out = Lease(nm)
+
+            def runner(fn=fn, args=args, out=out) -> None:
+                try:
+                    fn(*args)
+                except BaseException:  # noqa: BLE001 - bodies report via records
+                    pass
+                finally:
+                    set_task_label(None)
+                    out._done.set()
+
+            def start(runner=runner, nm=nm) -> None:
+                threading.Thread(target=runner, name=nm, daemon=True).start()
+
+            outs.append(out)
+            starters.append(start)
+        return outs, starters
+    return _POOL.prepare_many(fn, argss, names)
 
 
 def pool_stats() -> dict[str, int]:

@@ -1,0 +1,264 @@
+"""Copy-on-write proxy semantics: laziness, isolation, aliasing, identity.
+
+The CoW transport lane (:mod:`repro.mp.cow`) replaces per-receiver pickle
+round-trips with one structural snapshot shared behind lazy proxies.  These
+tests pin the proxy contract directly at the serialize layer; whole-runtime
+isolation across topologies lives in ``test_cow_isolation.py``.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+
+import pytest
+
+from repro.mp.cow import (
+    COW_PROXY_TYPES,
+    CowDict,
+    CowList,
+    NotCowable,
+    freeze,
+    is_materialized,
+    thaw,
+)
+from repro.mp.serialize import KIND_COW, KIND_COW_FLAT, pack_packet
+
+
+def receive(payload):
+    """One sender→receiver trip through the packet layer."""
+    return pack_packet(payload).unpack()
+
+
+class Box:
+    """Module-level (so picklable) class outside the CoW vocabulary."""
+
+    def __init__(self, x):
+        self.x = x
+
+
+class MyList(list):
+    """Module-level list subclass: hashable-looking but not CoW-able."""
+
+
+class TestLanes:
+    def test_nested_list_dict_set_travel_on_cow_lane(self):
+        for payload in ([1, [2], 3], {"a": 1}, {1, 2}):
+            pkt = pack_packet(payload)
+            assert pkt.kind == KIND_COW
+            assert pkt.data is None  # no pickle happened
+
+    def test_flat_scalar_list_takes_the_flat_lane(self):
+        # The degenerate CoW case: a flat list of scalars snapshots as one
+        # shallow copy and skips the proxy machinery entirely.
+        pkt = pack_packet([1, 2, 3])
+        assert pkt.kind == KIND_COW_FLAT
+        assert pkt.data is None
+        got = pkt.unpack()
+        assert type(got) is list and got == [1, 2, 3]
+        assert pkt.unpack() is not got  # fresh private copy per receiver
+
+    def test_flat_lane_isolation_both_directions(self):
+        payload = [1, 2, 3]
+        pkt = pack_packet(payload)
+        payload.append(4)  # sender mutates after the send
+        got = pkt.unpack()
+        assert got == [1, 2, 3]
+        got.append(9)  # receiver mutates
+        assert pkt.unpack() == [1, 2, 3]  # siblings unaffected
+
+    def test_received_type_is_container_subclass(self):
+        assert isinstance(receive([[1]]), list)
+        assert isinstance(receive({"a": 1}), dict)
+        assert type(receive([[1]])) in COW_PROXY_TYPES
+
+    def test_received_set_is_a_plain_private_copy(self):
+        # Sets are never lazy: CPython's set-argument fast paths read the
+        # argument's hash table directly, so a frozen set proxy would look
+        # empty to them.  The receiver gets a plain private set instead.
+        got = receive({1, 2})
+        assert type(got) is set
+        assert got == {1, 2}
+
+    def test_custom_class_falls_back_to_pickle(self):
+        got = receive([Box(7)])
+        assert got[0].x == 7
+        assert type(got) is list  # pickle lane: plain containers
+
+    def test_container_subclass_falls_back_to_pickle(self):
+        with pytest.raises(NotCowable):
+            freeze(MyList([1]))
+        assert receive(MyList([1])) == [1]
+
+
+class TestLaziness:
+    def test_proxy_stays_frozen_until_touched(self):
+        got = receive([1, 2, [3]])
+        assert not is_materialized(got)
+        assert got[0] == 1  # a read is a touch
+        assert is_materialized(got)
+
+    def test_nested_children_materialize_independently(self):
+        got = receive([[1], [2]])
+        inner = got[0]  # touches the root only
+        assert is_materialized(got)
+        assert not is_materialized(inner)
+        inner.append(9)
+        assert is_materialized(inner)
+        assert not is_materialized(got[1])
+
+    def test_unmaterialized_resend_shares_the_snapshot(self):
+        pkt1 = pack_packet([1, [2]])
+        relay = pkt1.unpack()
+        pkt2 = pack_packet(relay)  # forwarded without ever being read
+        assert pkt2.obj is pkt1.obj
+
+
+class TestIsolation:
+    def test_receiver_mutation_invisible_to_sender(self):
+        payload = [1, [2, 3]]
+        got = receive(payload)
+        got[1].append(99)
+        got.append(0)
+        assert payload == [1, [2, 3]]
+
+    def test_sender_mutation_after_send_invisible_to_receiver(self):
+        payload = [1, [2, 3]]
+        pkt = pack_packet(payload)
+        payload[1].append(99)
+        payload.append(0)
+        assert pkt.unpack() == [1, [2, 3]]
+
+    def test_sibling_receivers_are_isolated(self):
+        pkt = pack_packet({"k": [1]})
+        a, b = pkt.unpack(), pkt.unpack()
+        a["k"].append(2)
+        assert b["k"] == [1]
+
+    def test_deep_nesting_isolated(self):
+        payload = {"a": [{"b": {1, 2}}, (3, [4])]}
+        got = receive(payload)
+        got["a"][0]["b"].add(9)
+        got["a"][1][1].append(9)
+        assert payload == {"a": [{"b": {1, 2}}, (3, [4])]}
+
+
+class TestStructure:
+    def test_aliasing_preserved_across_the_boundary(self):
+        shared = [1, 2]
+        got = receive([shared, shared])
+        assert got[0] is got[1]
+        got[0].append(3)
+        assert got[1] == [1, 2, 3]
+
+    def test_cycles_preserved(self):
+        payload: list = [1]
+        payload.append(payload)
+        got = receive(payload)
+        assert got[1] is got
+
+    def test_tuple_with_mutables_rebuilt_immutables_shared(self):
+        big = "x" * 64
+        payload = ([1], big)
+        got = receive(payload)
+        assert type(got) is tuple
+        assert got[1] is big  # immutable leaf shared by reference
+        got[0].append(2)
+        assert payload == ([1], big)
+
+    def test_equality_both_directions_and_with_plain(self):
+        got = receive([1, [2]])
+        assert got == [1, [2]]
+        assert [1, [2]] == got
+        a, b = pack_packet({"x": 1}).unpack(), pack_packet({"x": 1}).unpack()
+        assert a == b  # frozen proxy on both sides of ==
+
+
+class TestBehavesLikeRealContainer:
+    def test_common_list_operations(self):
+        # thaw(freeze(...)) forces a CowList even for flat payloads (the
+        # packet layer would route these down the flat lane).
+        got = thaw(freeze(list("cab")))
+        assert "".join(got) == "cab"
+        got.sort()
+        assert got == ["a", "b", "c"]
+        assert repr(thaw(freeze([1, 2]))) == "[1, 2]"
+        assert len(thaw(freeze([1, 2]))) == 2
+        assert 2 in thaw(freeze([1, 2]))
+
+    def test_common_dict_operations(self):
+        got = receive({"a": 1, "b": 2})
+        assert sorted(got) == ["a", "b"]
+        assert got.get("a") == 1
+        assert got.pop("b") == 2
+        assert dict(got) == {"a": 1}
+
+    def test_common_set_operations(self):
+        got = receive({1, 2})
+        assert got | {3} == {1, 2, 3}
+        got.add(4)
+        assert got == {1, 2, 4}
+
+    def test_pickle_and_deepcopy_produce_plain_containers(self):
+        for payload in ([1, [2]], {"a": [1]}, {1, 2}):
+            got = receive(payload)
+            for twin in (pickle.loads(pickle.dumps(got)), copy.deepcopy(got)):
+                assert type(twin) is type(payload)
+                assert twin == payload
+
+    def test_snapshot_pickles_to_same_length_as_original(self):
+        # Hetero-network span fixtures depend on LogP sizes: the frozen
+        # snapshot must pickle to exactly the original's byte length.
+        shared = [1, 2]
+        payload = {"a": [shared, shared], "b": (1, [2])}
+        assert len(pickle.dumps(freeze(payload), 5)) == len(pickle.dumps(payload, 5))
+
+
+class TestThaw:
+    def test_thaw_wraps_and_materializes_on_demand(self):
+        snap = freeze([1, [2]])
+        got = thaw(snap)
+        assert type(got) is CowList
+        assert got == [1, [2]]
+
+    def test_proxy_types_cover_list_and_dict(self):
+        assert set(COW_PROXY_TYPES) == {CowList, CowDict}
+
+
+class TestCFastPathArguments:
+    """A *frozen* proxy passed as an argument to C-level shortcuts.
+
+    CPython has fast paths that read another container's internal storage
+    without calling any of its Python-visible methods.  Each of these once
+    silently produced empty/short results against a never-touched proxy;
+    they are pinned here against regression.
+    """
+
+    def test_set_constructor_from_received_set(self):
+        assert set(receive({1, 2})) == {1, 2}
+
+    def test_frozenset_constructor_from_received_set(self):
+        assert frozenset(receive({1, 2})) == {1, 2}
+
+    def test_plain_set_update_with_received_set(self):
+        s = {0}
+        s.update(receive({1, 2}))
+        assert s == {0, 1, 2}
+
+    def test_plain_set_union_with_received_set(self):
+        assert {0}.union(receive({1, 2})) == {0, 1, 2}
+
+    def test_plain_list_concat_with_cow_proxy(self):
+        # list_concat reads the right operand's ob_item directly;
+        # CowList.__radd__ materialises first (subclass reflection wins).
+        got = thaw(freeze([1, 2]))
+        assert not is_materialized(got)
+        assert [0] + got == [0, 1, 2]
+
+    def test_dict_merge_with_received_dict(self):
+        got = receive({"a": 1})
+        assert {**got, "b": 2} == {"a": 1, "b": 2}
+        d = {"z": 0}
+        d.update(got)
+        assert d == {"z": 0, "a": 1}
+        assert {"z": 0} | got == {"z": 0, "a": 1}

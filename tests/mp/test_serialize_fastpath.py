@@ -119,6 +119,128 @@ class TestByReferenceInvariants:
             pack_packet(threading.Lock())
 
 
+class TestExtendedByRefVocabulary:
+    def test_frozenset_of_scalars_travels_by_reference(self):
+        payload = frozenset({1, "a", (2, 3)})
+        packet = pack_packet(payload)
+        assert packet.by_ref
+        assert packet.unpack() is payload
+
+    def test_range_travels_by_reference(self):
+        payload = range(0, 100, 3)
+        assert is_immutable(payload)
+        packet = pack_packet(payload)
+        assert packet.by_ref
+        assert packet.unpack() is payload
+
+    def test_frozenset_with_subclassed_member_pays_the_pickle(self):
+        # Hashable is not immutable: a scalar subclass inside a frozenset
+        # can smuggle mutable attributes, so exact-type checks apply to
+        # members too.
+        payload = frozenset({_EvilInt(3)})
+        assert not is_immutable(payload)
+        packet = pack_packet(payload)
+        assert not packet.by_ref
+        assert packet.unpack() == payload
+
+    def test_deeply_nested_tuple_classified_without_recursion_error(self):
+        # is_immutable walks iteratively: a nest deeper than the
+        # interpreter recursion limit must classify, not crash.
+        payload = (1,)
+        for _ in range(5000):
+            payload = (payload,)
+        assert is_immutable(payload)
+        assert pack_packet(payload).by_ref
+
+    def test_deep_list_nest_survives_on_the_cow_lane(self):
+        # The freeze walk survives deeper nesting than pickle does: this
+        # depth fails pickle.dumps outright, so the pickle-only transport
+        # could not carry it at all — the CoW lane can.
+        payload: list = [1]
+        for _ in range(600):
+            payload = [payload]
+        packet = pack_packet(payload)
+        assert packet.kind == "cow"
+        got = packet.unpack()
+        for _ in range(600):
+            got = got[0]
+        assert got == [1]
+
+    def test_pathological_nesting_fails_eagerly_at_the_send_site(self):
+        # Too deep for freeze *and* pickle: the send must raise the same
+        # eager IsolationError the pickle-only transport always raised.
+        payload: list = [1]
+        for _ in range(5000):
+            payload = [payload]
+        with pytest.raises(IsolationError, match="cannot cross"):
+            pack_packet(payload)
+
+
+class TestBufferLane:
+    def test_bytearray_roundtrip_exact_size(self):
+        payload = bytearray(b"abc" * 100)
+        packet = pack_packet(payload)
+        assert packet.kind == "buffer"
+        assert packet.size == len(payload)  # exact nbytes, no pickle framing
+        got = packet.unpack()
+        assert got == payload and got is not payload
+        got.append(0)
+        assert len(payload) == 300
+
+    def test_array_roundtrip_preserves_typecode(self):
+        from array import array
+
+        payload = array("d", [1.5, 2.5])
+        packet = pack_packet(payload)
+        assert packet.kind == "buffer"
+        assert packet.size == payload.itemsize * 2
+        got = packet.unpack()
+        assert got == payload and got.typecode == "d"
+
+    def test_memoryview_receiver_gets_readonly_view(self):
+        payload = memoryview(bytearray(b"hello"))
+        packet = pack_packet(payload)
+        got = packet.unpack()
+        assert bytes(got) == b"hello"
+        assert got.readonly  # zero-copy over the snapshot: must be immutable
+
+
+class TestLazySizeRace:
+    def test_concurrent_sizing_packs_exactly_once(self, monkeypatch):
+        """Regression: two receivers sizing one forwarded packet raced.
+
+        ``Packet.size`` is computed lazily for by-ref/CoW packets; under
+        the threaded executor several receiver ranks can ask for it
+        concurrently.  The memoisation must be guarded so the pickle runs
+        exactly once and every thread agrees on the answer.
+        """
+        import repro.mp.serialize as serialize
+
+        gate = threading.Barrier(8)
+        calls = []
+        real_pack = serialize.pack
+
+        def slow_pack(payload):
+            calls.append(1)
+            return real_pack(payload)
+
+        monkeypatch.setattr(serialize, "pack", slow_pack)
+        packet = pack_packet((1, "shared", 3.0))
+        sizes = []
+
+        def reader():
+            gate.wait()
+            sizes.append(packet.size)
+
+        threads = [threading.Thread(target=reader) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert len(set(sizes)) == 1
+
+
 class TestEndToEndAliasing:
     def test_immutable_send_is_zero_copy(self):
         token = ("shared", 42, b"bytes")

@@ -60,6 +60,8 @@ class TestComparePolicy:
         assert set(HIGHER_IS_BETTER) == {
             "msg_throughput_immutable",
             "msg_throughput_mutable",
+            "msg_throughput_cow",
+            "msg_throughput_buffer",
             "switch_rate",
             "switch_rate_np64",
             "batch_throughput_runs_s",
@@ -140,15 +142,70 @@ class TestMetricFunctions:
         assert bench_switch_rate(tasks=2, k=50) > 0
 
 
+class TestRemeasure:
+    def test_failing_gates_get_best_of_n(self, monkeypatch):
+        # Each registered sampler is called ``repeats`` times and the
+        # best sample wins (interference can only depress a rate).
+        calls: list[int] = []
+        samples = iter([100.0, 900.0, 300.0])
+        monkeypatch.setitem(
+            bench._GATED_SAMPLERS,
+            "switch_rate",
+            lambda s: calls.append(s) or next(samples),
+        )
+        out = bench.remeasure(
+            {"switch_rate": 50.0, "other": 1.0}, ["switch_rate"], repeats=3
+        )
+        assert out["switch_rate"] == 900.0
+        assert out["other"] == 1.0
+        assert calls == [1, 1, 1]
+
+    def test_quick_mode_passes_scale_to_samplers(self, monkeypatch):
+        seen: list[int] = []
+        monkeypatch.setitem(
+            bench._GATED_SAMPLERS,
+            "switch_rate",
+            lambda s: seen.append(s) or 1.0,
+        )
+        bench.remeasure({"switch_rate": 5.0}, ["switch_rate"], quick=True,
+                        repeats=2)
+        assert seen == [5, 5]
+
+    def test_unsampled_names_pass_through(self):
+        # Suite-level metrics have no sampler; remeasure leaves them be.
+        metrics = {"batch_throughput_runs_s": 10.0}
+        assert bench.remeasure(metrics, ["batch_throughput_runs_s"]) == metrics
+
+    def test_every_sampler_name_is_a_gated_metric(self):
+        gated = set(HIGHER_IS_BETTER) | set(bench.LOWER_IS_BETTER)
+        assert set(bench._GATED_SAMPLERS) <= gated
+
+    def test_latency_remeasure_takes_the_minimum(self, monkeypatch):
+        samples = iter([5.0, 2.0, 9.0])
+        monkeypatch.setitem(
+            bench._GATED_SAMPLERS, "bcast_ms_p32", lambda s: next(samples)
+        )
+        out = bench.remeasure({"bcast_ms_p32": 9.0}, ["bcast_ms_p32"],
+                              repeats=3)
+        assert out["bcast_ms_p32"] == 2.0
+
+
 class TestCli:
     @pytest.fixture
     def fake_metrics(self, monkeypatch):
         # The CLI imports run_benchmarks at call time, so patching the
-        # bench module swaps in instant fake numbers.
+        # bench module swaps in instant fake numbers.  remeasure is
+        # stubbed to a no-op so a fake "regression" is not rescued (or
+        # slowed down) by ten very real benchmark repetitions.
         monkeypatch.setattr(
             bench,
             "run_benchmarks",
             lambda *, quick, progress=None, topology=None: dict(METRICS),
+        )
+        monkeypatch.setattr(
+            bench,
+            "remeasure",
+            lambda metrics, names, **kw: dict(metrics),
         )
         return METRICS
 
@@ -170,6 +227,33 @@ class TestCli:
         baseline = tmp_path / "baseline.json"
         save_report(str(baseline), make_report(inflated))
         assert main(["bench", "--quick", "--check", str(baseline)]) == 1
+
+    def test_bench_check_remeasure_rescues_transient_dip(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        # First pass reads a dipped switch_rate; the best-of-N retry
+        # comes back healthy, so the check passes instead of flagging a
+        # phantom regression.
+        dipped = dict(METRICS, switch_rate=METRICS["switch_rate"] * 0.5)
+        monkeypatch.setattr(
+            bench,
+            "run_benchmarks",
+            lambda *, quick, progress=None, topology=None: dict(dipped),
+        )
+        retried: list[list[str]] = []
+        monkeypatch.setattr(
+            bench,
+            "remeasure",
+            lambda metrics, names, **kw: retried.append(names)
+            or dict(metrics, switch_rate=METRICS["switch_rate"]),
+        )
+        baseline = tmp_path / "baseline.json"
+        save_report(str(baseline), make_report(METRICS))
+        assert main(["bench", "--quick", "--check", str(baseline)]) == 0
+        assert retried == [["switch_rate"]]
+        err = capsys.readouterr().err
+        assert "re-measuring" in err
+        assert "perf check passed" in err
 
     def test_bench_check_missing_baseline_errors(self, fake_metrics, tmp_path):
         missing = tmp_path / "nope.json"

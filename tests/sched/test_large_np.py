@@ -90,6 +90,34 @@ class TestNp256:
         assert run.text.count("of 256") == 256
 
 
+class TestNp1024:
+    """The deferred-start scaling ceiling: a whole np=1024 world must
+    complete promptly (CI gates completion, the benchmark reports wall)."""
+
+    def test_mpi_spmd_completes_at_np1024(self):
+        from repro.mp import mpirun
+
+        res = mpirun(1024, lambda comm: comm.rank, mode="lockstep", seed=0)
+        assert res.results == list(range(1024))
+
+    def test_np1024_rerun_is_deterministic(self):
+        from repro.mp import ANY_SOURCE, mpirun
+
+        def main(comm):
+            if comm.rank and comm.rank % 101 == 0:
+                comm.send(comm.rank, dest=0, tag=1)
+                return None
+            if comm.rank == 0:
+                return sorted(
+                    comm.recv(source=ANY_SOURCE, tag=1) for _ in range(10)
+                )
+            return None
+
+        a = mpirun(1024, main, mode="lockstep", seed=3)
+        b = mpirun(1024, main, mode="lockstep", seed=3)
+        assert a.results[0] == b.results[0] == [i * 101 for i in range(1, 11)]
+
+
 class TestPooledEqualsFresh:
     """Leased (pooled) threads are observationally identical to fresh ones."""
 
