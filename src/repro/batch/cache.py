@@ -21,6 +21,15 @@ Environment knobs (the escape hatches):
 Every filesystem touch is wrapped: a read-only HOME, a corrupt record,
 or a concurrent writer degrade to cache misses, never to run failures.
 
+The store is explicitly **multi-writer safe**: the sweep fleet points
+many worker processes at one root.  Writes go through a temp file plus
+atomic ``os.replace`` (a reader sees the old record or the new one,
+never a torn one), the pruning walk tolerates records and whole fan-out
+directories deleted mid-scan by a concurrent pruner, and an eviction is
+only counted by the process whose ``unlink`` actually removed the file —
+two caches pruning the same root cannot double-count one eviction
+between them.
+
 The disk store is the second of two tiers: content addresses make
 records immutable-by-key, so each process also keeps a small decoded
 memo (:mod:`repro.batch.results`) and repeat hits skip the JSON parse
@@ -95,10 +104,11 @@ class RunCache:
     def __init__(self, root: str | Path | None = None, *, max_bytes: int | None = None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.max_bytes = max_bytes if max_bytes is not None else _max_bytes_from_env()
-        #: Served / missed / stored record counts for this instance.
+        #: Served / missed / stored / pruned record counts for this instance.
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
         self._puts_since_prune = 0
 
     def _path(self, key: str) -> Path:
@@ -153,16 +163,29 @@ class RunCache:
         return True
 
     def _records(self) -> list[tuple[float, int, Path]]:
+        # Hand-rolled two-level walk instead of ``glob("*/*.json")``: a
+        # concurrent pruner can delete a whole fan-out directory between
+        # listing it and descending into it, and the glob iterator would
+        # surface that as an exception mid-stream.  Here a vanished
+        # directory or record is simply not a record any more.
         out: list[tuple[float, int, Path]] = []
         try:
-            for path in self.root.glob("*/*.json"):
+            subdirs = list(self.root.iterdir())
+        except OSError:
+            return out
+        for sub in subdirs:
+            try:
+                entries = list(sub.iterdir())
+            except OSError:
+                continue  # deleted (or unreadable) mid-scan
+            for path in entries:
+                if path.suffix != ".json":
+                    continue
                 try:
                     st = path.stat()
                 except OSError:
-                    continue
+                    continue  # deleted mid-scan
                 out.append((st.st_mtime, st.st_size, path))
-        except OSError:
-            pass
         return out
 
     def size_bytes(self) -> int:
@@ -173,7 +196,14 @@ class RunCache:
         return len(self._records())
 
     def prune(self) -> int:
-        """Drop least-recently-used records until under the size cap."""
+        """Drop least-recently-used records until under the size cap.
+
+        Safe under concurrent pruners: a record that disappears between
+        the scan and our ``unlink`` still shrinks the live total (its
+        bytes are gone either way) but is *not* counted as our eviction —
+        whoever actually removed it counts it, so ``stats()`` across all
+        writers sums to the true eviction count.
+        """
         self._puts_since_prune = 0
         records = sorted(self._records())  # oldest mtime first
         total = sum(size for _, size, _ in records)
@@ -181,9 +211,16 @@ class RunCache:
         for _, size, path in records:
             if total <= self.max_bytes:
                 break
-            if _quiet_unlink(path):
-                total -= size
-                removed += 1
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                total -= size  # a concurrent pruner's eviction, not ours
+                continue
+            except OSError:
+                continue  # undeletable: keep it in the total
+            total -= size
+            removed += 1
+        self.evictions += removed
         return removed
 
     def clear(self) -> int:
@@ -195,8 +232,13 @@ class RunCache:
         return removed
 
     def stats(self) -> dict[str, int]:
-        """This instance's hit/miss/store counters."""
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        """This instance's hit/miss/store/eviction counters."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
 
 
 def _quiet_unlink(path: Path) -> bool:

@@ -47,7 +47,23 @@ _POOL_WORKERS = 0
 
 
 def default_workers(n_items: int) -> int:
-    """The auto worker count: ``min(cpu_count, n_items, 8)``, at least 1."""
+    """The auto worker count: ``min(cpu_count, n_items, 8)``, at least 1.
+
+    ``REPRO_JOBS=<n>`` overrides the CPU heuristic (still clamped to the
+    item count — more workers than items is pure overhead), so CI and
+    classroom environments can pin both the in-process pool and the
+    sweep fleet to a deterministic size without threading CLI flags
+    through every entry point.  Unparsable or non-positive values fall
+    back to the heuristic.
+    """
+    raw = os.environ.get("REPRO_JOBS")
+    if raw:
+        try:
+            forced = int(raw)
+        except ValueError:
+            forced = 0
+        if forced >= 1:
+            return max(1, min(forced, max(1, n_items)))
     return max(1, min(os.cpu_count() or 1, n_items, 8))
 
 
@@ -96,7 +112,7 @@ def shutdown_pool() -> None:
         _POOL_WORKERS = 0
 
 
-_ZERO_STATS = {"hits": 0, "misses": 0, "stores": 0}
+_ZERO_STATS = {"hits": 0, "misses": 0, "stores": 0, "evictions": 0}
 
 
 def _merge_stats(into: "dict[str, int] | None", stats: dict[str, int]) -> None:

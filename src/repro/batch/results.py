@@ -56,8 +56,12 @@ __all__ = [
     "decode_value",
     "encode_value",
     "memo_run",
+    "outcome_from_wire",
+    "outcome_to_wire",
     "run_from_record",
     "run_to_record",
+    "spec_from_wire",
+    "spec_to_wire",
 ]
 
 #: Bumped whenever the record layout changes; mismatched records are
@@ -278,6 +282,89 @@ def _run_from_entry(entry: tuple[Any, ...]) -> CapturedRun:
     return run
 
 
+# -- spec and outcome wire forms (the fleet's file messenger) -----------------
+
+
+def spec_to_wire(spec: Any) -> dict[str, Any]:
+    """A :class:`~repro.batch.specs.RunSpec` as one plain-JSON document.
+
+    The fleet coordinator ships shards of specs to worker *processes*
+    through job files, so specs must cross as canonical JSON rather than
+    pickles — the same codec discipline as cache records.  Raises
+    :class:`~repro.errors.CacheUnserializable` for extras outside the
+    record vocabulary (the coordinator then keeps the whole batch
+    in-process instead of shipping it).
+    """
+    return {
+        "patternlet": spec.patternlet,
+        "tasks": spec.tasks,
+        "toggles": [[k, bool(v)] for k, v in spec.toggles],
+        "mode": spec.mode,
+        "seed": spec.seed,
+        "policy": spec.policy,
+        "extra": encode_value(spec.extra_dict),
+        "topology": spec.topology,
+    }
+
+
+def spec_from_wire(wire: Mapping[str, Any]) -> Any:
+    """Inverse of :func:`spec_to_wire`."""
+    from repro.batch.specs import RunSpec
+
+    return RunSpec(
+        patternlet=wire["patternlet"],
+        tasks=wire["tasks"],
+        toggles=tuple((k, bool(v)) for k, v in wire["toggles"]),
+        mode=wire["mode"],
+        seed=wire["seed"],
+        policy=wire["policy"],
+        extra=tuple(sorted(decode_value(wire["extra"]).items())),
+        topology=wire["topology"],
+    )
+
+
+def outcome_to_wire(outcome: "RunOutcome") -> dict[str, Any]:
+    """A :class:`RunOutcome` as one plain-JSON document (fleet results).
+
+    ``metrics`` is best-effort like a record's ``result`` field: a
+    summary that will not serialise is shipped as absent rather than
+    failing the cell — every consumer of per-cell metrics already
+    tolerates ``None`` (uncacheable thread-mode runs have no metrics
+    either).
+    """
+    try:
+        metrics = encode_value(outcome.metrics) if outcome.metrics is not None else None
+    except CacheUnserializable:
+        metrics = None
+    return {
+        "spec": spec_to_wire(outcome.spec),
+        "key": outcome.key,
+        "cached": outcome.cached,
+        "text": outcome.text,
+        "span": outcome.span,
+        "wall": outcome.wall,
+        "races": outcome.races,
+        "error": outcome.error,
+        "metrics": metrics,
+    }
+
+
+def outcome_from_wire(wire: Mapping[str, Any]) -> "RunOutcome":
+    """Inverse of :func:`outcome_to_wire`."""
+    metrics = wire.get("metrics")
+    return RunOutcome(
+        spec=spec_from_wire(wire["spec"]),
+        key=wire["key"],
+        cached=bool(wire["cached"]),
+        text=wire["text"],
+        span=wire["span"],
+        wall=wire["wall"],
+        races=wire["races"],
+        error=wire.get("error"),
+        metrics=decode_value(metrics) if metrics is not None else None,
+    )
+
+
 # -- batch summaries ----------------------------------------------------------
 
 
@@ -314,6 +401,10 @@ class BatchReport:
     #: Aggregated run-cache counters (hits/misses/stores) across every
     #: process that served this batch, when the runner collected them.
     cache_stats: dict[str, int] | None = None
+    #: Fleet execution summary (worker count, shards, steals, reposts and
+    #: per-shard completion provenance) when the batch ran on the
+    #: multi-process sweep fleet; ``None`` for in-process batches.
+    fleet: dict[str, Any] | None = None
 
     @property
     def runs(self) -> int:
@@ -409,6 +500,9 @@ class BatchReport:
             out["cache_hits"] = self.cache_stats.get("hits", 0)
             out["cache_misses"] = self.cache_stats.get("misses", 0)
             out["cache_stores"] = self.cache_stats.get("stores", 0)
+            out["cache_evictions"] = self.cache_stats.get("evictions", 0)
+        if self.fleet is not None:
+            out["fleet"] = self.fleet
         cells = self.cell_stats()
         if cells:
             out["cells"] = cells

@@ -193,7 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--policy", default="random",
                          choices=("random", "roundrobin", "fifo", "lifo"))
     p_sweep.add_argument("--jobs", type=int, default=None, metavar="N",
-                         help="worker processes (default: auto)")
+                         help="worker processes (default: auto; REPRO_JOBS "
+                              "overrides the auto heuristic)")
+    p_sweep.add_argument("--fleet", type=int, default=None, metavar="N",
+                         help="run the grid on N persistent fleet workers "
+                              "(file-based job messenger + work stealing; "
+                              "0 = auto-size, default: REPRO_FLEET_WORKERS "
+                              "else off)")
     p_sweep.add_argument("--no-cache", action="store_true",
                          help="recompute every run; skip the run cache")
     p_sweep.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -222,6 +228,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="pin the collective-latency benches to one "
                               "communicator topology (default: report the "
                               "fastest per np)")
+    p_bench.add_argument("--fleet", type=int, default=None, metavar="N",
+                         help="worker count for the fleet sweep benches "
+                              "(default: 2)")
 
     p_quiz = sub.add_parser(
         "quiz", help="print the four-question parallel-week exam (and, with --key, its computed answers)"
@@ -444,7 +453,13 @@ def _parse_seed_spec(spec: str) -> list[int]:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import json
 
-    from repro.batch import RunSpec, figure_suite_specs, run_specs
+    from repro.batch import (
+        RunSpec,
+        figure_suite_specs,
+        fleet_size,
+        run_specs,
+        run_specs_fleet,
+    )
 
     try:
         seeds = _parse_seed_spec(args.seeds)
@@ -503,12 +518,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 for topo in topologies
             ]
 
-    report = run_specs(
-        specs,
-        max_workers=args.jobs,
-        use_cache=False if args.no_cache else None,
-        cache_dir=args.cache_dir,
-    )
+    n_fleet = fleet_size(args.fleet, len(specs))
+    if n_fleet is not None:
+        report = run_specs_fleet(
+            specs,
+            workers=n_fleet,
+            use_cache=False if args.no_cache else None,
+            cache_dir=args.cache_dir,
+        )
+    else:
+        report = run_specs(
+            specs,
+            max_workers=args.jobs,
+            use_cache=False if args.no_cache else None,
+            cache_dir=args.cache_dir,
+        )
 
     if args.per_run:
         for o in report.outcomes:
@@ -542,12 +566,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(line)
 
     stats = report.stats()
+    if report.fleet is not None:
+        tail = (f", fleet of {report.fleet['workers']} "
+                f"({report.fleet['completed_shards']} shards, "
+                f"{report.fleet['steals']} steals)")
+    elif stats["pooled"]:
+        tail = f", {stats['workers']} workers"
+    else:
+        tail = ", in-process"
     print(
         f"\n{stats['runs']} runs in {stats['wall_s']:.3f}s "
         f"({stats['throughput_runs_s']:.0f} runs/s) — "
         f"cache hits {stats['hits']}/{stats['runs']} "
-        f"(hit rate {stats['hit_rate']:.0%})"
-        + (f", {stats['workers']} workers" if stats["pooled"] else ", in-process"),
+        f"(hit rate {stats['hit_rate']:.0%})" + tail,
         file=sys.stderr,
     )
     if args.stats_out:
@@ -579,7 +610,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"running engine benchmarks ({'quick' if args.quick else 'full'})",
           file=sys.stderr)
     metrics = run_benchmarks(quick=args.quick, progress=note,
-                             topology=args.topology)
+                             topology=args.topology, fleet=args.fleet)
 
     baseline = None
     if args.check:

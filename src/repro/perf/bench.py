@@ -78,6 +78,19 @@ optimises:
     fraction (1.0 when the cache is sound), and
     ``figure_suite_batch_wall_s`` the cold batch's wall clock.
 
+``fleet_sweep_runs_s`` / ``fleet_speedup_vs_pool``
+    The sharded fleet (:mod:`repro.batch.fleet`): the same figure-suite
+    grid through persistent worker processes coordinated by the
+    file-based job messenger, interleaved A/B against the in-process
+    path over one shared warm cache.  ``fleet_sweep_runs_s`` (gated) is
+    the fleet's best warm throughput — it prices the whole messenger
+    (job files, claims, status heartbeats, result merge) on top of
+    cache-served runs, so a protocol regression (chattier polling, a
+    slower claim path) lands squarely on it.  ``fleet_speedup_vs_pool``
+    is the A/B ratio, *reported only*: above 1 on multi-core hosts,
+    below 1 on single-core CI where the fleet's processes time-slice one
+    CPU — gating a machine property would make the check runner-shaped.
+
 ``selfcheck_cold_wall_s`` / ``selfcheck_warm_wall_s`` / ``selfcheck_warm_speedup``
     Interleaved A/B over the full self-check: alternating
     cache-disabled (A) and cache-served (B) passes, best-of-each, so
@@ -136,6 +149,7 @@ __all__ = [
     "bench_batch_suite",
     "bench_bcast_latency",
     "bench_figure_suite",
+    "bench_fleet_sweep",
     "bench_large_np_suite",
     "bench_metrics_overhead",
     "bench_msg_throughput",
@@ -163,6 +177,7 @@ HIGHER_IS_BETTER = (
     "switch_rate",
     "switch_rate_np64",
     "batch_throughput_runs_s",
+    "fleet_sweep_runs_s",
 )
 
 #: Latency metrics where smaller numbers are better; these fail a check
@@ -403,6 +418,53 @@ def bench_batch_suite(*, quick: bool = False, repeats: int = 3) -> dict[str, flo
     }
 
 
+def bench_fleet_sweep(
+    *, quick: bool = False, workers: int | None = None, rounds: int = 3
+) -> dict[str, float]:
+    """Warm fleet sweep vs warm in-process sweep, interleaved A/B.
+
+    A cold fleet pass primes a private cache; each round then runs one
+    warm fleet pass (A) and one warm in-process pass (B) over the same
+    cache, best-of-each.  ``fleet_sweep_runs_s`` is the fleet arm's best
+    warm throughput — cache-served cells plus the full messenger
+    overhead — and ``fleet_speedup_vs_pool`` the A/B ratio (above 1 only
+    when real cores back the worker processes).  The fleet is private to
+    the measurement and torn down afterwards, so the benchmark never
+    leaves worker processes behind or perturbs a session fleet.
+    """
+    import shutil
+    import tempfile
+
+    from repro.batch import figure_suite_specs, run_specs
+    from repro.batch.fleet import Fleet
+
+    specs = figure_suite_specs(seeds=range(2 if quick else 4))
+    n_workers = max(2, workers or 2)
+    tmp = tempfile.mkdtemp(prefix="repro-bench-fleet-")
+    fleet = None
+    try:
+        fleet = Fleet(n_workers, use_cache=True, cache_dir=tmp)
+        fleet.submit(specs, timeout=300.0)  # cold prime
+        fleet_tp: list[float] = []
+        pool_tp: list[float] = []
+        for _ in range(rounds):
+            rep = fleet.submit(specs, timeout=300.0)
+            fleet_tp.append(rep.throughput_runs_s)
+            rep = run_specs(specs, max_workers=1, use_cache=True, cache_dir=tmp)
+            pool_tp.append(rep.throughput_runs_s)
+    finally:
+        if fleet is not None:
+            fleet.shutdown()
+        shutil.rmtree(tmp, ignore_errors=True)
+    best_fleet, best_pool = max(fleet_tp), max(pool_tp)
+    return {
+        "fleet_sweep_runs_s": round(best_fleet, 1),
+        "fleet_speedup_vs_pool": round(best_fleet / best_pool, 2)
+        if best_pool > 0
+        else 0.0,
+    }
+
+
 def bench_selfcheck_ab(*, rounds: int = 3) -> dict[str, float]:
     """Interleaved A/B: cache-disabled vs cache-served full self-checks.
 
@@ -483,6 +545,7 @@ def run_benchmarks(
     quick: bool = False,
     progress: Callable[[str], None] | None = None,
     topology: str | None = None,
+    fleet: int | None = None,
 ) -> dict[str, float]:
     """Run the full metric set; returns ``{metric: value}``.
 
@@ -492,7 +555,8 @@ def run_benchmarks(
 
     ``topology`` pins the collective-latency benches to one communicator
     topology; by default each reports the fastest registered topology at
-    its rank count.
+    its rank count.  ``fleet`` sizes the fleet-sweep benches' worker set
+    (default 2 — enough to exercise the whole messenger on any host).
 
     The gated throughput metrics are each the best of three repetitions:
     a rate sample can only be depressed by interference (GC, a noisy
@@ -572,6 +636,10 @@ def run_benchmarks(
     out["figure_suite_np64_wall_s"] = round(bench_large_np_suite(), 3)
     note("batch runner: cold + warm figure-suite grid")
     out.update(bench_batch_suite(quick=quick))
+    note("sweep fleet: warm fleet vs in-process A/B")
+    out.update(
+        bench_fleet_sweep(quick=quick, workers=fleet, rounds=1 if quick else 3)
+    )
     note("selfcheck cold/warm interleaved A/B")
     out.update(bench_selfcheck_ab(rounds=1 if quick else 3))
     note("live metrics probe overhead A/B")
@@ -604,8 +672,9 @@ def _best_allreduce_ms_p64(scale: int) -> float:
 #: Payloads, iteration counts and batch sizes mirror
 #: :func:`run_benchmarks` exactly — each sampler takes the quick-mode
 #: ``scale`` divisor (5 for quick, 1 for full).  Suite-level metrics
-#: (batch throughput) are deliberately absent: they run whole grids and
-#: are too expensive to retry.
+#: (batch throughput, the fleet sweep) are deliberately absent: they run
+#: whole grids — and the fleet one spawns processes — and are too
+#: expensive to retry; :func:`remeasure` passes them through unchanged.
 _GATED_SAMPLERS: dict[str, Callable[[int], float]] = {
     "msg_throughput_immutable": lambda s: bench_msg_throughput(12345, n=3000 // s),
     "msg_throughput_mutable": lambda s: bench_msg_throughput(

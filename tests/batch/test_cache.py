@@ -169,3 +169,117 @@ class TestStore:
             run_patternlet("openmp.spmd", tasks=2, seed=0)
         stats = cache.stats()
         assert stats["stores"] == 1 and stats["hits"] == 1
+        assert stats["evictions"] == 0
+
+    def test_prune_counts_evictions(self, tmp_path):
+        cache = _cache(tmp_path, max_bytes=1)
+        record = {"schema": 1, "pad": "x" * 256}
+        for i in range(3):
+            cache.put(f"{i:02d}abc", record)
+        removed = cache.prune()
+        assert removed >= 1
+        assert cache.stats()["evictions"] == cache.evictions >= removed
+
+
+# -- multi-writer safety ------------------------------------------------------
+
+# Worker bodies live at module level so the fork/spawn machinery can
+# import them.  Each hammers one shared cache root with an interleaved
+# put/get/prune stream: every key is content-shaped (sha256 hex) but
+# drawn from a small universe, so processes constantly collide on the
+# same record files — the fleet's actual access pattern, concentrated.
+
+_KEY_UNIVERSE = 24
+
+
+def _stress_key(i: int) -> str:
+    import hashlib
+
+    return hashlib.sha256(str(i % _KEY_UNIVERSE).encode()).hexdigest()
+
+
+def _stress_worker(root: str, max_bytes: int, rounds: int, wid: int) -> None:
+    from repro.batch.cache import RunCache
+    from repro.batch.results import RECORD_SCHEMA
+
+    cache = RunCache(root, max_bytes=max_bytes)
+    record = {"schema": RECORD_SCHEMA, "writer": wid, "pad": "x" * 300}
+    for r in range(rounds):
+        for i in range(_KEY_UNIVERSE):
+            cache.put(_stress_key(i), dict(record, key=_stress_key(i)))
+            cache.get(_stress_key((i + wid) % _KEY_UNIVERSE))
+            if (i + r) % 5 == wid % 5:
+                cache.prune()
+
+
+def _spawn_stress(root, max_bytes, rounds, n_procs):
+    import multiprocessing
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        ctx = multiprocessing.get_context()
+    procs = [
+        ctx.Process(target=_stress_worker, args=(str(root), max_bytes, rounds, w))
+        for w in range(n_procs)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=120)
+    assert all(p.exitcode == 0 for p in procs)
+
+
+class TestMultiWriter:
+    def test_concurrent_writers_never_corrupt_records(self, tmp_path):
+        # Unbounded cache: every key every writer stored must survive as
+        # whole, parseable, schema-correct JSON — no lost records, no
+        # torn files, however the atomic replaces interleave.
+        root = tmp_path / "shared"
+        _spawn_stress(root, max_bytes=1 << 30, rounds=6, n_procs=4)
+        cache = RunCache(root)
+        for i in range(_KEY_UNIVERSE):
+            record = cache.get(_stress_key(i))
+            assert record is not None, f"record {i} was lost"
+            assert record["key"] == _stress_key(i)
+        for path in root.glob("*/*.json"):
+            json.loads(path.read_text())  # nothing torn on disk
+
+    def test_concurrent_pruners_respect_the_size_bound(self, tmp_path):
+        # Tiny cap: every writer prunes constantly, racing unlinks
+        # against each other's puts and each other's prunes.  Whatever
+        # survives must be whole, and one quiet final prune must land
+        # the store under the cap.
+        root = tmp_path / "bounded"
+        max_bytes = 4 * 400  # roughly four records
+        _spawn_stress(root, max_bytes=max_bytes, rounds=6, n_procs=4)
+        for path in root.glob("*/*.json"):
+            json.loads(path.read_text())
+        cache = RunCache(root, max_bytes=max_bytes)
+        cache.prune()
+        assert cache.size_bytes() <= max_bytes
+
+    def test_prune_tolerates_vanishing_directories(self, tmp_path):
+        # A concurrent pruner can delete a whole fan-out directory
+        # between the walk listing it and descending into it.
+        import shutil
+
+        cache = _cache(tmp_path)
+        cache.put("aa" + "0" * 62, {"schema": 1, "pad": "x"})
+        cache.put("bb" + "0" * 62, {"schema": 1, "pad": "x"})
+        real_iterdir = type(cache.root).iterdir
+
+        def racing_iterdir(self):
+            if self == cache.root:
+                entries = list(real_iterdir(self))
+                shutil.rmtree(cache.root / "aa", ignore_errors=True)
+                return iter(entries)
+            return real_iterdir(self)
+
+        import unittest.mock
+
+        with unittest.mock.patch.object(
+            type(cache.root), "iterdir", racing_iterdir
+        ):
+            assert cache.prune() == 0  # under cap; walk survives the race
+        assert len(cache) == 1

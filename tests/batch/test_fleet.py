@@ -1,0 +1,266 @@
+"""The sweep fleet: shard planning, the file messenger, work stealing.
+
+The correctness bar is the same as the pool's — fleet-merged outcomes
+must be byte-identical to serial (the equivalence suite pins that leg);
+this file covers the machinery itself: the shard planner's invariants,
+the spec/outcome wire codecs, claim exclusivity, the straggler-stealing
+protocol, and every degradation path back to the in-process runner.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch.fleet import (
+    Fleet,
+    FleetError,
+    default_fleet_workers,
+    fleet_size,
+    run_specs_fleet,
+    shutdown_fleet,
+)
+from repro.batch.pool import run_specs, shutdown_pool
+from repro.batch.results import (
+    _memo_clear,
+    outcome_from_wire,
+    outcome_to_wire,
+    spec_from_wire,
+    spec_to_wire,
+)
+from repro.batch.specs import RunSpec, plan_shards
+from repro.errors import CacheUnserializable
+
+
+@pytest.fixture(autouse=True)
+def fleet_hygiene():
+    """No fleet (or pool) outlives its test."""
+    _memo_clear()
+    yield
+    shutdown_fleet()
+    shutdown_pool()
+    _memo_clear()
+
+
+def _grid(n, patternlet="openmp.spmd", tasks=3):
+    return [RunSpec.make(patternlet, tasks=tasks, seed=s) for s in range(n)]
+
+
+def _fingerprint(report):
+    return [(o.text, o.span, o.races) for o in report.outcomes]
+
+
+class TestShardPlanner:
+    def test_every_index_appears_exactly_once(self):
+        for n, w in [(1, 1), (7, 2), (8, 2), (100, 3), (5, 16)]:
+            shards = plan_shards(n, w)
+            flat = [i for shard in shards for i in shard]
+            assert sorted(flat) == list(range(n))
+
+    def test_shards_are_contiguous_and_balanced(self):
+        shards = plan_shards(10, 2)  # 4 shards of 2-3 cells
+        for shard in shards:
+            assert shard == list(range(shard[0], shard[0] + len(shard)))
+        sizes = {len(s) for s in shards}
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_overshard_controls_the_shard_count(self):
+        assert len(plan_shards(100, 4)) == 8  # default overshard=2
+        assert len(plan_shards(100, 4, overshard=1)) == 4
+        assert len(plan_shards(3, 4)) == 3  # never more shards than cells
+
+    def test_degenerate_inputs(self):
+        assert plan_shards(0, 4) == []
+        assert plan_shards(1, 4) == [[0]]
+        assert plan_shards(4, 0) == [[0, 1], [2, 3]]
+
+
+class TestWireCodecs:
+    def test_spec_round_trip(self):
+        spec = RunSpec.make(
+            "mpi.reduction",
+            tasks=6,
+            toggles={"barrier": True},
+            seed=3,
+            policy="fifo",
+            topology="ring",
+            network="hetero2",
+        )
+        assert spec_from_wire(spec_to_wire(spec)) == spec
+
+    def test_wire_is_json_safe(self):
+        import json
+
+        spec = RunSpec.make("openmp.spmd", tasks=2, seed=1)
+        again = json.loads(json.dumps(spec_to_wire(spec)))
+        assert spec_from_wire(again) == spec
+
+    def test_unserializable_extra_raises(self):
+        spec = RunSpec.make("openmp.spmd", probe=object())
+        with pytest.raises(CacheUnserializable):
+            spec_to_wire(spec)
+
+    def test_outcome_round_trip_preserves_the_fingerprint(self):
+        report = run_specs(_grid(2), max_workers=1, use_cache=False)
+        for outcome in report.outcomes:
+            back = outcome_from_wire(outcome_to_wire(outcome))
+            assert (back.text, back.span, back.races) == (
+                outcome.text,
+                outcome.span,
+                outcome.races,
+            )
+            assert back.spec == outcome.spec
+            assert back.metrics == outcome.metrics
+
+
+class TestSizeHatches:
+    def test_fleet_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FLEET_WORKERS", raising=False)
+        assert default_fleet_workers() is None
+        assert fleet_size(None, 10) is None
+
+    def test_env_hatch_turns_the_fleet_on(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_WORKERS", "3")
+        assert default_fleet_workers() == 3
+        assert fleet_size(None, 10) == 3
+
+    def test_explicit_flag_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_WORKERS", "3")
+        assert fleet_size(5, 10) == 5
+
+    def test_zero_means_auto_and_honours_repro_jobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert fleet_size(0, 10) == 2
+
+    def test_garbage_env_means_off(self, monkeypatch):
+        for bad in ("many", "", "0", "-1"):
+            monkeypatch.setenv("REPRO_FLEET_WORKERS", bad)
+            assert default_fleet_workers() is None
+
+
+class TestFleetRuns:
+    def test_cold_then_warm_matches_serial(self, tmp_path):
+        specs = _grid(8)
+        serial = run_specs(specs, max_workers=1, use_cache=False)
+        cold = run_specs_fleet(
+            specs, workers=2, use_cache=True, cache_dir=str(tmp_path)
+        )
+        assert not cold.errors and cold.hits == 0
+        assert _fingerprint(cold) == _fingerprint(serial)
+        assert cold.fleet is not None and cold.fleet["workers"] == 2
+        warm = run_specs_fleet(
+            specs, workers=2, use_cache=True, cache_dir=str(tmp_path)
+        )
+        assert warm.hit_rate == 1.0
+        assert _fingerprint(warm) == _fingerprint(serial)
+
+    def test_fleet_persists_across_submits(self, tmp_path):
+        import repro.batch.fleet as fleet_mod
+
+        run_specs_fleet(_grid(4), workers=2, use_cache=True, cache_dir=str(tmp_path))
+        first = fleet_mod._FLEET
+        assert first is not None
+        pids = [p.pid for p in first._procs]
+        run_specs_fleet(_grid(4), workers=2, use_cache=True, cache_dir=str(tmp_path))
+        assert fleet_mod._FLEET is first
+        assert [p.pid for p in first._procs] == pids  # same processes, reused
+
+    def test_shape_change_rebuilds_the_fleet(self, tmp_path):
+        import repro.batch.fleet as fleet_mod
+
+        run_specs_fleet(_grid(4), workers=2, use_cache=True, cache_dir=str(tmp_path))
+        first = fleet_mod._FLEET
+        run_specs_fleet(_grid(4), workers=3, use_cache=True, cache_dir=str(tmp_path))
+        assert fleet_mod._FLEET is not first
+        assert fleet_mod._FLEET.workers == 3
+
+    def test_stats_carry_the_fleet_summary(self, tmp_path):
+        report = run_specs_fleet(
+            _grid(4), workers=2, use_cache=True, cache_dir=str(tmp_path)
+        )
+        stats = report.stats()
+        assert stats["fleet"]["workers"] == 2
+        assert stats["fleet"]["completed_shards"] >= 1
+        assert "cache_evictions" in stats
+
+
+class TestDegradation:
+    def test_single_spec_stays_in_process(self, tmp_path):
+        import repro.batch.fleet as fleet_mod
+
+        report = run_specs_fleet(
+            _grid(1), workers=2, use_cache=True, cache_dir=str(tmp_path)
+        )
+        assert not report.errors and report.fleet is None
+        assert fleet_mod._FLEET is None  # never even spawned
+
+    def test_unserializable_spec_falls_back_in_process(self, tmp_path):
+        import repro.batch.fleet as fleet_mod
+
+        specs = _grid(3) + [RunSpec.make("openmp.spmd", probe=object())]
+        report = run_specs_fleet(
+            specs, workers=2, use_cache=False, cache_dir=str(tmp_path)
+        )
+        assert len(report.outcomes) == 4 and report.fleet is None
+        assert fleet_mod._FLEET is None
+
+    def test_collapsed_fleet_raises_then_entry_point_recovers(self, tmp_path):
+        specs = _grid(6)
+        fleet = Fleet(2, use_cache=True, cache_dir=str(tmp_path))
+        try:
+            for p in fleet._procs:  # the whole fleet dies mid-shift
+                p.terminate()
+                p.join(timeout=5)
+            with pytest.raises(FleetError):
+                fleet.submit(specs, timeout=30.0)
+        finally:
+            fleet.shutdown()
+        # The public entry point turns that into an in-process result.
+        report = run_specs_fleet(
+            specs, workers=2, use_cache=True, cache_dir=str(tmp_path)
+        )
+        assert not report.errors and len(report.outcomes) == 6
+
+    def test_dead_worker_shards_are_reposted(self, tmp_path):
+        # Kill one worker; its claimed-but-unfinished cells must be
+        # reposted and finished by the survivor.
+        specs = _grid(8)
+        fleet = Fleet(2, use_cache=True, cache_dir=str(tmp_path))
+        try:
+            fleet._procs[0].terminate()
+            fleet._procs[0].join(timeout=5)
+            report = fleet.submit(specs, timeout=60.0)
+            assert not report.errors and len(report.outcomes) == 8
+        finally:
+            fleet.shutdown()
+
+
+class TestWorkStealing:
+    def test_straggler_shard_is_rebalanced(self, tmp_path, monkeypatch):
+        # One poisoned cell (seed=0) stalls ~700ms on whichever worker
+        # claims it; the other worker finishes everything else and must
+        # steal the straggler's tail rather than idle.  Env is set
+        # before the fleet spawns, so the workers inherit the stall.
+        monkeypatch.setenv("REPRO_FLEET_STALL", "seed=0:700")
+        specs = _grid(10)
+        serial = run_specs(specs, max_workers=1, use_cache=False)
+        fleet = Fleet(2, use_cache=True, cache_dir=str(tmp_path))
+        try:
+            report = fleet.submit(specs, timeout=120.0)
+        finally:
+            fleet.shutdown()
+        assert not report.errors
+        assert _fingerprint(report) == _fingerprint(serial)
+        assert report.fleet["steals"] >= 1
+        stolen = [s for s in report.fleet["shards"] if s["stolen_from"] is not None]
+        assert stolen, "no completed shard records a theft"
+
+    def test_steal_can_be_disabled(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_STALL", "seed=0:250")
+        specs = _grid(6)
+        fleet = Fleet(2, use_cache=True, cache_dir=str(tmp_path))
+        try:
+            report = fleet.submit(specs, steal=False, timeout=120.0)
+        finally:
+            fleet.shutdown()
+        assert not report.errors
+        assert report.fleet["steals"] == 0

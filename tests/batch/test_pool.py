@@ -37,6 +37,19 @@ class TestDefaults:
         assert default_workers(1) == 1
         assert 1 <= default_workers(100) <= 8
 
+    def test_repro_jobs_overrides_the_heuristic(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_workers(100) == 3
+        assert default_workers(2) == 2  # still clamped to the item count
+        assert default_workers(0) == 1
+
+    def test_repro_jobs_garbage_falls_back(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        heuristic = default_workers(100)
+        for bad in ("zero", "", "-2", "0"):
+            monkeypatch.setenv("REPRO_JOBS", bad)
+            assert default_workers(100) == heuristic
+
     def test_single_item_runs_in_process(self):
         results, workers, pooled = map_calls(_double, [21], max_workers=8)
         assert results == [42] and workers == 1 and not pooled

@@ -65,6 +65,7 @@ class TestComparePolicy:
             "switch_rate",
             "switch_rate_np64",
             "batch_throughput_runs_s",
+            "fleet_sweep_runs_s",
         }
 
     def test_probe_overhead_gated_against_absolute_budget(self):
@@ -87,6 +88,22 @@ class TestComparePolicy:
         assert len(skips) == 1
         assert "batch_throughput_runs_s" in skips[0]
         assert "regenerate the baseline" in skips[0]
+
+    def test_fleet_gate_skips_with_warning_on_old_baselines(self):
+        # fleet_sweep_runs_s is gated but new: a pre-fleet baseline must
+        # keep passing, with the un-armed gate surfaced as a warning.
+        current = dict(METRICS, fleet_sweep_runs_s=500.0)
+        skips: list[str] = []
+        assert compare(current, METRICS, on_skip=skips.append) == []
+        assert any("fleet_sweep_runs_s" in s for s in skips)
+
+    def test_fleet_speedup_is_reported_not_gated(self):
+        # The A/B ratio is a machine property (cores), never a gate.
+        assert "fleet_speedup_vs_pool" not in HIGHER_IS_BETTER
+        assert "fleet_speedup_vs_pool" not in bench.LOWER_IS_BETTER
+        current = dict(METRICS, fleet_speedup_vs_pool=0.4)
+        baseline = dict(METRICS, fleet_speedup_vs_pool=2.0)
+        assert compare(current, baseline) == []
 
     def test_no_skip_warning_when_baseline_has_the_metric(self):
         current = dict(METRICS, batch_throughput_runs_s=1000.0)
@@ -200,7 +217,7 @@ class TestCli:
         monkeypatch.setattr(
             bench,
             "run_benchmarks",
-            lambda *, quick, progress=None, topology=None: dict(METRICS),
+            lambda *, quick, progress=None, topology=None, fleet=None: dict(METRICS),
         )
         monkeypatch.setattr(
             bench,
@@ -238,7 +255,7 @@ class TestCli:
         monkeypatch.setattr(
             bench,
             "run_benchmarks",
-            lambda *, quick, progress=None, topology=None: dict(dipped),
+            lambda *, quick, progress=None, topology=None, fleet=None: dict(dipped),
         )
         retried: list[list[str]] = []
         monkeypatch.setattr(
@@ -263,7 +280,7 @@ class TestCli:
         monkeypatch.setattr(
             bench,
             "run_benchmarks",
-            lambda *, quick, progress=None, topology=None: dict(
+            lambda *, quick, progress=None, topology=None, fleet=None: dict(
                 METRICS, batch_throughput_runs_s=1000.0
             ),
         )

@@ -178,6 +178,46 @@ class TestSweepCommand:
         assert data["runs"] == 3 and data["errors"] == 0
         assert {"hit_rate", "throughput_runs_s", "workers"} <= set(data)
 
+    def test_sweep_fleet_cold_then_warm(self, tmp_path, capsys):
+        import json
+
+        from repro.batch.fleet import shutdown_fleet
+
+        cache_dir = str(tmp_path / "runs")
+        stats = tmp_path / "stats.json"
+        try:
+            assert main(
+                ["sweep", "openmp.spmd", "--seeds", "0-5", "--fleet", "2",
+                 "--cache-dir", cache_dir, "--stats-out", str(stats)]
+            ) == 0
+            cold = capsys.readouterr()
+            assert "fleet of 2" in cold.err and "hit rate 0%" in cold.err
+            data = json.loads(stats.read_text())
+            assert data["fleet"]["workers"] == 2
+            assert data["runs"] == 6 and data["errors"] == 0
+            assert main(
+                ["sweep", "openmp.spmd", "--seeds", "0-5", "--fleet", "2",
+                 "--cache-dir", cache_dir, "--stats-out", str(stats)]
+            ) == 0
+            warm = capsys.readouterr()
+            assert "hit rate 100%" in warm.err
+            assert json.loads(stats.read_text())["hit_rate"] == 1.0
+        finally:
+            shutdown_fleet()
+
+    def test_sweep_fleet_env_hatch(self, tmp_path, capsys, monkeypatch):
+        from repro.batch.fleet import shutdown_fleet
+
+        monkeypatch.setenv("REPRO_FLEET_WORKERS", "2")
+        try:
+            assert main(
+                ["sweep", "openmp.spmd", "--seeds", "0-3",
+                 "--cache-dir", str(tmp_path / "runs")]
+            ) == 0
+            assert "fleet of 2" in capsys.readouterr().err
+        finally:
+            shutdown_fleet()
+
     def test_sweep_no_cache_never_hits(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "runs")
         args = ["sweep", "openmp.spmd", "--seeds", "0,1", "--cache-dir", cache_dir]
