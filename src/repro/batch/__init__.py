@@ -32,6 +32,7 @@ from repro.batch.cache import RunCache, cache_enabled, caching_runs, default_cac
 from repro.batch.fleet import (
     Fleet,
     FleetError,
+    fleet_advisory,
     fleet_size,
     run_specs_fleet,
     shutdown_fleet,
@@ -57,6 +58,7 @@ from repro.batch.specs import (
     key_for_config,
     plan_shards,
     spec_key,
+    sweep_fingerprint,
 )
 
 __all__ = [
@@ -75,6 +77,7 @@ __all__ = [
     "encode_value",
     "engine_fingerprint",
     "figure_suite_specs",
+    "fleet_advisory",
     "fleet_size",
     "key_for_config",
     "map_calls",
@@ -90,4 +93,5 @@ __all__ = [
     "spec_from_wire",
     "spec_key",
     "spec_to_wire",
+    "sweep_fingerprint",
 ]

@@ -56,6 +56,14 @@ Escape hatches: ``REPRO_FLEET_WORKERS=<n>`` turns the fleet on for
 ``REPRO_FLEET_STALL=<substr>:<ms>`` makes workers stall that long before
 any cell whose label contains the substring — the deterministic
 straggler injector the work-stealing tests and classroom demos use.
+
+Observability: the coordinator mints a ``sweep_id`` per submitted grid
+and threads a span context (sweep → shard → cell → worker lineage)
+through every job document; with ``telemetry=True`` each participant
+additionally appends typed JSONL records to ``telemetry/`` (see
+:mod:`repro.obs.telemetry`), the coordinator merges them into an export
+directory after the batch, and ``patternlet metrics-serve`` /
+``sweep --telemetry`` expose the live OpenMetrics scrape surface.
 """
 
 from __future__ import annotations
@@ -79,10 +87,18 @@ from repro.batch.results import (
     spec_from_wire,
     spec_to_wire,
 )
-from repro.batch.specs import RunSpec, plan_shards
+from repro.batch.specs import RunSpec, plan_shards, sweep_fingerprint
 from repro.errors import CacheUnserializable
+from repro.obs.telemetry import (
+    COORDINATOR,
+    SpanContext,
+    WorkerJournal,
+    span_context,
+    write_export,
+)
 
 __all__ = [
+    "FLEET_AMORTISE_CELLS",
     "MSG_JOB_DONE",
     "MSG_NEW_JOB",
     "MSG_NO_WORK_LEFT",
@@ -91,6 +107,7 @@ __all__ = [
     "Fleet",
     "FleetError",
     "default_fleet_workers",
+    "fleet_advisory",
     "fleet_size",
     "run_specs_fleet",
     "shutdown_fleet",
@@ -110,7 +127,32 @@ _BACKOFF_MAX_S = 0.02
 #: Coordinator poll interval while waiting on results.
 _COORD_POLL_S = 0.002
 
-_DIRS = ("jobs", "claimed", "revoke", "results", "status", "control")
+_DIRS = ("jobs", "claimed", "revoke", "results", "status", "control",
+         "telemetry")
+
+#: Cells per worker below which the file messenger's fixed costs tend to
+#: swamp the parallel win (the committed baseline measures
+#: ``fleet_speedup_vs_pool`` ≈ 0.2 on the 14-cell quick grid).
+FLEET_AMORTISE_CELLS = 32
+
+
+def fleet_advisory(n_cells: int, workers: int) -> str | None:
+    """One-line note when a grid is too small to amortise the fleet.
+
+    The fleet is not "broken" on small grids — per-job file messaging
+    plus worker polling is a fixed cost each cell must outweigh.  The
+    CLI prints this (to stderr) so students see *why* a tiny
+    ``--fleet`` sweep can lose to the in-process pool.
+    """
+    if workers >= 1 and 0 < n_cells < workers * FLEET_AMORTISE_CELLS:
+        return (
+            f"note: {n_cells} cells across {workers} fleet workers is under "
+            f"the ~{FLEET_AMORTISE_CELLS} cells/worker amortisation "
+            "threshold; file-messenger overhead can outweigh the parallel "
+            "win (fleet_speedup_vs_pool < 1) — the in-process pool is "
+            "usually faster for grids this small"
+        )
+    return None
 
 
 class FleetError(RuntimeError):
@@ -230,14 +272,27 @@ def _run_job(
     cache_dir: str | None,
     use_cache: bool,
     stall: tuple[str, float] | None,
+    journal: WorkerJournal | None = None,
 ) -> None:
     """Execute one claimed shard cell-by-cell and publish its JOB_DONE."""
     from repro.batch.pool import _exec_spec
 
     shard = job["shard"]
     cells = job["cells"]  # [[grid_index, spec_wire], ...]
+    job_span = job.get("span") if isinstance(job.get("span"), dict) else None
+    sweep = str((job_span or {}).get("sweep", ""))
+    stolen_from = job.get("stolen_from")
     revoke_path = root / "revoke" / f"shard-{shard}.json"
     status_path = root / "status" / f"worker-{worker_id}.json"
+    if journal is not None:
+        journal.write(
+            "claim",
+            span=SpanContext(sweep, shard=shard, worker=worker_id,
+                             stolen_from=stolen_from),
+            shard=shard,
+            cells=len(cells),
+            stolen_from=stolen_from,
+        )
     _write_doc(
         status_path,
         {
@@ -256,11 +311,39 @@ def _run_job(
         for local, (gidx, wire) in enumerate(cells):
             revoke = _read_doc(revoke_path)
             if revoke is not None and local >= int(revoke.get("keep", len(cells))):
+                if journal is not None:
+                    journal.write(
+                        "steal.honoured",
+                        span=SpanContext(sweep, shard=shard, worker=worker_id),
+                        shard=shard,
+                        keep=int(revoke.get("keep", 0)),
+                        dropped=len(cells) - local,
+                    )
                 break  # the tail was stolen; stop at this cell boundary
             spec = spec_from_wire(wire)
+            ctx = SpanContext(sweep, shard=shard, cell=gidx, worker=worker_id,
+                              stolen_from=stolen_from)
+            if journal is not None:
+                journal.write("cell.start", span=ctx, shard=shard, cell=gidx,
+                              label=spec.label())
+            t_cell = time.perf_counter()
             if stall is not None and stall[0] in spec.label():
                 time.sleep(stall[1])
-            out.append([gidx, outcome_to_wire(_exec_spec(spec))])
+            with span_context(ctx):
+                outcome = _exec_spec(spec)
+            if journal is not None:
+                journal.write(
+                    "cell.finish",
+                    span=ctx,
+                    shard=shard,
+                    cell=gidx,
+                    cached=outcome.cached,
+                    wall=round(time.perf_counter() - t_cell, 6),
+                    races=outcome.races,
+                    error=outcome.error,
+                    ranks=list((outcome.metrics or {}).get("tasks", ()))[:16],
+                )
+            out.append([gidx, outcome_to_wire(outcome)])
             _write_doc(
                 status_path,
                 {
@@ -279,15 +362,31 @@ def _run_job(
             "type": MSG_JOB_DONE,
             "shard": shard,
             "worker": worker_id,
-            "stolen_from": job.get("stolen_from"),
+            "stolen_from": stolen_from,
             "outcomes": out,
             "stats": stats,
         },
     )
+    if journal is not None:
+        journal.write(
+            "job.done",
+            span=SpanContext(sweep, shard=shard, worker=worker_id),
+            shard=shard,
+            cells=len(out),
+        )
+
+
+#: Seconds between idle-worker heartbeat journal records (live-only
+#: liveness signal; merges drop them).
+_HEARTBEAT_S = 1.0
 
 
 def _fleet_worker_main(
-    root_s: str, worker_id: int, cache_dir: str | None, use_cache: bool
+    root_s: str,
+    worker_id: int,
+    cache_dir: str | None,
+    use_cache: bool,
+    telemetry: bool = False,
 ) -> None:
     """A worker process's whole life: poll → claim → run → repeat.
 
@@ -308,25 +407,50 @@ def _fleet_worker_main(
     status_path = root / "status" / f"worker-{worker_id}.json"
     sentinel = root / "control" / MSG_NO_WORK_LEFT
     stall = _stall_hook()
+    journal = (
+        WorkerJournal(root / "telemetry" / f"worker-{worker_id}.jsonl", worker_id)
+        if telemetry
+        else None
+    )
+    if journal is not None:
+        journal.write("worker.start", pid=os.getpid())
     backoff = _POLL_S
+    ready_written = False
+    last_beat = time.monotonic()
     while True:
         claimed = _claim_job(root, worker_id)
         if claimed is None:
-            _write_doc(
-                status_path,
-                {"type": MSG_READY, "worker": worker_id, "pid": os.getpid()},
-            )
+            # READY is written on transition (or when the coordinator's
+            # post-batch cleanup swept the file), not every poll tick —
+            # an idle fleet must not grind the message directory.
+            if not ready_written or not status_path.exists():
+                _write_doc(
+                    status_path,
+                    {"type": MSG_READY, "worker": worker_id, "pid": os.getpid()},
+                )
+                ready_written = True
+            if journal is not None and time.monotonic() - last_beat >= _HEARTBEAT_S:
+                journal.write("heartbeat", state="ready")
+                last_beat = time.monotonic()
             if sentinel.exists():
+                if journal is not None:
+                    journal.write("worker.exit", pid=os.getpid())
+                    journal.close()
+                try:
+                    os.unlink(status_path)  # leave nothing behind on exit
+                except OSError:
+                    pass
                 return
             time.sleep(backoff)
             backoff = min(backoff * 2, _BACKOFF_MAX_S)
             continue
         backoff = _POLL_S
+        ready_written = False  # _run_job overwrote the status with RUNNING
         job = _read_doc(claimed)
         if job is None:
             continue  # torn claim (should not happen: writes are atomic)
         try:
-            _run_job(root, worker_id, job, cache_dir, use_cache, stall)
+            _run_job(root, worker_id, job, cache_dir, use_cache, stall, journal)
         except Exception:  # noqa: BLE001 - a poisoned shard must not kill the worker
             # Publish an empty JOB_DONE so the coordinator reposts the
             # shard's cells instead of waiting for a dead man's result.
@@ -381,10 +505,14 @@ class Fleet:
         use_cache: bool,
         cache_dir: str | None,
         root: str | Path | None = None,
+        telemetry: bool = False,
+        keep_dir: bool = False,
     ):
         self.workers = max(1, workers)
         self.use_cache = use_cache
         self.cache_dir = cache_dir
+        self.telemetry = telemetry
+        self.keep_dir = keep_dir
         self._own_root = root is None
         self.root = Path(root) if root is not None else Path(
             tempfile.mkdtemp(prefix="repro-fleet-")
@@ -392,6 +520,14 @@ class Fleet:
         for name in _DIRS:
             (self.root / name).mkdir(parents=True, exist_ok=True)
         self._next_shard = 0
+        self._sweep_seq = 0
+        self._sweep_id = ""
+        self._journal = (
+            WorkerJournal(self.root / "telemetry" / "coordinator.jsonl",
+                          COORDINATOR)
+            if telemetry
+            else None
+        )
         import multiprocessing
 
         try:
@@ -402,7 +538,7 @@ class Fleet:
         for i in range(self.workers):
             p = ctx.Process(
                 target=_fleet_worker_main,
-                args=(str(self.root), i, cache_dir, use_cache),
+                args=(str(self.root), i, cache_dir, use_cache, telemetry),
                 daemon=True,
             )
             p.start()
@@ -430,12 +566,23 @@ class Fleet:
             "type": MSG_NEW_JOB,
             "shard": shard_id,
             "cells": [[g, wires[g]] for g in indices],
+            # Lineage every downstream consumer (worker journals, run
+            # metadata, the merged trace) inherits.
+            "span": {"sweep": self._sweep_id, "shard": shard_id},
         }
         if stolen_from is not None:
             doc["stolen_from"] = stolen_from
         if not _write_doc(self.root / "jobs" / f"shard-{shard_id}.json", doc):
             raise FleetError(f"cannot post job for shard {shard_id}")
         shards[shard_id] = _Shard(cells=list(indices), stolen_from=stolen_from)
+        if self._journal is not None:
+            self._journal.write(
+                "job.post",
+                span=SpanContext(self._sweep_id, shard=shard_id),
+                shard=shard_id,
+                cells=len(indices),
+                stolen_from=stolen_from,
+            )
         return shard_id
 
     # -- coordinator passes ----------------------------------------------
@@ -572,7 +719,16 @@ class Fleet:
         ):
             return 0
         victim.keep = new_keep
-        self._post_job(wires, stolen, shards, stolen_from=victim_id)
+        new_shard = self._post_job(wires, stolen, shards, stolen_from=victim_id)
+        if self._journal is not None:
+            self._journal.write(
+                "steal",
+                span=SpanContext(self._sweep_id, shard=victim_id),
+                victim=victim_id,
+                keep=new_keep,
+                cells=len(stolen),
+                reposted_as=new_shard,
+            )
         return 1
 
     def _reap_dead(
@@ -592,7 +748,16 @@ class Fleet:
                 g for g in sh.cells[: sh.effective_total] if g not in merged
             ]
             if remaining:
-                self._post_job(wires, remaining, shards)
+                new_shard = self._post_job(wires, remaining, shards)
+                if self._journal is not None:
+                    self._journal.write(
+                        "repost",
+                        span=SpanContext(self._sweep_id, shard=shard_id),
+                        dead_shard=shard_id,
+                        dead_worker=sh.worker,
+                        cells=len(remaining),
+                        reposted_as=new_shard,
+                    )
                 reposts += 1
         return reposts
 
@@ -604,16 +769,33 @@ class Fleet:
         *,
         steal: bool = True,
         timeout: float | None = None,
+        export_dir: str | Path | None = None,
     ) -> BatchReport:
         """Run one spec grid across the fleet; outcomes in spec order.
 
         Raises :class:`FleetError` when the fleet cannot finish (every
         worker dead with work outstanding, an unpostable job, or the
         deadline passing) — :func:`run_specs_fleet` turns that into an
-        in-process fallback.
+        in-process fallback.  With telemetry on and ``export_dir`` given,
+        the batch's merged journal + fleet summary are exported there and
+        surfaced as ``report.telemetry``.
         """
         specs = list(specs)
         t0 = time.perf_counter()
+        # The sweep id every span in this batch descends from: the grid's
+        # content fingerprint plus a coordinator-unique serial, so two
+        # submissions of the same grid stay distinguishable.
+        self._sweep_id = (
+            f"{sweep_fingerprint(specs)}-{os.getpid()}-{self._sweep_seq}"
+        )
+        self._sweep_seq += 1
+        if self._journal is not None:
+            self._journal.write(
+                "sweep.start",
+                span=SpanContext(self._sweep_id),
+                cells=len(specs),
+                workers=self.workers,
+            )
         wires = [spec_to_wire(s) for s in specs]
         shards: dict[int, _Shard] = {}
         planned = plan_shards(len(specs), self.workers)
@@ -643,21 +825,73 @@ class Fleet:
                 )
             if not progressed:
                 time.sleep(_COORD_POLL_S)
-        return BatchReport(
+        wall_s = time.perf_counter() - t0
+        fleet_summary: dict[str, Any] = {
+            "workers": self.workers,
+            "planned_shards": len(planned),
+            "completed_shards": len(completed),
+            "steals": steals,
+            "reposts": reposts,
+            "sweep_id": self._sweep_id,
+            "shards": completed,
+        }
+        if self.keep_dir:
+            fleet_summary["root"] = str(self.root)
+        report = BatchReport(
             outcomes=[merged[i] for i in range(len(specs))],
-            wall_s=time.perf_counter() - t0,
+            wall_s=wall_s,
             workers=self.workers,
             pooled=True,
             cache_stats=stats,
-            fleet={
-                "workers": self.workers,
-                "planned_shards": len(planned),
-                "completed_shards": len(completed),
-                "steals": steals,
-                "reposts": reposts,
-                "shards": completed,
-            },
+            fleet=fleet_summary,
         )
+        if self._journal is not None:
+            self._journal.write(
+                "sweep.finish",
+                span=SpanContext(self._sweep_id),
+                cells=len(merged),
+                steals=steals,
+                reposts=reposts,
+                wall=round(wall_s, 6),
+            )
+            if export_dir is not None:
+                summary = write_export(
+                    self.root / "telemetry",
+                    export_dir,
+                    sweep_id=self._sweep_id,
+                    fleet=fleet_summary,
+                )
+                summary["dir"] = str(export_dir)
+                report.telemetry = summary
+        if not self.keep_dir:
+            self._sweep_cleanup()
+        return report
+
+    def _sweep_cleanup(self) -> None:
+        """Sweep the finished batch's message files out of the directory.
+
+        A merged batch's ``jobs``/``claimed``/``revoke``/``results``
+        documents are dead weight — worse, a stolen-tail job posted but
+        never claimed would be claimed (and pointlessly recomputed) at
+        the start of the *next* batch.  Status files go too; workers
+        rewrite READY the moment they notice theirs missing.
+        ``telemetry/`` and ``control/`` survive: journals span batches
+        and the sentinel is the shutdown signal.  Late writers racing
+        this sweep are harmless — a straggling thief's result file is
+        ignored by the next batch's merge (stale shard id) and swept by
+        its cleanup.
+        """
+        for name in ("jobs", "claimed", "revoke", "results", "status"):
+            try:
+                entries = list((self.root / name).iterdir())
+            except OSError:
+                continue
+            for path in entries:
+                if path.name.startswith(("shard-", "worker-")):
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
 
     def shutdown(self) -> None:
         """Post NO_WORK_LEFT, reap the workers, remove the directory."""
@@ -672,21 +906,30 @@ class Fleet:
                 p.terminate()
                 p.join(timeout=1.0)
         self._procs = []
-        if self._own_root:
+        if self._journal is not None:
+            self._journal.close()
+        if self._own_root and not self.keep_dir:
             shutil.rmtree(self.root, ignore_errors=True)
 
 
 # -- the persistent module-level fleet ----------------------------------------
 
 _FLEET: Fleet | None = None
-_FLEET_KEY: tuple[int, bool, str | None] | None = None
+_FLEET_KEY: tuple[int, bool, str | None, bool, bool] | None = None
 _ATEXIT_ARMED = False
 
 
-def _get_fleet(workers: int, use_cache: bool, cache_dir: str | None) -> Fleet | None:
+def _get_fleet(
+    workers: int,
+    use_cache: bool,
+    cache_dir: str | None,
+    *,
+    telemetry: bool = False,
+    keep_dir: bool = False,
+) -> Fleet | None:
     """The process-wide fleet, (re)built when the shape changes or workers die."""
     global _FLEET, _FLEET_KEY, _ATEXIT_ARMED
-    key = (workers, use_cache, cache_dir)
+    key = (workers, use_cache, cache_dir, telemetry, keep_dir)
     if (
         _FLEET is not None
         and _FLEET_KEY == key
@@ -695,7 +938,13 @@ def _get_fleet(workers: int, use_cache: bool, cache_dir: str | None) -> Fleet | 
         return _FLEET
     shutdown_fleet()
     try:
-        _FLEET = Fleet(workers, use_cache=use_cache, cache_dir=cache_dir)
+        _FLEET = Fleet(
+            workers,
+            use_cache=use_cache,
+            cache_dir=cache_dir,
+            telemetry=telemetry,
+            keep_dir=keep_dir,
+        )
         _FLEET_KEY = key
     except (OSError, ValueError, NotImplementedError):
         _FLEET = None
@@ -723,6 +972,10 @@ def run_specs_fleet(
     cache_dir: str | None = None,
     steal: bool = True,
     timeout: float | None = 300.0,
+    telemetry_dir: str | Path | None = None,
+    serve_port: int | None = None,
+    keep_fleet_dir: bool = False,
+    announce: "Any | None" = None,
 ) -> BatchReport:
     """Execute a spec grid on the persistent fleet; the sharded entry point.
 
@@ -733,9 +986,20 @@ def run_specs_fleet(
     wire codec cannot ship, an unspawnable fleet, or a mid-batch fleet
     collapse all land on the in-process path, whose results are
     identical by the equivalence guarantee.
+
+    ``telemetry_dir`` turns worker journals on and exports the merged
+    batch telemetry there (``report.telemetry`` summarises it); with
+    ``serve_port`` additionally set (0 = ephemeral), a live OpenMetrics
+    endpoint over the fleet directory runs for the duration of the batch
+    and its URL is passed to ``announce`` (a ``str`` callback).
+    ``keep_fleet_dir`` preserves the message directory — per-batch
+    cleanup *and* shutdown removal are skipped — for post-mortems.
+    Degraded (in-process) paths have no journals; the report simply
+    lacks the ``telemetry`` block.
     """
     specs = list(specs)
     use = cache_enabled() if use_cache is None else use_cache
+    telemetry = telemetry_dir is not None
     from repro.batch.pool import default_workers, run_specs
 
     n = workers if workers is not None and workers >= 1 else fleet_size(0, len(specs))
@@ -747,11 +1011,31 @@ def run_specs_fleet(
         [spec_to_wire(s) for s in specs]
     except CacheUnserializable:
         return run_specs(specs, max_workers=None, use_cache=use, cache_dir=cache_dir)
-    fleet = _get_fleet(n, use, cache_dir)
+    fleet = _get_fleet(
+        n, use, cache_dir, telemetry=telemetry, keep_dir=keep_fleet_dir
+    )
     if fleet is None:
         return run_specs(specs, max_workers=None, use_cache=use, cache_dir=cache_dir)
+    server = None
+    if telemetry and serve_port is not None:
+        from repro.obs.telemetry import serve_metrics
+
+        try:
+            server = serve_metrics(fleet.root, port=serve_port)
+        except OSError:
+            server = None  # port taken: the sweep still runs, just unscraped
+        if server is not None and announce is not None:
+            announce(server.url)
     try:
-        return fleet.submit(specs, steal=steal, timeout=timeout)
+        return fleet.submit(
+            specs,
+            steal=steal,
+            timeout=timeout,
+            export_dir=telemetry_dir if telemetry else None,
+        )
     except FleetError:
         shutdown_fleet()
         return run_specs(specs, max_workers=None, use_cache=use, cache_dir=cache_dir)
+    finally:
+        if server is not None:
+            server.stop()

@@ -222,6 +222,18 @@ def _exec_spec(spec: RunSpec) -> RunOutcome:
             races=0,
             error=f"{type(exc).__name__}: {exc}",
         )
+    from repro.obs.telemetry import current_context
+
+    ctx = current_context()
+    if ctx is not None:
+        # Stamp lineage *after* the run (the cache record is already
+        # stored, so the span never leaks into cached bytes or keys).
+        labels = ctx.to_meta()
+        run.meta["telemetry"] = labels
+        try:
+            run.trace.context = dict(labels)
+        except AttributeError:
+            pass  # a bare event list has nowhere to carry it
     return RunOutcome(
         spec=spec,
         key=key,

@@ -405,6 +405,9 @@ class BatchReport:
     #: per-shard completion provenance) when the batch ran on the
     #: multi-process sweep fleet; ``None`` for in-process batches.
     fleet: dict[str, Any] | None = None
+    #: Telemetry-export summary (sweep id, merged-journal record count,
+    #: export directory) when the fleet ran with journals enabled.
+    telemetry: dict[str, Any] | None = None
 
     @property
     def runs(self) -> int:
@@ -503,6 +506,8 @@ class BatchReport:
             out["cache_evictions"] = self.cache_stats.get("evictions", 0)
         if self.fleet is not None:
             out["fleet"] = self.fleet
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry
         cells = self.cell_stats()
         if cells:
             out["cells"] = cells

@@ -47,6 +47,7 @@ __all__ = [
     "patternlet_source",
     "plan_shards",
     "spec_key",
+    "sweep_fingerprint",
 ]
 
 
@@ -254,6 +255,20 @@ def spec_key(spec: RunSpec) -> str | None:
         )
     except (TypeError, ValueError):
         return None
+
+
+def sweep_fingerprint(specs: Iterable[RunSpec]) -> str:
+    """Short stable digest of a grid's identity (its labels, in order).
+
+    The telemetry plane builds ``sweep_id`` from this: two submissions of
+    the same grid share the fingerprint, and the coordinator adds a pid +
+    sequence suffix to keep concurrent sweeps distinguishable.
+    """
+    h = hashlib.sha256()
+    for spec in specs:
+        h.update(spec.label().encode())
+        h.update(b"\0")
+    return h.hexdigest()[:12]
 
 
 # -- shard planning (the fleet's unit of work) --------------------------------

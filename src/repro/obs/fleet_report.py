@@ -1,0 +1,373 @@
+"""Self-contained single-file HTML fleet dashboard.
+
+``patternlet fleet-report DIR`` renders one exported fleet-telemetry
+directory (the merged worker journals plus the batch's fleet summary —
+see :func:`repro.obs.telemetry.write_export`) into one HTML file with
+zero external references, on the same chassis as the per-run report:
+inline CSS (shared palette, dark mode, table view beside every chart),
+inline SVG, system fonts.  The dashboard shows the batch the way the
+coordinator saw it —
+
+- a per-worker **lane Gantt** over wall time built from matched
+  ``cell.start``/``cell.finish`` journal records: computed cells colored
+  by shard, cache-served cells in gray, and a marker on every claim of a
+  stolen tail (the ``stolen_from`` provenance in the tooltip) — the
+  work-stealing story readable straight off the lanes;
+- the **straggler heatmap** (worker × shard, total cell wall time) — the
+  shard that pinned a worker down is the dark cell;
+- per-worker **cache-hit bars** — who computed and who was served;
+- summary stat tiles (workers, cells, shards, steals, reposts, hit
+  rate) plus the raw journal-record counts per kind.
+
+Wall time, not trace steps, is the x-axis: unlike a single deterministic
+run, a fleet's interesting axis *is* real time — that is where
+stragglers and steals live.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.obs.report import _CSS, _esc
+from repro.obs.telemetry import load_export
+
+__all__ = ["render_fleet_report", "write_fleet_report"]
+
+_EXTRA_CSS = """
+svg .steal-mark { fill: var(--c2); }
+svg .cell-cached { fill: var(--blocked); }
+svg .cell-cached:hover, svg .cell-run:hover { opacity: 0.8; }
+.shard-c1 { fill: var(--c1); } .shard-c2 { fill: var(--c2); }
+.shard-c3 { fill: var(--c3); } .shard-c4 { fill: var(--c4); }
+.shard-c5 { fill: var(--c5); }
+"""
+
+#: Shard id → fixed categorical slot; color follows the shard identity,
+#: cycling through the five palette slots.
+_SHARD_SLOTS = ("c1", "c2", "c3", "c4", "c5")
+
+
+def _shard_class(shard: Any) -> str:
+    try:
+        return "shard-" + _SHARD_SLOTS[int(shard) % len(_SHARD_SLOTS)]
+    except (TypeError, ValueError):
+        return "shard-c1"
+
+
+def _worker_name(worker: Any) -> str:
+    try:
+        w = int(worker)
+    except (TypeError, ValueError):
+        return str(worker)
+    return "coordinator" if w < 0 else f"worker {w}"
+
+
+def _cell_spans(records: Iterable[Mapping[str, Any]]) -> list[dict[str, Any]]:
+    """Matched ``cell.start``/``cell.finish`` pairs as renderable spans."""
+    starts: dict[tuple[Any, Any, Any], Mapping[str, Any]] = {}
+    spans: list[dict[str, Any]] = []
+    for rec in records:
+        kind = rec.get("kind")
+        key = (rec.get("worker"), rec.get("shard"), rec.get("cell"))
+        if kind == "cell.start":
+            starts[key] = rec
+        elif kind == "cell.finish":
+            start = starts.pop(key, None)
+            t1 = rec.get("ts")
+            t0 = start.get("ts") if start is not None else t1
+            if not isinstance(t0, (int, float)) or not isinstance(t1, (int, float)):
+                continue
+            spans.append(
+                {
+                    "worker": rec.get("worker"),
+                    "shard": rec.get("shard"),
+                    "cell": rec.get("cell"),
+                    "t0": min(t0, t1),
+                    "t1": max(t0, t1),
+                    "cached": bool(rec.get("cached")),
+                    "label": (start or rec).get("label")
+                    or f"cell {rec.get('cell')}",
+                    "error": rec.get("error"),
+                }
+            )
+    return spans
+
+
+def _claims(records: Iterable[Mapping[str, Any]]) -> list[Mapping[str, Any]]:
+    return [r for r in records if r.get("kind") == "claim"]
+
+
+def _fleet_gantt(records: list[dict[str, Any]]) -> str:
+    spans = _cell_spans(records)
+    claims = [
+        c for c in _claims(records) if isinstance(c.get("ts"), (int, float))
+    ]
+    if not spans:
+        return ("<p class='muted'>No cell activity in the journals — was the "
+                "fleet run with telemetry on?</p>")
+    workers = sorted(
+        {s["worker"] for s in spans} | {c.get("worker") for c in claims},
+        key=lambda w: (not isinstance(w, int), w),
+    )
+    lo = min(min(s["t0"] for s in spans), min((c["ts"] for c in claims), default=spans[0]["t0"]))
+    hi = max(s["t1"] for s in spans)
+    extent = max(hi - lo, 1e-6)
+    width, label_w, lane_h, bar_h = 900, 150, 26, 14
+    plot_w = width - label_w - 20
+    height = lane_h * len(workers) + 34
+
+    def x(ts: float) -> float:
+        return label_w + (ts - lo) / extent * plot_w
+
+    rows = {w: i for i, w in enumerate(workers)}
+    parts = [
+        f"<svg viewBox='0 0 {width} {height}' role='img' "
+        f"aria-label='Per-worker cell timeline over wall time'>"
+    ]
+    for w, i in rows.items():
+        y = i * lane_h + 4
+        parts.append(
+            f"<text x='{label_w - 8}' y='{y + bar_h - 3}' class='lane-label' "
+            f"text-anchor='end'>{_esc(_worker_name(w))}</text>"
+        )
+        parts.append(
+            f"<line x1='{label_w}' y1='{y + bar_h + 2}' x2='{width - 20}' "
+            f"y2='{y + bar_h + 2}' class='grid'/>"
+        )
+    for s in spans:
+        i = rows.get(s["worker"])
+        if i is None:
+            continue
+        y = i * lane_h + 4
+        w_px = max(x(s["t1"]) - x(s["t0"]), 2.0)
+        cls = "cell-cached" if s["cached"] else f"cell-run {_shard_class(s['shard'])}"
+        ms = (s["t1"] - s["t0"]) * 1000
+        state = "cached" if s["cached"] else "computed"
+        if s.get("error"):
+            state = "error"
+        parts.append(
+            f"<rect x='{x(s['t0']):.1f}' y='{y}' width='{w_px:.1f}' "
+            f"height='{bar_h}' class='{cls}' rx='2'>"
+            f"<title>{_esc(s['label'])} — shard {_esc(s['shard'])} "
+            f"cell {_esc(s['cell'])} on {_esc(_worker_name(s['worker']))}: "
+            f"{state}, {ms:.1f} ms</title></rect>"
+        )
+    for c in claims:
+        i = rows.get(c.get("worker"))
+        if i is None or c.get("stolen_from") is None:
+            continue
+        y = i * lane_h + 4
+        cx = x(c["ts"])
+        parts.append(
+            f"<path d='M {cx:.1f} {y - 2} l 4 7 l -8 0 z' class='steal-mark'>"
+            f"<title>steal honoured: {_esc(_worker_name(c.get('worker')))} "
+            f"claimed shard {_esc(c.get('shard'))} "
+            f"(stolen from worker {_esc(c.get('stolen_from'))}, "
+            f"{_esc(c.get('cells'))} cells)</title></path>"
+        )
+    axis_y = lane_h * len(workers) + 10
+    parts.append(
+        f"<line x1='{label_w}' y1='{axis_y}' x2='{width - 20}' y2='{axis_y}' "
+        f"class='axis'/>"
+    )
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        ts = lo + frac * extent
+        parts.append(
+            f"<text x='{x(ts):.1f}' y='{axis_y + 16}' class='tick' "
+            f"text-anchor='middle'>{(ts - lo) * 1000:.0f} ms</text>"
+        )
+    parts.append("</svg>")
+    legend = (
+        "<div class='legend'>"
+        "<span><i class='swatch c1'></i>computed (colored by shard)</span>"
+        "<span><i class='swatch blocked-sw'></i>cache-served</span>"
+        "<span><i class='swatch c2'></i>▾ stolen-tail claim "
+        "(provenance in tooltip)</span>"
+        "<span class='muted'>x-axis: wall time since first cell</span>"
+        "</div>"
+    )
+    return "".join(parts) + legend
+
+
+def _straggler_heatmap(records: list[dict[str, Any]]) -> str:
+    spans = _cell_spans(records)
+    if not spans:
+        return "<p class='muted'>No cell activity to aggregate.</p>"
+    totals: dict[tuple[Any, Any], float] = {}
+    counts: dict[tuple[Any, Any], int] = {}
+    for s in spans:
+        key = (s["worker"], s["shard"])
+        totals[key] = totals.get(key, 0.0) + (s["t1"] - s["t0"])
+        counts[key] = counts.get(key, 0) + 1
+    workers = sorted({k[0] for k in totals})
+    shards = sorted({k[1] for k in totals})
+    peak = max(totals.values())
+    head = "".join(f"<th scope='col'>shard {_esc(s)}</th>" for s in shards)
+    rows = []
+    for w in workers:
+        cells = []
+        for s in shards:
+            total = totals.get((w, s))
+            if total is None:
+                cells.append("<td class='ramp-0'>–</td>")
+            else:
+                ms = total * 1000
+                bin_ = 1 + min(3, int(total / max(peak, 1e-9) * 4 - 1e-9))
+                cells.append(
+                    f"<td class='ramp-{bin_}' title='{counts[(w, s)]} cells, "
+                    f"{ms:.1f} ms'>{ms:.0f}<span class='sub'>ms</span></td>"
+                )
+        rows.append(
+            f"<tr><th scope='row'>{_esc(_worker_name(w))}</th>{''.join(cells)}</tr>"
+        )
+    return (
+        "<table class='heatmap'><thead><tr><th></th>" + head + "</tr></thead>"
+        "<tbody>" + "".join(rows) + "</tbody></table>"
+        "<div class='legend'><span class='muted'>cell: wall time a worker "
+        "spent inside a shard, darker = longer — the straggler is the "
+        "dark cell</span></div>"
+    )
+
+
+def _cache_bars(records: list[dict[str, Any]]) -> str:
+    hits: dict[Any, int] = {}
+    misses: dict[Any, int] = {}
+    for rec in records:
+        if rec.get("kind") != "cell.finish":
+            continue
+        w = rec.get("worker")
+        if rec.get("cached"):
+            hits[w] = hits.get(w, 0) + 1
+        else:
+            misses[w] = misses.get(w, 0) + 1
+    workers = sorted(set(hits) | set(misses))
+    if not workers:
+        return "<p class='muted'>No finished cells in the journals.</p>"
+    peak = max(hits.get(w, 0) + misses.get(w, 0) for w in workers)
+    bars = []
+    for w in workers:
+        h, m = hits.get(w, 0), misses.get(w, 0)
+        spans = []
+        for count, cls, label in ((h, "c3", "cache hits"), (m, "c2", "computed")):
+            if not count:
+                continue
+            pct = count / max(peak, 1) * 100
+            spans.append(
+                f"<i class='seg {cls}' style='width:{pct:.2f}%' "
+                f"title='{label}: {count}'></i>"
+            )
+        bars.append(
+            f"<div class='hrow'><span class='hlabel'>"
+            f"{_esc(_worker_name(w))}</span>"
+            f"<span class='hbar'>{''.join(spans)}</span>"
+            f"<span class='hval'>{h}/{h + m}</span></div>"
+        )
+    table = (
+        "<details><summary>table view</summary><table><thead><tr><th></th>"
+        "<th scope='col'>hits</th><th scope='col'>computed</th>"
+        "<th scope='col'>total</th></tr></thead><tbody>"
+        + "".join(
+            f"<tr><th scope='row'>{_esc(_worker_name(w))}</th>"
+            f"<td>{hits.get(w, 0)}</td><td>{misses.get(w, 0)}</td>"
+            f"<td>{hits.get(w, 0) + misses.get(w, 0)}</td></tr>"
+            for w in workers
+        )
+        + "</tbody></table></details>"
+    )
+    return (
+        "<div class='hchart'>" + "".join(bars) + "</div>"
+        "<div class='legend'>"
+        "<span><i class='swatch c3'></i>cache hits</span>"
+        "<span><i class='swatch c2'></i>computed</span>"
+        "<span class='hval'>hits/total per worker</span></div>" + table
+    )
+
+
+def _fleet_tiles(records: list[dict[str, Any]], fleet: Mapping[str, Any]) -> str:
+    finishes = [r for r in records if r.get("kind") == "cell.finish"]
+    cached = sum(1 for r in finishes if r.get("cached"))
+    rate = cached / len(finishes) if finishes else 0.0
+    tiles = [
+        ("workers", f"{fleet.get('workers', '?')}", "fleet processes"),
+        ("cells", f"{len(finishes)}", "cell executions journalled"),
+        ("shards", f"{fleet.get('completed_shards', '?')}",
+         f"of {fleet.get('planned_shards', '?')} planned"),
+        ("steals", f"{fleet.get('steals', 0)}", "tails rebalanced"),
+        ("reposts", f"{fleet.get('reposts', 0)}", "dead shards recovered"),
+        ("cache hit rate", f"{rate * 100:.0f}%", "cells served, not computed"),
+    ]
+    out = []
+    for label, value, sub in tiles:
+        out.append(
+            f"<div class='tile'><div class='tile-value'>{_esc(value)}</div>"
+            f"<div class='tile-label'>{_esc(label)}</div>"
+            f"<div class='tile-sub'>{_esc(sub)}</div></div>"
+        )
+    return "<div class='tiles'>" + "".join(out) + "</div>"
+
+
+def _kind_table(records: list[dict[str, Any]]) -> str:
+    counts: dict[str, int] = {}
+    for rec in records:
+        kind = str(rec.get("kind", "?"))
+        counts[kind] = counts.get(kind, 0) + 1
+    rows = "".join(
+        f"<tr><th scope='row'>{_esc(kind)}</th><td>{counts[kind]}</td></tr>"
+        for kind in sorted(counts)
+    )
+    return (
+        "<details><summary>journal record counts</summary><table><thead>"
+        "<tr><th>kind</th><th>records</th></tr></thead><tbody>"
+        + rows + "</tbody></table></details>"
+    )
+
+
+def render_fleet_report(
+    records: list[dict[str, Any]], summary: Mapping[str, Any] | None = None
+) -> str:
+    """Render a merged fleet journal into self-contained HTML text."""
+    summary = summary or {}
+    fleet = summary.get("fleet") or {}
+    sweep_id = summary.get("sweep_id") or fleet.get("sweep_id") or "?"
+    meta_bits = [
+        f"sweep <code>{_esc(sweep_id)}</code>",
+        f"journal records <code>{len(records)}</code>",
+    ]
+    steals = fleet.get("steals", 0)
+    status = (
+        f"<div class='status good'><span class='icon'>⇄</span>"
+        f"{steals} steal{'s' if steals != 1 else ''} rebalanced this batch"
+        "</div>"
+        if steals
+        else ""
+    )
+    body = f"""<main>
+<section>
+<h1>patternlet fleet report — sweep {_esc(sweep_id)}</h1>
+<p class='meta'>{' · '.join(meta_bits)}</p>
+{status}
+{_fleet_tiles(records, fleet)}
+</section>
+<section><h2>Per-worker cell timeline</h2>{_fleet_gantt(records)}</section>
+<section><h2>Straggler heatmap (worker × shard wall time)</h2>
+{_straggler_heatmap(records)}</section>
+<section><h2>Cache hits per worker</h2>{_cache_bars(records)}</section>
+<section><h2>Journal</h2>{_kind_table(records)}</section>
+</main>"""
+    return (
+        "<!DOCTYPE html>\n<html lang='en'>\n<head>\n<meta charset='utf-8'>\n"
+        f"<title>patternlet fleet report — {_esc(sweep_id)}</title>\n"
+        "<meta name='viewport' content='width=device-width, initial-scale=1'>\n"
+        f"<style>{_CSS}{_EXTRA_CSS}</style>\n</head>\n<body>\n{body}\n"
+        "</body>\n</html>\n"
+    )
+
+
+def write_fleet_report(export_dir: str | Path, path: str | Path) -> str:
+    """Load an export directory and write its dashboard HTML; returns path."""
+    records, summary = load_export(export_dir)
+    text = render_fleet_report(records, summary)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return str(path)

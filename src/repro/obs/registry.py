@@ -36,6 +36,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "merge_registries",
     "parse_openmetrics",
 ]
 
@@ -361,21 +362,85 @@ class MetricsRegistry:
         }
 
 
+def merge_registries(*registries: MetricsRegistry) -> MetricsRegistry:
+    """Fold many registries into one, deterministically.
+
+    Counters sum (exemplars stay first-wins in argument order), gauges
+    are last-writer-wins per label set, histograms merge bucket-wise
+    (bounds must match), and ``info`` labels are later-wins.  Because
+    the merge is order-insensitive for everything except ties that the
+    caller already ordered, merging the same inputs always yields the
+    same export bytes — the property the fleet scrape endpoint leans on.
+    """
+    if not registries:
+        return MetricsRegistry()
+    out = MetricsRegistry(prefix=registries[0].prefix)
+    for reg in registries:
+        if reg.prefix != out.prefix:
+            raise ValueError(
+                f"cannot merge prefixes {out.prefix!r} and {reg.prefix!r}"
+            )
+        out.info.update(reg.info)
+        for fam in reg.families():
+            if isinstance(fam, Histogram):
+                merged = out.histogram(
+                    fam.name, fam.help, buckets=fam.bounds, unit=fam.unit
+                )
+                if merged.bounds != fam.bounds:
+                    raise ValueError(
+                        f"histogram {fam.name!r}: bucket bounds differ"
+                    )
+                for key, (counts, total, n) in fam.samples.items():
+                    have = merged.samples.get(key)
+                    if have is None:
+                        merged.samples[key] = (list(counts), total, n)
+                    else:
+                        hc, ht, hn = have
+                        merged.samples[key] = (
+                            [a + b for a, b in zip(hc, counts)],
+                            ht + total,
+                            hn + n,
+                        )
+                continue
+            if isinstance(fam, Counter):
+                merged = out.counter(fam.name, fam.help, fam.unit)
+                for key, value in fam.samples.items():
+                    merged.samples[key] = merged.samples.get(key, 0.0) + value
+                for key, ex in fam.exemplars.items():
+                    merged.exemplars.setdefault(key, ex)
+                continue
+            merged = out.gauge(fam.name, fam.help, fam.unit)
+            for key, value in fam.samples.items():
+                merged.samples[key] = value
+    return out
+
+
 # -- the OpenMetrics reader ---------------------------------------------------
 
+# The label-set groups must not stop at a literal ``}`` *inside* a
+# quoted label value, so they consume whole quoted strings as units.
+_LABELS_BODY = r'(?:[^{}"]|"(?:[^"\\]|\\.)*")*'
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"(?:\{(?P<labels>" + _LABELS_BODY + r")\})?"
     r"\s+(?P<value>[^\s#]+)"
-    r"(?:\s+#\s+\{(?P<ex_labels>[^}]*)\}\s+(?P<ex_value>\S+))?"
+    r"(?:\s+#\s+\{(?P<ex_labels>" + _LABELS_BODY + r")\}\s+(?P<ex_value>\S+))?"
     r"\s*$"
 )
 
 _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
+_UNESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
+_ESCAPE_SEQ_RE = re.compile(r"\\(.)")
+
 
 def _unescape(value: str) -> str:
-    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    # One pass, so ``\\n`` (escaped backslash, then a literal n) decodes
+    # to ``\n`` the two characters — not to a newline, which is what a
+    # chain of str.replace calls would produce.
+    return _ESCAPE_SEQ_RE.sub(
+        lambda m: _UNESCAPES.get(m.group(1), "\\" + m.group(1)), value
+    )
 
 
 def _parse_labels(body: str | None) -> dict[str, str]:

@@ -12,9 +12,11 @@ from __future__ import annotations
 import pytest
 
 from repro.batch.fleet import (
+    FLEET_AMORTISE_CELLS,
     Fleet,
     FleetError,
     default_fleet_workers,
+    fleet_advisory,
     fleet_size,
     run_specs_fleet,
     shutdown_fleet,
@@ -264,3 +266,181 @@ class TestWorkStealing:
             fleet.shutdown()
         assert not report.errors
         assert report.fleet["steals"] == 0
+
+
+def _messenger_files(root):
+    """Leftover shard/worker docs per messenger dir under ``root``."""
+    return {
+        d: sorted(
+            p.name
+            for p in (root / d).iterdir()
+            if p.name.startswith(("shard-", "worker-"))
+        )
+        for d in ("jobs", "claimed", "revoke", "results", "status")
+        if (root / d).is_dir()
+    }
+
+
+class TestSweepCleanup:
+    def test_message_dirs_are_swept_after_merge(self, tmp_path):
+        fleet = Fleet(2, use_cache=True, cache_dir=str(tmp_path))
+        try:
+            report = fleet.submit(_grid(6), timeout=120.0)
+            assert not report.errors
+            left = _messenger_files(fleet.root)
+            # status/ is exempt: idle workers re-assert READY (that file
+            # is the liveness signal the steal pass reads).
+            assert left["jobs"] == left["claimed"] == left["revoke"] == []
+            assert left["results"] == []
+            root = fleet.root
+        finally:
+            fleet.shutdown()
+        assert not root.exists()  # own root is removed on shutdown
+
+    def test_status_files_vanish_on_shutdown(self, tmp_path):
+        fleet = Fleet(
+            2, use_cache=True, cache_dir=str(tmp_path),
+            root=tmp_path / "fleet", keep_dir=True,
+        )
+        try:
+            fleet.submit(_grid(4), timeout=120.0)
+        finally:
+            fleet.shutdown()
+        left = _messenger_files(tmp_path / "fleet")
+        assert left["status"] == []  # workers unlink their own on exit
+
+    def test_keep_dir_preserves_the_docs(self, tmp_path):
+        fleet = Fleet(
+            2, use_cache=True, cache_dir=str(tmp_path),
+            root=tmp_path / "fleet", keep_dir=True,
+        )
+        try:
+            report = fleet.submit(_grid(4), timeout=120.0)
+        finally:
+            fleet.shutdown()
+        assert report.fleet["root"] == str(tmp_path / "fleet")
+        left = _messenger_files(tmp_path / "fleet")
+        assert left["results"], "keep_dir swept the result docs"
+
+    def test_leftover_results_do_not_leak_into_the_next_sweep(self, tmp_path):
+        # The regression _sweep_cleanup guards against: a stale doc from
+        # sweep N must never be merged into (or claimed during) sweep N+1.
+        fleet = Fleet(2, use_cache=True, cache_dir=str(tmp_path))
+        try:
+            first = fleet.submit(_grid(6), timeout=120.0)
+            second = fleet.submit(_grid(4, tasks=2), timeout=120.0)
+        finally:
+            fleet.shutdown()
+        assert len(first.outcomes) == 6
+        assert len(second.outcomes) == 4 and not second.errors
+
+
+class TestAdvisory:
+    def test_small_grid_draws_the_advisory(self):
+        text = fleet_advisory(4, 2)
+        assert text is not None and "fleet" in text
+
+    def test_amortised_grid_is_quiet(self):
+        assert fleet_advisory(2 * FLEET_AMORTISE_CELLS, 2) is None
+        assert fleet_advisory(500, 2) is None
+
+    def test_threshold_is_exact(self):
+        workers = 3
+        edge = workers * FLEET_AMORTISE_CELLS
+        assert fleet_advisory(edge - 1, workers) is not None
+        assert fleet_advisory(edge, workers) is None
+
+    def test_empty_grid_is_quiet(self):
+        assert fleet_advisory(0, 2) is None
+
+
+class TestFleetTelemetry:
+    def test_journals_and_export_end_to_end(self, tmp_path):
+        from repro.obs.telemetry import load_export
+
+        export = tmp_path / "telem"
+        fleet = Fleet(
+            2, use_cache=True, cache_dir=str(tmp_path / "cache"),
+            telemetry=True,
+        )
+        try:
+            report = fleet.submit(
+                _grid(6), timeout=120.0, export_dir=export
+            )
+        finally:
+            fleet.shutdown()
+        assert not report.errors
+        sweep_id = report.fleet["sweep_id"]
+        assert report.telemetry is not None
+        assert report.telemetry["sweep_id"] == sweep_id
+        assert report.telemetry["records"] > 0
+        records, summary = load_export(export)
+        assert summary["fleet"]["workers"] == 2
+        kinds = {r["kind"] for r in records}
+        assert {"sweep.start", "claim", "cell.start", "cell.finish",
+                "job.done", "sweep.finish"} <= kinds
+        finishes = [r for r in records if r["kind"] == "cell.finish"]
+        assert len(finishes) == 6
+        assert all(r["span"]["sweep"] == sweep_id for r in finishes)
+
+    def test_sweep_ids_are_distinct_per_submit(self, tmp_path):
+        fleet = Fleet(
+            2, use_cache=True, cache_dir=str(tmp_path), telemetry=True
+        )
+        try:
+            a = fleet.submit(_grid(4), timeout=120.0)
+            b = fleet.submit(_grid(4), timeout=120.0)
+        finally:
+            fleet.shutdown()
+        assert a.fleet["sweep_id"] != b.fleet["sweep_id"]
+
+    def test_stolen_claims_record_their_provenance(self, tmp_path, monkeypatch):
+        from repro.obs.telemetry import load_export
+
+        monkeypatch.setenv("REPRO_FLEET_STALL", "seed=0:700")
+        export = tmp_path / "telem"
+        fleet = Fleet(
+            2, use_cache=True, cache_dir=str(tmp_path / "cache"),
+            telemetry=True,
+        )
+        try:
+            report = fleet.submit(
+                _grid(10), timeout=120.0, export_dir=export
+            )
+        finally:
+            fleet.shutdown()
+        assert report.fleet["steals"] >= 1
+        records, _ = load_export(export)
+        steals = [r for r in records if r["kind"] == "steal"]
+        assert steals and steals[0]["worker"] == -1  # coordinator's record
+        stolen_claims = [
+            r for r in records
+            if r["kind"] == "claim" and r.get("stolen_from") is not None
+        ]
+        assert stolen_claims, "no claim carries steal provenance"
+        assert stolen_claims[0]["span"]["stolen_from"] == stolen_claims[0][
+            "stolen_from"
+        ]
+
+    def test_telemetry_off_leaves_no_journals(self, tmp_path):
+        fleet = Fleet(
+            2, use_cache=True, cache_dir=str(tmp_path),
+            root=tmp_path / "fleet", keep_dir=True,
+        )
+        try:
+            report = fleet.submit(_grid(4), timeout=120.0)
+        finally:
+            fleet.shutdown()
+        assert report.telemetry is None
+        assert list((tmp_path / "fleet" / "telemetry").glob("*.jsonl")) == []
+
+    def test_run_specs_fleet_wires_the_telemetry_dir(self, tmp_path):
+        export = tmp_path / "telem"
+        report = run_specs_fleet(
+            _grid(6), workers=2, use_cache=True,
+            cache_dir=str(tmp_path / "cache"), telemetry_dir=export,
+        )
+        assert report.telemetry is not None
+        assert (export / "journal.jsonl").is_file()
+        assert (export / "fleet.json").is_file()
+        assert report.stats()["telemetry"]["records"] > 0

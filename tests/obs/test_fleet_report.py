@@ -1,0 +1,75 @@
+"""The fleet dashboard rendered from an exported telemetry directory."""
+
+from repro.obs import render_fleet_report, write_fleet_report
+from repro.obs.telemetry import (
+    COORDINATOR,
+    SpanContext,
+    WorkerJournal,
+    load_export,
+    write_export,
+)
+
+
+def _steal_export(tmp_path):
+    """A two-worker sweep where worker 1 claims a shard stolen from 0."""
+    telem = tmp_path / "telemetry"
+    w0 = WorkerJournal(telem / "worker-0.jsonl", 0)
+    w0.write("claim", span=SpanContext("s1", shard=0, worker=0), shard=0,
+             cells=3)
+    for cell in range(2):
+        ctx = SpanContext("s1", shard=0, cell=cell, worker=0)
+        w0.write("cell.start", span=ctx, shard=0, cell=cell,
+                 label=f"slow seed={cell}")
+        w0.write("cell.finish", span=ctx, shard=0, cell=cell, cached=False,
+                 wall=0.4)
+    w0.write("steal.honoured", span=SpanContext("s1", shard=0, worker=0),
+             shard=0, keep=2, dropped=1)
+    w0.close()
+    w1 = WorkerJournal(telem / "worker-1.jsonl", 1)
+    w1.write("claim", span=SpanContext("s1", shard=2, worker=1,
+                                       stolen_from=0),
+             shard=2, cells=1, stolen_from=0)
+    ctx = SpanContext("s1", shard=2, cell=2, worker=1, stolen_from=0)
+    w1.write("cell.start", span=ctx, shard=2, cell=2, label="slow seed=2")
+    w1.write("cell.finish", span=ctx, shard=2, cell=2, cached=True, wall=0.01)
+    w1.close()
+    coord = WorkerJournal(telem / "coordinator.jsonl", COORDINATOR)
+    coord.write("sweep.start", span=SpanContext("s1"), cells=3, workers=2)
+    coord.write("steal", span=SpanContext("s1", shard=0), victim=0, keep=2,
+                cells=1, reposted_as=2)
+    coord.write("sweep.finish", span=SpanContext("s1"), cells=3, steals=1)
+    coord.close()
+    out = tmp_path / "export"
+    write_export(telem, out, sweep_id="s1",
+                 fleet={"workers": 2, "cells": 3, "steals": 1, "reposts": 0})
+    return out
+
+
+class TestFleetReport:
+    def test_dashboard_is_self_contained_html(self, tmp_path):
+        export = _steal_export(tmp_path)
+        path = tmp_path / "fleet.html"
+        assert write_fleet_report(export, path) == str(path)
+        html = path.read_text(encoding="utf-8")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<script src" not in html and "https://" not in html
+        assert "Per-worker cell timeline" in html
+        assert "Straggler heatmap" in html
+        assert "Cache hits per worker" in html
+
+    def test_steal_is_annotated_with_provenance(self, tmp_path):
+        export = _steal_export(tmp_path)
+        html = render_fleet_report(*load_export(export))
+        assert "steal-mark" in html
+        assert "stolen from worker 0" in html
+
+    def test_sweep_id_and_counts_surface(self, tmp_path):
+        export = _steal_export(tmp_path)
+        records, summary = load_export(export)
+        html = render_fleet_report(records, summary)
+        assert "sweep <code>s1</code>" in html
+        assert "1 steal rebalanced this batch" in html
+
+    def test_empty_journal_degrades_gracefully(self):
+        html = render_fleet_report([], {})
+        assert "No cell activity" in html

@@ -1,0 +1,237 @@
+"""The fleet telemetry plane: spans, journals, registry, scrape server."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import parse_openmetrics
+from repro.obs.telemetry import (
+    COORDINATOR,
+    JOURNAL_SCHEMA,
+    MetricsServer,
+    SpanContext,
+    WorkerJournal,
+    current_context,
+    fleet_registry,
+    load_export,
+    merge_journals,
+    read_journal,
+    read_journals,
+    span_context,
+    write_export,
+)
+
+
+class TestSpanContext:
+    def test_wire_round_trip(self):
+        ctx = SpanContext("s1", shard=3, cell=7, worker=1, stolen_from=0)
+        assert SpanContext.from_wire(ctx.to_wire()) == ctx
+
+    def test_wire_drops_unset_fields(self):
+        assert SpanContext("s1").to_wire() == {"sweep": "s1"}
+
+    def test_meta_is_all_strings(self):
+        meta = SpanContext("s1", shard=2, worker=0).to_meta()
+        assert meta == {"sweep": "s1", "shard": "2", "worker": "0"}
+
+    def test_ambient_install_and_restore(self):
+        assert current_context() is None
+        outer = SpanContext("s1", cell=1)
+        inner = SpanContext("s1", cell=2)
+        with span_context(outer):
+            assert current_context() is outer
+            with span_context(inner):
+                assert current_context() is inner
+            assert current_context() is outer
+        assert current_context() is None
+
+    def test_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with span_context(SpanContext("s1")):
+                raise RuntimeError("boom")
+        assert current_context() is None
+
+
+class TestWorkerJournal:
+    def test_records_carry_schema_and_monotone_seq(self, tmp_path):
+        j = WorkerJournal(tmp_path / "worker-0.jsonl", 0)
+        assert j.write("worker.start", pid=123)
+        assert j.write("claim", span=SpanContext("s1", shard=2), shard=2)
+        j.close()
+        recs = read_journal(tmp_path / "worker-0.jsonl")
+        assert [r["seq"] for r in recs] == [0, 1]
+        assert all(r["v"] == JOURNAL_SCHEMA and r["worker"] == 0 for r in recs)
+        assert recs[1]["span"] == {"sweep": "s1", "shard": 2}
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "worker-0.jsonl"
+        j = WorkerJournal(path, 0)
+        j.write("claim", shard=0)
+        j.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "cell.fin')  # crash mid-append
+        recs = read_journal(path)
+        assert [r["kind"] for r in recs] == ["claim"]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_journal(tmp_path / "nope.jsonl") == []
+
+    def test_io_errors_are_advisory(self, tmp_path):
+        j = WorkerJournal(tmp_path, 0)  # a directory: open() fails
+        assert j.write("claim") is False
+
+
+def _write_fleet_journals(telem):
+    """Two workers + a coordinator, deliberately written out of order."""
+    w1 = WorkerJournal(telem / "worker-1.jsonl", 1)
+    w1.write("worker.start", pid=11)
+    w1.write("heartbeat", state="ready")
+    w1.write("cell.start", span=SpanContext("s1", shard=1, cell=2, worker=1),
+             shard=1, cell=2, label="b seed=1")
+    w1.write("cell.finish", span=SpanContext("s1", shard=1, cell=2, worker=1),
+             shard=1, cell=2, cached=True, wall=0.001)
+    w1.close()
+    w0 = WorkerJournal(telem / "worker-0.jsonl", 0)
+    w0.write("worker.start", pid=10)
+    w0.write("claim", span=SpanContext("s1", shard=0, worker=0), shard=0)
+    w0.write("cell.start", span=SpanContext("s1", shard=0, cell=0, worker=0),
+             shard=0, cell=0, label="a seed=0")
+    w0.write("cell.finish", span=SpanContext("s1", shard=0, cell=0, worker=0),
+             shard=0, cell=0, cached=False, wall=0.25)
+    w0.write("claim", span=SpanContext("old", shard=9, worker=0), shard=9)
+    w0.close()
+    coord = WorkerJournal(telem / "coordinator.jsonl", COORDINATOR)
+    coord.write("sweep.start", span=SpanContext("s1"), cells=2, workers=2)
+    coord.write("steal", span=SpanContext("s1", shard=0), victim=0, keep=1,
+                cells=1, reposted_as=2)
+    coord.write("sweep.finish", span=SpanContext("s1"), cells=2)
+    coord.close()
+
+
+class TestMergeJournals:
+    def test_merge_orders_by_worker_then_seq(self, tmp_path):
+        _write_fleet_journals(tmp_path)
+        recs = read_journals(tmp_path)
+        keys = [(r["worker"], r["seq"]) for r in recs]
+        assert keys == sorted(keys)
+        assert recs[0]["worker"] == COORDINATOR  # coordinator sorts first
+
+    def test_merge_is_deterministic(self, tmp_path):
+        _write_fleet_journals(tmp_path)
+        assert read_journals(tmp_path) == read_journals(tmp_path)
+
+    def test_heartbeats_dropped_unless_asked(self, tmp_path):
+        _write_fleet_journals(tmp_path)
+        kinds = {r["kind"] for r in merge_journals(tmp_path)}
+        assert "heartbeat" not in kinds
+        kinds = {r["kind"] for r in merge_journals(tmp_path, heartbeats=True)}
+        assert "heartbeat" in kinds
+
+    def test_sweep_filter_keeps_lifecycle_records(self, tmp_path):
+        _write_fleet_journals(tmp_path)
+        recs = merge_journals(tmp_path, sweep_id="s1")
+        kinds = [r["kind"] for r in recs]
+        # The stale claim for sweep "old" is filtered out...
+        assert sum(1 for r in recs if r["kind"] == "claim") == 1
+        # ...but worker lifecycle records survive the filter.
+        assert kinds.count("worker.start") == 2
+
+
+class TestExport:
+    def test_write_then_load_round_trips(self, tmp_path):
+        telem = tmp_path / "telemetry"
+        _write_fleet_journals(telem)
+        out = tmp_path / "export"
+        summary = write_export(telem, out, sweep_id="s1",
+                               fleet={"workers": 2, "steals": 1})
+        assert summary["schema"] == JOURNAL_SCHEMA
+        assert summary["sweep_id"] == "s1"
+        records, loaded = load_export(out)
+        assert len(records) == summary["records"] > 0
+        assert loaded["fleet"] == {"workers": 2, "steals": 1}
+        assert records == merge_journals(telem, sweep_id="s1")
+
+    def test_load_missing_dir_is_empty(self, tmp_path):
+        records, summary = load_export(tmp_path / "nope")
+        assert records == [] and summary == {}
+
+
+class TestFleetRegistry:
+    def test_counters_fold_from_journals(self, tmp_path):
+        _write_fleet_journals(tmp_path)
+        doc = parse_openmetrics(fleet_registry(tmp_path).to_openmetrics())
+        cells = {s["labels"]["worker"]: s["value"]
+                 for s in doc["patternlet_fleet_worker_cells"]["samples"]}
+        assert cells == {"0": 1, "1": 1}
+        hits = doc["patternlet_fleet_worker_cache_hits"]["samples"]
+        assert {s["labels"]["worker"]: s["value"] for s in hits} == {"1": 1}
+        assert doc["patternlet_fleet_steals"]["samples"][0]["value"] == 1
+        rate = doc["patternlet_fleet_cache_hit_rate"]["samples"][0]["value"]
+        assert rate == 0.5
+
+    def test_live_gauges_only_with_messenger_dirs(self, tmp_path):
+        _write_fleet_journals(tmp_path / "telemetry")
+        reg = fleet_registry(tmp_path)
+        assert reg.get("fleet_queue_depth") is None
+        (tmp_path / "jobs").mkdir()
+        (tmp_path / "status").mkdir()
+        (tmp_path / "jobs" / "shard-0.json").write_text("{}")
+        (tmp_path / "status" / "worker-0.json").write_text(
+            json.dumps({"type": "RUNNING"})
+        )
+        (tmp_path / "status" / "worker-1.json").write_text(
+            json.dumps({"type": "READY_FOR_JOB"})
+        )
+        doc = parse_openmetrics(fleet_registry(tmp_path).to_openmetrics())
+        assert doc["patternlet_fleet_queue_depth"]["samples"][0]["value"] == 1
+        assert doc["patternlet_fleet_busy_workers"]["samples"][0]["value"] == 1
+        assert doc["patternlet_fleet_idle_workers"]["samples"][0]["value"] == 1
+
+    def test_quiesced_scrapes_are_byte_identical(self, tmp_path):
+        _write_fleet_journals(tmp_path)
+        assert (fleet_registry(tmp_path).to_openmetrics()
+                == fleet_registry(tmp_path).to_openmetrics())
+
+
+def _get(url, timeout=5):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+class TestMetricsServer:
+    def test_serves_strict_openmetrics(self, tmp_path):
+        _write_fleet_journals(tmp_path)
+        reg_text = fleet_registry(tmp_path).to_openmetrics()
+        with MetricsServer(lambda: reg_text) as server:
+            status, ctype, body = _get(server.url)
+        assert status == 200
+        assert ctype.startswith("application/openmetrics-text")
+        doc = parse_openmetrics(body.decode("utf-8"))
+        assert "patternlet_fleet_worker_cells" in doc
+
+    def test_two_scrapes_byte_identical(self, tmp_path):
+        _write_fleet_journals(tmp_path)
+        root = tmp_path
+        with MetricsServer(
+            lambda: fleet_registry(root).to_openmetrics()
+        ) as server:
+            one = _get(server.url)[2]
+            two = _get(server.url)[2]
+        assert one == two
+
+    def test_unknown_path_is_404(self, tmp_path):
+        with MetricsServer(lambda: "# EOF\n") as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server.url.replace("/metrics", "/nope"))
+            assert err.value.code == 404
+
+    def test_render_errors_become_500(self, tmp_path):
+        def boom():
+            raise RuntimeError("no journals")
+
+        with MetricsServer(boom) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server.url)
+            assert err.value.code == 500

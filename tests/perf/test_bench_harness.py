@@ -79,6 +79,25 @@ class TestComparePolicy:
         under = dict(METRICS, metrics_overhead_pct=4.2)
         assert compare(under, METRICS) == []
 
+    def test_telemetry_overhead_gated_against_absolute_budget(self):
+        # telemetry_overhead_pct has its own fixed budget (5%): worker
+        # journalling must stay cheap on warm fleet sweeps everywhere.
+        assert bench.TELEMETRY_OVERHEAD_BUDGET_PCT == 5.0
+        over = dict(METRICS, telemetry_overhead_pct=6.5)
+        failures = compare(over, METRICS)
+        assert len(failures) == 1
+        assert "5%" in failures[0]
+        under = dict(METRICS, telemetry_overhead_pct=3.1)
+        assert compare(under, METRICS) == []
+
+    def test_telemetry_overhead_is_absolute_not_relative(self):
+        # The gate ignores the baseline entirely — a budget, not a diff.
+        assert "telemetry_overhead_pct" not in HIGHER_IS_BETTER
+        assert "telemetry_overhead_pct" not in bench.LOWER_IS_BETTER
+        current = dict(METRICS, telemetry_overhead_pct=4.0)
+        baseline = dict(METRICS, telemetry_overhead_pct=0.5)
+        assert compare(current, baseline) == []
+
     def test_gated_metric_absent_from_baseline_warns_but_passes(self):
         # An older baseline file predating a gated metric must not fail
         # the check — but the un-armed gate is reported, not silent.

@@ -386,6 +386,78 @@ class TestReportCommand:
         ) == 1
 
 
+class TestTelemetryCli:
+    def test_telemetry_flags_require_the_fleet(self, tmp_path, capsys):
+        assert main(
+            ["sweep", "openmp.spmd", "--seeds", "0-2",
+             "--cache-dir", str(tmp_path / "runs"),
+             "--telemetry", str(tmp_path / "telem")]
+        ) == 1
+        assert "--fleet" in capsys.readouterr().err
+
+    def test_small_fleet_grid_prints_the_advisory(self, tmp_path, capsys):
+        from repro.batch.fleet import shutdown_fleet
+
+        try:
+            assert main(
+                ["sweep", "openmp.spmd", "--seeds", "0-3", "--fleet", "2",
+                 "--cache-dir", str(tmp_path / "runs")]
+            ) == 0
+        finally:
+            shutdown_fleet()
+        assert "amortisation" in capsys.readouterr().err
+
+    def test_sweep_telemetry_then_report_and_scrape(self, tmp_path, capsys):
+        from repro.batch.fleet import shutdown_fleet
+        from repro.obs import parse_openmetrics
+
+        telem = tmp_path / "telem"
+        try:
+            assert main(
+                ["sweep", "openmp.spmd", "--seeds", "0-5", "--fleet", "2",
+                 "--cache-dir", str(tmp_path / "runs"),
+                 "--telemetry", str(telem)]
+            ) == 0
+        finally:
+            shutdown_fleet()
+        err = capsys.readouterr().err
+        assert "telemetry:" in err and "fleet-report" in err
+        assert (telem / "journal.jsonl").is_file()
+
+        html_path = tmp_path / "fleet.html"
+        trace_path = tmp_path / "fleet_trace.json"
+        assert main(
+            ["fleet-report", str(telem), "--out", str(html_path),
+             "--trace-out", str(trace_path)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        html = html_path.read_text(encoding="utf-8")
+        assert "Per-worker cell timeline" in html
+        import json
+
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert {e["ph"] for e in doc["traceEvents"]} >= {"M", "B", "E"}
+
+        assert main(["metrics-serve", str(telem), "--once"]) == 0
+        one = capsys.readouterr().out
+        assert main(["metrics-serve", str(telem), "--once"]) == 0
+        two = capsys.readouterr().out
+        assert one == two  # quiesced scrapes are byte-identical
+        doc = parse_openmetrics(one)
+        assert "patternlet_fleet_worker_cells" in doc
+
+    def test_metrics_serve_missing_dir_is_an_error(self, tmp_path, capsys):
+        assert main(["metrics-serve", str(tmp_path / "nope"), "--once"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_fleet_report_empty_dir_is_an_error(self, tmp_path, capsys):
+        assert main(
+            ["fleet-report", str(tmp_path),
+             "--out", str(tmp_path / "x.html")]
+        ) == 1
+        assert "--telemetry" in capsys.readouterr().err
+
+
 class TestSelfcheckCacheLine:
     def test_summary_line_reports_cache_traffic(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "runs")
