@@ -49,6 +49,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
@@ -249,6 +250,47 @@ def _quiet_unlink(path: Path) -> bool:
         return False
 
 
+# -- in-process single flight -------------------------------------------------
+#
+# The disk store already makes concurrent *processes* safe (worst case
+# two workers race to compute one key once); this closes the same gap
+# for concurrent *threads* in one process: the first thread to miss a
+# key becomes its flight leader and computes it, any other thread
+# missing the same key waits for the leader and then re-reads the memo/
+# store instead of computing a duplicate.  The serve daemon leans on
+# this around its cache get/put path, and any embedding application
+# whose threads share one installed ``caching_runs`` context gets it
+# for free.  (Enter the context once — the interceptor slot is
+# process-global, so concurrent per-thread enter/exit would race its
+# save/restore.)
+
+#: Longest a follower waits on a flight leader before running live — a
+#: liveness backstop, not a correctness bound (duplicated computation of
+#: a deterministic key is merely wasted work).
+FLIGHT_WAIT_S = 60.0
+
+_FLIGHT_LOCK = threading.Lock()
+_FLIGHTS: dict[tuple[str, str], threading.Event] = {}
+
+
+def _begin_flight(scope: str, key: str) -> "threading.Event | None":
+    """Open (or join) the flight for ``key``: ``None`` means *you lead*."""
+    with _FLIGHT_LOCK:
+        ev = _FLIGHTS.get((scope, key))
+        if ev is None:
+            _FLIGHTS[(scope, key)] = threading.Event()
+            return None
+        return ev
+
+
+def _end_flight(scope: str, key: str) -> None:
+    """Close the flight for ``key`` and release every waiting follower."""
+    with _FLIGHT_LOCK:
+        ev = _FLIGHTS.pop((scope, key), None)
+    if ev is not None:
+        ev.set()
+
+
 class caching_runs:
     """Serve deterministic ``run_patternlet`` calls from a :class:`RunCache`.
 
@@ -287,6 +329,28 @@ class caching_runs:
         if key is None:  # thread-mode or unkeyable extras: always live
             return execute()
         scope = str(self.cache.root)
+        run = self._serve(scope, key)
+        if run is not None:
+            return run
+        follow = _begin_flight(scope, key)
+        if follow is not None:
+            # Another thread is already computing this key: wait it out,
+            # then re-read the tiers it filled.  A leader that failed (or
+            # outran the backstop) leaves us computing live — duplicated
+            # work on a deterministic key, never a wrong answer.
+            follow.wait(FLIGHT_WAIT_S)
+            run = self._serve(scope, key)
+            if run is not None:
+                return run
+            return self._compute(scope, key, execute)
+        try:
+            return self._compute(scope, key, execute)
+        finally:
+            _end_flight(scope, key)
+
+    def _serve(self, scope: str, key: str) -> CapturedRun | None:
+        """Serve ``key`` from the memo or the disk store (``None`` = miss)."""
+        assert self.cache is not None
         served = _memo_serve(scope, key)  # already decoded in this process
         if served is not None:
             self.cache.hits += 1
@@ -300,6 +364,13 @@ class caching_runs:
             else:
                 memo_run(scope, key, run, record)
                 return run
+        return None
+
+    def _compute(
+        self, scope: str, key: str, execute: Callable[[], CapturedRun]
+    ) -> CapturedRun:
+        """Run live and persist the result under ``key`` (memo + disk)."""
+        assert self.cache is not None
         run = execute()
         try:
             record = run_to_record(run, key=key)

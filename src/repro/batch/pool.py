@@ -40,6 +40,7 @@ __all__ = [
     "map_calls",
     "run_specs",
     "shutdown_pool",
+    "submit_one",
 ]
 
 _POOL: ProcessPoolExecutor | None = None
@@ -135,6 +136,39 @@ def _entry(
         result = fn(item)
     stats = cm.cache.stats() if cm.cache is not None else dict(_ZERO_STATS)
     return result, stats
+
+
+def submit_one(
+    fn: Callable[[Any], Any],
+    item: Any,
+    *,
+    workers: int,
+    use_cache: bool | None = None,
+    cache_dir: str | None = None,
+) -> "Any | None":
+    """Submit one call to the persistent pool without blocking on it.
+
+    The serve daemon's entry point: unlike :func:`map_calls` (one
+    blocking barrier per batch) this hands back the
+    ``concurrent.futures.Future`` for a single item — resolving to the
+    same ``(result, cache_stats)`` pair :func:`_entry` returns — so an
+    event loop can await many independent submissions concurrently.
+    Returns ``None`` when pooling is unavailable (``workers <= 1`` or
+    the pool cannot be built/has collapsed); the caller then runs the
+    item on its own serial path, mirroring :func:`map_calls`' silent
+    degradation.
+    """
+    if workers <= 1:
+        return None
+    use = cache_enabled() if use_cache is None else use_cache
+    pool = _get_pool(workers)
+    if pool is None:
+        return None
+    try:
+        return pool.submit(_entry, (fn, item, cache_dir, use))
+    except Exception:  # noqa: BLE001 - a broken pool degrades, never fails
+        shutdown_pool()
+        return None
 
 
 def _run_serial(

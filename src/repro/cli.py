@@ -249,6 +249,45 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker count for the fleet sweep benches "
                               "(default: 2)")
 
+    p_daemon = sub.add_parser(
+        "serve",
+        help="run the patternlet service daemon: POST /run and /sweep with "
+             "request coalescing and admission control over the shared run "
+             "cache (SIGTERM/Ctrl-C drains in-flight runs)",
+    )
+    p_daemon.add_argument("--host", default="127.0.0.1")
+    p_daemon.add_argument("--port", type=int, default=8097,
+                          help="listen port (default 8097; 0 = ephemeral)")
+    p_daemon.add_argument("--workers", type=int, default=1, metavar="N",
+                          help="execution concurrency: 1 = one in-process "
+                               "lane (default), N>1 = N persistent worker "
+                               "processes")
+    p_daemon.add_argument("--queue-limit", type=int, default=32, metavar="N",
+                          help="admitted-but-waiting executions beyond the "
+                               "worker count before 429 shedding (default 32)")
+    p_daemon.add_argument("--deadline-ms", type=float, default=10_000.0,
+                          help="max milliseconds an admitted execution may "
+                               "queue before 503 (default 10000)")
+    p_daemon.add_argument("--no-cache", action="store_true",
+                          help="bypass the run cache (every distinct request "
+                               "executes; identical concurrent requests still "
+                               "coalesce)")
+    p_daemon.add_argument("--cache-dir", default=None, metavar="DIR",
+                          help="run-cache root (default: REPRO_CACHE_DIR or "
+                               "~/.cache/repro-runs)")
+    p_daemon.add_argument("--max-cells", type=int, default=256, metavar="N",
+                          help="largest grid one POST /sweep may expand to "
+                               "(default 256)")
+    p_daemon.add_argument("--fleet", type=int, default=None, metavar="N",
+                          help="route large /sweep grids to an N-worker "
+                               "sweep fleet (default: off)")
+    p_daemon.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                          help="fleet journal directory folded into /metrics")
+    p_daemon.add_argument("--drain-timeout", type=float, default=10.0,
+                          metavar="S",
+                          help="seconds shutdown waits for in-flight runs "
+                               "(default 10)")
+
     p_serve = sub.add_parser(
         "metrics-serve",
         help="serve (or print) the merged OpenMetrics view of a fleet "
@@ -744,6 +783,45 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig, serve_forever
+
+    cfg = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=max(1, args.workers),
+        queue_limit=max(0, args.queue_limit),
+        deadline_ms=args.deadline_ms,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        max_cells=max(1, args.max_cells),
+        fleet=args.fleet,
+        telemetry_dir=args.telemetry_dir,
+        drain_timeout_s=args.drain_timeout,
+    )
+
+    def announce(url: str) -> None:
+        print(f"patternlet daemon serving at {url} "
+              f"(workers={cfg.workers}, cache={'on' if cfg.use_cache else 'off'}; "
+              "SIGTERM/Ctrl-C drains and exits)", file=sys.stderr)
+
+    try:
+        clean = asyncio.run(serve_forever(cfg, announce=announce))
+    except OSError as exc:
+        print(f"error: cannot bind {cfg.host}:{cfg.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 0
+    if not clean:
+        print("warning: drain timed out with runs still in flight",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_metrics_serve(args: argparse.Namespace) -> int:
     import os.path
 
@@ -866,6 +944,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_sweep(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "metrics-serve":
             return _cmd_metrics_serve(args)
         if args.command == "fleet-report":

@@ -440,6 +440,13 @@ class MetricsServer:
 
         class _Handler(BaseHTTPRequestHandler):
             server_version = "patternlet-metrics/1"
+            # HTTP/1.1 so connections persist between scrapes: the
+            # handler always sends Content-Length, which is what the
+            # stdlib needs to keep the socket open instead of closing
+            # it after every response (HTTP/1.0's only framing).  A
+            # Prometheus-style scraper or bench swarm then pays
+            # connection setup once, not per request.
+            protocol_version = "HTTP/1.1"
 
             def do_GET(handler) -> None:  # noqa: N805 — stdlib idiom
                 if handler.path not in ("/", "/metrics"):

@@ -1,0 +1,36 @@
+"""The patternlet service daemon (``patternlet serve``).
+
+A long-lived HTTP front end over the engine's batch substrate, built for
+the classroom serving story: one shared daemon absorbs a lab section's
+burst of identical figure-grid requests at approximately one execution
+per *distinct* grid cell — everything else is coalesced onto in-flight
+runs or served from the content-addressed cache.
+
+- :class:`~repro.serve.service.ServeConfig` /
+  :class:`~repro.serve.service.PatternletService` — canonicalisation,
+  single-flight coalescing, admission control, serving telemetry.
+- :class:`~repro.serve.daemon.ServeDaemon` /
+  :func:`~repro.serve.daemon.running` /
+  :func:`~repro.serve.daemon.serve_forever` — the asyncio HTTP/1.1
+  layer and its hosting helpers.
+"""
+
+from repro.serve.daemon import ServeDaemon, running, serve_forever
+from repro.serve.service import (
+    PatternletService,
+    RequestError,
+    ServeConfig,
+    parse_run_request,
+    parse_sweep_request,
+)
+
+__all__ = [
+    "PatternletService",
+    "RequestError",
+    "ServeConfig",
+    "ServeDaemon",
+    "parse_run_request",
+    "parse_sweep_request",
+    "running",
+    "serve_forever",
+]

@@ -283,3 +283,89 @@ class TestMultiWriter:
         ):
             assert cache.prune() == 0  # under cap; walk survives the race
         assert len(cache) == 1
+
+
+class TestSingleFlight:
+    """Thread-level coalescing: one compute per key even under a stampede."""
+
+    def _swarm(self, tmp_path, monkeypatch, *, leader_fails=False,
+               n_followers=5):
+        import threading
+        import time
+
+        cache = _cache(tmp_path)
+        real = registry.capture_run
+        executions = []
+        results = []
+        errors = []
+
+        def slow_capture(*args, **kwargs):
+            executions.append(threading.get_ident())
+            time.sleep(0.25)  # hold the flight open while followers pile in
+            if leader_fails and len(executions) == 1:
+                raise RuntimeError("leader died mid-flight")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(registry, "capture_run", slow_capture)
+
+        def worker():
+            try:
+                results.append(run_patternlet("openmp.spmd", tasks=3, seed=5))
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        # One shared context for every thread: the interceptor slot is
+        # process-global, so concurrent enter/exit from worker threads
+        # would race its save/restore.  Entering once on the main thread
+        # is the supported embedding shape — the flight table underneath
+        # is what coalesces the stampede.
+        with caching_runs(cache, enabled=True):
+            leader = threading.Thread(target=worker)
+            leader.start()
+            while not executions:  # the flight is provably open past here
+                time.sleep(0.005)
+            followers = [threading.Thread(target=worker)
+                         for _ in range(n_followers)]
+            for t in followers:
+                t.start()
+            leader.join()
+            for t in followers:
+                t.join()
+        return executions, results, errors
+
+    def test_stampede_on_one_key_computes_once(self, tmp_path, monkeypatch):
+        executions, results, errors = self._swarm(tmp_path, monkeypatch)
+        assert len(executions) == 1  # five followers attached, none ran
+        assert not errors
+        assert len(results) == 6
+        assert len({r.text for r in results}) == 1
+
+    def test_failed_leader_releases_its_follower_to_run_live(
+        self, tmp_path, monkeypatch
+    ):
+        # A leader that dies must not strand a follower: _end_flight
+        # runs on the failure path, the woken follower re-reads the
+        # tiers, misses, and computes for itself.  (One follower only:
+        # coalescing callers, not this layer, guarantee one live run
+        # per process — the trace recorder stack is process-ambient.)
+        executions, results, errors = self._swarm(
+            tmp_path, monkeypatch, leader_fails=True, n_followers=1)
+        assert len(errors) == 1  # only the leader saw the crash
+        assert len(results) == 1
+        assert "Hello" in results[0].text  # a whole, live-computed run
+        assert len(executions) == 2  # the follower recomputed after the wake
+
+    def test_flights_are_scoped_per_key(self, tmp_path):
+        from repro.batch.cache import _begin_flight, _end_flight
+
+        scope = str(tmp_path)
+        assert _begin_flight(scope, "k1") is None  # first caller leads
+        assert _begin_flight(scope, "k2") is None  # other keys unaffected
+        follow = _begin_flight(scope, "k1")
+        assert follow is not None and not follow.is_set()
+        _end_flight(scope, "k1")
+        assert follow.is_set()  # followers released
+        assert _begin_flight(scope, "k1") is None  # table entry retired
+        _end_flight(scope, "k1")
+        _end_flight(scope, "k2")
+        _end_flight(scope, "nope")  # closing a non-flight is a no-op

@@ -235,3 +235,25 @@ class TestMetricsServer:
             with pytest.raises(urllib.error.HTTPError) as err:
                 _get(server.url)
             assert err.value.code == 500
+
+    def test_two_scrapes_share_one_socket(self):
+        # HTTP/1.1 + Content-Length framing keeps the connection open:
+        # a Prometheus-style scraper (or the bench swarm) pays TCP setup
+        # once, not per scrape.  Regression pin for the keep-alive fix.
+        import http.client
+
+        with MetricsServer(lambda: "# EOF\n") as server:
+            conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                              timeout=5)
+            conn.request("GET", "/metrics")
+            one = conn.getresponse()
+            assert one.version == 11  # HTTP/1.1, not the 1.0 default
+            one.read()
+            sock = conn.sock
+            assert sock is not None
+            conn.request("GET", "/metrics")
+            two = conn.getresponse()
+            body = two.read()
+            assert two.status == 200 and body == b"# EOF\n"
+            assert conn.sock is sock  # reused, never reconnected
+            conn.close()

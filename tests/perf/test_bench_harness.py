@@ -66,6 +66,13 @@ class TestComparePolicy:
             "switch_rate_np64",
             "batch_throughput_runs_s",
             "fleet_sweep_runs_s",
+            "served_runs_s",
+        }
+        assert set(bench.LOWER_IS_BETTER) == {
+            "bcast_ms_p32",
+            "allreduce_ms_p64",
+            "serve_p50_ms",
+            "serve_p99_ms",
         }
 
     def test_probe_overhead_gated_against_absolute_budget(self):
@@ -224,6 +231,51 @@ class TestRemeasure:
         out = bench.remeasure({"bcast_ms_p32": 9.0}, ["bcast_ms_p32"],
                               repeats=3)
         assert out["bcast_ms_p32"] == 2.0
+
+
+class TestFleetBenchGrid:
+    def test_grid_sits_past_the_amortisation_threshold(self):
+        # The regression behind the 0.29 "speedup": the old 4-seed grid
+        # (56 cells) was under workers × FLEET_AMORTISE_CELLS, so the
+        # A/B priced per-job messenger fixed cost, not throughput.  The
+        # bench grid must stay past the threshold the advisory warns at.
+        from repro.batch import figure_suite_specs
+        from repro.batch.fleet import FLEET_AMORTISE_CELLS, fleet_advisory
+
+        bench_grid = figure_suite_specs(seeds=range(5))
+        assert len(bench_grid) >= 2 * FLEET_AMORTISE_CELLS
+        assert fleet_advisory(len(bench_grid), 2) is None
+        old_grid = figure_suite_specs(seeds=range(4))
+        assert fleet_advisory(len(old_grid), 2) is not None
+
+
+class TestServeBench:
+    def test_serve_gates_have_samplers(self):
+        # A failing serve gate must be re-measurable like any other.
+        assert {"served_runs_s", "serve_p50_ms", "serve_p99_ms"} <= set(
+            bench._GATED_SAMPLERS
+        )
+
+    def test_nearest_rank_percentile(self):
+        values = [float(v) for v in range(1, 101)]
+        assert bench._pct(values, 0.50) == 50.0
+        assert bench._pct(values, 0.99) == 99.0
+        assert bench._pct([7.0], 0.99) == 7.0
+
+    def test_warm_identical_burst_coalesces_completely(self):
+        # The acceptance bar: a warm burst of identical-spec requests
+        # never reaches the execution tier — coalesce_hit_rate is 1.0.
+        out = bench.bench_serve(quick=True, rounds=1, clients=4, requests=40)
+        assert set(out) == {
+            "serve_p50_ms",
+            "serve_p99_ms",
+            "served_runs_s",
+            "coalesce_hit_rate",
+            "serve_direct_ms",
+        }
+        assert out["coalesce_hit_rate"] == 1.0
+        assert out["served_runs_s"] > 0
+        assert out["serve_p50_ms"] <= out["serve_p99_ms"]
 
 
 class TestCli:

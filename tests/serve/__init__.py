@@ -1,0 +1,1 @@
+"""The patternlet service daemon: validation, coalescing, HTTP plumbing."""

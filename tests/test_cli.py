@@ -470,3 +470,58 @@ class TestSelfcheckCacheLine:
 
         hits = int(re.search(r"(\d+) hits", warm).group(1))
         assert hits > 0
+
+
+class TestServeCli:
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--workers", "2",
+             "--queue-limit", "8", "--deadline-ms", "500", "--no-cache"]
+        )
+        assert args.port == 9000 and args.workers == 2
+        assert args.queue_limit == 8 and args.no_cache is True
+
+    def test_bind_conflict_is_an_error(self, capsys):
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        try:
+            assert main(["serve", "--port", str(port)]) == 1
+        finally:
+            sock.close()
+        assert "cannot bind" in capsys.readouterr().err
+
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        # The whole daemon lifecycle as operators see it: spawn the CLI,
+        # wait for the announce line, serve one real request, SIGTERM,
+        # and get a clean (drained) exit status back.
+        import http.client
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        proc = subprocess.Popen(
+            [sys.executable, "-c",
+             "from repro.cli import main; raise SystemExit("
+             "main(['serve', '--port', '0', '--cache-dir', "
+             f"{str(tmp_path)!r}]))"],
+            stderr=subprocess.PIPE,
+            env=dict(os.environ, PYTHONPATH=os.pathsep.join(sys.path)),
+        )
+        try:
+            announce = proc.stderr.readline().decode()
+            assert "serving at http://" in announce
+            port = int(announce.split("http://127.0.0.1:")[1].split()[0])
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            conn.request("GET", "/healthz")
+            assert conn.getresponse().status == 200
+            conn.close()
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stderr.close()
